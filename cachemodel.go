@@ -1,0 +1,275 @@
+// Package cachemodel is a from-scratch implementation of the analytical
+// whole-program cache behaviour analysis of Vera & Xue, "Let's Study
+// Whole-Program Cache Behaviour Analytically" (HPCA 2002 / UNSW-CSE-TR0109).
+//
+// Given a FORTRAN-like regular program — subroutines, call statements, IF
+// statements, arbitrarily nested affine loops — the library predicts its
+// data-cache miss ratio on a k-way set-associative LRU cache without
+// simulating it, by:
+//
+//  1. abstractly inlining all analysable calls (§3.6),
+//  2. normalising the loop structure so every statement sits in an
+//     n-dimensional nest (§3.1),
+//  3. deriving temporal and spatial reuse vectors across multiple nests
+//     (§3.4–3.5, the paper's central contribution),
+//  4. solving cold and replacement miss equations per access (§4), either
+//     exhaustively (FindMisses) or over a statistically chosen sample
+//     (EstimateMisses).
+//
+// An exact LRU cache simulator (the paper's validation baseline) and the
+// probabilistic estimator of Fraguela et al. (the Table 7 baseline) are
+// included.
+//
+// # Quick start
+//
+//	b := cachemodel.NewSub("MAIN")
+//	A := b.Real8("A", 1000)
+//	b.Do("I", cachemodel.Con(2), cachemodel.Con(999)).
+//	    Assign("S1", cachemodel.R(A, cachemodel.Var("I")),
+//	        cachemodel.R(A, cachemodel.Var("I").PlusConst(-1))).
+//	    End()
+//	p := cachemodel.NewProgram("demo")
+//	p.Add(b.Build())
+//	np, _, err := cachemodel.Prepare(p, cachemodel.PrepareOptions{})
+//	if err != nil { ... }
+//	rep, err := cachemodel.EstimateMisses(np, cachemodel.Default32K(2),
+//	    cachemodel.AnalyzeOptions{}, cachemodel.Plan{C: 0.95, W: 0.05})
+//	fmt.Printf("miss ratio %.2f%%\n", rep.MissRatio())
+package cachemodel
+
+import (
+	"cachemodel/internal/advisor"
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cme"
+	"cachemodel/internal/fparse"
+	"cachemodel/internal/inline"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/kernels"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/prob"
+	"cachemodel/internal/reuse"
+	"cachemodel/internal/sampling"
+	"cachemodel/internal/trace"
+)
+
+// Program-model types (see internal/ir).
+type (
+	// Program is a whole program: subroutines plus a designated entry.
+	Program = ir.Program
+	// Subroutine is one subroutine: formals, locals and a body.
+	Subroutine = ir.Subroutine
+	// SubBuilder builds subroutines fluently.
+	SubBuilder = ir.SubBuilder
+	// Array is a column-major FORTRAN array.
+	Array = ir.Array
+	// Expr is a linear expression over named loop variables.
+	Expr = ir.Expr
+	// Cond is an affine IF condition.
+	Cond = ir.Cond
+	// Ref is an array reference with affine subscripts.
+	Ref = ir.Ref
+	// Arg is an actual parameter at a call site.
+	Arg = ir.Arg
+	// NProgram is the normalised program all analyses run on.
+	NProgram = ir.NProgram
+	// NRef is a reference of the normalised program.
+	NRef = ir.NRef
+)
+
+// Builder helpers re-exported from the program model.
+var (
+	// NewProgram returns an empty program.
+	NewProgram = ir.NewProgram
+	// NewSub starts building a subroutine.
+	NewSub = ir.NewSub
+	// NewArray declares an array without laying it out.
+	NewArray = ir.NewArray
+	// Con builds a constant expression.
+	Con = ir.Con
+	// Var builds a loop-variable expression.
+	Var = ir.Var
+	// Term builds coeff·var.
+	Term = ir.Term
+	// R builds an array reference.
+	R = ir.R
+	// ArgVar passes a whole variable as an actual parameter.
+	ArgVar = ir.ArgVar
+	// ArgElem passes a subscripted element as an actual parameter.
+	ArgElem = ir.ArgElem
+)
+
+// Comparison operators for IF conditions.
+const (
+	EQ = ir.EQ
+	LE = ir.LE
+	LT = ir.LT
+	GE = ir.GE
+	GT = ir.GT
+)
+
+// Cache and analysis types.
+type (
+	// Config describes a k-way set-associative LRU cache (§2).
+	Config = cache.Config
+	// Simulator is the exact cache simulator.
+	Simulator = cache.Simulator
+	// SimResult holds per-reference simulation counts.
+	SimResult = trace.SimResult
+	// AnalyzeOptions tunes the miss-equation solvers.
+	AnalyzeOptions = cme.Options
+	// ReuseOptions tunes reuse-vector generation.
+	ReuseOptions = reuse.Options
+	// Report is the output of FindMisses / EstimateMisses.
+	Report = cme.Report
+	// RefReport is the per-reference analysis result.
+	RefReport = cme.RefReport
+	// Plan is a sampling request: confidence and interval half-width.
+	Plan = sampling.Plan
+	// InlineOptions tunes abstract inlining.
+	InlineOptions = inline.Options
+	// InlineStats reports the Table 2 classification counters.
+	InlineStats = inline.Stats
+	// LayoutOptions tunes the data layout (padding, alignment).
+	LayoutOptions = layout.Options
+	// ProbOptions tunes the probabilistic baseline estimator.
+	ProbOptions = prob.Options
+	// ProbReport is the probabilistic baseline's output.
+	ProbReport = prob.Report
+)
+
+// Default32K returns the paper's default cache: 32 KB, 32-byte lines.
+func Default32K(assoc int) Config { return cache.Default32K(assoc) }
+
+// NewSimulator returns an empty exact LRU simulator.
+func NewSimulator(cfg Config) *Simulator { return cache.NewSimulator(cfg) }
+
+// PrepareOptions bundles the front-end options of Prepare.
+type PrepareOptions struct {
+	Inline InlineOptions
+	Layout LayoutOptions
+}
+
+// Prepare runs the paper's front end on a whole program: abstract inlining
+// of every analysable call, loop-nest normalisation and data layout. The
+// returned normalised program is ready for analysis and simulation.
+func Prepare(p *Program, opt PrepareOptions) (*NProgram, *InlineStats, error) {
+	flat, stats, err := inline.Flatten(p, opt.Inline)
+	if err != nil {
+		return nil, nil, err
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := layout.AssignProgram(np, opt.Layout); err != nil {
+		return nil, nil, err
+	}
+	np.Name = p.Name
+	return np, stats, nil
+}
+
+// ClassifyCalls applies the Table 2 classification to every call of the
+// program without inlining.
+func ClassifyCalls(p *Program) InlineStats { return inline.ClassifyProgram(p) }
+
+// NewAnalyzer builds the reuse vectors and iteration spaces of a prepared
+// program for the given cache.
+func NewAnalyzer(np *NProgram, cfg Config, opt AnalyzeOptions) (*cme.Analyzer, error) {
+	return cme.New(np, cfg, opt)
+}
+
+// FindMisses analyses every iteration point of every reference (exact,
+// Fig. 6 left).
+func FindMisses(np *NProgram, cfg Config, opt AnalyzeOptions) (*Report, error) {
+	a, err := cme.New(np, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return a.FindMisses(), nil
+}
+
+// EstimateMisses analyses a statistically chosen sample of each
+// reference's iteration space (Fig. 6 right).
+func EstimateMisses(np *NProgram, cfg Config, opt AnalyzeOptions, plan Plan) (*Report, error) {
+	a, err := cme.New(np, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return a.EstimateMisses(plan)
+}
+
+// Simulate replays the program through the exact LRU simulator.
+func Simulate(np *NProgram, cfg Config) *SimResult { return trace.Simulate(np, cfg) }
+
+// EstimateProbabilistic runs the Fraguela-style probabilistic baseline
+// (Table 7).
+func EstimateProbabilistic(np *NProgram, cfg Config, opt ProbOptions) (*ProbReport, error) {
+	return prob.Estimate(np, cfg, opt)
+}
+
+// Diagnosis types (CME-driven diagnosis, internal/advisor).
+type (
+	// Diagnosis attributes replacement misses to interfering arrays.
+	Diagnosis = advisor.Diagnosis
+	// Interference is one victim/interferer cell of the matrix.
+	Interference = advisor.Interference
+	// Choice is one evaluated transformation candidate.
+	Choice = advisor.Choice
+)
+
+// Diagnose samples the program and attributes every replacement miss to
+// the arrays that supplied the evicting contentions.
+func Diagnose(np *NProgram, cfg Config, opt AnalyzeOptions, plan Plan) (*Diagnosis, error) {
+	return advisor.Diagnose(np, cfg, opt, plan)
+}
+
+// SearchPadding ranks inter-array paddings by predicted miss ratio.
+func SearchPadding(build func() *Program, array string, pads []int64, cfg Config, opt AnalyzeOptions, plan Plan) ([]Choice, error) {
+	return advisor.SearchPadding(build, array, pads, cfg, opt, plan)
+}
+
+// SearchParameter ranks a parameterised program family (tile sizes, loop
+// orders, ...) by predicted miss ratio.
+func SearchParameter(build func(param int64) *Program, params []int64, cfg Config, opt AnalyzeOptions, plan Plan) ([]Choice, error) {
+	return advisor.SearchParameter(build, params, cfg, opt, plan)
+}
+
+// ParseFortran parses FORTRAN-subset source (the paper's program model)
+// into a Program. consts supplies compile-time values for named sizes,
+// the way the paper fixes READ-initialised variables from the reference
+// input.
+func ParseFortran(src string, consts map[string]int64) (*Program, error) {
+	return fparse.Parse(src, consts)
+}
+
+// ParseOptions tunes ParseFortranOptions.
+type ParseOptions = fparse.Options
+
+// ParseFortranOptions is ParseFortran with IF-GOTO loop conversion: the
+// paper converts Swim's and Tomcatv's outer IF-GOTO iteration into DO
+// statements with trip counts fixed from the reference input
+// (Options.GotoTrips).
+func ParseFortranOptions(src string, opt ParseOptions) (*Program, error) {
+	return fparse.ParseOptions(src, opt)
+}
+
+// Built-in workloads: the paper's kernels (Fig. 8) and whole-program
+// models (Table 5).
+var (
+	// KernelHydro is Livermore kernel 18 (JN = KN sizes are separate).
+	KernelHydro = kernels.Hydro
+	// KernelMGRID is the 3-D interpolation nest of MGRID.
+	KernelMGRID = kernels.MGRID
+	// KernelMMT is the blocked A·Bᵀ multiply with a transposed copy block.
+	KernelMMT = kernels.MMT
+	// ProgramTomcatv is the SPECfp95 Tomcatv model.
+	ProgramTomcatv = kernels.Tomcatv
+	// ProgramSwim is the SPECfp95 Swim model.
+	ProgramSwim = kernels.Swim
+	// ProgramApplu is the SPECfp95 Applu model.
+	ProgramApplu = kernels.Applu
+	// ProgramVCycle is a 3-level multigrid V-cycle exercising renameable
+	// and sequence-associated call arguments.
+	ProgramVCycle = kernels.VCycle
+)

@@ -1,0 +1,142 @@
+package cachemodel_test
+
+import (
+	"strings"
+	"testing"
+
+	"cachemodel"
+)
+
+// TestFacadePipeline: the public API end to end — parse, prepare, analyse
+// both ways, simulate — on a program with a call.
+func TestFacadePipeline(t *testing.T) {
+	src := `
+      PROGRAM MAIN
+      REAL*8 A(32,32)
+      DO I = 1, 16
+        CALL SWEEP(A)
+      ENDDO
+      END
+      SUBROUTINE SWEEP(C)
+      REAL*8 C(32,32)
+      DO J = 1, 32
+        DO K = 1, 32
+          C(K,J) = C(K,J)
+        ENDDO
+      ENDDO
+      END
+`
+	p, err := cachemodel.ParseFortran(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, stats, err := cachemodel.Prepare(p, cachemodel.PrepareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inlined != 1 || stats.PAble != 1 {
+		t.Errorf("inline stats: %+v", stats)
+	}
+	cfg := cachemodel.Config{SizeBytes: 4096, LineBytes: 32, Assoc: 2}
+	sim := cachemodel.Simulate(np, cfg)
+	if sim.Accesses != 16*32*32*2 {
+		t.Fatalf("accesses = %d", sim.Accesses)
+	}
+	exact, err := cachemodel.FindMisses(np, cfg, cachemodel.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.ExactMisses() != sim.Misses {
+		t.Errorf("FindMisses %d, simulator %d", exact.ExactMisses(), sim.Misses)
+	}
+	est, err := cachemodel.EstimateMisses(np, cfg, cachemodel.AnalyzeOptions{}, cachemodel.Plan{C: 0.95, W: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := est.MissRatio() - sim.MissRatio(); d > 5 || d < -5 {
+		t.Errorf("estimate %.2f%% vs sim %.2f%%", est.MissRatio(), sim.MissRatio())
+	}
+}
+
+// TestFacadeBuiltins: every built-in workload must prepare cleanly.
+func TestFacadeBuiltins(t *testing.T) {
+	progs := []*cachemodel.Program{
+		cachemodel.KernelHydro(8, 8),
+		cachemodel.KernelMGRID(6),
+		cachemodel.KernelMMT(8, 4, 4),
+		cachemodel.ProgramTomcatv(8, 1),
+		cachemodel.ProgramSwim(8, 1),
+		cachemodel.ProgramApplu(6, 1),
+	}
+	for _, p := range progs {
+		np, _, err := cachemodel.Prepare(p, cachemodel.PrepareOptions{})
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if len(np.Refs) == 0 {
+			t.Errorf("%s: no references", p.Name)
+		}
+	}
+}
+
+// TestFacadeProbabilistic: the baseline runs through the facade.
+func TestFacadeProbabilistic(t *testing.T) {
+	np, _, err := cachemodel.Prepare(cachemodel.KernelMMT(8, 4, 4), cachemodel.PrepareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cachemodel.EstimateProbabilistic(np, cachemodel.Default32K(2), cachemodel.ProbOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MissRatio() < 0 || rep.MissRatio() > 100 {
+		t.Errorf("ratio %v", rep.MissRatio())
+	}
+}
+
+// TestFacadeParseError: errors must surface with line information.
+func TestFacadeParseError(t *testing.T) {
+	_, err := cachemodel.ParseFortran("      PROGRAM P\n      DO I = 1, 10\n      END\n", nil)
+	if err == nil || !strings.Contains(err.Error(), "line") {
+		t.Errorf("err = %v, want line-numbered parse error", err)
+	}
+}
+
+// TestPaddingChangesPrediction: layout options must reach the analysis
+// (the examples/padding workflow).
+func TestPaddingChangesPrediction(t *testing.T) {
+	build := func() *cachemodel.Program {
+		b := cachemodel.NewSub("S")
+		A := b.Real8("A", 4096)
+		B := b.Real8("B", 4096)
+		i := cachemodel.Var("I")
+		b.Do("I", cachemodel.Con(1), cachemodel.Con(4096)).
+			Assign("S1", cachemodel.R(A, i), cachemodel.R(B, i)).
+			End()
+		p := cachemodel.NewProgram("S")
+		p.Add(b.Build())
+		return p
+	}
+	cfg := cachemodel.Default32K(1)
+	ratio := func(pad int64) float64 {
+		np, _, err := cachemodel.Prepare(build(), cachemodel.PrepareOptions{
+			Layout: cachemodel.LayoutOptions{PadOf: map[string]int64{"B": pad}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := cachemodel.FindMisses(np, cfg, cachemodel.AnalyzeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MissRatio()
+	}
+	conflicted, padded := ratio(0), ratio(32)
+	if conflicted < 99 {
+		t.Errorf("unpadded ratio %.2f, want ~100 (full conflict)", conflicted)
+	}
+	if padded > 30 {
+		t.Errorf("padded ratio %.2f, want ~25", padded)
+	}
+}

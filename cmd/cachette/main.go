@@ -1,0 +1,508 @@
+// Command cachette is the front end of the whole-program analytical cache
+// model: it analyses the built-in workloads (the paper's kernels and whole
+// programs), validates the analysis against the exact LRU simulator, and
+// regenerates every table of the paper's evaluation.
+//
+// Usage:
+//
+//	cachette analyze  -program hydro -size 64 -cache 32768 -line 32 -assoc 2 [-exact]
+//	cachette simulate -program mmt   -size 48 -cache 32768 -line 32 -assoc 1
+//	cachette experiments [-table N|-all] [-scale quick|medium|paper] [-shrink K]
+//	cachette show     -program swim -size 16   # normalised form, reuse summary
+//	cachette list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cachemodel/internal/advisor"
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cme"
+	"cachemodel/internal/experiments"
+	"cachemodel/internal/fparse"
+	"cachemodel/internal/inline"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/kernels"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/reuse"
+	"cachemodel/internal/sampling"
+	"cachemodel/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "diagnose":
+		err = cmdDiagnose(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "list":
+		err = cmdList()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachette:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `cachette — analytical whole-program cache behaviour (Vera & Xue, HPCA 2002)
+
+subcommands:
+  analyze      run EstimateMisses (or -exact FindMisses) on a built-in program or -file prog.f
+  simulate     run the exact LRU cache simulator on a built-in program
+  experiments  regenerate the paper's tables (2-7)
+  show         print the normalised form and reuse-vector summary
+  diagnose     attribute predicted misses to interfering arrays
+  sweep        sweep cache size/line/assoc, analytical vs simulated
+  trace        emit the program's memory reference trace (R/W address lines)
+  list         list the built-in programs
+`)
+}
+
+// loadProgram loads a program: from a FORTRAN source file when file is
+// set (consts like "N=100,M=50" fix the compile-time sizes), otherwise a
+// built-in workload at the requested size.
+func loadProgram(file, consts, name string, size, iters int64) (*ir.Program, error) {
+	if file == "" {
+		return buildProgram(name, size, iters)
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	cm := map[string]int64{}
+	if consts != "" {
+		for _, kv := range strings.Split(consts, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad -const entry %q (want NAME=value)", kv)
+			}
+			v, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -const value in %q: %v", kv, err)
+			}
+			cm[strings.ToUpper(parts[0])] = v
+		}
+	}
+	return fparse.Parse(string(src), cm)
+}
+
+// buildProgram instantiates a built-in workload at the requested size.
+func buildProgram(name string, size, iters int64) (*ir.Program, error) {
+	switch strings.ToLower(name) {
+	case "tomcatv":
+		return kernels.Tomcatv(size, iters), nil
+	case "swim":
+		return kernels.Swim(size, iters), nil
+	case "applu":
+		return kernels.Applu(size, iters), nil
+	case "vcycle":
+		return kernels.VCycle(size, iters), nil
+	}
+	for _, spec := range kernels.Suite() {
+		if strings.EqualFold(spec.Name, name) {
+			return spec.Build(size), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown program %q (try: cachette list)", name)
+}
+
+func cmdList() error {
+	fmt.Println("whole programs (-program, -size, -iters):")
+	fmt.Printf("  %-10s %s\n", "tomcatv", "SPECfp95 Tomcatv model; -size = N, -iters = time steps")
+	fmt.Printf("  %-10s %s\n", "swim", "SPECfp95 Swim model (CALC1/2/3 calls); -size = N, -iters = cycles")
+	fmt.Printf("  %-10s %s\n", "applu", "SPECfp95 Applu model (SSOR, 16 subroutines); -size = N, -iters = itmax")
+	fmt.Printf("  %-10s %s\n", "vcycle", "3-level multigrid V-cycle (R-able + sequence-associated calls); -size = N (mult. of 4, >= 16)")
+	fmt.Println("kernels (-program, -size):")
+	for _, spec := range kernels.Suite() {
+		exact := ""
+		if spec.Uniform {
+			exact = " [exactly analysable]"
+		}
+		fmt.Printf("  %-10s %s%s\n", spec.Name, spec.Description, exact)
+	}
+	return nil
+}
+
+func prepare(p *ir.Program) (*ir.NProgram, *inline.Stats, error) {
+	flat, st, err := inline.Flatten(p, inline.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		return nil, nil, err
+	}
+	np.Name = p.Name
+	return np, st, nil
+}
+
+func cacheFlags(fs *flag.FlagSet) (cs, ls *int64, assoc *int) {
+	cs = fs.Int64("cache", 32*1024, "cache size in bytes")
+	ls = fs.Int64("line", 32, "line size in bytes")
+	assoc = fs.Int("assoc", 1, "associativity (1 = direct mapped)")
+	return
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	name := fs.String("program", "hydro", "built-in program name")
+	file := fs.String("file", "", "FORTRAN source file to analyse instead of a built-in")
+	consts := fs.String("const", "", "compile-time constants for -file, e.g. N=100,M=50")
+	size := fs.Int64("size", 32, "problem size")
+	iters := fs.Int64("iters", 2, "outer iterations (whole programs)")
+	cs, ls, assoc := cacheFlags(fs)
+	exact := fs.Bool("exact", false, "run FindMisses (every point) instead of EstimateMisses")
+	conf := fs.Float64("c", 0.95, "confidence level for EstimateMisses")
+	width := fs.Float64("w", 0.05, "confidence interval half-width")
+	perRef := fs.Bool("refs", false, "print the per-reference breakdown")
+	nonUniform := fs.Bool("nonuniform", false, "resolve non-uniformly generated reuse (§8 future work)")
+	fs.Parse(args)
+
+	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	if err != nil {
+		return err
+	}
+	np, _, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	cfg := cache.Config{SizeBytes: *cs, LineBytes: *ls, Assoc: *assoc}
+	a, err := cme.New(np, cfg, cme.Options{Reuse: reuse.Options{NonUniform: *nonUniform}})
+	if err != nil {
+		return err
+	}
+	var rep *cme.Report
+	if *exact {
+		rep = a.FindMisses()
+	} else {
+		rep, err = a.EstimateMisses(sampling.Plan{C: *conf, W: *width})
+		if err != nil {
+			return err
+		}
+	}
+	mode := "EstimateMisses"
+	if *exact {
+		mode = "FindMisses"
+	}
+	fmt.Printf("%s  %s  cache %s\n", p.Name, mode, cfg)
+	fmt.Printf("  references: %d   accesses: %d\n", len(rep.Refs), rep.TotalAccesses())
+	fmt.Printf("  miss ratio: %.2f%%   estimated misses: %.0f   time: %.3fs\n",
+		rep.MissRatio(), rep.EstimatedMisses(), rep.Elapsed.Seconds())
+	if *perRef {
+		sort.Slice(rep.Refs, func(i, j int) bool {
+			return rep.Refs[i].MissRatio() > rep.Refs[j].MissRatio()
+		})
+		fmt.Printf("  %-28s %10s %10s %8s %8s %8s\n", "reference", "|RIS|", "analyzed", "%miss", "cold", "repl")
+		for _, rr := range rep.Refs {
+			fmt.Printf("  %-28s %10d %10d %8.2f %8d %8d\n",
+				rr.Ref.ID, rr.Volume, rr.Analyzed, 100*rr.MissRatio(), rr.Cold, rr.Repl)
+		}
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	name := fs.String("program", "hydro", "built-in program name")
+	file := fs.String("file", "", "FORTRAN source file to simulate instead of a built-in")
+	consts := fs.String("const", "", "compile-time constants for -file")
+	size := fs.Int64("size", 32, "problem size")
+	iters := fs.Int64("iters", 2, "outer iterations (whole programs)")
+	cs, ls, assoc := cacheFlags(fs)
+	fs.Parse(args)
+
+	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	if err != nil {
+		return err
+	}
+	np, _, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	cfg := cache.Config{SizeBytes: *cs, LineBytes: *ls, Assoc: *assoc}
+	res := trace.Simulate(np, cfg)
+	fmt.Printf("%s  simulator  cache %s\n", p.Name, cfg)
+	fmt.Printf("  accesses: %d   misses: %d   miss ratio: %.2f%%\n",
+		res.Accesses, res.Misses, res.MissRatio())
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	table := fs.Int("table", 0, "table number (2-7); 0 with -all runs everything")
+	all := fs.Bool("all", false, "run every table")
+	scaleName := fs.String("scale", "quick", "problem scale: quick, medium or paper")
+	shrink := fs.Int64("shrink", 4, "Table 7 size divisor (1 = the paper's N of 200/400)")
+	fs.Parse(args)
+
+	sc, ok := experiments.Scales[*scaleName]
+	if !ok {
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	w := os.Stdout
+	if *all || *table == 0 {
+		return experiments.Summary(w, sc, *shrink)
+	}
+	switch *table {
+	case 2:
+		experiments.FormatTable2(w, experiments.RunTable2())
+	case 3:
+		rows, err := experiments.RunTable3(sc)
+		if err != nil {
+			return err
+		}
+		experiments.FormatTable3(w, rows)
+	case 4:
+		rows, err := experiments.RunTable4(sc)
+		if err != nil {
+			return err
+		}
+		experiments.FormatTable4(w, rows)
+	case 5:
+		rows, err := experiments.RunTable5(sc)
+		if err != nil {
+			return err
+		}
+		experiments.FormatTable5(w, rows)
+	case 6:
+		rows, err := experiments.RunTable6(sc)
+		if err != nil {
+			return err
+		}
+		experiments.FormatTable6(w, rows)
+	case 7:
+		rows, err := experiments.RunTable7(*shrink, experiments.Table7Configs)
+		if err != nil {
+			return err
+		}
+		experiments.FormatTable7(w, rows)
+	default:
+		return fmt.Errorf("no table %d (the paper has tables 2-7)", *table)
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	name := fs.String("program", "hydro", "built-in program name")
+	file := fs.String("file", "", "FORTRAN source file to show instead of a built-in")
+	consts := fs.String("const", "", "compile-time constants for -file")
+	size := fs.Int64("size", 8, "problem size")
+	iters := fs.Int64("iters", 1, "outer iterations")
+	vectors := fs.Bool("vectors", false, "print every reuse vector")
+	fs.Parse(args)
+
+	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	if err != nil {
+		return err
+	}
+	np, st, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: normalised to depth %d, %d statements, %d references, %d arrays\n",
+		p.Name, np.Depth, len(np.Stmts), len(np.Refs), len(np.Arrays))
+	fmt.Printf("inlining: %d calls (%d inlined, %d system), actuals P/R/N = %d/%d/%d\n",
+		st.Calls, st.Inlined, st.SystemCalls, st.PAble, st.RAble, st.NAble)
+	for _, s := range np.Stmts {
+		fmt.Printf("  %-8s %v guards=%d refs=%d\n", s.Name, s.IterationVector(), len(s.Guards), len(s.Refs))
+	}
+	vecs := reuse.Generate(np, cache.Default32K(1), reuse.Options{})
+	total := 0
+	for _, vs := range vecs {
+		total += len(vs)
+	}
+	fmt.Printf("reuse vectors: %d total over %d references\n", total, len(np.Refs))
+	if *vectors {
+		for _, r := range np.Refs {
+			for _, v := range vecs[r] {
+				fmt.Printf("  %v\n", v)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	name := fs.String("program", "hydro", "built-in program name")
+	file := fs.String("file", "", "FORTRAN source file to diagnose instead of a built-in")
+	consts := fs.String("const", "", "compile-time constants for -file")
+	size := fs.Int64("size", 32, "problem size")
+	iters := fs.Int64("iters", 2, "outer iterations (whole programs)")
+	cs, ls, assoc := cacheFlags(fs)
+	top := fs.Int("top", 10, "interference pairs to print")
+	fs.Parse(args)
+
+	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	if err != nil {
+		return err
+	}
+	np, _, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	cfg := cache.Config{SizeBytes: *cs, LineBytes: *ls, Assoc: *assoc}
+	d, err := advisor.Diagnose(np, cfg, cme.Options{}, sampling.Plan{C: 0.95, W: 0.05})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  diagnosis  cache %s  (%.3fs)\n", p.Name, cfg, d.Elapsed.Seconds())
+	fmt.Printf("  miss ratio %.2f%%  (cold %.0f, replacement %.0f of %.0f accesses)\n",
+		d.MissRatio(), d.Cold, d.Repl, d.Accesses)
+	fmt.Printf("  self-interference share of replacement misses: %.0f%%\n", 100*d.SelfInterference)
+	fmt.Printf("  heaviest interference pairs (victim <- interferer):\n")
+	for _, cell := range d.Top(*top) {
+		fmt.Printf("    %-10s <- %-10s %12.0f contentions\n",
+			cell.Victim.Name, cell.Interferer.Name, cell.Contentions)
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	name := fs.String("program", "hydro", "built-in program name")
+	file := fs.String("file", "", "FORTRAN source file to sweep instead of a built-in")
+	consts := fs.String("const", "", "compile-time constants for -file")
+	size := fs.Int64("size", 32, "problem size")
+	iters := fs.Int64("iters", 2, "outer iterations (whole programs)")
+	sizes := fs.String("sizes", "4096,8192,16384,32768,65536", "cache sizes in bytes, comma separated")
+	lines := fs.String("lines", "32", "line sizes in bytes, comma separated")
+	assocs := fs.String("assocs", "1,2,4", "associativities, comma separated")
+	noSim := fs.Bool("nosim", false, "skip the simulator column (analysis only)")
+	fs.Parse(args)
+
+	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	if err != nil {
+		return err
+	}
+	np, _, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	parse := func(s string) ([]int64, error) {
+		var out []int64
+		for _, part := range strings.Split(s, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	css, err := parse(*sizes)
+	if err != nil {
+		return err
+	}
+	lss, err := parse(*lines)
+	if err != nil {
+		return err
+	}
+	kss, err := parse(*assocs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — cache design sweep (analytical%s)\n", p.Name,
+		map[bool]string{false: " vs simulated", true: ""}[*noSim])
+	fmt.Printf("%10s %6s %6s %10s %10s\n", "size", "line", "assoc", "est %MR", "sim %MR")
+	for _, cs := range css {
+		for _, ls := range lss {
+			for _, k := range kss {
+				cfg := cache.Config{SizeBytes: cs, LineBytes: ls, Assoc: int(k)}
+				if cfg.Validate() != nil {
+					continue
+				}
+				a, err := cme.New(np, cfg, cme.Options{})
+				if err != nil {
+					return err
+				}
+				rep, err := a.EstimateMisses(sampling.Plan{C: 0.95, W: 0.05})
+				if err != nil {
+					return err
+				}
+				simCol := "-"
+				if !*noSim {
+					simCol = fmt.Sprintf("%10.2f", trace.Simulate(np, cfg).MissRatio())
+				}
+				fmt.Printf("%10d %6d %6d %10.2f %10s\n", cs, ls, k, rep.MissRatio(), simCol)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	name := fs.String("program", "hydro", "built-in program name")
+	file := fs.String("file", "", "FORTRAN source file to trace instead of a built-in")
+	consts := fs.String("const", "", "compile-time constants for -file")
+	size := fs.Int64("size", 16, "problem size")
+	iters := fs.Int64("iters", 1, "outer iterations (whole programs)")
+	out := fs.String("out", "-", "output path (default stdout)")
+	limit := fs.Int64("limit", 0, "stop after this many accesses (0 = all)")
+	fs.Parse(args)
+
+	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	if err != nil {
+		return err
+	}
+	np, _, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	var n int64
+	trace.Execute(np, func(r *ir.NRef, idx []int64) bool {
+		kind := byte('R')
+		if r.Write {
+			kind = 'W'
+		}
+		fmt.Fprintf(bw, "%c %d\n", kind, r.AddressAt(idx))
+		n++
+		return *limit == 0 || n < *limit
+	})
+	fmt.Fprintf(os.Stderr, "cachette: wrote %d accesses\n", n)
+	return nil
+}

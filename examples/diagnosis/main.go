@@ -1,0 +1,110 @@
+// Diagnosis: go beyond a single miss ratio — attribute predicted misses
+// to the array pairs that cause them (the CME-driven-diagnosis direction
+// of the paper's authors' follow-up work), then let the model search for
+// the transformation that fixes the dominant interference, and verify the
+// fix in the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachemodel"
+)
+
+// build constructs a three-array stencil whose layouts collide: X and its
+// coefficient table C end up one cache size apart, so a direct-mapped
+// cache thrashes between them.
+func build() *cachemodel.Program {
+	const n = 4096
+	b := cachemodel.NewSub("COLLIDE")
+	X := b.Real8("X", n)
+	Y := b.Real8("Y", n) // innocent bystander between the combatants
+	C := b.Real8("C", n)
+	i := cachemodel.Var("I")
+	b.Do("T", cachemodel.Con(1), cachemodel.Con(2)).
+		Do("I", cachemodel.Con(2), cachemodel.Con(n-1)).
+		Assign("S1", cachemodel.R(Y, i),
+			cachemodel.R(X, i.PlusConst(-1)), cachemodel.R(X, i), cachemodel.R(X, i.PlusConst(1)),
+			cachemodel.R(C, i)).
+		End().End()
+	p := cachemodel.NewProgram("COLLIDE")
+	p.Add(b.Build())
+	return p
+}
+
+func main() {
+	cfg := cachemodel.Config{SizeBytes: 32 * 1024, LineBytes: 32, Assoc: 1}
+	plan := cachemodel.Plan{C: 0.95, W: 0.05}
+
+	prepareWith := func(pads map[string]int64) *cachemodel.NProgram {
+		np, _, err := cachemodel.Prepare(build(), cachemodel.PrepareOptions{
+			Layout: cachemodel.LayoutOptions{PadOf: pads},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return np
+	}
+
+	pads := map[string]int64{}
+	baseline := cachemodel.Simulate(prepareWith(nil), cfg).MissRatio()
+
+	// The automated loop: diagnose → pick the padding the model predicts
+	// best → re-diagnose, until the interference matrix runs dry.
+	for round := 1; round <= 3; round++ {
+		np := prepareWith(pads)
+		d, err := cachemodel.Diagnose(np, cfg, cachemodel.AnalyzeOptions{}, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d: predicted miss ratio %.2f%% (cold %.0f, replacement %.0f)\n",
+			round, d.MissRatio(), d.Cold, d.Repl)
+		for _, cell := range d.Top(3) {
+			fmt.Printf("  %-4s <- %-4s %12.0f\n", cell.Victim.Name, cell.Interferer.Name, cell.Contentions)
+		}
+		if d.Repl < d.Accesses/50 {
+			fmt.Println("  replacement misses negligible; stopping")
+			break
+		}
+		// Candidate fix points: every array implicated in the top pairs.
+		seen := map[string]bool{}
+		var candidates []string
+		for _, cell := range d.Top(3) {
+			for _, name := range []string{cell.Victim.Name, cell.Interferer.Name} {
+				if !seen[name] {
+					seen[name] = true
+					candidates = append(candidates, name)
+				}
+			}
+		}
+		bestArray, bestPad, bestMR := "", int64(0), d.MissRatio()
+		for _, name := range candidates {
+			for _, pad := range []int64{32, 64, 128} {
+				trial := map[string]int64{}
+				for k, v := range pads {
+					trial[k] = v
+				}
+				trial[name] += pad
+				rep, err := cachemodel.EstimateMisses(prepareWith(trial), cfg,
+					cachemodel.AnalyzeOptions{}, plan)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if rep.MissRatio() < bestMR {
+					bestArray, bestPad, bestMR = name, pad, rep.MissRatio()
+				}
+			}
+		}
+		if bestArray == "" {
+			fmt.Println("  no padding improves the prediction; stopping")
+			break
+		}
+		pads[bestArray] += bestPad
+		fmt.Printf("  -> pad %d after %s (predicted %.2f%%)\n\n", bestPad, bestArray, bestMR)
+	}
+
+	after := cachemodel.Simulate(prepareWith(pads), cfg).MissRatio()
+	fmt.Printf("\nfinal layout %v\n", pads)
+	fmt.Printf("simulator confirms: %.2f%% -> %.2f%%\n", baseline, after)
+}

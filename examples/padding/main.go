@@ -1,0 +1,61 @@
+// Padding: use the analytical model to choose inter-array padding — the
+// other compiler transformation the paper motivates. Two arrays streamed
+// together land exactly one cache size apart, so every access of a
+// direct-mapped cache conflicts; the model sees this from the replacement
+// equations, and a padding sweep finds the cheapest displacement that
+// removes the conflicts. The simulator confirms the choice.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachemodel"
+)
+
+func buildStream(n int64) *cachemodel.Program {
+	b := cachemodel.NewSub("STREAM")
+	A := b.Real8("A", n)
+	B := b.Real8("B", n)
+	i := cachemodel.Var("I")
+	b.Do("I", cachemodel.Con(1), cachemodel.Con(n)).
+		Assign("S1", cachemodel.R(A, i), cachemodel.R(B, i)).
+		End()
+	p := cachemodel.NewProgram("STREAM")
+	p.Add(b.Build())
+	return p
+}
+
+func main() {
+	cfg := cachemodel.Default32K(1) // direct-mapped: maximally conflict-prone
+	const n = 4096                  // 32 KB per array: B starts one cache size after A
+	plan := cachemodel.Plan{C: 0.95, W: 0.05}
+
+	// Layout places arrays in first-use order (B is read before A is
+	// written), so padding after B displaces A.
+	fmt.Printf("A(I) = B(I) streaming, N=%d, cache %v\n", n, cfg)
+	fmt.Printf("%8s %12s %12s\n", "pad", "pred %MR", "sim %MR")
+
+	bestPad, bestMR := int64(-1), 101.0
+	for _, pad := range []int64{0, 8, 16, 32, 64, 128, 256} {
+		p := buildStream(n)
+		np, _, err := cachemodel.Prepare(p, cachemodel.PrepareOptions{
+			Layout: cachemodel.LayoutOptions{PadOf: map[string]int64{"B": pad}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := cachemodel.EstimateMisses(np, cfg, cachemodel.AnalyzeOptions{}, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := cachemodel.Simulate(np, cfg)
+		fmt.Printf("%8d %12.2f %12.2f\n", pad, rep.MissRatio(), sim.MissRatio())
+		if rep.MissRatio() < bestMR {
+			bestMR, bestPad = rep.MissRatio(), pad
+		}
+	}
+	fmt.Printf("\nmodel picks pad = %d bytes (predicted %.2f%%):\n", bestPad, bestMR)
+	fmt.Println("with pad 0, A(I) and B(I) map to the same set every iteration;")
+	fmt.Println("one line of padding displaces the mapping and restores the 25%/spatial-reuse ratio.")
+}

@@ -1,0 +1,3 @@
+module cachemodel
+
+go 1.22

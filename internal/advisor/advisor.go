@@ -1,0 +1,225 @@
+// Package advisor turns the analytical model into optimisation guidance —
+// the use the paper motivates ("our method can be used to guide compiler
+// locality optimisations") and its authors' follow-up work (Ghosh et al.,
+// "Automated cache optimizations using CME driven diagnosis") develops.
+//
+// Two facilities are provided:
+//
+//   - Diagnose samples each reference's iteration space and attributes
+//     every replacement miss to the arrays whose lines supplied the
+//     evicting set contentions, yielding an interference matrix a
+//     compiler (or human) can act on;
+//   - SearchPadding and SearchParameter drive the analytical model over a
+//     transformation space (inter-array pads, tile sizes, ...) and return
+//     the predicted-best choice, without ever simulating.
+package advisor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cme"
+	"cachemodel/internal/inline"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/poly"
+	"cachemodel/internal/sampling"
+)
+
+// Interference is one cell of the interference matrix: sampled evidence
+// that Interferer's lines evict Victim's data.
+type Interference struct {
+	Victim     *ir.Array
+	Interferer *ir.Array
+	// Contentions counts contending-line observations in sampled
+	// replacement misses, scaled to the victim's full access count.
+	Contentions float64
+}
+
+// Diagnosis summarises a sampled diagnostic pass.
+type Diagnosis struct {
+	Config cache.Config
+	// Estimated access-weighted totals.
+	Accesses float64
+	Hits     float64
+	Cold     float64
+	Repl     float64
+	// Matrix is the interference list, heaviest first.
+	Matrix []Interference
+	// SelfInterference is the portion of replacement misses whose
+	// contentions come from the victim array itself.
+	SelfInterference float64
+	Elapsed          time.Duration
+}
+
+// MissRatio returns the diagnosed miss ratio in percent.
+func (d *Diagnosis) MissRatio() float64 {
+	if d.Accesses == 0 {
+		return 0
+	}
+	return 100 * (d.Cold + d.Repl) / d.Accesses
+}
+
+// Top returns the n heaviest interference pairs.
+func (d *Diagnosis) Top(n int) []Interference {
+	if n > len(d.Matrix) {
+		n = len(d.Matrix)
+	}
+	return d.Matrix[:n]
+}
+
+// Diagnose runs a sampled diagnostic analysis: every reference is sampled
+// per the plan, each sampled access classified with attribution, and the
+// contention evidence aggregated per (victim array, interferer array).
+func Diagnose(np *ir.NProgram, cfg cache.Config, opt cme.Options, plan sampling.Plan) (*Diagnosis, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	a, err := cme.New(np, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rng := rand.New(rand.NewSource(20020211)) // the paper's venue date
+	d := &Diagnosis{Config: cfg}
+	cells := map[[2]*ir.Array]float64{}
+	var selfHits float64
+
+	for _, r := range np.Refs {
+		sp := poly.FromStmt(r.Stmt)
+		vol := sp.Volume()
+		if vol == 0 {
+			continue
+		}
+		n := plan.SizeFor(vol)
+		if !plan.Achievable(vol) {
+			if sampling.DefaultFallback.Achievable(vol) {
+				n = sampling.DefaultFallback.SizeFor(vol)
+			} else {
+				n = int(vol)
+			}
+		}
+		pts := sp.Sample(rng, n)
+		if len(pts) == 0 {
+			continue
+		}
+		weight := float64(vol) / float64(len(pts)) // scale sample to population
+		d.Accesses += float64(vol)
+		for _, idx := range pts {
+			outcome, refs := a.ClassifyDetail(r, idx)
+			switch outcome {
+			case cme.Hit:
+				d.Hits += weight
+			case cme.ColdMiss:
+				d.Cold += weight
+			case cme.ReplacementMiss:
+				d.Repl += weight
+				for _, ri := range refs {
+					cells[[2]*ir.Array{r.Array, ri.Array}] += weight / float64(len(refs))
+					if ri.Array == r.Array {
+						selfHits += weight / float64(len(refs))
+					}
+				}
+			}
+		}
+	}
+	for k, v := range cells {
+		d.Matrix = append(d.Matrix, Interference{Victim: k[0], Interferer: k[1], Contentions: v})
+	}
+	sort.Slice(d.Matrix, func(i, j int) bool {
+		if d.Matrix[i].Contentions != d.Matrix[j].Contentions {
+			return d.Matrix[i].Contentions > d.Matrix[j].Contentions
+		}
+		return d.Matrix[i].Victim.Name < d.Matrix[j].Victim.Name
+	})
+	if d.Repl > 0 {
+		d.SelfInterference = selfHits / d.Repl
+	}
+	d.Elapsed = time.Since(start)
+	return d, nil
+}
+
+// Choice is one evaluated transformation candidate.
+type Choice struct {
+	Label     string
+	MissRatio float64 // predicted, percent
+}
+
+// SearchPadding evaluates inter-array paddings analytically and returns
+// the candidates sorted by predicted miss ratio (best first). build must
+// return a fresh Program each call (layout mutates array bases).
+func SearchPadding(build func() *ir.Program, array string, pads []int64,
+	cfg cache.Config, opt cme.Options, plan sampling.Plan) ([]Choice, error) {
+
+	var out []Choice
+	for _, pad := range pads {
+		np, err := prepare(build(), layout.Options{PadOf: map[string]int64{array: pad}})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := estimate(np, cfg, opt, plan)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Choice{Label: fmt.Sprintf("pad=%d", pad), MissRatio: rep})
+	}
+	sortChoices(out)
+	return out, nil
+}
+
+// SearchParameter evaluates a parameterised family of programs (tile
+// sizes, loop orders, ...) and returns the candidates sorted by predicted
+// miss ratio.
+func SearchParameter(build func(param int64) *ir.Program, params []int64,
+	cfg cache.Config, opt cme.Options, plan sampling.Plan) ([]Choice, error) {
+
+	var out []Choice
+	for _, v := range params {
+		np, err := prepare(build(v), layout.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := estimate(np, cfg, opt, plan)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Choice{Label: fmt.Sprintf("%d", v), MissRatio: rep})
+	}
+	sortChoices(out)
+	return out, nil
+}
+
+func sortChoices(cs []Choice) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].MissRatio < cs[j].MissRatio })
+}
+
+func prepare(p *ir.Program, lopt layout.Options) (*ir.NProgram, error) {
+	flat, _, err := inline.Flatten(p, inline.Options{})
+	if err != nil {
+		return nil, err
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		return nil, err
+	}
+	if err := layout.AssignProgram(np, lopt); err != nil {
+		return nil, err
+	}
+	return np, nil
+}
+
+func estimate(np *ir.NProgram, cfg cache.Config, opt cme.Options, plan sampling.Plan) (float64, error) {
+	a, err := cme.New(np, cfg, opt)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := a.EstimateMisses(plan)
+	if err != nil {
+		return 0, err
+	}
+	return rep.MissRatio(), nil
+}

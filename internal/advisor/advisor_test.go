@@ -1,0 +1,123 @@
+package advisor
+
+import (
+	"testing"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cme"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/kernels"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/sampling"
+)
+
+func plan() sampling.Plan { return sampling.Plan{C: 0.95, W: 0.05} }
+
+// conflictProgram builds the classic pathology: A and B exactly one cache
+// size apart, streamed together through a direct-mapped cache.
+func conflictProgram(n int64) *ir.Program {
+	b := ir.NewSub("CONFLICT")
+	A := b.Real8("A", n)
+	B := b.Real8("B", n)
+	i := ir.Var("I")
+	b.Do("I", ir.Con(1), ir.Con(n)).
+		Assign("S1", ir.R(A, i), ir.R(B, i)).
+		End()
+	p := ir.NewProgram("CONFLICT")
+	p.Add(b.Build())
+	return p
+}
+
+// TestDiagnoseCrossInterference: the diagnosis must name B as the top
+// interferer evicting A's lines (and vice versa) in the conflict program.
+func TestDiagnoseCrossInterference(t *testing.T) {
+	np, err := prepare(conflictProgram(4096), layoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cache.Default32K(1)
+	d, err := Diagnose(np, cfg, cme.Options{}, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MissRatio() < 90 {
+		t.Fatalf("diagnosed ratio %.2f%%, want ~100 (full conflict)", d.MissRatio())
+	}
+	if len(d.Matrix) == 0 {
+		t.Fatal("empty interference matrix")
+	}
+	top := d.Matrix[0]
+	if top.Victim.Name == top.Interferer.Name {
+		t.Errorf("top interference is self (%s<-%s), want cross", top.Victim.Name, top.Interferer.Name)
+	}
+	if d.SelfInterference > 0.2 {
+		t.Errorf("self-interference fraction %.2f, want ~0 for a pure cross conflict", d.SelfInterference)
+	}
+}
+
+// TestDiagnoseSelfInterference: a single array far larger than the cache,
+// re-swept repeatedly, interferes only with itself.
+func TestDiagnoseSelfInterference(t *testing.T) {
+	b := ir.NewSub("SELF")
+	A := b.Real8("A", 512)
+	i := ir.Var("I")
+	b.Do("T", ir.Con(1), ir.Con(6)).
+		Do("I", ir.Con(1), ir.Con(512)).
+		Assign("S1", nil, ir.R(A, i)).
+		End().End()
+	p := ir.NewProgram("SELF")
+	p.Add(b.Build())
+	np, err := prepare(p, layoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}
+	d, err := Diagnose(np, cfg, cme.Options{}, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Repl == 0 {
+		t.Fatal("expected replacement misses (4 KB array through 1 KB cache)")
+	}
+	if d.SelfInterference < 0.95 {
+		t.Errorf("self-interference %.2f, want ~1", d.SelfInterference)
+	}
+}
+
+// TestSearchPaddingFindsFix: the padding search must rank a
+// conflict-removing pad strictly above pad 0.
+func TestSearchPaddingFindsFix(t *testing.T) {
+	cfg := cache.Default32K(1)
+	choices, err := SearchPadding(func() *ir.Program { return conflictProgram(4096) },
+		"B", []int64{0, 32, 64}, cfg, cme.Options{}, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices[0].Label == "pad=0" {
+		t.Errorf("pad=0 ranked best: %+v", choices)
+	}
+	if choices[len(choices)-1].Label != "pad=0" {
+		t.Errorf("pad=0 not ranked worst: %+v", choices)
+	}
+	if choices[0].MissRatio > 35 || choices[len(choices)-1].MissRatio < 90 {
+		t.Errorf("implausible ratios: %+v", choices)
+	}
+}
+
+// TestSearchParameterRanksTiles: the tile search must prefer a cache-
+// fitting MMT block over the unblocked extreme, and the ranking must
+// agree with what Table 7's simulator would say (small blocks win for an
+// 8 KB cache at N=48).
+func TestSearchParameterRanksTiles(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 2}
+	choices, err := SearchParameter(func(b int64) *ir.Program { return kernels.MMT(48, b, b) },
+		[]int64{8, 48}, cfg, cme.Options{}, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices[0].Label != "8" {
+		t.Errorf("expected block 8 to win: %+v", choices)
+	}
+}
+
+func layoutOptions() layout.Options { return layout.Options{} }

@@ -1,0 +1,73 @@
+package cme
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cachemodel/internal/ir"
+)
+
+// Aggregate is a miss-ratio summary over a group of references (per array
+// or per statement).
+type Aggregate struct {
+	Key      string
+	Refs     int
+	Accesses int64
+	Misses   float64 // estimated, access-weighted
+}
+
+// MissRatio returns the group's miss ratio in percent.
+func (a Aggregate) MissRatio() float64 {
+	if a.Accesses == 0 {
+		return 0
+	}
+	return 100 * a.Misses / float64(a.Accesses)
+}
+
+// ByArray groups the report per array, heaviest miss volume first.
+func (rep *Report) ByArray() []Aggregate {
+	return rep.groupBy(func(r *ir.NRef) string { return r.Array.Name })
+}
+
+// ByStatement groups the report per source statement, heaviest first.
+func (rep *Report) ByStatement() []Aggregate {
+	return rep.groupBy(func(r *ir.NRef) string { return r.Stmt.Name })
+}
+
+func (rep *Report) groupBy(key func(*ir.NRef) string) []Aggregate {
+	m := map[string]*Aggregate{}
+	var order []string
+	for _, rr := range rep.Refs {
+		k := key(rr.Ref)
+		a := m[k]
+		if a == nil {
+			a = &Aggregate{Key: k}
+			m[k] = a
+			order = append(order, k)
+		}
+		a.Refs++
+		a.Accesses += rr.Volume
+		a.Misses += float64(rr.Volume) * rr.MissRatio()
+	}
+	out := make([]Aggregate, 0, len(order))
+	for _, k := range order {
+		out = append(out, *m[k])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Misses > out[j].Misses })
+	return out
+}
+
+// WriteSummary renders the report with per-array aggregation.
+func (rep *Report) WriteSummary(w io.Writer) {
+	kind := "FindMisses"
+	if rep.Sampled {
+		kind = "EstimateMisses"
+	}
+	fmt.Fprintf(w, "%s on %s: miss ratio %.2f%% over %d accesses (%d references, %v)\n",
+		kind, rep.Config, rep.MissRatio(), rep.TotalAccesses(), len(rep.Refs), rep.Elapsed)
+	fmt.Fprintf(w, "%-12s %6s %12s %14s %8s\n", "array", "refs", "accesses", "est. misses", "%miss")
+	for _, a := range rep.ByArray() {
+		fmt.Fprintf(w, "%-12s %6d %12d %14.0f %8.2f\n", a.Key, a.Refs, a.Accesses, a.Misses, a.MissRatio())
+	}
+}

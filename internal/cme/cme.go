@@ -1,0 +1,539 @@
+// Package cme implements the cache miss equations of §4: cold (compulsory)
+// equations and replacement equations over reuse vectors, together with the
+// two solvers of Fig. 6 — FindMisses, which classifies every iteration
+// point of every reference, and EstimateMisses, which classifies a
+// statistically chosen sample.
+//
+// Classification of one access follows §4.2 exactly: the reference's reuse
+// vectors are tried in increasing lexicographic order; a point that solves
+// the cold equation along the current vector stays indeterminate and falls
+// through to the next vector; otherwise the replacement equation along the
+// vector decides hit or miss (k distinct set contentions evict the line in
+// a k-way cache). Points indeterminate after all vectors are cold misses.
+package cme
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/poly"
+	"cachemodel/internal/reuse"
+	"cachemodel/internal/sampling"
+	"cachemodel/internal/trace"
+)
+
+// Outcome classifies one access.
+type Outcome int
+
+// Access outcomes.
+const (
+	Hit Outcome = iota
+	ColdMiss
+	ReplacementMiss
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case ColdMiss:
+		return "cold"
+	case ReplacementMiss:
+		return "replacement"
+	}
+	return "?"
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// Reuse configures reuse-vector generation.
+	Reuse reuse.Options
+	// PaperLRU, when true, uses the paper's replacement equations
+	// verbatim: k distinct set contentions anywhere in the reuse interval
+	// evict the line. The default (false) additionally resets the
+	// contention count whenever the reused line itself is touched inside
+	// the interval, which models LRU exactly and lets FindMisses match
+	// the simulator bit-for-bit when reuse information is complete.
+	PaperLRU bool
+	// Seed seeds the sampling RNG (EstimateMisses); 0 means a fixed
+	// default so runs are reproducible.
+	Seed int64
+	// Vectors, when non-nil, supplies precomputed reuse vectors instead of
+	// regenerating them. Reuse vectors depend only on the line geometry
+	// (not associativity), so analyses of the same program at several
+	// associativities can share one generation pass (see reuse.Generate).
+	Vectors map[*ir.NRef][]*reuse.Vector
+	// Workers sets the number of goroutines classifying references in
+	// FindMisses / EstimateMisses. 0 uses GOMAXPROCS; 1 runs sequentially.
+	// Results are bit-identical at any worker count: sampling RNGs are
+	// seeded per reference.
+	Workers int
+}
+
+// Analyzer holds the per-program analysis state: reuse vectors, reference
+// iteration spaces and the cache configuration.
+type Analyzer struct {
+	np       *ir.NProgram
+	cfg      cache.Config
+	opt      Options
+	vecs     map[*ir.NRef][]*reuse.Vector
+	dyn      map[*ir.NRef][]*reuse.DynamicPair
+	spaces   map[*ir.NStmt]*poly.Space
+	warmOnce sync.Once
+}
+
+// New prepares an analyzer: it generates reuse vectors for every reference
+// and builds the RIS of every statement. Arrays must be laid out
+// (internal/layout) before analysis.
+func New(np *ir.NProgram, cfg cache.Config, opt Options) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for _, arr := range np.Arrays {
+		if arr.Base < 0 {
+			return nil, fmt.Errorf("cme: array %s has no base address; run layout first", arr.Name)
+		}
+	}
+	vecs := opt.Vectors
+	if vecs == nil {
+		vecs = reuse.Generate(np, cfg, opt.Reuse)
+	}
+	a := &Analyzer{np: np, cfg: cfg, opt: opt,
+		vecs:   vecs,
+		spaces: map[*ir.NStmt]*poly.Space{},
+	}
+	if opt.Reuse.NonUniform {
+		a.dyn = reuse.GenerateDynamic(np)
+	}
+	for _, s := range np.Stmts {
+		a.spaces[s] = poly.FromStmt(s)
+	}
+	return a, nil
+}
+
+// Vectors exposes the reuse vectors of a reference (for reporting).
+func (a *Analyzer) Vectors(r *ir.NRef) []*reuse.Vector { return a.vecs[r] }
+
+// Space exposes the RIS of a statement.
+func (a *Analyzer) Space(s *ir.NStmt) *poly.Space { return a.spaces[s] }
+
+// Classify decides the outcome of reference r's access at iteration idx by
+// solving the cold and replacement equations along r's reuse vectors.
+func (a *Analyzer) Classify(r *ir.NRef, idx []int64) Outcome {
+	line := a.cfg.MemLine(r.AddressAt(idx))
+	set := a.cfg.SetOfLine(line)
+	k := a.cfg.Assoc
+	consumer := trace.Time{Label: r.Stmt.Label, Idx: idx, Seq: r.Seq}
+
+	var distinct []int64 // distinct contending lines (reused per vector)
+	for _, v := range a.vecs[r] {
+		plabel, pidx := v.ProducerPoint(idx)
+		// Cold equation: the producer access must exist ...
+		if !a.spaces[v.Producer.Stmt].Contains(pidx) {
+			continue
+		}
+		// ... and touch the same memory line.
+		if a.cfg.MemLine(v.Producer.AddressAt(pidx)) != line {
+			continue
+		}
+		// Replacement equation along v: count distinct memory lines that
+		// contend for the cache set between the producer and the consumer.
+		producer := trace.Time{Label: plabel, Idx: pidx, Seq: v.Producer.Seq}
+		distinct = distinct[:0]
+		evicted := false
+		if a.opt.PaperLRU {
+			// The paper's equations verbatim: k distinct set contentions
+			// anywhere in the interval evict the line.
+			trace.VisitBetween(a.np, producer, consumer, func(ri *ir.NRef, j []int64) bool {
+				al := a.cfg.MemLine(ri.AddressAt(j))
+				if al == line || a.cfg.SetOfLine(al) != set {
+					return true
+				}
+				for _, d := range distinct {
+					if d == al {
+						return true
+					}
+				}
+				distinct = append(distinct, al)
+				if len(distinct) >= k {
+					evicted = true
+					return false
+				}
+				return true
+			})
+		} else {
+			// Exact LRU: scan backwards from the consumer; the first touch
+			// of the line is its most recent fetch, and the line is evicted
+			// iff k distinct other lines hit the set after that fetch.
+			trace.VisitBetweenReverse(a.np, producer, consumer, func(ri *ir.NRef, j []int64) bool {
+				al := a.cfg.MemLine(ri.AddressAt(j))
+				if al == line {
+					return false // most recent fetch found; the count stands
+				}
+				if a.cfg.SetOfLine(al) != set {
+					return true
+				}
+				for _, d := range distinct {
+					if d == al {
+						return true
+					}
+				}
+				distinct = append(distinct, al)
+				if len(distinct) >= k {
+					evicted = true
+					return false
+				}
+				return true
+			})
+		}
+		if evicted {
+			return ReplacementMiss
+		}
+		return Hit
+	}
+	if out, decided := a.classifyDynamic(r, idx, line, set, k, consumer); decided {
+		return out
+	}
+	return ColdMiss
+}
+
+// classifyDynamic resolves non-uniformly generated reuse (§8 future work)
+// once every static reuse vector has fallen through: among the dynamic
+// producer candidates, the lexicographically latest valid producer
+// iteration decides via the usual replacement walk.
+func (a *Analyzer) classifyDynamic(r *ir.NRef, idx []int64, line, set int64, k int, consumer trace.Time) (Outcome, bool) {
+	if a.dyn == nil {
+		return ColdMiss, false
+	}
+	var best trace.Time
+	found := false
+	for _, d := range a.dyn[r] {
+		q, ok := d.ProducerPoint(idx)
+		if !ok {
+			continue
+		}
+		if !a.spaces[d.Producer.Stmt].Contains(q) {
+			continue
+		}
+		pt := trace.Time{Label: d.Producer.Stmt.Label, Idx: q, Seq: d.Producer.Seq}
+		if trace.Compare(pt, consumer) >= 0 {
+			continue
+		}
+		// Same element by construction, hence the same memory line; the
+		// cold equation is satisfied.
+		if !found || trace.Compare(pt, best) > 0 {
+			best = pt
+			found = true
+		}
+	}
+	if !found {
+		return ColdMiss, false
+	}
+	var distinct []int64
+	evicted := false
+	trace.VisitBetweenReverse(a.np, best, consumer, func(ri *ir.NRef, j []int64) bool {
+		al := a.cfg.MemLine(ri.AddressAt(j))
+		if al == line {
+			return false
+		}
+		if a.cfg.SetOfLine(al) != set {
+			return true
+		}
+		for _, dd := range distinct {
+			if dd == al {
+				return true
+			}
+		}
+		distinct = append(distinct, al)
+		if len(distinct) >= k {
+			evicted = true
+			return false
+		}
+		return true
+	})
+	if evicted {
+		return ReplacementMiss, true
+	}
+	return Hit, true
+}
+
+// ClassifyDetail is Classify plus attribution: for a replacement miss it
+// reports the references whose accesses supplied the k distinct contending
+// lines (the paper's follow-up work [10] uses exactly this information for
+// CME-driven diagnosis); for a hit it reports the producer whose line was
+// reused.
+func (a *Analyzer) ClassifyDetail(r *ir.NRef, idx []int64) (Outcome, []*ir.NRef) {
+	line := a.cfg.MemLine(r.AddressAt(idx))
+	set := a.cfg.SetOfLine(line)
+	k := a.cfg.Assoc
+	consumer := trace.Time{Label: r.Stmt.Label, Idx: idx, Seq: r.Seq}
+
+	var distinct []int64
+	var culprits []*ir.NRef
+	for _, v := range a.vecs[r] {
+		plabel, pidx := v.ProducerPoint(idx)
+		if !a.spaces[v.Producer.Stmt].Contains(pidx) {
+			continue
+		}
+		if a.cfg.MemLine(v.Producer.AddressAt(pidx)) != line {
+			continue
+		}
+		producer := trace.Time{Label: plabel, Idx: pidx, Seq: v.Producer.Seq}
+		distinct, culprits = distinct[:0], culprits[:0]
+		evicted := false
+		trace.VisitBetweenReverse(a.np, producer, consumer, func(ri *ir.NRef, j []int64) bool {
+			al := a.cfg.MemLine(ri.AddressAt(j))
+			if al == line {
+				return false
+			}
+			if a.cfg.SetOfLine(al) != set {
+				return true
+			}
+			for _, d := range distinct {
+				if d == al {
+					return true
+				}
+			}
+			distinct = append(distinct, al)
+			culprits = append(culprits, ri)
+			if len(distinct) >= k {
+				evicted = true
+				return false
+			}
+			return true
+		})
+		if evicted {
+			return ReplacementMiss, append([]*ir.NRef(nil), culprits...)
+		}
+		return Hit, []*ir.NRef{v.Producer}
+	}
+	return ColdMiss, nil
+}
+
+// RefReport is the per-reference analysis result.
+type RefReport struct {
+	Ref      *ir.NRef
+	Volume   int64 // |RIS_R|
+	Analyzed int64 // points classified (== Volume unless sampled)
+	Sampled  bool
+	Hits     int64
+	Cold     int64
+	Repl     int64
+}
+
+// Misses returns cold + replacement misses among analysed points.
+func (r *RefReport) Misses() int64 { return r.Cold + r.Repl }
+
+// MissRatio returns the reference's estimated miss ratio in [0, 1].
+func (r *RefReport) MissRatio() float64 {
+	if r.Analyzed == 0 {
+		return 0
+	}
+	return float64(r.Misses()) / float64(r.Analyzed)
+}
+
+// HalfWidth returns the realised confidence half-width of the reference's
+// miss ratio under the given plan (0 for a full census).
+func (r *RefReport) HalfWidth(plan sampling.Plan) float64 {
+	if !r.Sampled {
+		return 0
+	}
+	return plan.HalfWidth(r.MissRatio(), int(r.Analyzed), r.Volume)
+}
+
+// Report aggregates the analysis of a whole program.
+type Report struct {
+	Config  cache.Config
+	Refs    []*RefReport
+	Elapsed time.Duration
+	Sampled bool
+}
+
+// TotalAccesses returns Σ_R |RIS_R|, the program's total access count.
+func (rep *Report) TotalAccesses() int64 {
+	var t int64
+	for _, r := range rep.Refs {
+		t += r.Volume
+	}
+	return t
+}
+
+// EstimatedMisses returns Σ_R |RIS_R|·ratio_R.
+func (rep *Report) EstimatedMisses() float64 {
+	var m float64
+	for _, r := range rep.Refs {
+		m += float64(r.Volume) * r.MissRatio()
+	}
+	return m
+}
+
+// MissRatio returns the loop-nest miss ratio of Fig. 6 in percent:
+// Σ_R |RIS_R|·ratio_R / Σ_R |RIS_R|.
+func (rep *Report) MissRatio() float64 {
+	t := rep.TotalAccesses()
+	if t == 0 {
+		return 0
+	}
+	return 100 * rep.EstimatedMisses() / float64(t)
+}
+
+// MissRatioBound returns the confidence half-width of the aggregate miss
+// ratio in percentage points under the plan: the access-weighted
+// combination of the per-reference half-widths (conservative: per-ref
+// errors are treated as perfectly correlated, so the true half-width is
+// smaller).
+func (rep *Report) MissRatioBound(plan sampling.Plan) float64 {
+	t := rep.TotalAccesses()
+	if t == 0 {
+		return 0
+	}
+	var b float64
+	for _, r := range rep.Refs {
+		b += float64(r.Volume) * r.HalfWidth(plan)
+	}
+	return 100 * b / float64(t)
+}
+
+// ExactMisses returns the integral miss count when every point was
+// analysed (FindMisses); it is meaningless for sampled reports.
+func (rep *Report) ExactMisses() int64 {
+	var m int64
+	for _, r := range rep.Refs {
+		m += r.Misses()
+	}
+	return m
+}
+
+// FindMisses analyses every iteration point of every reference (the exact
+// algorithm of Fig. 6, left).
+func (a *Analyzer) FindMisses() *Report {
+	start := time.Now()
+	rep := &Report{Config: a.cfg}
+	rep.Refs = a.perRef(func(r *ir.NRef, rr *RefReport) {
+		a.spaces[r.Stmt].Enumerate(func(idx []int64) bool {
+			rr.Analyzed++
+			switch a.Classify(r, idx) {
+			case Hit:
+				rr.Hits++
+			case ColdMiss:
+				rr.Cold++
+			case ReplacementMiss:
+				rr.Repl++
+			}
+			return true
+		})
+	})
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// perRef runs work over every reference, possibly in parallel. All lazily
+// built shared state (space volumes, linearised addresses) is warmed
+// sequentially first so the workers only read.
+func (a *Analyzer) perRef(work func(r *ir.NRef, rr *RefReport)) []*RefReport {
+	a.warm()
+	out := make([]*RefReport, len(a.np.Refs))
+	for i, r := range a.np.Refs {
+		out[i] = &RefReport{Ref: r, Volume: a.spaces[r.Stmt].Volume()}
+	}
+	workers := a.opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(a.np.Refs) < 2 {
+		for i, r := range a.np.Refs {
+			work(r, out[i])
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				work(a.np.Refs[i], out[i])
+			}
+		}()
+	}
+	for i := range a.np.Refs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// warm materialises every lazy cache the workers would otherwise race on:
+// space volumes, bounding boxes and linearised reference addresses.
+func (a *Analyzer) warm() {
+	a.warmOnce.Do(func() {
+		idx := make([]int64, a.np.Depth)
+		for _, sp := range a.spaces {
+			sp.Volume()
+			sp.BoundingBox()
+		}
+		for _, r := range a.np.Refs {
+			r.AddressAt(idx)
+		}
+	})
+}
+
+// EstimateMisses analyses a statistically chosen sample of each reference's
+// RIS (the algorithm of Fig. 6, right): a reference whose RIS is too small
+// to achieve the requested (c, w) falls back to the paper's default
+// (90%, 0.15); a RIS too small even for that is analysed exhaustively.
+func (a *Analyzer) EstimateMisses(plan sampling.Plan) (*Report, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	seed := a.opt.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF
+	}
+	rep := &Report{Config: a.cfg, Sampled: true}
+	rep.Refs = a.perRef(func(r *ir.NRef, rr *RefReport) {
+		// Per-reference RNG: deterministic regardless of worker count.
+		rng := rand.New(rand.NewSource(seed ^ int64(r.Seq)*0x9E3779B9))
+		sp := a.spaces[r.Stmt]
+		vol := rr.Volume
+		var pts [][]int64
+		switch {
+		case plan.Achievable(vol):
+			rr.Sampled = true
+			pts = sp.Sample(rng, plan.SizeFor(vol))
+		case sampling.DefaultFallback.Achievable(vol):
+			rr.Sampled = true
+			pts = sp.Sample(rng, sampling.DefaultFallback.SizeFor(vol))
+		default:
+			// Analyse all points.
+		}
+		classify := func(idx []int64) {
+			rr.Analyzed++
+			switch a.Classify(r, idx) {
+			case Hit:
+				rr.Hits++
+			case ColdMiss:
+				rr.Cold++
+			case ReplacementMiss:
+				rr.Repl++
+			}
+		}
+		if rr.Sampled {
+			for _, p := range pts {
+				classify(p)
+			}
+		} else {
+			sp.Enumerate(func(idx []int64) bool { classify(idx); return true })
+		}
+	})
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

@@ -1,0 +1,32 @@
+package cme
+
+import (
+	"testing"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/sampling"
+)
+
+// TestParallelDeterminism: worker count must not change results.
+func TestParallelDeterminism(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2}
+	_, seq := prep(t, transpose2D(40), cfg, Options{Workers: 1})
+	_, par := prep(t, transpose2D(40), cfg, Options{Workers: 8})
+	p := sampling.Plan{C: 0.95, W: 0.05}
+	rs, err := seq.EstimateMisses(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := par.EstimateMisses(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.MissRatio() != rp.MissRatio() {
+		t.Errorf("sequential %.6f%% != parallel %.6f%%", rs.MissRatio(), rp.MissRatio())
+	}
+	fs := seq.FindMisses()
+	fp := par.FindMisses()
+	if fs.ExactMisses() != fp.ExactMisses() {
+		t.Errorf("FindMisses sequential %d != parallel %d", fs.ExactMisses(), fp.ExactMisses())
+	}
+}

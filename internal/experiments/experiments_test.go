@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is a very small scale for tests.
+var tiny = Scale{
+	Name:    "tiny",
+	HydroJN: 10, HydroKN: 10,
+	MGRIDM: 6,
+	MMTN:   12, MMTBJ: 6, MMTBK: 6,
+	TomcatvN: 10, TomcatvIters: 1,
+	SwimN: 10, SwimCycles: 1,
+	AppluN: 6, AppluIt: 1,
+	Cache: Quick.Cache,
+	Plan:  Quick.Plan,
+}
+
+// TestTable2RecoversCorpus: the classifier must recover the paper's
+// per-program actual counts from the synthetic corpus; A-able matches
+// except for the three internally inconsistent rows (hydro2d, CSS, MTSI),
+// where the strict rule loses exactly one call each.
+func TestTable2RecoversCorpus(t *testing.T) {
+	rows := RunTable2()
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	infeasible := map[string]bool{"hydro2d": true, "CSS": true, "MTSI": true}
+	for i, r := range rows {
+		want := Table2Targets[i]
+		if r.PAble != want.PAble || r.RAble != want.RAble || r.NAble != want.NAble {
+			t.Errorf("%s: P/R/N = %d/%d/%d, want %d/%d/%d",
+				r.Program, r.PAble, r.RAble, r.NAble, want.PAble, want.RAble, want.NAble)
+		}
+		if r.Calls != want.Calls {
+			t.Errorf("%s: calls = %d, want %d", r.Program, r.Calls, want.Calls)
+		}
+		wantA := want.AAble
+		if infeasible[r.Program] {
+			wantA--
+		}
+		if r.AAble != wantA {
+			t.Errorf("%s: A-able = %d, want %d", r.Program, r.AAble, wantA)
+		}
+	}
+}
+
+// TestTable3Shape: at any scale, Hydro and MGRID must be analysed exactly
+// and MMT conservatively (the paper's Table 3 shape).
+func TestTable3Shape(t *testing.T) {
+	rows, err := RunTable3(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Program {
+		case "Hydro", "MGRID":
+			if r.FindMisses != r.SimMisses {
+				t.Errorf("%s %d-way: Find %d != Sim %d", r.Program, r.Assoc, r.FindMisses, r.SimMisses)
+			}
+		case "MMT":
+			if r.FindMisses < r.SimMisses {
+				t.Errorf("MMT %d-way: Find %d < Sim %d (must overestimate)", r.Assoc, r.FindMisses, r.SimMisses)
+			}
+		}
+	}
+}
+
+// TestTable4Errors: estimates must stay within a few percentage points of
+// the simulator at the tiny scale (w = 0.05 per reference).
+func TestTable4Errors(t *testing.T) {
+	rows, err := RunTable4(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.AbsErr > 6 {
+			t.Errorf("%s %d-way: AbsErr %.2f too large", r.Program, r.Assoc, r.AbsErr)
+		}
+	}
+}
+
+// TestTable5Inventory: Table 5's structural facts hold at any size.
+func TestTable5Inventory(t *testing.T) {
+	rows, err := RunTable5(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"Tomcatv": 1, "Swim": 4, "Applu": 16}
+	for _, r := range rows {
+		if r.Subroutines != want[r.Program] {
+			t.Errorf("%s: subroutines = %d, want %d", r.Program, r.Subroutines, want[r.Program])
+		}
+	}
+}
+
+// TestTable6Errors: whole-program estimates within a few percentage points.
+func TestTable6Errors(t *testing.T) {
+	rows, err := RunTable6(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.AbsErr > 6 {
+			t.Errorf("%s %d-way: AbsErr %.2f too large", r.Program, r.Assoc, r.AbsErr)
+		}
+	}
+}
+
+// TestTable7Shape: over the first four configurations at shrink 16, the
+// estimate must be closer to the simulator than the probabilistic
+// baseline on average.
+func TestTable7Shape(t *testing.T) {
+	rows, err := RunTable7(16, Table7Configs[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumP, sumE float64
+	for _, r := range rows {
+		sumP += r.DeltaP
+		sumE += r.DeltaE
+	}
+	if sumE > sumP {
+		t.Errorf("EstimateMisses total error %.2f exceeds probabilistic %.2f", sumE, sumP)
+	}
+}
+
+// TestFormatters: smoke the renderers.
+func TestFormatters(t *testing.T) {
+	var sb strings.Builder
+	FormatTable2(&sb, RunTable2())
+	r3, _ := RunTable3(tiny)
+	FormatTable3(&sb, r3)
+	r5, _ := RunTable5(tiny)
+	FormatTable5(&sb, r5)
+	out := sb.String()
+	for _, want := range []string{"Table 2", "Table 3", "Table 5", "Hydro", "Applu", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q", want)
+		}
+	}
+}

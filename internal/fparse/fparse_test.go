@@ -1,0 +1,383 @@
+package fparse
+
+import (
+	"testing"
+
+	"cachemodel/internal/inline"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/kernels"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/trace"
+)
+
+// figure1Src is the Figure 1 subroutine in source form.
+const figure1Src = `
+      SUBROUTINE FOO
+      REAL*8 A, B
+      DIMENSION A(N), B(N, N)
+      DO I1 = 2, N
+        A(I1 - 1) = T
+        DO I2 = I1, N
+          B(I2 - 1, I1) = A(I2 - 1)
+        ENDDO
+        DO I2 = 1, N
+          T = B(I2, I1)
+        ENDDO
+        T = A(I1)
+      ENDDO
+      DO I1 = 1, N - 1
+        A(I1 + 1) = T
+      ENDDO
+      END
+`
+
+func TestParseFigure1(t *testing.T) {
+	p, err := Parse(figure1Src, map[string]int64{"N": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := p.Main
+	if sub.Name != "FOO" {
+		t.Errorf("name = %s", sub.Name)
+	}
+	st := p.CollectStats()
+	if st.Statements != 5 {
+		t.Errorf("statements = %d, want 5", st.Statements)
+	}
+	// References: A(I1-1) w, B(..) w + A(..) r, B r, A r, A w = 6.
+	if st.References != 6 {
+		t.Errorf("references = %d, want 6", st.References)
+	}
+	np, err := normalize.Normalize(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Depth != 2 || len(np.Stmts) != 5 {
+		t.Errorf("depth %d stmts %d, want 2 and 5", np.Depth, len(np.Stmts))
+	}
+}
+
+// hydroSrc is the Hydro kernel of Figure 8 in source form (statement
+// structure identical to the paper's listing).
+const hydroSrc = `
+      PROGRAM HYDRO
+      REAL*8 ZA, ZP, ZQ, ZR, ZM, ZB, ZU, ZV, ZZ
+      DIMENSION ZA(JN1,KN1), ZP(JN1,KN1), ZQ(JN1,KN1), ZR(JN1,KN1)
+      DIMENSION ZM(JN1,KN1), ZB(JN1,KN1), ZU(JN1,KN1), ZV(JN1,KN1)
+      DIMENSION ZZ(JN1,KN1)
+      T = 0.003700
+      S = 0.004100
+      DO K = 2, KN
+        DO J = 2, JN
+          ZA(J,K) = (ZP(J-1,K+1)+ZQ(J-1,K+1)-ZP(J-1,K)-ZQ(J-1,K))
+     &      *(ZR(J,K)+ZR(J-1,K))/(ZM(J-1,K)+ZM(J-1,K+1))
+          ZB(J,K) = (ZP(J-1,K)+ZQ(J-1,K)-ZP(J,K)-ZQ(J,K))
+     &      *(ZR(J,K)+ZR(J,K-1))/(ZM(J,K)+ZM(J-1,K))
+        ENDDO
+      ENDDO
+      DO K = 2, KN
+        DO J = 2, JN
+          ZU(J,K) = ZU(J,K) + S*(ZA(J,K)*(ZZ(J,K)-ZZ(J+1,K))
+     &      -ZA(J-1,K)*(ZZ(J-1,K))
+     &      -ZB(J,K)*(ZZ(J,K-1))+ZB(J,K+1)*(ZZ(J,K+1)))
+          ZV(J,K) = ZV(J,K) + S*(ZA(J,K)*(ZR(J,K)-ZR(J+1,K))
+     &      -ZA(J-1,K)*(ZR(J-1,K))
+     &      -ZB(J,K)*(ZR(J,K-1))+ZB(J,K+1)*(ZR(J,K+1)))
+        ENDDO
+      ENDDO
+      DO K = 2, KN
+        DO J = 2, JN
+          ZR(J,K) = ZR(J,K) + T*ZU(J,K)
+          ZZ(J,K) = ZZ(J,K) + T*ZV(J,K)
+        ENDDO
+      ENDDO
+      END
+`
+
+// TestParsedHydroMatchesBuilder: the parsed Hydro source must produce
+// exactly the address stream of the builder-constructed kernel. The source
+// above spells each distinct reference once (the duplicated ZZ(J,K) /
+// ZR(J,K) reads of the original expression are register-allocated, as in
+// internal/kernels).
+func TestParsedHydroMatchesBuilder(t *testing.T) {
+	const n = 10
+	parsed, err := Parse(hydroSrc, map[string]int64{
+		"JN": n, "KN": n, "JN1": n + 1, "KN1": n + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stream(t, kernels.Hydro(n, n))
+	got := stream(t, parsed)
+	if len(got) != len(want) {
+		t.Fatalf("stream length %d, builder %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("address %d: parsed %d, builder %d", i, got[i], want[i])
+		}
+	}
+}
+
+// mmtSrc is the MMT kernel of Figure 8 with labelled shared-terminator DO
+// loops exercised in the MGRID style.
+const mmtSrc = `
+      PROGRAM MMT
+      REAL*8 A, B, D, WB
+      DIMENSION A(N,N), B(N,N), D(N,N), WB(N,N)
+      DO J2 = 1, N, BJ
+        DO K2 = 1, N, BK
+          DO J = J2, J2+BJ-1
+            DO K = K2, K2+BK-1
+              WB(J-J2+1,K-K2+1) = B(K,J)
+            ENDDO
+          ENDDO
+          DO I = 1, N
+            DO K = K2, K2+BK-1
+              RA = A(I,K)
+              DO J = J2, J2+BJ-1
+                D(I,J) = D(I,J) + WB(J-J2+1,K-K2+1)*RA
+              ENDDO
+            ENDDO
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+`
+
+func TestParsedMMTMatchesBuilder(t *testing.T) {
+	parsed, err := Parse(mmtSrc, map[string]int64{"N": 16, "BJ": 8, "BK": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stream(t, kernels.MMT(16, 8, 8))
+	got := stream(t, parsed)
+	if len(got) != len(want) {
+		t.Fatalf("stream length %d, builder %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("address %d: parsed %d, builder %d", i, got[i], want[i])
+		}
+	}
+}
+
+// stream prepares a program and returns its byte address stream.
+func stream(t *testing.T, p *ir.Program) []int64 {
+	t.Helper()
+	flat, _, err := inline.Flatten(p, inline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var out []int64
+	trace.Execute(np, func(r *ir.NRef, idx []int64) bool {
+		out = append(out, r.AddressAt(idx))
+		return true
+	})
+	return out
+}
+
+// TestLabelledSharedTerminators: the classic "DO 400 ... DO 400 ... 400
+// CONTINUE" nesting of MGRID's listing.
+func TestLabelledSharedTerminators(t *testing.T) {
+	src := `
+      PROGRAM NEST
+      REAL*8 U(20,20)
+      DO 400 I = 1, 3
+      DO 400 J = 1, 3
+        U(I,J) = U(I,J)
+  400 CONTINUE
+      END
+`
+	p, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stream(t, p)
+	if len(got) != 3*3*2 {
+		t.Fatalf("accesses = %d, want 18", len(got))
+	}
+}
+
+func TestLogicalIfAndBlockIf(t *testing.T) {
+	src := `
+      PROGRAM G
+      REAL*8 A(10)
+      DO I = 1, 10
+        IF (I .EQ. 5) A(I) = X
+        IF (I .GE. 8) THEN
+          A(I) = X
+        ENDIF
+      ENDDO
+      END
+`
+	p, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stream(t, p); len(got) != 1+3 {
+		t.Fatalf("accesses = %d, want 4", len(got))
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	src := `
+      PROGRAM M
+      REAL*8 A(8,8)
+      DO I = 1, 4
+        CALL F(A, A(1,I))
+      ENDDO
+      END
+      SUBROUTINE F(C, V)
+      REAL*8 C(8,8), V(8)
+      DO J = 1, 4
+        C(J,1) = V(J)
+      ENDDO
+      END
+`
+	p, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := inline.ClassifyProgram(p)
+	if st.Calls != 1 || st.Inlined != 1 || st.PAble != 2 {
+		t.Errorf("classification: %+v", st)
+	}
+	if got := stream(t, p); len(got) != 4*4*2 {
+		t.Fatalf("accesses = %d, want 32", len(got))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"      PROGRAM P\n      REAL*8 A(10)\n      DO I = 1, 10\n      END\n",            // missing ENDDO
+		"      PROGRAM P\n      REAL*8 A(10)\n      A(I*J) = 1\n      END\n",              // non-affine
+		"      PROGRAM P\n      IF (I .EQ. 1) THEN\n      ELSE\n      ENDIF\n      END\n", // ELSE
+	}
+	for i, src := range cases {
+		if _, err := Parse(src, nil); err == nil {
+			t.Errorf("case %d: expected a parse error", i)
+		}
+	}
+}
+
+func TestParameterStatement(t *testing.T) {
+	src := `
+      PROGRAM P
+      PARAMETER (N = 6, M = N + 2)
+      REAL*8 A(M)
+      DO I = 1, N
+        A(I) = A(I)
+      ENDDO
+      END
+`
+	p, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stream(t, p); len(got) != 12 {
+		t.Fatalf("accesses = %d, want 12", len(got))
+	}
+	if p.Main.Locals[0].Dims[0] != 8 {
+		t.Errorf("A dims = %v, want (8)", p.Main.Locals[0].Dims)
+	}
+}
+
+func TestNegativeStepLoop(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL*8 A(10)
+      DO I = 9, 2, -1
+        A(I) = A(I+1)
+      ENDDO
+      END
+`
+	p, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stream(t, p); len(got) != 16 {
+		t.Fatalf("accesses = %d, want 16", len(got))
+	}
+}
+
+// TestIfGotoConversion: the paper converts Swim's and Tomcatv's outer
+// IF-GOTO iteration into a DO statement with the trip count fixed from
+// the reference input; ParseOptions.GotoTrips reproduces that.
+func TestIfGotoConversion(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL*8 A(10)
+   90 CONTINUE
+      DO I = 1, 10
+        A(I) = A(I)
+      ENDDO
+      IF (DELTA .GT. EPS) GOTO 90
+      END
+`
+	p, err := ParseOptions(src, Options{GotoTrips: map[string]int64{"90": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stream(t, p); len(got) != 5*10*2 {
+		t.Fatalf("accesses = %d, want 100 (5 converted iterations)", len(got))
+	}
+}
+
+// TestIfGotoWithoutTripsRejected: a data-dependent IF-GOTO loop without a
+// fixed trip count must be a parse error, not a silent drop.
+func TestIfGotoWithoutTripsRejected(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL*8 A(10)
+   90 CONTINUE
+      A(1) = A(2)
+      IF (X .GT. Y) GOTO 90
+      END
+`
+	if _, err := Parse(src, nil); err == nil {
+		t.Fatal("expected error for unfixed IF-GOTO loop")
+	}
+}
+
+// TestForwardGotoRejected: forward control transfer is outside the model.
+func TestForwardGotoRejected(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL*8 A(10)
+      GOTO 90
+      A(1) = A(2)
+   90 CONTINUE
+      END
+`
+	if _, err := Parse(src, nil); err == nil {
+		t.Fatal("expected error for forward GOTO")
+	}
+}
+
+// TestBareBackwardGoto: an unconditional backward GOTO also converts
+// (infinite loops fixed to a trip count).
+func TestBareBackwardGoto(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL*8 A(4)
+   10 A(1) = A(2)
+      GOTO 10
+      END
+`
+	p, err := ParseOptions(src, Options{GotoTrips: map[string]int64{"10": 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stream(t, p); len(got) != 3*2 {
+		t.Fatalf("accesses = %d, want 6", len(got))
+	}
+}

@@ -1,0 +1,197 @@
+// Package fparse is a front end for the FORTRAN subset of the paper's
+// program model: PROGRAM/SUBROUTINE units, REAL*8 and DIMENSION
+// declarations, DO loops (with optional statement labels and CONTINUE
+// terminators), block and logical IF statements with affine conditions,
+// CALL statements and assignments with affine subscripts. It produces the
+// same ir.Program structures as the Go builder API, so parsed programs
+// flow through inlining, normalisation, analysis and simulation
+// unchanged.
+//
+// Scalar variables are recognised and register-allocated: reads of
+// scalars disappear from the reference stream and assignments to scalars
+// contribute only their right-hand-side array references — matching how
+// the paper's Opts component lowers programs (e.g. MMT's RA).
+package fparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIdent
+	tokNumber
+	tokPunct // ( ) , = + - * / :
+	tokRelop // .EQ. .NE. .LE. .LT. .GE. .GT. .AND. .OR. .NOT. .TRUE. .FALSE.
+	tokString
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex splits FORTRAN-ish source into tokens. Comment lines start with C,
+// c, * or ! in column 1, or use ! anywhere. Continuation is a trailing
+// '&' or a '&'/'$' in column 6 of the next line (both styles accepted).
+func lex(src string) ([]token, error) {
+	var toks []token
+	lines := strings.Split(src, "\n")
+	for li := 0; li < len(lines); li++ {
+		raw := lines[li]
+		line := raw
+		// Full-line comments.
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if c := line[0]; c == 'C' || c == 'c' || c == '*' || c == '!' {
+			continue
+		}
+		// Fixed-form continuation marker in column 6.
+		if len(line) >= 6 && line[5] != ' ' && line[5] != '\t' && strings.TrimSpace(line[:5]) == "" {
+			// Continuation of the previous line: drop the trailing newline
+			// token if present.
+			if len(toks) > 0 && toks[len(toks)-1].kind == tokNewline {
+				toks = toks[:len(toks)-1]
+			}
+			line = "      " + line[6:]
+		}
+		// Inline comments.
+		if i := strings.IndexByte(line, '!'); i >= 0 {
+			line = line[:i]
+		}
+		cont := false
+		if t := strings.TrimSpace(line); strings.HasSuffix(t, "&") {
+			cont = true
+			line = strings.TrimSuffix(strings.TrimRight(line, " \t"), "&")
+		}
+		lineToks, err := lexLine(line, li+1)
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, lineToks...)
+		if !cont && len(lineToks) > 0 {
+			toks = append(toks, token{kind: tokNewline, line: li + 1})
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: len(lines)})
+	return toks, nil
+}
+
+func lexLine(line string, lineNo int) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '.':
+			// Dotted operator (.EQ. etc) or a real literal like .5 — the
+			// program model has no float expressions we keep, but accept
+			// and skip real literals in ignored contexts.
+			j := i + 1
+			for j < len(line) && (isAlpha(line[j])) {
+				j++
+			}
+			if j < len(line) && line[j] == '.' && j > i+1 {
+				toks = append(toks, token{kind: tokRelop, text: strings.ToUpper(line[i : j+1]), line: lineNo, col: i})
+				i = j + 1
+				break
+			}
+			// Real literal fraction: consume digits.
+			j = i + 1
+			for j < len(line) && (isDigit(line[j]) || isAlpha(line[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: line[i:j], line: lineNo, col: i})
+			i = j
+		case isDigit(c):
+			j := i
+			for j < len(line) && (isDigit(line[j]) || line[j] == '.' ||
+				((line[j] == 'D' || line[j] == 'E' || line[j] == 'd' || line[j] == 'e') && j+1 < len(line) && (isDigit(line[j+1]) || line[j+1] == '+' || line[j+1] == '-')) ||
+				((line[j] == '+' || line[j] == '-') && j > i && (line[j-1] == 'D' || line[j-1] == 'E' || line[j-1] == 'd' || line[j-1] == 'e'))) {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: line[i:j], line: lineNo, col: i})
+			i = j
+		case isAlpha(c) || c == '_':
+			j := i
+			for j < len(line) && (isAlpha(line[j]) || isDigit(line[j]) || line[j] == '_' || line[j] == '$') {
+				j++
+			}
+			word := line[i:j]
+			// REAL*8 is one keyword unit: merge the *8 suffix.
+			if strings.EqualFold(word, "REAL") && j+1 < len(line) && line[j] == '*' && isDigit(line[j+1]) {
+				k := j + 1
+				for k < len(line) && isDigit(line[k]) {
+					k++
+				}
+				word = line[i:k]
+				j = k
+			}
+			toks = append(toks, token{kind: tokIdent, text: strings.ToUpper(word), line: lineNo, col: i})
+			i = j
+		case c == '\'' || c == '"':
+			j := i + 1
+			for j < len(line) && line[j] != c {
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("line %d: unterminated string", lineNo)
+			}
+			toks = append(toks, token{kind: tokString, text: line[i+1 : j], line: lineNo, col: i})
+			i = j + 1
+		case strings.IndexByte("(),=+-*/:", c) >= 0:
+			// ** exponent: lex as one token to reject cleanly later.
+			if c == '*' && i+1 < len(line) && line[i+1] == '*' {
+				toks = append(toks, token{kind: tokPunct, text: "**", line: lineNo, col: i})
+				i += 2
+				break
+			}
+			if c == '=' && i+1 < len(line) && line[i+1] == '=' {
+				toks = append(toks, token{kind: tokRelop, text: ".EQ.", line: lineNo, col: i})
+				i += 2
+				break
+			}
+			toks = append(toks, token{kind: tokPunct, text: string(c), line: lineNo, col: i})
+			i++
+		case c == '<' || c == '>':
+			if i+1 < len(line) && line[i+1] == '=' {
+				toks = append(toks, token{kind: tokRelop, text: map[byte]string{'<': ".LE.", '>': ".GE."}[c], line: lineNo, col: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokRelop, text: map[byte]string{'<': ".LT.", '>': ".GT."}[c], line: lineNo, col: i})
+				i++
+			}
+		case c == '=' && i+1 < len(line) && line[i+1] == '=':
+			toks = append(toks, token{kind: tokRelop, text: ".EQ.", line: lineNo, col: i})
+			i += 2
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", lineNo, rune(c))
+		}
+	}
+	return toks, nil
+}
+
+func isAlpha(c byte) bool { return unicode.IsLetter(rune(c)) }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,523 @@
+// Package inline implements the abstract inlining of call statements
+// (§3.6): every analysable call is replaced by the callee's body with
+// formal parameters substituted by actual parameters, without generating
+// compilable code — only the information needed for cache analysis
+// (addresses, loop structure, guards) is preserved exactly.
+//
+// Actual parameters are classified as in Table 2:
+//
+//   - propagateable (P-able): the formal is a scalar or a one-dimensional
+//     array, or actual and formal are arrays of the same rank with
+//     matching sizes in all but the last dimension. References to the
+//     formal become references to the actual's array, so reuse between
+//     caller and callee is exposed to the analysis.
+//   - renameable (R-able): the sizes of all but the last dimension of both
+//     are known statically. References go to a fresh array AP' that
+//     aliases the actual's storage (@AP' == @AP), preserving reuse within
+//     the callee.
+//   - non-analysable (N-able): anything else. A call with an N-able actual
+//     cannot be inlined.
+//
+// Address exactness: every substitution preserves the byte address of each
+// access (sequence association is modelled with flat aliases or subscript
+// shifts), so the inlined program simulates and analyses identically to
+// the original.
+package inline
+
+import (
+	"fmt"
+
+	"cachemodel/internal/ir"
+)
+
+// ArgClass is the Table 2 classification of one actual parameter.
+type ArgClass int
+
+// Classifications.
+const (
+	Propagateable ArgClass = iota
+	Renameable
+	NonAnalysable
+)
+
+func (c ArgClass) String() string {
+	switch c {
+	case Propagateable:
+		return "P-able"
+	case Renameable:
+		return "R-able"
+	case NonAnalysable:
+		return "N-able"
+	}
+	return "?"
+}
+
+// Stats accumulates the Table 2 columns.
+type Stats struct {
+	PAble, RAble, NAble int // actual parameters by class
+	Calls               int // total call statements seen
+	Inlined             int // calls successfully inlined (A-able)
+	SystemCalls         int // calls to unknown subroutines, dropped
+}
+
+// Analysable returns the number of analysable calls (Table 2 "A-able").
+func (s Stats) Analysable() int { return s.Inlined }
+
+// Options controls inlining.
+type Options struct {
+	// ModelStack, when true, inserts the run-time-stack accesses of Fig. 4
+	// around every inlined call: stores of the return address and argument
+	// addresses at compile-time-known stack slots.
+	ModelStack bool
+	// StackElems sizes the modelled stack (default 4096 elements).
+	StackElems int64
+	// MaxDepth bounds the call-chain depth (recursion guard, default 64).
+	MaxDepth int
+}
+
+// ClassifyArg applies the Table 2 rules to one actual/formal pair.
+func ClassifyArg(actual ir.Arg, formal *ir.Array) ArgClass {
+	if isScalar(formal) || formal.Rank() == 1 {
+		return Propagateable
+	}
+	if actual.Array.Rank() == formal.Rank() && dimsMatchButLast(actual.Array, formal) {
+		return Propagateable
+	}
+	if dimsKnownButLast(actual.Array) && dimsKnownButLast(formal) {
+		return Renameable
+	}
+	return NonAnalysable
+}
+
+func isScalar(a *ir.Array) bool {
+	return a.Rank() == 1 && a.Dims[0] == 1
+}
+
+func dimsMatchButLast(a, b *ir.Array) bool {
+	for i := 0; i < len(a.Dims)-1; i++ {
+		if a.Dims[i] <= 0 || a.Dims[i] != b.Dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dimsKnownButLast(a *ir.Array) bool {
+	for i := 0; i < len(a.Dims)-1; i++ {
+		if a.Dims[i] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Flatten abstractly inlines every analysable call reachable from the
+// program's main subroutine and returns the resulting call-free
+// subroutine together with the classification statistics. Calls to
+// unknown subroutines (system calls) are dropped, as in the paper; calls
+// with non-analysable actuals are rejected with an error, since the
+// analysis cannot proceed soundly past them.
+func Flatten(p *ir.Program, opt Options) (*ir.Subroutine, *Stats, error) {
+	if opt.MaxDepth == 0 {
+		opt.MaxDepth = 64
+	}
+	if opt.StackElems == 0 {
+		opt.StackElems = 4096
+	}
+	in := &inliner{prog: p, opt: opt, stats: &Stats{},
+		flatCache: map[*ir.Array]*ir.Array{}, localCache: map[*ir.Array]*ir.Array{}}
+	if opt.ModelStack {
+		in.stack = ir.NewArray("__stack", 8, opt.StackElems)
+	}
+	out := &ir.Subroutine{Name: p.Main.Name, Formals: p.Main.Formals, Locals: p.Main.Locals}
+	if in.stack != nil {
+		out.Locals = append(out.Locals, in.stack)
+	}
+	body, err := in.body(p.Main.Body, identitySubst(p.Main), 0, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	out.Body = body
+	out.Locals = append(out.Locals, in.extraLocals...)
+	return out, in.stats, nil
+}
+
+// ClassifyProgram classifies every call in the program without inlining —
+// the pure Table 2 measurement.
+func ClassifyProgram(p *ir.Program) Stats {
+	st := Stats{}
+	for _, name := range p.Order {
+		sub := p.Subs[name]
+		walkCalls(sub.Body, func(c *ir.Call) {
+			st.Calls++
+			callee, ok := p.Subs[c.Callee]
+			if !ok {
+				st.SystemCalls++
+				return
+			}
+			analysable := true
+			for i, arg := range c.Args {
+				if i >= len(callee.Formals) {
+					analysable = false
+					break
+				}
+				switch ClassifyArg(arg, callee.Formals[i]) {
+				case Propagateable:
+					st.PAble++
+				case Renameable:
+					st.RAble++
+				default:
+					st.NAble++
+					analysable = false
+				}
+			}
+			if analysable {
+				st.Inlined++
+			}
+		})
+	}
+	return st
+}
+
+func walkCalls(nodes []ir.Node, f func(*ir.Call)) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *ir.Loop:
+			walkCalls(n.Body, f)
+		case *ir.If:
+			walkCalls(n.Body, f)
+		case *ir.Call:
+			f(n)
+		}
+	}
+}
+
+type inliner struct {
+	prog        *ir.Program
+	opt         Options
+	stats       *Stats
+	stack       *ir.Array
+	extraLocals []*ir.Array
+	flatCache   map[*ir.Array]*ir.Array
+	localCache  map[*ir.Array]*ir.Array
+	fresh       int
+	renameCount int
+}
+
+// subst describes how to rewrite the body of one subroutine instance:
+// formal arrays map to reference rewriters and loop variables map to
+// fresh names.
+type subst struct {
+	arrays map[*ir.Array]refRewrite
+	vars   map[string]string
+}
+
+// refRewrite turns a formal reference's subscripts (already var-renamed)
+// into a concrete reference.
+type refRewrite func(subs []ir.Expr, write bool) *ir.Ref
+
+func identitySubst(sub *ir.Subroutine) *subst {
+	return &subst{arrays: map[*ir.Array]refRewrite{}, vars: map[string]string{}}
+}
+
+// flatAlias returns the 1-D assumed-size view of an array, sharing its
+// storage.
+func (in *inliner) flatAlias(a *ir.Array) *ir.Array {
+	if f, ok := in.flatCache[a]; ok {
+		return f
+	}
+	f := ir.NewArray(a.Name+"$flat", a.ElemSize, 0)
+	f.Alias = a
+	in.flatCache[a] = f
+	in.extraLocals = append(in.extraLocals, f)
+	return f
+}
+
+// linearExpr returns the 0-based element offset expression of a subscripted
+// actual within its array (affine in caller loop variables).
+func linearExpr(a *ir.Array, subs []ir.Expr) ir.Expr {
+	off := ir.Con(0)
+	stride := int64(1)
+	for i, s := range subs {
+		off = off.Plus(s.PlusConst(-1).Scale(stride))
+		if i < len(a.Dims)-1 {
+			stride *= a.Dims[i]
+		}
+	}
+	return off
+}
+
+// body rewrites a node list under the substitution, inlining calls.
+func (in *inliner) body(nodes []ir.Node, s *subst, depth, bp int) ([]ir.Node, error) {
+	var out []ir.Node
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *ir.Loop:
+			nv := s.vars[n.Var]
+			if nv == "" {
+				nv = n.Var
+			}
+			l := &ir.Loop{Var: nv, Lo: in.expr(n.Lo, s), Hi: in.expr(n.Hi, s), Step: n.Step, Label: n.Label}
+			kids, err := in.body(n.Body, s, depth, bp)
+			if err != nil {
+				return nil, err
+			}
+			l.Body = kids
+			out = append(out, l)
+		case *ir.If:
+			f := &ir.If{}
+			for _, c := range n.Conds {
+				f.Conds = append(f.Conds, ir.Cond{LHS: in.expr(c.LHS, s), Op: c.Op, RHS: in.expr(c.RHS, s)})
+			}
+			kids, err := in.body(n.Body, s, depth, bp)
+			if err != nil {
+				return nil, err
+			}
+			f.Body = kids
+			out = append(out, f)
+		case *ir.Assign:
+			a := &ir.Assign{Label: n.Label}
+			if n.LHS != nil {
+				a.LHS = in.ref(n.LHS, s, true)
+			}
+			for _, r := range n.Reads {
+				a.Reads = append(a.Reads, in.ref(r, s, false))
+			}
+			out = append(out, a)
+		case *ir.Call:
+			inlined, err := in.call(n, s, depth, bp)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, inlined...)
+		default:
+			return nil, fmt.Errorf("inline: unknown node %T", n)
+		}
+	}
+	return out, nil
+}
+
+func (in *inliner) expr(e ir.Expr, s *subst) ir.Expr {
+	for old, nv := range s.vars {
+		e = e.Rename(old, nv)
+	}
+	return e
+}
+
+func (in *inliner) ref(r *ir.Ref, s *subst, write bool) *ir.Ref {
+	subs := make([]ir.Expr, len(r.Subs))
+	for i, e := range r.Subs {
+		subs[i] = in.expr(e, s)
+	}
+	if rw, ok := s.arrays[r.Array]; ok {
+		nr := rw(subs, write)
+		nr.Write = write
+		return nr
+	}
+	nr := ir.NewRef(r.Array, subs...)
+	nr.Write = write
+	return nr
+}
+
+// call inlines one call statement.
+func (in *inliner) call(c *ir.Call, s *subst, depth, bp int) ([]ir.Node, error) {
+	in.stats.Calls++
+	callee, ok := in.prog.Subs[c.Callee]
+	if !ok {
+		// System call (I/O, intrinsic): not inlined, accesses unaccounted.
+		in.stats.SystemCalls++
+		return nil, nil
+	}
+	if depth >= in.opt.MaxDepth {
+		return nil, fmt.Errorf("inline: call depth exceeds %d at %s (recursive calls are outside the program model)", in.opt.MaxDepth, c.Callee)
+	}
+	if len(c.Args) != len(callee.Formals) {
+		return nil, fmt.Errorf("inline: call to %s passes %d args for %d formals", c.Callee, len(c.Args), len(callee.Formals))
+	}
+
+	// Classify all actuals first; reject the call if any is N-able.
+	classes := make([]ArgClass, len(c.Args))
+	for i, arg := range c.Args {
+		// Rewrite the actual's subscripts into caller terms first.
+		classes[i] = ClassifyArg(arg, callee.Formals[i])
+		switch classes[i] {
+		case Propagateable:
+			in.stats.PAble++
+		case Renameable:
+			in.stats.RAble++
+		case NonAnalysable:
+			in.stats.NAble++
+		}
+	}
+	for i, cl := range classes {
+		if cl == NonAnalysable {
+			return nil, fmt.Errorf("inline: call to %s: actual %d (%s) is non-analysable", c.Callee, i+1, c.Args[i].Array.Name)
+		}
+	}
+	in.stats.Inlined++
+
+	// Fresh names for the callee's loop variables.
+	cs := &subst{arrays: map[*ir.Array]refRewrite{}, vars: map[string]string{}}
+	in.fresh++
+	instance := in.fresh
+	collectLoopVars(callee.Body, func(v string) {
+		if _, done := cs.vars[v]; !done {
+			cs.vars[v] = fmt.Sprintf("%s$%d$%s", callee.Name, instance, v)
+		}
+	})
+
+	// Bind formals.
+	for i, arg := range c.Args {
+		formal := callee.Formals[i]
+		actual := arg
+		// Normalise the actual's subscripts into caller terms.
+		asubs := make([]ir.Expr, len(actual.Subs))
+		for j, e := range actual.Subs {
+			asubs[j] = in.expr(e, s)
+		}
+		// The actual may itself be a formal of the caller: resolve through
+		// the caller's substitution by rewriting a probe reference.
+		target := actual.Array
+		baseSubs := asubs
+		if len(baseSubs) == 0 {
+			baseSubs = ones(target.Rank())
+		}
+		if rw, ok := s.arrays[target]; ok {
+			probe := rw(baseSubs, false)
+			target = probe.Array
+			baseSubs = probe.Subs
+		}
+		cs.arrays[formal] = in.bindFormal(target, baseSubs, formal, classes[i])
+	}
+
+	var out []ir.Node
+	if in.stack != nil {
+		// Fig. 4: the caller stores the return address and the addresses of
+		// the actuals into its stack frame before the call.
+		slot := int64(bp + 1)
+		st := &ir.Assign{Label: fmt.Sprintf("%s$%d$ret", c.Callee, instance),
+			LHS: ir.NewRef(in.stack, ir.Con(slot))}
+		st.LHS.Write = true
+		out = append(out, st)
+		for range c.Args {
+			slot++
+			w := &ir.Assign{Label: fmt.Sprintf("%s$%d$arg", c.Callee, instance),
+				LHS: ir.NewRef(in.stack, ir.Con(slot))}
+			w.LHS.Write = true
+			out = append(out, w)
+		}
+		// The callee reads its incoming arguments.
+		for j := range c.Args {
+			rd := &ir.Assign{Label: fmt.Sprintf("%s$%d$ld", c.Callee, instance),
+				Reads: []*ir.Ref{ir.NewRef(in.stack, ir.Con(int64(bp+2+j)))}}
+			out = append(out, rd)
+		}
+	}
+	newBP := bp + len(c.Args) + 1
+	body, err := in.body(callee.Body, cs, depth+1, newBP)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, body...)
+	if in.stack != nil {
+		// Return: the callee reloads the return address.
+		rd := &ir.Assign{Label: fmt.Sprintf("%s$%d$rts", c.Callee, instance),
+			Reads: []*ir.Ref{ir.NewRef(in.stack, ir.Con(int64(bp+1)))}}
+		out = append(out, rd)
+	}
+	// The callee's locals become uniquely named locals of the flat program.
+	for _, loc := range callee.Locals {
+		in.extraLocals = append(in.extraLocals, in.renameLocal(loc, instance, cs))
+	}
+	return out, nil
+}
+
+// renameLocal gives a callee local a unique identity per inlined instance
+// and registers a rewrite for it. FORTRAN locals are static (SAVE-like
+// model): all instances of the same subroutine share storage, which we
+// model by aliasing instance 2+ onto instance 1.
+func (in *inliner) renameLocal(loc *ir.Array, instance int, cs *subst) *ir.Array {
+	nl := ir.NewArray(fmt.Sprintf("%s$%d", loc.Name, instance), loc.ElemSize, loc.Dims...)
+	if first, ok := in.localCache[loc]; ok {
+		nl.Alias = first
+	} else {
+		in.localCache[loc] = nl
+	}
+	cs.arrays[loc] = func(subs []ir.Expr, write bool) *ir.Ref {
+		return ir.NewRef(nl, subs...)
+	}
+	return nl
+}
+
+// bindFormal builds the reference rewriter for one formal according to its
+// classification. target/baseSubs identify the actual's storage in caller
+// terms (baseSubs = (1,...,1) for whole-array actuals).
+func (in *inliner) bindFormal(target *ir.Array, baseSubs []ir.Expr, formal *ir.Array, class ArgClass) refRewrite {
+	switch class {
+	case Propagateable:
+		switch {
+		case isScalar(formal):
+			return func(subs []ir.Expr, write bool) *ir.Ref {
+				return ir.NewRef(target, baseSubs...)
+			}
+		case formal.Rank() == 1 && target.Rank() == 1:
+			// F(f) → T(base + f − 1): stays in the caller's array.
+			return func(subs []ir.Expr, write bool) *ir.Ref {
+				return ir.NewRef(target, baseSubs[0].Plus(subs[0]).PlusConst(-1))
+			}
+		case formal.Rank() == 1:
+			// 1-D view of a multi-dimensional actual: flat sequence
+			// association.
+			flat := in.flatAlias(target)
+			off := linearExpr(target, baseSubs)
+			return func(subs []ir.Expr, write bool) *ir.Ref {
+				return ir.NewRef(flat, off.Plus(subs[0]))
+			}
+		default:
+			// Same rank, matching dims but last: per-dimension shift.
+			return func(subs []ir.Expr, write bool) *ir.Ref {
+				shifted := make([]ir.Expr, len(subs))
+				for d := range subs {
+					shifted[d] = baseSubs[d].Plus(subs[d]).PlusConst(-1)
+				}
+				return ir.NewRef(target, shifted...)
+			}
+		}
+	case Renameable:
+		// Fresh array with the formal's shape aliasing the actual's
+		// storage; the element offset of the actual folds into the first
+		// subscript, so addresses stay exact (Fig. 5's B1/B2).
+		in.renameCount++
+		renamed := ir.NewArray(fmt.Sprintf("%s$r%d", formal.Name, in.renameCount), formal.ElemSize, formal.Dims...)
+		renamed.Alias = target
+		in.extraLocals = append(in.extraLocals, renamed)
+		off := linearExpr(target, baseSubs)
+		return func(subs []ir.Expr, write bool) *ir.Ref {
+			shifted := make([]ir.Expr, len(subs))
+			copy(shifted, subs)
+			shifted[0] = subs[0].Plus(off)
+			return ir.NewRef(renamed, shifted...)
+		}
+	}
+	panic("inline: bindFormal on non-analysable actual")
+}
+
+func ones(n int) []ir.Expr {
+	out := make([]ir.Expr, n)
+	for i := range out {
+		out[i] = ir.Con(1)
+	}
+	return out
+}
+
+func collectLoopVars(nodes []ir.Node, f func(string)) {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *ir.Loop:
+			f(n.Var)
+			collectLoopVars(n.Body, f)
+		case *ir.If:
+			collectLoopVars(n.Body, f)
+		}
+	}
+}

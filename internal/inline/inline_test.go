@@ -1,0 +1,271 @@
+package inline
+
+import (
+	"testing"
+
+	"cachemodel/internal/interp"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/trace"
+)
+
+// figure5 builds the example program of Figure 5:
+//
+//	DO I1 ... DO I2 ...
+//	  A(I1,I2) = ...
+//	  CALL f(X, A, B, B(I1,I2))
+//	  CALL g(A(I1,I2), A(1,I2), B)
+//
+//	SUBROUTINE f(Y, C(10,10), D(400), S(10,10,*))
+//	  DO I3 ... DO I4 ...: C(I3,I4-1) = Y + D(I3-1+20*(I4-1)); S(I3,I4,2) = ...
+//	SUBROUTINE g(E(10,10), F(10), T(100,4))
+//	  DO I3 ... DO I4 ...: E(I3,I4) = F(I4) - T(I3,I4)
+//
+// Loop bounds are chosen small enough that no access leaves its array.
+func figure5() *ir.Program {
+	p := ir.NewProgram("figure5")
+
+	main := ir.NewSub("MAIN")
+	X := main.Real8("X", 1)
+	A := main.Real8("A", 10, 10)
+	B := main.Real8("B", 20, 20)
+	main.Do("I1", ir.Con(1), ir.Con(3)).
+		Do("I2", ir.Con(1), ir.Con(3)).
+		Assign("S0", ir.R(A, ir.Var("I1"), ir.Var("I2"))).
+		Call("f", ir.ArgVar(X), ir.ArgVar(A), ir.ArgVar(B), ir.ArgElem(B, ir.Var("I1"), ir.Var("I2"))).
+		Call("g", ir.ArgElem(A, ir.Var("I1"), ir.Var("I2")), ir.ArgElem(A, ir.Con(1), ir.Var("I2")), ir.ArgVar(B)).
+		End().End()
+	p.Add(main.Build())
+
+	f := ir.NewSub("f")
+	Y := f.Formal("Y", 8, 1)
+	C := f.Formal("C", 8, 10, 10)
+	D := f.Formal("D", 8, 400)
+	S := f.Formal("S", 8, 10, 10, 0)
+	f.Do("I3", ir.Con(1), ir.Con(3)).
+		Do("I4", ir.Con(2), ir.Con(3)).
+		Assign("F1", ir.R(C, ir.Var("I3"), ir.Var("I4").PlusConst(-1)),
+			ir.R(Y, ir.Con(1)),
+			ir.R(D, ir.Var("I3").PlusConst(-1).Plus(ir.Term(20, "I4")).PlusConst(-20))).
+		Assign("F2", ir.R(S, ir.Var("I3"), ir.Var("I4"), ir.Con(2))).
+		End().End()
+	p.Add(f.Build())
+
+	g := ir.NewSub("g")
+	E := g.Formal("E", 8, 10, 10)
+	F := g.Formal("F", 8, 10)
+	T := g.Formal("T", 8, 100, 4)
+	g.Do("I3", ir.Con(1), ir.Con(3)).
+		Do("I4", ir.Con(1), ir.Con(3)).
+		Assign("G1", ir.R(E, ir.Var("I3"), ir.Var("I4")),
+			ir.R(F, ir.Var("I4")), ir.R(T, ir.Var("I3"), ir.Var("I4"))).
+		End().End()
+	p.Add(g.Build())
+	p.SetMain("MAIN")
+	return p
+}
+
+// TestFigure5Classification: all actuals but the last of each call are
+// propagateable; the last actuals are renameable (B1/B2 in the paper).
+func TestFigure5Classification(t *testing.T) {
+	st := ClassifyProgram(figure5())
+	// f: X→Y, A→C, B→D propagateable, B(I1,I2)→S renameable;
+	// g: A(I1,I2)→E, A(1,I2)→F propagateable, B→T renameable.
+	if st.PAble != 5 || st.RAble != 2 || st.NAble != 0 {
+		t.Errorf("classification P/R/N = %d/%d/%d, want 5/2/0", st.PAble, st.RAble, st.NAble)
+	}
+	if st.Calls != 2 || st.Inlined != 2 {
+		t.Errorf("calls = %d inlined = %d, want 2/2", st.Calls, st.Inlined)
+	}
+}
+
+// TestFigure5RenamedAliases: the renamed arrays must alias the storage of
+// B ("@B = @B1 = @B2").
+func TestFigure5RenamedAliases(t *testing.T) {
+	flat, _, err := Flatten(figure5(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed, flatViews := 0, 0
+	for _, a := range flat.Locals {
+		if a.Alias == nil || a.Alias.Name != "B" {
+			continue
+		}
+		if a.Dims[len(a.Dims)-1] == 0 && len(a.Dims) == 1 {
+			flatViews++ // D(400)'s sequence-associated view of B
+		} else {
+			renamed++ // the paper's B1 (from S) and B2 (from T)
+		}
+	}
+	if renamed != 2 {
+		t.Errorf("renamed aliases of B = %d, want 2 (B1, B2)", renamed)
+	}
+	if flatViews != 1 {
+		t.Errorf("flat views of B = %d, want 1 (for D(400))", flatViews)
+	}
+}
+
+// TestInliningAddressExact: the flattened + normalised program must emit
+// exactly the same byte-address stream as the original program executed
+// with true call-by-reference semantics. This is the "abstract inlining is
+// exact" property of §3.6.
+func TestInliningAddressExact(t *testing.T) {
+	p := figure5()
+	flat, _, err := Flatten(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	trace.Execute(np, func(r *ir.NRef, idx []int64) bool {
+		got = append(got, r.AddressAt(idx))
+		return true
+	})
+	want, err := interp.Addresses(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("address stream length %d, oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("address %d: inlined %d, oracle %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNestedCalls: calls inside callees (two levels) must inline
+// transitively with exact addresses.
+func TestNestedCalls(t *testing.T) {
+	p := ir.NewProgram("nested")
+	main := ir.NewSub("MAIN")
+	A := main.Real8("A", 8, 8)
+	main.Do("I", ir.Con(1), ir.Con(4)).
+		Call("outer", ir.ArgVar(A)).
+		End()
+	p.Add(main.Build())
+
+	outer := ir.NewSub("outer")
+	P := outer.Formal("P", 8, 8, 8)
+	outer.Do("J", ir.Con(1), ir.Con(4)).
+		Assign("O1", ir.R(P, ir.Var("J"), ir.Con(1))).
+		Call("inner", ir.ArgElem(P, ir.Con(1), ir.Var("J"))).
+		End()
+	p.Add(outer.Build())
+
+	inner := ir.NewSub("inner")
+	Q := inner.Formal("Q", 8, 8)
+	inner.Do("K", ir.Con(1), ir.Con(4)).
+		Assign("N1", nil, ir.R(Q, ir.Var("K"))).
+		End()
+	p.Add(inner.Build())
+	p.SetMain("MAIN")
+
+	flat, st, err := Flatten(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inlining is syntactic: the call to outer appears once in MAIN and
+	// the call to inner once inside outer's (single) inlined body.
+	if st.Calls != 2 || st.Inlined != 2 {
+		t.Errorf("calls/inlined = %d/%d, want 2/2", st.Calls, st.Inlined)
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	trace.Execute(np, func(r *ir.NRef, idx []int64) bool {
+		got = append(got, r.AddressAt(idx))
+		return true
+	})
+	want, err := interp.Addresses(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("address stream length %d, oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("address %d: inlined %d, oracle %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSystemCallsDropped: calls to unknown subroutines are dropped and
+// counted, not fatal.
+func TestSystemCallsDropped(t *testing.T) {
+	p := ir.NewProgram("sys")
+	main := ir.NewSub("MAIN")
+	A := main.Real8("A", 4)
+	main.Do("I", ir.Con(1), ir.Con(4)).
+		Assign("S1", ir.R(A, ir.Var("I"))).
+		Call("WRITE").
+		End()
+	p.Add(main.Build())
+	flat, st, err := Flatten(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SystemCalls != 1 {
+		t.Errorf("system calls = %d, want 1", st.SystemCalls)
+	}
+	if len(flat.Body) != 1 {
+		t.Errorf("body nodes = %d, want 1 (call dropped)", len(flat.Body))
+	}
+}
+
+// TestStackModelling: with ModelStack, each inlined call adds stack
+// references at compile-time-known slots (Fig. 4).
+func TestStackModelling(t *testing.T) {
+	p := figure5()
+	flat, _, err := Flatten(p, Options{ModelStack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stackRefs := 0
+	for _, r := range np.Refs {
+		if r.Array.Name == "__stack" {
+			stackRefs++
+			if !r.Subs[0].IsConst() {
+				t.Errorf("stack access with non-constant slot: %v", r)
+			}
+		}
+	}
+	if stackRefs == 0 {
+		t.Error("no stack accesses modelled")
+	}
+}
+
+// TestNonAnalysableRejected: an assumed-size actual passed to a larger-rank
+// formal with unknown leading sizes must make Flatten fail.
+func TestNonAnalysableRejected(t *testing.T) {
+	p := ir.NewProgram("bad")
+	main := ir.NewSub("MAIN")
+	A := main.Real8("A", 10, 0) // assumed-size
+	main.Call("h", ir.ArgVar(A))
+	p.Add(main.Build())
+	h := ir.NewSub("h")
+	h.Formal("P", 8, -1, 5) // unknown first dimension: N-able
+	p.Add(h.Build())
+	p.SetMain("MAIN")
+	if _, _, err := Flatten(p, Options{}); err == nil {
+		t.Fatal("expected non-analysable rejection")
+	}
+}

@@ -1,0 +1,185 @@
+// Package interp is a reference interpreter for the un-transformed
+// program model: it executes ir.Programs directly — DO loops with
+// arbitrary steps, IF guards, and CALL statements with true FORTRAN
+// call-by-reference sequence association — and reports every memory
+// access. It is the semantic oracle against which abstract inlining and
+// loop normalisation are validated: both transformations must reproduce
+// the interpreter's address stream exactly.
+package interp
+
+import (
+	"fmt"
+
+	"cachemodel/internal/ir"
+)
+
+// Access is one memory access of the interpreted execution.
+type Access struct {
+	Addr  int64
+	Write bool
+}
+
+// Options bounds the interpretation.
+type Options struct {
+	// MaxDepth bounds the call stack (default 64).
+	MaxDepth int
+	// MaxAccesses aborts runaway executions (default 1 << 30).
+	MaxAccesses int64
+}
+
+// Run interprets the program from its entry subroutine, calling visit for
+// every access in execution order. Every array reachable must have a base
+// address assigned. Calls to unknown subroutines are skipped (system
+// calls), matching the analysis pipeline.
+func Run(p *ir.Program, opt Options, visit func(Access) bool) error {
+	if opt.MaxDepth == 0 {
+		opt.MaxDepth = 64
+	}
+	if opt.MaxAccesses == 0 {
+		opt.MaxAccesses = 1 << 30
+	}
+	in := &interp{prog: p, opt: opt, visit: visit}
+	err := in.run(p.Main, map[*ir.Array]binding{}, 0)
+	if err == errStop {
+		return nil
+	}
+	return err
+}
+
+// Addresses interprets the program and returns its full address stream.
+func Addresses(p *ir.Program) ([]int64, error) {
+	var out []int64
+	err := Run(p, Options{}, func(a Access) bool {
+		out = append(out, a.Addr)
+		return true
+	})
+	return out, err
+}
+
+// binding maps a formal array to the byte address of its first element;
+// subscripts are linearised with the formal's own dimensions (FORTRAN
+// sequence association).
+type binding struct {
+	base int64
+}
+
+type interp struct {
+	prog  *ir.Program
+	opt   Options
+	visit func(Access) bool
+	count int64
+}
+
+var errStop = fmt.Errorf("interp: stopped by visitor")
+
+func (in *interp) run(sub *ir.Subroutine, bind map[*ir.Array]binding, depth int) error {
+	if depth > in.opt.MaxDepth {
+		return fmt.Errorf("interp: call depth exceeds %d (recursion?)", in.opt.MaxDepth)
+	}
+	return in.exec(sub.Body, map[string]int64{}, bind, depth)
+}
+
+func (in *interp) addr(r *ir.Ref, env map[string]int64, bind map[*ir.Array]binding) (int64, error) {
+	subs := make([]int64, len(r.Subs))
+	for d, e := range r.Subs {
+		subs[d] = e.Eval(env)
+	}
+	if b, ok := bind[r.Array]; ok {
+		return b.base + r.Array.ElemSize*r.Array.LinearOffset(subs), nil
+	}
+	if r.Array.Base < 0 {
+		return 0, fmt.Errorf("interp: array %s has no base address", r.Array.Name)
+	}
+	return r.Array.Address(subs), nil
+}
+
+func (in *interp) emit(r *ir.Ref, env map[string]int64, bind map[*ir.Array]binding) error {
+	a, err := in.addr(r, env, bind)
+	if err != nil {
+		return err
+	}
+	in.count++
+	if in.count > in.opt.MaxAccesses {
+		return fmt.Errorf("interp: more than %d accesses", in.opt.MaxAccesses)
+	}
+	if !in.visit(Access{Addr: a, Write: r.Write}) {
+		return errStop
+	}
+	return nil
+}
+
+func (in *interp) exec(nodes []ir.Node, env map[string]int64, bind map[*ir.Array]binding, depth int) error {
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *ir.Loop:
+			step := n.Step
+			if step == 0 {
+				step = 1
+			}
+			lo, hi := n.Lo.Eval(env), n.Hi.Eval(env)
+			for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
+				env[n.Var] = v
+				if err := in.exec(n.Body, env, bind, depth); err != nil {
+					return err
+				}
+			}
+			delete(env, n.Var)
+		case *ir.If:
+			ok := true
+			for _, c := range n.Conds {
+				if !c.Holds(env) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if err := in.exec(n.Body, env, bind, depth); err != nil {
+					return err
+				}
+			}
+		case *ir.Assign:
+			for _, r := range n.Refs() {
+				if err := in.emit(r, env, bind); err != nil {
+					return err
+				}
+			}
+		case *ir.Call:
+			callee, ok := in.prog.Subs[n.Callee]
+			if !ok {
+				continue // system call
+			}
+			if len(n.Args) != len(callee.Formals) {
+				return fmt.Errorf("interp: call to %s: %d args for %d formals", n.Callee, len(n.Args), len(callee.Formals))
+			}
+			nbind := map[*ir.Array]binding{}
+			for ai, arg := range n.Args {
+				subs := make([]int64, len(arg.Subs))
+				for d, e := range arg.Subs {
+					subs[d] = e.Eval(env)
+				}
+				if len(subs) == 0 {
+					subs = make([]int64, arg.Array.Rank())
+					for d := range subs {
+						subs[d] = 1
+					}
+				}
+				var base int64
+				if b, ok := bind[arg.Array]; ok {
+					base = b.base + arg.Array.ElemSize*arg.Array.LinearOffset(subs)
+				} else {
+					if arg.Array.Base < 0 {
+						return fmt.Errorf("interp: actual %s has no base address", arg.Array.Name)
+					}
+					base = arg.Array.Address(subs)
+				}
+				nbind[callee.Formals[ai]] = binding{base: base}
+			}
+			if err := in.run(callee, nbind, depth+1); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("interp: unknown node %T", n)
+		}
+	}
+	return nil
+}

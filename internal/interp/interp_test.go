@@ -1,0 +1,98 @@
+package interp
+
+import (
+	"testing"
+
+	"cachemodel/internal/ir"
+)
+
+func TestRunBasics(t *testing.T) {
+	p := ir.NewProgram("t")
+	b := ir.NewSub("MAIN")
+	A := b.Real8("A", 8)
+	b.Do("I", ir.Con(1), ir.Con(4)).
+		IfCond(ir.Cond{LHS: ir.Var("I"), Op: ir.GE, RHS: ir.Con(3)}).
+		Assign("S1", ir.R(A, ir.Var("I")), ir.R(A, ir.Var("I").PlusConst(1))).
+		End().End()
+	p.Add(b.Build())
+	p.Main.Locals[0].Base = 100
+	var accs []Access
+	if err := Run(p, Options{}, func(a Access) bool { accs = append(accs, a); return true }); err != nil {
+		t.Fatal(err)
+	}
+	// I = 3, 4 pass the guard: read A(I+1) then write A(I).
+	want := []Access{
+		{Addr: 100 + 8*3, Write: false}, {Addr: 100 + 8*2, Write: true},
+		{Addr: 100 + 8*4, Write: false}, {Addr: 100 + 8*3, Write: true},
+	}
+	if len(accs) != len(want) {
+		t.Fatalf("accesses = %v", accs)
+	}
+	for i := range want {
+		if accs[i] != want[i] {
+			t.Errorf("access %d = %+v, want %+v", i, accs[i], want[i])
+		}
+	}
+}
+
+func TestRunCallSequenceAssociation(t *testing.T) {
+	p := ir.NewProgram("t")
+	main := ir.NewSub("MAIN")
+	A := main.Real8("A", 4, 4)
+	main.Call("F", ir.ArgElem(A, ir.Con(2), ir.Con(2)))
+	p.Add(main.Build())
+	f := ir.NewSub("F")
+	W := f.Formal("W", 8, 3)
+	f.Do("I", ir.Con(1), ir.Con(3)).
+		Assign("S", nil, ir.R(W, ir.Var("I"))).
+		End()
+	p.Add(f.Build())
+	p.SetMain("MAIN")
+	A.Base = 0
+	addrs, err := Addresses(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A(2,2) is linear offset 5; W(1..3) reads elements 5, 6, 7.
+	want := []int64{40, 48, 56}
+	if len(addrs) != 3 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Errorf("addr %d = %d, want %d", i, addrs[i], want[i])
+		}
+	}
+}
+
+func TestRunRecursionGuard(t *testing.T) {
+	p := ir.NewProgram("t")
+	main := ir.NewSub("MAIN")
+	main.Call("LOOPY")
+	p.Add(main.Build())
+	l := ir.NewSub("LOOPY")
+	l.Call("LOOPY")
+	p.Add(l.Build())
+	p.SetMain("MAIN")
+	if err := Run(p, Options{MaxDepth: 8}, func(Access) bool { return true }); err == nil {
+		t.Fatal("expected recursion-depth error")
+	}
+}
+
+func TestRunEarlyStop(t *testing.T) {
+	p := ir.NewProgram("t")
+	b := ir.NewSub("MAIN")
+	A := b.Real8("A", 100)
+	b.Do("I", ir.Con(1), ir.Con(100)).
+		Assign("S", ir.R(A, ir.Var("I"))).
+		End()
+	p.Add(b.Build())
+	p.Main.Locals[0].Base = 0
+	n := 0
+	if err := Run(p, Options{}, func(Access) bool { n++; return n < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("visited %d, want 5", n)
+	}
+}

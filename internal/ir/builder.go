@@ -1,0 +1,110 @@
+package ir
+
+// Builder helpers: a thin fluent layer for constructing programs in Go
+// code (used by internal/kernels and tests). The FORTRAN-subset front end
+// in internal/fparse produces the same structures from text.
+
+// SubBuilder accumulates a subroutine under construction.
+type SubBuilder struct {
+	sub   *Subroutine
+	stack []*[]Node // innermost-first insertion points
+}
+
+// NewSub starts building a subroutine.
+func NewSub(name string) *SubBuilder {
+	b := &SubBuilder{sub: &Subroutine{Name: name}}
+	b.stack = []*[]Node{&b.sub.Body}
+	return b
+}
+
+// Formal declares a formal-parameter array and returns it.
+func (b *SubBuilder) Formal(name string, elemSize int64, dims ...int64) *Array {
+	a := NewArray(name, elemSize, dims...)
+	b.sub.Formals = append(b.sub.Formals, a)
+	return a
+}
+
+// Local declares a local array and returns it.
+func (b *SubBuilder) Local(name string, elemSize int64, dims ...int64) *Array {
+	a := NewArray(name, elemSize, dims...)
+	b.sub.Locals = append(b.sub.Locals, a)
+	return a
+}
+
+// Real8 declares a local REAL*8 array.
+func (b *SubBuilder) Real8(name string, dims ...int64) *Array {
+	return b.Local(name, 8, dims...)
+}
+
+// AddLocal registers an externally constructed array as a local.
+func (b *SubBuilder) AddLocal(a *Array) *Array {
+	b.sub.Locals = append(b.sub.Locals, a)
+	return a
+}
+
+func (b *SubBuilder) insert(n Node) {
+	top := b.stack[len(b.stack)-1]
+	*top = append(*top, n)
+}
+
+// Do opens a DO loop "DO v = lo, hi" with unit step. Close with End.
+func (b *SubBuilder) Do(v string, lo, hi Expr) *SubBuilder {
+	return b.DoStep(v, lo, hi, 1)
+}
+
+// DoStep opens a DO loop with an explicit step. Close with End.
+func (b *SubBuilder) DoStep(v string, lo, hi Expr, step int64) *SubBuilder {
+	l := &Loop{Var: v, Lo: lo, Hi: hi, Step: step}
+	b.insert(l)
+	b.stack = append(b.stack, &l.Body)
+	return b
+}
+
+// IfCond opens an IF block guarded by the conjunction of conds. Close with End.
+func (b *SubBuilder) IfCond(conds ...Cond) *SubBuilder {
+	f := &If{Conds: conds}
+	b.insert(f)
+	b.stack = append(b.stack, &f.Body)
+	return b
+}
+
+// End closes the innermost open DO or IF.
+func (b *SubBuilder) End() *SubBuilder {
+	if len(b.stack) == 1 {
+		panic("ir: End without open Do/If")
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	return b
+}
+
+// Assign appends "lhs = reads..." to the current block. lhs may be nil.
+func (b *SubBuilder) Assign(label string, lhs *Ref, reads ...*Ref) *SubBuilder {
+	b.insert(NewAssign(label, lhs, reads...))
+	return b
+}
+
+// Call appends a call statement.
+func (b *SubBuilder) Call(callee string, args ...Arg) *SubBuilder {
+	b.insert(&Call{Callee: callee, Args: args})
+	return b
+}
+
+// Build finalises and returns the subroutine. It panics if any Do/If is
+// still open.
+func (b *SubBuilder) Build() *Subroutine {
+	if len(b.stack) != 1 {
+		panic("ir: unclosed Do/If in builder")
+	}
+	return b.sub
+}
+
+// R is shorthand for NewRef.
+func R(a *Array, subs ...Expr) *Ref { return NewRef(a, subs...) }
+
+// ArgVar passes a whole variable as an actual parameter.
+func ArgVar(a *Array) Arg { return Arg{Array: a} }
+
+// ArgElem passes a subscripted array element as an actual parameter.
+func ArgElem(a *Array, subs ...Expr) Arg {
+	return Arg{Array: a, Subs: append([]Expr(nil), subs...)}
+}

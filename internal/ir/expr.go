@@ -1,0 +1,191 @@
+// Package ir defines the program model of the paper (§3): FORTRAN-like
+// regular programs made of subroutines, arbitrarily nested DO loops, IF
+// statements with affine guards, affine array references and call
+// statements. It also defines the normalised form produced by
+// internal/normalize, on which all analyses run.
+//
+// Two expression representations are used:
+//
+//   - Expr: a linear expression over *named* loop variables plus a constant,
+//     used while building / parsing programs.
+//   - Affine: a positional linear expression over the normalised loop
+//     indices I_1..I_n, used by all analyses (fast to evaluate).
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a linear expression c0 + Σ c_v·v over named loop variables.
+// The zero value is the constant 0.
+type Expr struct {
+	Const int64
+	Terms map[string]int64 // variable name -> coefficient; no zero entries
+}
+
+// Con returns the constant expression c.
+func Con(c int64) Expr { return Expr{Const: c} }
+
+// Var returns the expression consisting of the single variable name.
+func Var(name string) Expr { return Expr{Terms: map[string]int64{name: 1}} }
+
+// Term returns the expression coeff·name.
+func Term(coeff int64, name string) Expr {
+	if coeff == 0 {
+		return Expr{}
+	}
+	return Expr{Terms: map[string]int64{name: coeff}}
+}
+
+// Plus returns e + f.
+func (e Expr) Plus(f Expr) Expr {
+	out := Expr{Const: e.Const + f.Const, Terms: map[string]int64{}}
+	for v, c := range e.Terms {
+		out.Terms[v] += c
+	}
+	for v, c := range f.Terms {
+		out.Terms[v] += c
+	}
+	out.trim()
+	return out
+}
+
+// Minus returns e − f.
+func (e Expr) Minus(f Expr) Expr { return e.Plus(f.Scale(-1)) }
+
+// PlusConst returns e + c.
+func (e Expr) PlusConst(c int64) Expr { return e.Plus(Con(c)) }
+
+// Scale returns k·e.
+func (e Expr) Scale(k int64) Expr {
+	out := Expr{Const: e.Const * k, Terms: map[string]int64{}}
+	for v, c := range e.Terms {
+		out.Terms[v] = c * k
+	}
+	out.trim()
+	return out
+}
+
+func (e *Expr) trim() {
+	for v, c := range e.Terms {
+		if c == 0 {
+			delete(e.Terms, v)
+		}
+	}
+	if len(e.Terms) == 0 {
+		e.Terms = nil
+	}
+}
+
+// IsConst reports whether e has no variable terms.
+func (e Expr) IsConst() bool { return len(e.Terms) == 0 }
+
+// Coeff returns the coefficient of the named variable (0 if absent).
+func (e Expr) Coeff(name string) int64 { return e.Terms[name] }
+
+// Vars returns the variable names appearing in e, sorted.
+func (e Expr) Vars() []string {
+	out := make([]string, 0, len(e.Terms))
+	for v := range e.Terms {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rename returns e with every occurrence of variable old replaced by new.
+func (e Expr) Rename(old, new string) Expr {
+	if c, ok := e.Terms[old]; ok {
+		out := e.clone()
+		delete(out.Terms, old)
+		out.Terms[new] += c
+		out.trim()
+		return out
+	}
+	return e
+}
+
+// Subst returns e with the variable name replaced by the expression r
+// (used by abstract inlining to substitute actuals for formals).
+func (e Expr) Subst(name string, r Expr) Expr {
+	c, ok := e.Terms[name]
+	if !ok {
+		return e
+	}
+	out := e.clone()
+	delete(out.Terms, name)
+	out.trim()
+	return out.Plus(r.Scale(c))
+}
+
+func (e Expr) clone() Expr {
+	out := Expr{Const: e.Const, Terms: map[string]int64{}}
+	for v, c := range e.Terms {
+		out.Terms[v] = c
+	}
+	return out
+}
+
+// Eval evaluates e under the environment env (missing variables are an error
+// in analyses; here they evaluate to 0 which callers must avoid).
+func (e Expr) Eval(env map[string]int64) int64 {
+	v := e.Const
+	for name, c := range e.Terms {
+		v += c * env[name]
+	}
+	return v
+}
+
+// Equal reports structural equality of e and f.
+func (e Expr) Equal(f Expr) bool {
+	if e.Const != f.Const || len(e.Terms) != len(f.Terms) {
+		return false
+	}
+	for v, c := range e.Terms {
+		if f.Terms[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders e in source-like syntax, e.g. "2*I1 - I2 + 3".
+func (e Expr) String() string {
+	var b strings.Builder
+	first := true
+	for _, v := range e.Vars() {
+		c := e.Terms[v]
+		writeTerm(&b, c, v, &first)
+	}
+	if e.Const != 0 || first {
+		writeTerm(&b, e.Const, "", &first)
+	}
+	return b.String()
+}
+
+func writeTerm(b *strings.Builder, c int64, v string, first *bool) {
+	if c == 0 && v != "" {
+		return
+	}
+	switch {
+	case *first && c < 0:
+		b.WriteByte('-')
+		c = -c
+	case !*first && c < 0:
+		b.WriteString(" - ")
+		c = -c
+	case !*first:
+		b.WriteString(" + ")
+	}
+	*first = false
+	if v == "" {
+		fmt.Fprintf(b, "%d", c)
+		return
+	}
+	if c != 1 {
+		fmt.Fprintf(b, "%d*", c)
+	}
+	b.WriteString(v)
+}

@@ -1,0 +1,227 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExprAlgebra(t *testing.T) {
+	e := Var("I").Scale(2).Plus(Con(3)).Minus(Var("J"))
+	if got := e.String(); got != "2*I - J + 3" {
+		t.Errorf("String = %q", got)
+	}
+	env := map[string]int64{"I": 5, "J": 4}
+	if got := e.Eval(env); got != 9 {
+		t.Errorf("Eval = %d, want 9", got)
+	}
+	if !e.Rename("I", "K").Equal(Var("K").Scale(2).Plus(Con(3)).Minus(Var("J"))) {
+		t.Error("Rename broken")
+	}
+	// Substitution: I := 2·K + 1 in 2I − J + 3 = 4K − J + 5.
+	s := e.Subst("I", Var("K").Scale(2).PlusConst(1))
+	want := Term(4, "K").Minus(Var("J")).PlusConst(5)
+	if !s.Equal(want) {
+		t.Errorf("Subst = %v, want %v", s, want)
+	}
+}
+
+func TestExprCancellation(t *testing.T) {
+	e := Var("I").Minus(Var("I"))
+	if !e.IsConst() || e.Const != 0 {
+		t.Errorf("I - I = %v, want 0", e)
+	}
+	if len(e.Vars()) != 0 {
+		t.Errorf("zero terms retained: %v", e.Vars())
+	}
+}
+
+// TestExprEvalHomomorphism: Eval distributes over Plus/Scale (testing/quick).
+func TestExprEvalHomomorphism(t *testing.T) {
+	f := func(a, b int8, i, j int8, k int8) bool {
+		e1 := Term(int64(a), "I").PlusConst(int64(k))
+		e2 := Term(int64(b), "J")
+		env := map[string]int64{"I": int64(i), "J": int64(j)}
+		sum := e1.Plus(e2)
+		if sum.Eval(env) != e1.Eval(env)+e2.Eval(env) {
+			return false
+		}
+		return e1.Scale(3).Eval(env) == 3*e1.Eval(env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayAddressing(t *testing.T) {
+	a := NewArray("B", 8, 10, 20)
+	a.Base = 1000
+	// Column-major: B(3, 2) = base + 8·((3−1) + 10·(2−1)) = 1000 + 96.
+	if got := a.Address([]int64{3, 2}); got != 1096 {
+		t.Errorf("Address = %d, want 1096", got)
+	}
+	if a.Elems() != 200 || a.SizeBytes() != 1600 {
+		t.Error("size accounting broken")
+	}
+	if a.String() != "B(10,20)" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestAssumedSizeArray(t *testing.T) {
+	a := NewArray("S", 8, 10, 0)
+	a.Base = 0
+	if a.Elems() != 0 {
+		t.Error("assumed-size Elems must be 0")
+	}
+	// Addressing never needs the last dimension.
+	if got := a.Address([]int64{1, 5}); got != 8*40 {
+		t.Errorf("Address = %d, want 320", got)
+	}
+	if a.String() != "S(10,*)" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	env := map[string]int64{"I": 5}
+	cases := []struct {
+		op   CmpOp
+		rhs  int64
+		want bool
+	}{
+		{EQ, 5, true}, {EQ, 4, false},
+		{LE, 5, true}, {LT, 5, false},
+		{GE, 5, true}, {GT, 5, false}, {GT, 4, true},
+	}
+	for _, c := range cases {
+		cond := Cond{LHS: Var("I"), Op: c.op, RHS: Con(c.rhs)}
+		if cond.Holds(env) != c.want {
+			t.Errorf("%v with I=5: got %v", cond, !c.want)
+		}
+	}
+}
+
+func TestNormalizeCond(t *testing.T) {
+	depth := map[string]int{"I": 1, "J": 2}
+	// I < J  →  J − I − 1 >= 0.
+	cs := NormalizeCond(Cond{LHS: Var("I"), Op: LT, RHS: Var("J")}, depth)
+	if len(cs) != 1 || cs[0].IsEq {
+		t.Fatalf("constraints = %v", cs)
+	}
+	if !cs[0].Holds([]int64{3, 5}) || cs[0].Holds([]int64{5, 5}) {
+		t.Errorf("I<J lowering wrong: %v", cs[0])
+	}
+}
+
+func TestAffineOps(t *testing.T) {
+	a := Affine{Const: 2, Coeff: []int64{1, 0, -3}}
+	if a.Eval([]int64{10, 99, 2}) != 6 {
+		t.Error("Eval broken")
+	}
+	if a.At(1) != 1 || a.At(3) != -3 || a.At(9) != 0 {
+		t.Error("At broken")
+	}
+	if a.MaxDepthUsed() != 3 {
+		t.Error("MaxDepthUsed broken")
+	}
+	b := AffineIndex(2)
+	if got := a.Plus(b); got.At(2) != 1 || got.Const != 2 {
+		t.Error("Plus broken")
+	}
+	if got := a.Sub(b); got.At(2) != -1 {
+		t.Error("Sub broken")
+	}
+	if a.String() != "I1 - 3*I3 + 2" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestCompareIterations(t *testing.T) {
+	// (1, 2) vs (1, 3) at same label: earlier index wins.
+	if CompareIterations([]int{1, 1}, []int64{1, 2}, []int{1, 1}, []int64{1, 3}) >= 0 {
+		t.Error("index order broken")
+	}
+	// Label at depth 2 beats deeper index.
+	if CompareIterations([]int{1, 1}, []int64{5, 9}, []int{1, 2}, []int64{5, 1}) >= 0 {
+		t.Error("label order broken")
+	}
+	// Outer index beats inner label.
+	if CompareIterations([]int{1, 2}, []int64{4, 9}, []int{1, 1}, []int64{5, 1}) >= 0 {
+		t.Error("outer index must dominate inner label")
+	}
+	if CompareIterations([]int{2, 1}, []int64{1, 1}, []int{1, 9}, []int64{9, 9}) <= 0 {
+		t.Error("top-level label order broken")
+	}
+}
+
+func TestBuilderPanicsOnUnclosed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unclosed Do")
+		}
+	}()
+	b := NewSub("x")
+	b.Do("I", Con(1), Con(2))
+	b.Build()
+}
+
+func TestProgramStats(t *testing.T) {
+	p := NewProgram("t")
+	b := NewSub("MAIN")
+	A := b.Real8("A", 4)
+	b.Do("I", Con(1), Con(4)).
+		Assign("S1", R(A, Var("I")), R(A, Var("I"))).
+		Call("f").
+		End()
+	p.Add(b.Build())
+	st := p.CollectStats()
+	if st.Subroutines != 1 || st.Calls != 1 || st.References != 2 || st.Statements != 1 || st.MaxDepth != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRefValidation(t *testing.T) {
+	a := NewArray("A", 8, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong subscript count")
+		}
+	}()
+	NewRef(a, Con(1))
+}
+
+// TestAddressCacheInvalidation: the linearised-address cache must follow
+// the array base when layout changes.
+func TestAddressCacheInvalidation(t *testing.T) {
+	a := NewArray("A", 8, 10, 10)
+	a.Base = 0
+	r := &NRef{Array: a, Subs: []Affine{AffineIndex(1), AffineConst(2)}}
+	if got := r.AddressAt([]int64{3}); got != 8*((3-1)+10*(2-1)) {
+		t.Fatalf("address = %d", got)
+	}
+	a.Base = 1000 // re-layout
+	if got := r.AddressAt([]int64{3}); got != 1000+8*((3-1)+10*(2-1)) {
+		t.Errorf("stale address cache: %d", got)
+	}
+}
+
+// TestAddressMatchesSubscriptPath: the affine fast path must agree with
+// the subscript-by-subscript computation on random refs.
+func TestAddressMatchesSubscriptPath(t *testing.T) {
+	a := NewArray("B", 8, 7, 9, 5)
+	a.Base = 64
+	r := &NRef{Array: a, Subs: []Affine{
+		{Const: 1, Coeff: []int64{1, 0}},
+		{Const: 2, Coeff: []int64{0, 1}},
+		{Const: 1, Coeff: []int64{1, 1}},
+	}}
+	for i1 := int64(1); i1 <= 3; i1++ {
+		for i2 := int64(1); i2 <= 3; i2++ {
+			idx := []int64{i1, i2}
+			want := a.Address(r.SubsAt(idx))
+			if got := r.AddressAt(idx); got != want {
+				t.Fatalf("idx %v: fast %d, slow %d", idx, got, want)
+			}
+		}
+	}
+}

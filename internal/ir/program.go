@@ -1,0 +1,368 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Array describes a FORTRAN array (or scalar, as a 1-element array).
+// Arrays are column-major: element (s1, s2, ..., sm) with 1-based
+// subscripts lives at linear offset (s1−1) + Dims[0]·((s2−1) + Dims[1]·(...)).
+type Array struct {
+	Name     string
+	ElemSize int64   // element size in bytes (8 for REAL*8)
+	Dims     []int64 // dimension sizes; the last may be 0 (assumed-size "*")
+	// Base is the byte address of element (1,1,...,1), assigned by
+	// internal/layout. A negative value means "not yet laid out".
+	Base int64
+	// Alias, when non-nil, makes this array share storage with another:
+	// layout assigns Base = Alias.Base + AliasOffset instead of fresh
+	// storage. Abstract inlining (§3.6) uses aliases for renamed and
+	// flattened actual parameters, so @AP' == @AP as the paper requires.
+	Alias       *Array
+	AliasOffset int64 // byte offset added to the alias target's base
+}
+
+// NewArray returns an array with the given name, element size and dims,
+// not yet laid out in memory. A dimension of 0 in the last position means
+// assumed-size ("*"); a dimension of −1 anywhere means unknown at compile
+// time (a variable dimension), which makes the array non-analysable when
+// passed across calls.
+func NewArray(name string, elemSize int64, dims ...int64) *Array {
+	for i, d := range dims {
+		if d > 0 || d == -1 {
+			continue
+		}
+		if d == 0 && i == len(dims)-1 {
+			continue
+		}
+		panic(fmt.Sprintf("ir: array %s: dimension %d must be positive, -1 (unknown) or 0 as assumed-size last", name, i+1))
+	}
+	return &Array{Name: name, ElemSize: elemSize, Dims: append([]int64(nil), dims...), Base: -1}
+}
+
+// Rank returns the number of dimensions.
+func (a *Array) Rank() int { return len(a.Dims) }
+
+// Elems returns the total number of elements, or 0 if the last dimension is
+// assumed-size.
+func (a *Array) Elems() int64 {
+	n := int64(1)
+	for _, d := range a.Dims {
+		if d <= 0 {
+			return 0
+		}
+		n *= d
+	}
+	return n
+}
+
+// SizeBytes returns the total byte size, or 0 if assumed-size.
+func (a *Array) SizeBytes() int64 { return a.Elems() * a.ElemSize }
+
+// LinearOffset returns the 0-based element offset of the given 1-based
+// subscripts within the array (column-major). Subscript count must equal
+// the rank. Assumed-size last dimensions are fine: the last dimension's
+// size is never needed for addressing.
+func (a *Array) LinearOffset(subs []int64) int64 {
+	if len(subs) != len(a.Dims) {
+		panic(fmt.Sprintf("ir: array %s: %d subscripts for rank %d", a.Name, len(subs), len(a.Dims)))
+	}
+	off := int64(0)
+	stride := int64(1)
+	for i, s := range subs {
+		off += (s - 1) * stride
+		if i < len(a.Dims)-1 {
+			if a.Dims[i] <= 0 {
+				panic(fmt.Sprintf("ir: array %s: cannot address through unknown dimension %d", a.Name, i+1))
+			}
+			stride *= a.Dims[i]
+		}
+	}
+	return off
+}
+
+// Address returns the byte address of the element with the given 1-based
+// subscripts. The array must have been laid out.
+func (a *Array) Address(subs []int64) int64 {
+	if a.Base < 0 {
+		panic(fmt.Sprintf("ir: array %s not laid out", a.Name))
+	}
+	return a.Base + a.ElemSize*a.LinearOffset(subs)
+}
+
+func (a *Array) String() string {
+	dims := make([]string, len(a.Dims))
+	for i, d := range a.Dims {
+		if d == 0 {
+			dims[i] = "*"
+		} else {
+			dims[i] = fmt.Sprintf("%d", d)
+		}
+	}
+	return fmt.Sprintf("%s(%s)", a.Name, strings.Join(dims, ","))
+}
+
+// CmpOp is a comparison operator in an IF guard.
+type CmpOp int
+
+// Comparison operators supported in guards.
+const (
+	EQ CmpOp = iota // ==
+	LE              // <=
+	LT              // <
+	GE              // >=
+	GT              // >
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return ".EQ."
+	case LE:
+		return ".LE."
+	case LT:
+		return ".LT."
+	case GE:
+		return ".GE."
+	case GT:
+		return ".GT."
+	}
+	return "?"
+}
+
+// Cond is an affine comparison LHS op RHS over loop variables.
+type Cond struct {
+	LHS Expr
+	Op  CmpOp
+	RHS Expr
+}
+
+func (c Cond) String() string {
+	return fmt.Sprintf("%s %s %s", c.LHS, c.Op, c.RHS)
+}
+
+// Rename returns the condition with loop variable old renamed to new.
+func (c Cond) Rename(old, new string) Cond {
+	return Cond{LHS: c.LHS.Rename(old, new), Op: c.Op, RHS: c.RHS.Rename(old, new)}
+}
+
+// Holds evaluates the condition under env.
+func (c Cond) Holds(env map[string]int64) bool {
+	l, r := c.LHS.Eval(env), c.RHS.Eval(env)
+	switch c.Op {
+	case EQ:
+		return l == r
+	case LE:
+		return l <= r
+	case LT:
+		return l < r
+	case GE:
+		return l >= r
+	case GT:
+		return l > r
+	}
+	return false
+}
+
+// Node is a syntactic element of a subroutine body: *Loop, *If, *Assign
+// or *Call.
+type Node interface{ node() }
+
+// Loop is a DO loop: DO Var = Lo, Hi, Step over Body.
+type Loop struct {
+	Var   string
+	Lo    Expr
+	Hi    Expr
+	Step  int64 // 0 means 1
+	Label string
+	Body  []Node
+}
+
+// If guards Body by the conjunction of Conds.
+type If struct {
+	Conds []Cond
+	Body  []Node
+}
+
+// Ref is a single array reference with affine subscripts.
+type Ref struct {
+	Array *Array
+	Subs  []Expr // one per dimension, 1-based subscript expressions
+	Write bool
+}
+
+// NewRef builds a reference to array with the given subscript expressions.
+func NewRef(array *Array, subs ...Expr) *Ref {
+	if len(subs) != array.Rank() {
+		panic(fmt.Sprintf("ir: ref %s: %d subscripts for rank %d", array.Name, len(subs), array.Rank()))
+	}
+	return &Ref{Array: array, Subs: append([]Expr(nil), subs...)}
+}
+
+func (r *Ref) String() string {
+	parts := make([]string, len(r.Subs))
+	for i, s := range r.Subs {
+		parts[i] = s.String()
+	}
+	return fmt.Sprintf("%s(%s)", r.Array.Name, strings.Join(parts, ","))
+}
+
+// Clone returns a deep copy of the reference (sharing the Array).
+func (r *Ref) Clone() *Ref {
+	return &Ref{Array: r.Array, Subs: append([]Expr(nil), r.Subs...), Write: r.Write}
+}
+
+// Assign is an assignment statement. References are recorded in access
+// order: Reads (left-to-right source order of the RHS, plus any reads on
+// the LHS subscript computation), then the written reference.
+type Assign struct {
+	Label string
+	LHS   *Ref   // may be nil for read-only statements (e.g. "... = A(I)")
+	Reads []*Ref // RHS references in source order
+}
+
+// NewAssign builds an assignment with the given label, written reference
+// (may be nil) and read references.
+func NewAssign(label string, lhs *Ref, reads ...*Ref) *Assign {
+	if lhs != nil {
+		lhs.Write = true
+	}
+	return &Assign{Label: label, LHS: lhs, Reads: reads}
+}
+
+// Refs returns the statement's references in access order.
+func (s *Assign) Refs() []*Ref {
+	out := append([]*Ref(nil), s.Reads...)
+	if s.LHS != nil {
+		out = append(out, s.LHS)
+	}
+	return out
+}
+
+func (s *Assign) String() string {
+	parts := make([]string, len(s.Reads))
+	for i, r := range s.Reads {
+		parts[i] = r.String()
+	}
+	rhs := strings.Join(parts, " + ")
+	if rhs == "" {
+		rhs = "..."
+	}
+	if s.LHS == nil {
+		return fmt.Sprintf("... = %s", rhs)
+	}
+	return fmt.Sprintf("%s = %s", s.LHS, rhs)
+}
+
+// Arg is an actual parameter at a call site: a scalar/array variable or a
+// subscripted array element with affine subscripts.
+type Arg struct {
+	Array *Array
+	Subs  []Expr // nil for whole-variable arguments
+}
+
+// Call is a call statement with actual parameters.
+type Call struct {
+	Callee string
+	Args   []Arg
+}
+
+func (*Loop) node()   {}
+func (*If) node()     {}
+func (*Assign) node() {}
+func (*Call) node()   {}
+
+// Param is a formal parameter declaration of a subroutine.
+type Param struct {
+	Array *Array // the formal viewed as an array (scalars have rank 0 handled as 1-elem)
+}
+
+// Subroutine is a FORTRAN subroutine: formal parameters, local arrays and a
+// body of nodes.
+type Subroutine struct {
+	Name    string
+	Formals []*Array // formal parameters in declaration order
+	Locals  []*Array // local arrays/scalars
+	Body    []Node
+}
+
+// Arrays returns all arrays visible in the subroutine (formals then locals).
+func (s *Subroutine) Arrays() []*Array {
+	out := append([]*Array(nil), s.Formals...)
+	return append(out, s.Locals...)
+}
+
+// Program is a whole program: a set of subroutines and a designated entry.
+type Program struct {
+	Name  string
+	Main  *Subroutine
+	Subs  map[string]*Subroutine // by name, including Main
+	Order []string               // subroutine names in declaration order
+}
+
+// NewProgram returns an empty program with the given name.
+func NewProgram(name string) *Program {
+	return &Program{Name: name, Subs: map[string]*Subroutine{}}
+}
+
+// Add registers a subroutine; the first added becomes Main unless SetMain
+// is called.
+func (p *Program) Add(s *Subroutine) *Subroutine {
+	if _, dup := p.Subs[s.Name]; dup {
+		panic(fmt.Sprintf("ir: duplicate subroutine %s", s.Name))
+	}
+	p.Subs[s.Name] = s
+	p.Order = append(p.Order, s.Name)
+	if p.Main == nil {
+		p.Main = s
+	}
+	return s
+}
+
+// SetMain designates the entry subroutine.
+func (p *Program) SetMain(name string) {
+	s, ok := p.Subs[name]
+	if !ok {
+		panic(fmt.Sprintf("ir: no subroutine %s", name))
+	}
+	p.Main = s
+}
+
+// Stats summarises a program (Table 5 columns).
+type Stats struct {
+	Subroutines int
+	Calls       int
+	References  int
+	Statements  int
+	MaxDepth    int
+}
+
+// CollectStats walks the program and reports Table 5-style statistics.
+func (p *Program) CollectStats() Stats {
+	st := Stats{Subroutines: len(p.Subs)}
+	for _, name := range p.Order {
+		sub := p.Subs[name]
+		walkStats(sub.Body, 0, &st)
+	}
+	return st
+}
+
+func walkStats(nodes []Node, depth int, st *Stats) {
+	if depth > st.MaxDepth {
+		st.MaxDepth = depth
+	}
+	for _, n := range nodes {
+		switch n := n.(type) {
+		case *Loop:
+			walkStats(n.Body, depth+1, st)
+		case *If:
+			walkStats(n.Body, depth, st)
+		case *Assign:
+			st.Statements++
+			st.References += len(n.Refs())
+		case *Call:
+			st.Calls++
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package kernels
+
+import (
+	"testing"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cme"
+	"cachemodel/internal/inline"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/trace"
+)
+
+func prep(t testing.TB, p *ir.Program) *ir.NProgram {
+	t.Helper()
+	flat, _, err := inline.Flatten(p, inline.Options{})
+	if err != nil {
+		t.Fatalf("%s: inline: %v", p.Name, err)
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		t.Fatalf("%s: normalize: %v", p.Name, err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		t.Fatalf("%s: layout: %v", p.Name, err)
+	}
+	return np
+}
+
+// countAccesses replays a program, returning total accesses.
+func countAccesses(np *ir.NProgram) int64 {
+	var n int64
+	trace.Execute(np, func(r *ir.NRef, idx []int64) bool { n++; return true })
+	return n
+}
+
+func TestHydroShape(t *testing.T) {
+	np := prep(t, Hydro(10, 10))
+	if np.Depth != 2 {
+		t.Errorf("depth = %d, want 2", np.Depth)
+	}
+	if len(np.Stmts) != 6 {
+		t.Errorf("statements = %d, want 6", len(np.Stmts))
+	}
+	// 9 iterations per dimension, 6 statements, references per statement:
+	// 9+9+11+11+3+3 = 46.
+	if got, want := countAccesses(np), int64(9*9*46); got != want {
+		t.Errorf("accesses = %d, want %d", got, want)
+	}
+}
+
+// TestHydroExact reproduces the Table 3 Hydro row at reduced scale:
+// FindMisses must match the simulator exactly for all associativities.
+func TestHydroExact(t *testing.T) {
+	for _, assoc := range []int{1, 2, 4} {
+		cfg := cache.Config{SizeBytes: 2048, LineBytes: 32, Assoc: assoc}
+		np := prep(t, Hydro(12, 12))
+		a, err := cme.New(np, cfg, cme.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := a.FindMisses()
+		sim := trace.Simulate(np, cfg)
+		if rep.ExactMisses() != sim.Misses {
+			t.Errorf("assoc %d: FindMisses %d, simulator %d", assoc, rep.ExactMisses(), sim.Misses)
+		}
+		if rep.TotalAccesses() != sim.Accesses {
+			t.Errorf("assoc %d: accesses %d vs %d", assoc, rep.TotalAccesses(), sim.Accesses)
+		}
+	}
+}
+
+func TestMGRIDShape(t *testing.T) {
+	np := prep(t, MGRID(8))
+	if np.Depth != 3 {
+		t.Errorf("depth = %d, want 3", np.Depth)
+	}
+	if len(np.Stmts) != 4 {
+		t.Errorf("statements = %d, want 4", len(np.Stmts))
+	}
+}
+
+// TestMGRIDExact: the MGRID interpolation nest is fully uniformly
+// generated per array, so FindMisses is exact (Table 3 MGRID rows).
+func TestMGRIDExact(t *testing.T) {
+	for _, assoc := range []int{1, 2, 4} {
+		cfg := cache.Config{SizeBytes: 2048, LineBytes: 32, Assoc: assoc}
+		np := prep(t, MGRID(8))
+		a, err := cme.New(np, cfg, cme.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := a.FindMisses()
+		sim := trace.Simulate(np, cfg)
+		if rep.ExactMisses() != sim.Misses {
+			t.Errorf("assoc %d: FindMisses %d, simulator %d", assoc, rep.ExactMisses(), sim.Misses)
+		}
+	}
+}
+
+// TestMMTConservative: MMT's WB references are not uniformly generated
+// (transposition), so the analysis may overestimate but never
+// underestimate (the Table 3 MMT rows show the small overestimate).
+func TestMMTConservative(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 2048, LineBytes: 32, Assoc: 2}
+	np := prep(t, MMT(16, 8, 8))
+	a, err := cme.New(np, cfg, cme.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := a.FindMisses()
+	sim := trace.Simulate(np, cfg)
+	if rep.ExactMisses() < sim.Misses {
+		t.Errorf("FindMisses %d < simulator %d", rep.ExactMisses(), sim.Misses)
+	}
+	if rep.TotalAccesses() != sim.Accesses {
+		t.Errorf("accesses %d vs %d", rep.TotalAccesses(), sim.Accesses)
+	}
+}
+
+func TestTomcatvShape(t *testing.T) {
+	p := Tomcatv(10, 2)
+	st := p.CollectStats()
+	if st.Subroutines != 1 {
+		t.Errorf("subroutines = %d, want 1 (Table 5)", st.Subroutines)
+	}
+	if st.Calls != 0 {
+		t.Errorf("calls = %d, want 0 (Table 5)", st.Calls)
+	}
+	np := prep(t, p)
+	if np.Depth != 3 {
+		t.Errorf("depth = %d, want 3 (ITER, j, i)", np.Depth)
+	}
+	if len(np.Refs) < 40 {
+		t.Errorf("references = %d, want a Tomcatv-scale count", len(np.Refs))
+	}
+}
+
+func TestSwimShape(t *testing.T) {
+	p := Swim(10, 2)
+	st := p.CollectStats()
+	if st.Subroutines != 4 {
+		t.Errorf("subroutines = %d, want 4", st.Subroutines)
+	}
+	if st.Calls != 3 {
+		t.Errorf("call statements = %d, want 3", st.Calls)
+	}
+	np := prep(t, p)
+	if len(np.Refs) < 50 {
+		t.Errorf("references = %d, want a Swim-scale count", len(np.Refs))
+	}
+	// All three calls are parameterless and must have been inlined.
+	_, stats, err := inline.Flatten(Swim(10, 2), inline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inlined != 3 {
+		t.Errorf("inlined = %d, want 3", stats.Inlined)
+	}
+}
+
+func TestAppluShape(t *testing.T) {
+	p := Applu(8, 2)
+	st := p.CollectStats()
+	if st.Subroutines != 16 {
+		t.Errorf("subroutines = %d, want 16 (Table 5)", st.Subroutines)
+	}
+	if st.Calls < 15 {
+		t.Errorf("call statements = %d, want Applu-scale count", st.Calls)
+	}
+	// All actuals must be propagateable, as the paper reports for Applu.
+	cls := inline.ClassifyProgram(p)
+	if cls.RAble != 0 || cls.NAble != 0 {
+		t.Errorf("classification P/R/N = %d/%d/%d, want all propagateable", cls.PAble, cls.RAble, cls.NAble)
+	}
+	np := prep(t, p)
+	if len(np.Refs) < 800 {
+		t.Errorf("references = %d, want an Applu-scale count (paper: 2565)", len(np.Refs))
+	}
+}
+
+// TestWholeProgramsSimulate: the three whole programs must prepare and
+// replay without error at small scale, with every access in bounds of its
+// array (catching transcription slips).
+func TestWholeProgramsSimulate(t *testing.T) {
+	progs := []*ir.Program{Tomcatv(8, 1), Swim(8, 1), Applu(6, 1)}
+	for _, p := range progs {
+		np := prep(t, p)
+		bad := 0
+		trace.Execute(np, func(r *ir.NRef, idx []int64) bool {
+			subs := r.SubsAt(idx)
+			for d, s := range subs {
+				dim := r.Array.Dims[d]
+				if s < 1 || (dim > 0 && s > dim) {
+					bad++
+					if bad < 4 {
+						t.Errorf("%s: %s out of bounds at %v: subscript %d = %d (dim %d)",
+							p.Name, r.ID, idx, d+1, s, dim)
+					}
+					return bad < 4
+				}
+			}
+			return true
+		})
+		if bad > 0 {
+			t.Errorf("%s: %d out-of-bounds accesses", p.Name, bad)
+		}
+	}
+}
+
+// TestWholeProgramsConservative: analytical misses never undercount at
+// miniature scale on a small cache.
+func TestWholeProgramsConservative(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2}
+	for _, p := range []*ir.Program{Tomcatv(8, 1), Swim(8, 1)} {
+		np := prep(t, p)
+		a, err := cme.New(np, cfg, cme.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := a.FindMisses()
+		sim := trace.Simulate(np, cfg)
+		if rep.ExactMisses() < sim.Misses {
+			t.Errorf("%s: FindMisses %d < simulator %d", p.Name, rep.ExactMisses(), sim.Misses)
+		}
+		if rep.TotalAccesses() != sim.Accesses {
+			t.Errorf("%s: accesses %d vs %d", p.Name, rep.TotalAccesses(), sim.Accesses)
+		}
+	}
+}

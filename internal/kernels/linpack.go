@@ -1,0 +1,213 @@
+package kernels
+
+import "cachemodel/internal/ir"
+
+// Linpack / Lapack-style kernels of the paper's validation corpus (§1),
+// restricted to the regular program model: factorisations are modelled
+// without data-dependent pivoting, exactly the restriction the paper's
+// program model imposes.
+
+// Linpack returns the Linpack/Lapack-flavoured workloads.
+func Linpack() []Spec {
+	return []Spec{
+		{"daxpy", "Linpack DAXPY: Y += a·X", daxpy, true},
+		{"dgefa", "Linpack DGEFA: LU factorisation, no pivoting", dgefa, false},
+		{"dgesl", "Linpack DGESL: forward + back substitution", dgesl, false},
+		{"cholesky", "Lapack-style Cholesky factorisation (left-looking)", cholesky, false},
+		{"jacobi2d", "Jacobi 2-D relaxation with flip buffers", jacobi2d, true},
+		{"sor2d", "Gauss-Seidel/SOR 2-D relaxation (in place)", sor2d, true},
+		{"mmijk", "matrix multiply, ijk order (row walk of B)", mmijk, true},
+		{"mmjki", "matrix multiply, jki order (column friendly)", mmjki, true},
+		{"transpose", "out-of-place matrix transpose", transposeK, false},
+	}
+}
+
+// Suite returns every built-in kernel spec (Livermore + Linpack + the
+// paper's three Figure 8 kernels).
+func Suite() []Spec {
+	out := []Spec{
+		{"hydro", "Fig. 8 Hydro (Livermore K18)", func(n int64) *ir.Program { return Hydro(n, n) }, true},
+		{"mgrid", "Fig. 8 MGRID 3-D interpolation", MGRID, true},
+		{"mmt", "Fig. 8 blocked A·Bᵀ with transposed copy", func(n int64) *ir.Program {
+			b := n / 2
+			if b < 1 {
+				b = 1
+			}
+			return MMT(n, b, b)
+		}, false},
+	}
+	out = append(out, Livermore()...)
+	return append(out, Linpack()...)
+}
+
+func daxpy(n int64) *ir.Program {
+	p := ir.NewProgram("DAXPY")
+	b := ir.NewSub("DAXPY")
+	X := b.Real8("X", n)
+	Y := b.Real8("Y", n)
+	i := ir.Var("i")
+	b.Do("i", ir.Con(1), ir.Con(n)).
+		Assign("S1", ir.R(Y, i), ir.R(Y, i), ir.R(X, i)).
+		End()
+	p.Add(b.Build())
+	return p
+}
+
+// dgefa: for k: scale column k below the diagonal, then rank-1 update the
+// trailing submatrix (no pivot search — data-dependent).
+func dgefa(n int64) *ir.Program {
+	p := ir.NewProgram("DGEFA")
+	b := ir.NewSub("DGEFA")
+	A := b.Real8("A", n, n)
+	i, j, k := ir.Var("i"), ir.Var("j"), ir.Var("k")
+	b.Do("k", ir.Con(1), ir.Con(n-1)).
+		// Column scale: A(i,k) = A(i,k)/A(k,k); the reciprocal is a
+		// register after one load.
+		Do("i", k.PlusConst(1), ir.Con(n)).
+		IfCond(ir.Cond{LHS: i, Op: ir.EQ, RHS: k.PlusConst(1)}).
+		Assign("PIV", nil, ir.R(A, k, k)).
+		End().
+		Assign("SCAL", ir.R(A, i, k), ir.R(A, i, k)).
+		End().
+		// Trailing update: A(i,j) -= A(i,k)·A(k,j).
+		Do("j", k.PlusConst(1), ir.Con(n)).
+		Do("i", k.PlusConst(1), ir.Con(n)).
+		Assign("UPD", ir.R(A, i, j),
+			ir.R(A, i, j), ir.R(A, i, k), ir.R(A, k, j)).
+		End().End().
+		End()
+	p.Add(b.Build())
+	return p
+}
+
+// dgesl: solve L·y = b then U·x = y using the factors of dgefa.
+func dgesl(n int64) *ir.Program {
+	p := ir.NewProgram("DGESL")
+	b := ir.NewSub("DGESL")
+	A := b.Real8("A", n, n)
+	B := b.Real8("B", n)
+	i, k := ir.Var("i"), ir.Var("k")
+	// Forward elimination: B(i) -= A(i,k)·B(k).
+	b.Do("k", ir.Con(1), ir.Con(n-1)).
+		Do("i", k.PlusConst(1), ir.Con(n)).
+		Assign("FWD", ir.R(B, i), ir.R(B, i), ir.R(A, i, k), ir.R(B, k)).
+		End().End()
+	// Back substitution (descending): B(i) -= A(i,k)·B(k), k from n down.
+	b.DoStep("k", ir.Con(n), ir.Con(2), -1).
+		Do("i", ir.Con(1), k.PlusConst(-1)).
+		Assign("BCK", ir.R(B, i), ir.R(B, i), ir.R(A, i, k), ir.R(B, k)).
+		End().End()
+	p.Add(b.Build())
+	return p
+}
+
+// cholesky: left-looking, lower triangle, no square-root memory traffic.
+func cholesky(n int64) *ir.Program {
+	p := ir.NewProgram("CHOLESKY")
+	b := ir.NewSub("CHOLESKY")
+	A := b.Real8("A", n, n)
+	i, j, k := ir.Var("i"), ir.Var("j"), ir.Var("k")
+	b.Do("j", ir.Con(1), ir.Con(n)).
+		// Update column j with columns 1..j-1: A(i,j) -= A(i,k)·A(j,k).
+		Do("k", ir.Con(1), j.PlusConst(-1)).
+		Do("i", j, ir.Con(n)).
+		Assign("UPD", ir.R(A, i, j),
+			ir.R(A, i, j), ir.R(A, i, k), ir.R(A, j, k)).
+		End().End().
+		// Scale column j below the diagonal.
+		Do("i", j.PlusConst(1), ir.Con(n)).
+		Assign("SCL", ir.R(A, i, j), ir.R(A, i, j), ir.R(A, j, j)).
+		End().
+		End()
+	p.Add(b.Build())
+	return p
+}
+
+func jacobi2d(n int64) *ir.Program {
+	p := ir.NewProgram("JACOBI2D")
+	b := ir.NewSub("JACOBI2D")
+	U := b.Real8("U", n, n)
+	V := b.Real8("V", n, n)
+	i, j := ir.Var("i"), ir.Var("j")
+	sweep := func(label string, dst, src *ir.Array) {
+		b.Do("j", ir.Con(2), ir.Con(n-1)).
+			Do("i", ir.Con(2), ir.Con(n-1)).
+			Assign(label, ir.R(dst, i, j),
+				ir.R(src, i.PlusConst(-1), j), ir.R(src, i.PlusConst(1), j),
+				ir.R(src, i, j.PlusConst(-1)), ir.R(src, i, j.PlusConst(1))).
+			End().End()
+	}
+	b.Do("t", ir.Con(1), ir.Con(4))
+	sweep("S1", V, U)
+	sweep("S2", U, V)
+	b.End()
+	p.Add(b.Build())
+	return p
+}
+
+func sor2d(n int64) *ir.Program {
+	p := ir.NewProgram("SOR2D")
+	b := ir.NewSub("SOR2D")
+	U := b.Real8("U", n, n)
+	i, j := ir.Var("i"), ir.Var("j")
+	b.Do("t", ir.Con(1), ir.Con(4)).
+		Do("j", ir.Con(2), ir.Con(n-1)).
+		Do("i", ir.Con(2), ir.Con(n-1)).
+		Assign("S1", ir.R(U, i, j),
+			ir.R(U, i, j),
+			ir.R(U, i.PlusConst(-1), j), ir.R(U, i.PlusConst(1), j),
+			ir.R(U, i, j.PlusConst(-1)), ir.R(U, i, j.PlusConst(1))).
+		End().End().End()
+	p.Add(b.Build())
+	return p
+}
+
+func mmijk(n int64) *ir.Program {
+	p := ir.NewProgram("MMIJK")
+	b := ir.NewSub("MMIJK")
+	A := b.Real8("A", n, n)
+	B := b.Real8("B", n, n)
+	C := b.Real8("C", n, n)
+	i, j, k := ir.Var("i"), ir.Var("j"), ir.Var("k")
+	b.Do("i", ir.Con(1), ir.Con(n)).
+		Do("j", ir.Con(1), ir.Con(n)).
+		Do("k", ir.Con(1), ir.Con(n)).
+		Assign("S1", ir.R(C, i, j),
+			ir.R(C, i, j), ir.R(A, i, k), ir.R(B, k, j)).
+		End().End().End()
+	p.Add(b.Build())
+	return p
+}
+
+func mmjki(n int64) *ir.Program {
+	p := ir.NewProgram("MMJKI")
+	b := ir.NewSub("MMJKI")
+	A := b.Real8("A", n, n)
+	B := b.Real8("B", n, n)
+	C := b.Real8("C", n, n)
+	i, j, k := ir.Var("i"), ir.Var("j"), ir.Var("k")
+	b.Do("j", ir.Con(1), ir.Con(n)).
+		Do("k", ir.Con(1), ir.Con(n)).
+		Do("i", ir.Con(1), ir.Con(n)).
+		Assign("S1", ir.R(C, i, j),
+			ir.R(C, i, j), ir.R(A, i, k), ir.R(B, k, j)).
+		End().End().End()
+	p.Add(b.Build())
+	return p
+}
+
+// transposeK: B(j,i) = A(i,j) — the reads and writes to A/B are not
+// mutually uniformly generated, so the analysis may only overestimate.
+func transposeK(n int64) *ir.Program {
+	p := ir.NewProgram("TRANSPOSE")
+	b := ir.NewSub("TRANSPOSE")
+	A := b.Real8("A", n, n)
+	B := b.Real8("B", n, n)
+	i, j := ir.Var("i"), ir.Var("j")
+	b.Do("j", ir.Con(1), ir.Con(n)).
+		Do("i", ir.Con(1), ir.Con(n)).
+		Assign("S1", ir.R(B, j, i), ir.R(A, i, j)).
+		End().End()
+	p.Add(b.Build())
+	return p
+}

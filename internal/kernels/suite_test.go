@@ -1,0 +1,138 @@
+package kernels
+
+import (
+	"testing"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cme"
+	"cachemodel/internal/inline"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/reuse"
+	"cachemodel/internal/sampling"
+	"cachemodel/internal/trace"
+)
+
+// prepAligned prepares a program with line-aligned array bases, so that
+// no memory line spans two arrays (required for the per-reference
+// exactness check: cross-array line sharing is the one effect reuse
+// vectors cannot see).
+func prepAligned(t *testing.T, p *ir.Program, lineBytes int64) *ir.NProgram {
+	t.Helper()
+	flat, _, err := inline.Flatten(p, inline.Options{})
+	if err != nil {
+		t.Fatalf("%s: inline: %v", p.Name, err)
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		t.Fatalf("%s: normalize: %v", p.Name, err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{Align: lineBytes}); err != nil {
+		t.Fatalf("%s: layout: %v", p.Name, err)
+	}
+	return np
+}
+
+// TestSuiteValidation runs every built-in kernel through FindMisses and
+// the simulator on two cache shapes: uniformly generated kernels must
+// match exactly; the rest must never undercount.
+func TestSuiteValidation(t *testing.T) {
+	cfgs := []cache.Config{
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 1},
+		{SizeBytes: 2048, LineBytes: 64, Assoc: 2},
+	}
+	for _, spec := range Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			n := int64(16)
+			p := spec.Build(n)
+			for _, cfg := range cfgs {
+				np := prepAligned(t, spec.Build(n), cfg.LineBytes)
+				_ = p
+				a, err := cme.New(np, cfg, cme.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := a.FindMisses()
+				sim := trace.Simulate(np, cfg)
+				if rep.TotalAccesses() != sim.Accesses {
+					t.Fatalf("[%v] accesses %d vs %d", cfg, rep.TotalAccesses(), sim.Accesses)
+				}
+				if spec.Uniform {
+					if rep.ExactMisses() != sim.Misses {
+						t.Errorf("[%v] FindMisses %d != simulator %d (uniform kernel must be exact)",
+							cfg, rep.ExactMisses(), sim.Misses)
+					}
+				} else if rep.ExactMisses() < sim.Misses {
+					t.Errorf("[%v] FindMisses %d < simulator %d (must be conservative)",
+						cfg, rep.ExactMisses(), sim.Misses)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteEstimates: EstimateMisses stays within the interval on every
+// suite kernel at one representative configuration.
+func TestSuiteEstimates(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 2048, LineBytes: 32, Assoc: 2}
+	for _, spec := range Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			np := prepAligned(t, spec.Build(20), cfg.LineBytes)
+			a, err := cme.New(np, cfg, cme.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact := a.FindMisses()
+			est, err := a.EstimateMisses(quickPlan())
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := est.MissRatio() - exact.MissRatio()
+			if d < 0 {
+				d = -d
+			}
+			if d > 6 {
+				t.Errorf("estimate %.2f%% vs exact %.2f%%", est.MissRatio(), exact.MissRatio())
+			}
+		})
+	}
+}
+
+func quickPlan() sampling.Plan { return sampling.Plan{C: 0.95, W: 0.05} }
+
+// TestSuiteNamesUnique guards the registry.
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Suite() {
+		if seen[s.Name] {
+			t.Errorf("duplicate kernel name %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Description == "" {
+			t.Errorf("%s: missing description", s.Name)
+		}
+	}
+	if len(seen) < 20 {
+		t.Errorf("suite has only %d kernels", len(seen))
+	}
+}
+
+// TestSuiteNonUniformUpgrade: with the §8 future-work extension enabled
+// (unique-producer non-uniform reuse), the transpose kernel joins the
+// exactly-analysable set; everything else stays at least conservative.
+func TestSuiteNonUniformUpgrade(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}
+	np := prepAligned(t, transposeK(16), cfg.LineBytes)
+	a, err := cme.New(np, cfg, cme.Options{Reuse: reuse.Options{NonUniform: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := a.FindMisses()
+	sim := trace.Simulate(np, cfg)
+	if rep.ExactMisses() != sim.Misses {
+		t.Errorf("transpose with NonUniform: analysis %d != simulator %d", rep.ExactMisses(), sim.Misses)
+	}
+}

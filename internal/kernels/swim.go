@@ -1,0 +1,98 @@
+package kernels
+
+import "cachemodel/internal/ir"
+
+// Swim is a structurally faithful model of SPECfp95 Swim (shallow-water
+// equations): thirteen N×N REAL*8 arrays in COMMON (modelled as shared
+// array objects), a main cycle loop converted from the original's IF-GOTO,
+// and the three parameterless subroutines CALC1, CALC2 and CALC3 called
+// once per cycle, plus periodic-boundary copy loops.
+func Swim(n, cycles int64) *ir.Program {
+	p := ir.NewProgram("Swim")
+
+	// COMMON block: the arrays are owned by MAIN and referenced directly
+	// by the parameterless CALC subroutines, exactly like FORTRAN COMMON.
+	mk := func(name string) *ir.Array { return ir.NewArray(name, 8, n, n) }
+	U, V, P := mk("U"), mk("V"), mk("P")
+	UNEW, VNEW, PNEW := mk("UNEW"), mk("VNEW"), mk("PNEW")
+	UOLD, VOLD, POLD := mk("UOLD"), mk("VOLD"), mk("POLD")
+	CU, CV, Z, H := mk("CU"), mk("CV"), mk("Z"), mk("H")
+	common := []*ir.Array{U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD, CU, CV, Z, H}
+
+	i := ir.Var("i")
+	j := ir.Var("j")
+	ip1 := i.PlusConst(1)
+	jp1 := j.PlusConst(1)
+
+	// CALC1: compute capital-U, capital-V, Z and H.
+	c1 := ir.NewSub("CALC1")
+	c1.Do("j", ir.Con(1), ir.Con(n-1)).
+		Do("i", ir.Con(1), ir.Con(n-1)).
+		Assign("C1A", ir.R(CU, ip1, j),
+			ir.R(P, ip1, j), ir.R(P, i, j), ir.R(U, ip1, j)).
+		Assign("C1B", ir.R(CV, i, jp1),
+			ir.R(P, i, jp1), ir.R(P, i, j), ir.R(V, i, jp1)).
+		Assign("C1C", ir.R(Z, ip1, jp1),
+			ir.R(V, ip1, jp1), ir.R(V, i, jp1), ir.R(U, ip1, jp1), ir.R(U, ip1, j),
+			ir.R(P, i, j), ir.R(P, ip1, j), ir.R(P, i, jp1), ir.R(P, ip1, jp1)).
+		Assign("C1D", ir.R(H, i, j),
+			ir.R(P, i, j), ir.R(U, ip1, j), ir.R(U, i, j), ir.R(V, i, jp1), ir.R(V, i, j)).
+		End().End().
+		// Periodic boundary: copy last column of CU.
+		Do("j", ir.Con(1), ir.Con(n-1)).
+		Assign("C1E", ir.R(CU, ir.Con(1), j), ir.R(CU, ir.Con(n), j)).
+		Assign("C1F", ir.R(CV, ir.Con(n), jp1), ir.R(CV, ir.Con(1), jp1)).
+		End()
+
+	// CALC2: compute new values UNEW, VNEW, PNEW.
+	c2 := ir.NewSub("CALC2")
+	c2.Do("j", ir.Con(1), ir.Con(n-1)).
+		Do("i", ir.Con(1), ir.Con(n-1)).
+		Assign("C2A", ir.R(UNEW, ip1, j),
+			ir.R(UOLD, ip1, j), ir.R(Z, ip1, jp1), ir.R(Z, ip1, j),
+			ir.R(CV, ip1, jp1), ir.R(CV, i, jp1), ir.R(CV, ip1, j), ir.R(CV, i, j),
+			ir.R(H, ip1, j), ir.R(H, i, j)).
+		Assign("C2B", ir.R(VNEW, i, jp1),
+			ir.R(VOLD, i, jp1), ir.R(Z, ip1, jp1), ir.R(Z, i, jp1),
+			ir.R(CU, ip1, jp1), ir.R(CU, i, jp1), ir.R(CU, ip1, j), ir.R(CU, i, j),
+			ir.R(H, i, jp1), ir.R(H, i, j)).
+		Assign("C2C", ir.R(PNEW, i, j),
+			ir.R(POLD, i, j), ir.R(CU, ip1, j), ir.R(CU, i, j),
+			ir.R(CV, i, jp1), ir.R(CV, i, j)).
+		End().End().
+		Do("j", ir.Con(1), ir.Con(n-1)).
+		Assign("C2D", ir.R(UNEW, ir.Con(1), j), ir.R(UNEW, ir.Con(n), j)).
+		End()
+
+	// CALC3: time smoothing and rotation of the time levels.
+	c3 := ir.NewSub("CALC3")
+	c3.Do("j", ir.Con(1), ir.Con(n)).
+		Do("i", ir.Con(1), ir.Con(n)).
+		Assign("C3A", ir.R(UOLD, i, j),
+			ir.R(U, i, j), ir.R(UNEW, i, j), ir.R(UOLD, i, j)).
+		Assign("C3B", ir.R(VOLD, i, j),
+			ir.R(V, i, j), ir.R(VNEW, i, j), ir.R(VOLD, i, j)).
+		Assign("C3C", ir.R(POLD, i, j),
+			ir.R(P, i, j), ir.R(PNEW, i, j), ir.R(POLD, i, j)).
+		Assign("C3D", ir.R(U, i, j), ir.R(UNEW, i, j)).
+		Assign("C3E", ir.R(V, i, j), ir.R(VNEW, i, j)).
+		Assign("C3F", ir.R(P, i, j), ir.R(PNEW, i, j)).
+		End().End()
+
+	// MAIN: the original IF-GOTO cycle loop as a DO (as the paper notes).
+	main := ir.NewSub("MAIN")
+	main.Do("NCYCLE", ir.Con(1), ir.Con(cycles)).
+		Call("CALC1").
+		Call("CALC2").
+		Call("CALC3").
+		End()
+	m := main.Build()
+	m.Locals = append(m.Locals, common...)
+
+	p.Add(m)
+	p.Add(c1.Build())
+	p.Add(c2.Build())
+	p.Add(c3.Build())
+	p.SetMain("MAIN")
+	return p
+}

@@ -1,0 +1,77 @@
+package kernels
+
+import "cachemodel/internal/ir"
+
+// Tomcatv is a structurally faithful model of SPECfp95 Tomcatv (vectorised
+// mesh generation): seven N×N REAL*8 arrays, an outer time loop (the
+// original's data-dependent convergence loop, fixed at iters iterations as
+// the paper does with the reference input's 750), a residual nest with
+// 9-point stencils, a tridiagonal forward-elimination sweep, a backward
+// substitution sweep (negative step) and the mesh update nest.
+func Tomcatv(n, iters int64) *ir.Program {
+	p := ir.NewProgram("Tomcatv")
+	b := ir.NewSub("TOMCATV")
+	X := b.Real8("X", n, n)
+	Y := b.Real8("Y", n, n)
+	RX := b.Real8("RX", n, n)
+	RY := b.Real8("RY", n, n)
+	AA := b.Real8("AA", n, n)
+	DD := b.Real8("DD", n, n)
+	D := b.Real8("D", n, n)
+
+	i := ir.Var("i")
+	j := ir.Var("j")
+	im1 := i.PlusConst(-1)
+	ip1 := i.PlusConst(1)
+	jm1 := j.PlusConst(-1)
+	jp1 := j.PlusConst(1)
+
+	b.Do("ITER", ir.Con(1), ir.Con(iters))
+
+	// Residual computation (9-point stencils on X and Y).
+	b.Do("j", ir.Con(2), ir.Con(n-1)).
+		Do("i", ir.Con(2), ir.Con(n-1)).
+		Assign("T1", ir.R(RX, i, j),
+			ir.R(X, im1, j), ir.R(X, ip1, j), ir.R(X, i, jm1), ir.R(X, i, jp1),
+			ir.R(X, i, j), ir.R(Y, im1, j), ir.R(Y, ip1, j)).
+		Assign("T2", ir.R(RY, i, j),
+			ir.R(Y, im1, j), ir.R(Y, ip1, j), ir.R(Y, i, jm1), ir.R(Y, i, jp1),
+			ir.R(Y, i, j), ir.R(X, i, jm1), ir.R(X, i, jp1)).
+		Assign("T3", ir.R(AA, i, j),
+			ir.R(X, i, jp1), ir.R(X, i, jm1), ir.R(Y, i, jp1), ir.R(Y, i, jm1)).
+		Assign("T4", ir.R(DD, i, j),
+			ir.R(X, ip1, j), ir.R(X, im1, j), ir.R(Y, ip1, j), ir.R(Y, im1, j),
+			ir.R(AA, i, j)).
+		End().End()
+
+	// Forward elimination of the tridiagonal solves (wavefront in j).
+	b.Do("j", ir.Con(3), ir.Con(n-1)).
+		Do("i", ir.Con(2), ir.Con(n-1)).
+		Assign("T5", ir.R(D, i, j),
+			ir.R(AA, i, j), ir.R(D, i, jm1), ir.R(DD, i, j)).
+		Assign("T6", ir.R(RX, i, j),
+			ir.R(RX, i, j), ir.R(RX, i, jm1), ir.R(AA, i, j)).
+		Assign("T7", ir.R(RY, i, j),
+			ir.R(RY, i, j), ir.R(RY, i, jm1), ir.R(AA, i, j)).
+		End().End()
+
+	// Backward substitution (descending j).
+	b.DoStep("j", ir.Con(n-1), ir.Con(2), -1).
+		Do("i", ir.Con(2), ir.Con(n-1)).
+		Assign("T8", ir.R(RX, i, j),
+			ir.R(RX, i, j), ir.R(D, i, j), ir.R(RX, i, jp1)).
+		Assign("T9", ir.R(RY, i, j),
+			ir.R(RY, i, j), ir.R(D, i, j), ir.R(RY, i, jp1)).
+		End().End()
+
+	// Mesh update.
+	b.Do("j", ir.Con(2), ir.Con(n-1)).
+		Do("i", ir.Con(2), ir.Con(n-1)).
+		Assign("T10", ir.R(X, i, j), ir.R(X, i, j), ir.R(RX, i, j)).
+		Assign("T11", ir.R(Y, i, j), ir.R(Y, i, j), ir.R(RY, i, j)).
+		End().End()
+
+	b.End() // ITER
+	p.Add(b.Build())
+	return p
+}

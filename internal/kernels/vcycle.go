@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"fmt"
+
+	"cachemodel/internal/ir"
+)
+
+// VCycle is a three-level multigrid V-cycle — a fourth whole program that
+// deliberately exercises the inlining paths the SPEC models do not:
+//
+//   - per-level smooth/residual/restrict/prolong subroutines whose array
+//     actuals are all propagateable,
+//   - CLEAR takes a 1-D assumed-size formal and receives 2-D grids:
+//     FORTRAN sequence association, handled with flat alias views,
+//   - CORNER takes a fixed 16×16 formal and receives the fine grid:
+//     renameable (same rank, mismatched leading dimension, @AP' = @AP).
+//
+// n must be divisible by 4 and at least 16.
+func VCycle(n, iters int64) *ir.Program {
+	if n%4 != 0 || n < 16 {
+		panic("kernels: VCycle needs n divisible by 4 and >= 16")
+	}
+	p := ir.NewProgram("VCycle")
+	sizes := []int64{n, n / 2, n / 4}
+
+	// Grids held in COMMON (shared arrays): solution U, rhs F, residual R
+	// per level.
+	var U, F, R []*ir.Array
+	var common []*ir.Array
+	for l, m := range sizes {
+		u := ir.NewArray(fmt.Sprintf("U%d", l), 8, m, m)
+		f := ir.NewArray(fmt.Sprintf("F%d", l), 8, m, m)
+		r := ir.NewArray(fmt.Sprintf("R%d", l), 8, m, m)
+		U, F, R = append(U, u), append(F, f), append(R, r)
+		common = append(common, u, f, r)
+	}
+
+	i, j := ir.Var("i"), ir.Var("j")
+	im1, ip1 := i.PlusConst(-1), i.PlusConst(1)
+	jm1, jp1 := j.PlusConst(-1), j.PlusConst(1)
+
+	// Per-level subroutines (loop bounds must be compile-time constants,
+	// so each level gets its own instance, as real F77 multigrids do with
+	// parameterised includes).
+	for l, m := range sizes {
+		sm := ir.NewSub(fmt.Sprintf("SMOOTH%d", l))
+		v := sm.Formal("V", 8, m, m)
+		f := sm.Formal("G", 8, m, m)
+		sm.Do("j", ir.Con(2), ir.Con(m-1)).
+			Do("i", ir.Con(2), ir.Con(m-1)).
+			Assign("SM", ir.R(v, i, j),
+				ir.R(v, i, j), ir.R(f, i, j),
+				ir.R(v, im1, j), ir.R(v, ip1, j), ir.R(v, i, jm1), ir.R(v, i, jp1)).
+			End().End()
+		p.Add(sm.Build())
+
+		rs := ir.NewSub(fmt.Sprintf("RESID%d", l))
+		rv := rs.Formal("V", 8, m, m)
+		rf := rs.Formal("G", 8, m, m)
+		rr := rs.Formal("W", 8, m, m)
+		rs.Do("j", ir.Con(2), ir.Con(m-1)).
+			Do("i", ir.Con(2), ir.Con(m-1)).
+			Assign("RS", ir.R(rr, i, j),
+				ir.R(rf, i, j), ir.R(rv, i, j),
+				ir.R(rv, im1, j), ir.R(rv, ip1, j), ir.R(rv, i, jm1), ir.R(rv, i, jp1)).
+			End().End()
+		p.Add(rs.Build())
+
+		// CLEAR takes a 1-D assumed-size view of the grid: sequence
+		// association through a flat alias.
+		cl := ir.NewSub(fmt.Sprintf("CLEAR%d", l))
+		w := cl.Formal("W", 8, 0)
+		cl.Do("i", ir.Con(1), ir.Con(m*m)).
+			Assign("CL", ir.R(w, i)).
+			End()
+		p.Add(cl.Build())
+	}
+	for l := 0; l < len(sizes)-1; l++ {
+		nf, nc := sizes[l], sizes[l+1]
+		_ = nf
+		rt := ir.NewSub(fmt.Sprintf("RESTR%d", l))
+		fine := rt.Formal("FN", 8, sizes[l], sizes[l])
+		coarse := rt.Formal("CS", 8, nc, nc)
+		i2 := i.Scale(2)
+		j2 := j.Scale(2)
+		rt.Do("j", ir.Con(1), ir.Con(nc)).
+			Do("i", ir.Con(1), ir.Con(nc)).
+			Assign("RT", ir.R(coarse, i, j),
+				ir.R(fine, i2.PlusConst(-1), j2.PlusConst(-1)), ir.R(fine, i2, j2.PlusConst(-1)),
+				ir.R(fine, i2.PlusConst(-1), j2), ir.R(fine, i2, j2)).
+			End().End()
+		p.Add(rt.Build())
+
+		pr := ir.NewSub(fmt.Sprintf("PROL%d", l))
+		pc := pr.Formal("CS", 8, nc, nc)
+		pf := pr.Formal("FN", 8, sizes[l], sizes[l])
+		pr.Do("j", ir.Con(1), ir.Con(nc)).
+			Do("i", ir.Con(1), ir.Con(nc)).
+			Assign("PR", ir.R(pf, i2.PlusConst(-1), j2.PlusConst(-1)),
+				ir.R(pf, i2.PlusConst(-1), j2.PlusConst(-1)), ir.R(pc, i, j)).
+			End().End()
+		p.Add(pr.Build())
+	}
+
+	// CORNER: fixed-shape formal over the fine grid — renameable.
+	co := ir.NewSub("CORNER")
+	ct := co.Formal("T", 8, 16, 16)
+	co.Do("j", ir.Con(1), ir.Con(16)).
+		Do("i", ir.Con(1), ir.Con(16)).
+		Assign("CO", ir.R(ct, i, j), ir.R(ct, i, j)).
+		End().End()
+	p.Add(co.Build())
+
+	main := ir.NewSub("MAIN")
+	main.Do("IT", ir.Con(1), ir.Con(iters)).
+		Call("SMOOTH0", ir.ArgVar(U[0]), ir.ArgVar(F[0])).
+		Call("RESID0", ir.ArgVar(U[0]), ir.ArgVar(F[0]), ir.ArgVar(R[0])).
+		Call("CLEAR1", ir.ArgVar(U[1])).
+		Call("RESTR0", ir.ArgVar(R[0]), ir.ArgVar(F[1])).
+		Call("SMOOTH1", ir.ArgVar(U[1]), ir.ArgVar(F[1])).
+		Call("RESID1", ir.ArgVar(U[1]), ir.ArgVar(F[1]), ir.ArgVar(R[1])).
+		Call("CLEAR2", ir.ArgVar(U[2])).
+		Call("RESTR1", ir.ArgVar(R[1]), ir.ArgVar(F[2])).
+		Call("SMOOTH2", ir.ArgVar(U[2]), ir.ArgVar(F[2])).
+		Call("PROL1", ir.ArgVar(U[2]), ir.ArgVar(U[1])).
+		Call("SMOOTH1", ir.ArgVar(U[1]), ir.ArgVar(F[1])).
+		Call("PROL0", ir.ArgVar(U[1]), ir.ArgVar(U[0])).
+		Call("SMOOTH0", ir.ArgVar(U[0]), ir.ArgVar(F[0])).
+		Call("CORNER", ir.ArgVar(U[0])).
+		End()
+	m := main.Build()
+	m.Locals = append(m.Locals, common...)
+	p.Add(m)
+	p.SetMain("MAIN")
+	return p
+}

@@ -1,0 +1,90 @@
+package kernels
+
+import (
+	"testing"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cme"
+	"cachemodel/internal/inline"
+	"cachemodel/internal/interp"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/trace"
+)
+
+func TestVCycleClassification(t *testing.T) {
+	p := VCycle(32, 2)
+	st := inline.ClassifyProgram(p)
+	if st.Calls != 14 || st.Inlined != 14 {
+		t.Errorf("calls/inlined = %d/%d, want 14/14", st.Calls, st.Inlined)
+	}
+	if st.RAble != 1 {
+		t.Errorf("R-able = %d, want 1 (CORNER's 16x16 formal over the fine grid)", st.RAble)
+	}
+	if st.NAble != 0 {
+		t.Errorf("N-able = %d, want 0", st.NAble)
+	}
+}
+
+// TestVCycleAddressExact: the inlined + normalised V-cycle must reproduce
+// the reference interpreter's address stream bit for bit — this covers
+// flat-alias sequence association (CLEAR) and renaming (CORNER, at n=32
+// where its formal is renameable) inside a full program.
+func TestVCycleAddressExact(t *testing.T) {
+	for _, n := range []int64{16, 32} {
+		testVCycleAddressExact(t, n)
+	}
+}
+
+func testVCycleAddressExact(t *testing.T, n int64) {
+	t.Helper()
+	p := VCycle(n, 2)
+	flat, _, err := inline.Flatten(p, inline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	trace.Execute(np, func(r *ir.NRef, idx []int64) bool {
+		got = append(got, r.AddressAt(idx))
+		return true
+	})
+	want, err := interp.Addresses(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream length %d, oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("address %d: inlined %d, oracle %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestVCycleConservative: the analysis never undercounts on the V-cycle.
+func TestVCycleConservative(t *testing.T) {
+	p := VCycle(16, 1)
+	np := prep(t, p)
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2}
+	a, err := cme.New(np, cfg, cme.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := a.FindMisses()
+	sim := trace.Simulate(np, cfg)
+	if rep.TotalAccesses() != sim.Accesses {
+		t.Fatalf("accesses %d vs %d", rep.TotalAccesses(), sim.Accesses)
+	}
+	if rep.ExactMisses() < sim.Misses {
+		t.Errorf("FindMisses %d < simulator %d", rep.ExactMisses(), sim.Misses)
+	}
+}

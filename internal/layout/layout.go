@@ -1,0 +1,104 @@
+// Package layout assigns compile-time base addresses to arrays (§3: "the
+// base addresses of all non-register variables ... must be known at compile
+// time") using a FORTRAN-style sequential data layout, with optional
+// inter-array padding — the knob the paper's method is meant to help tune.
+package layout
+
+import (
+	"fmt"
+
+	"cachemodel/internal/ir"
+)
+
+// Options controls the layout.
+type Options struct {
+	// Start is the byte address of the first array (default 0).
+	Start int64
+	// Align rounds each base address up to this boundary (default: the
+	// element size of the array).
+	Align int64
+	// InterPad inserts this many bytes between consecutive arrays.
+	InterPad int64
+	// PadOf overrides InterPad per array name (applied after the array).
+	PadOf map[string]int64
+	// AssumedSizeElems is the element count assumed for the last dimension
+	// of assumed-size arrays so that following arrays can be placed
+	// (default 1).
+	AssumedSizeElems int64
+}
+
+// Assign lays out the arrays sequentially in declaration order, mutating
+// each Array's Base, and returns the first free address after the last
+// array.
+func Assign(arrays []*ir.Array, opt Options) (end int64, err error) {
+	addr := opt.Start
+	for _, a := range arrays {
+		if a.Alias != nil {
+			continue // resolved after concrete arrays are placed
+		}
+		align := opt.Align
+		if align <= 0 {
+			align = a.ElemSize
+		}
+		if align > 0 && addr%align != 0 {
+			addr += align - addr%align
+		}
+		a.Base = addr
+		size := a.SizeBytes()
+		if size == 0 { // assumed-size last dimension
+			n := opt.AssumedSizeElems
+			if n <= 0 {
+				n = 1
+			}
+			elems := int64(1)
+			for _, d := range a.Dims[:len(a.Dims)-1] {
+				elems *= d
+			}
+			size = elems * n * a.ElemSize
+		}
+		if size < 0 {
+			return 0, fmt.Errorf("layout: array %s has negative size", a.Name)
+		}
+		addr += size + opt.InterPad
+		if p, ok := opt.PadOf[a.Name]; ok {
+			addr += p
+		}
+	}
+	for _, a := range arrays {
+		if a.Alias == nil {
+			continue
+		}
+		// Follow alias chains to a concrete array.
+		target, off := a.Alias, a.AliasOffset
+		for target.Alias != nil {
+			off += target.AliasOffset
+			target = target.Alias
+		}
+		if target.Base < 0 {
+			return 0, fmt.Errorf("layout: alias %s targets unplaced array %s", a.Name, target.Name)
+		}
+		a.Base = target.Base + off
+	}
+	return addr, nil
+}
+
+// AssignProgram lays out every array of a normalised program in first-use
+// order, including the concrete targets of alias arrays even when the
+// targets themselves are never referenced directly.
+func AssignProgram(np *ir.NProgram, opt Options) error {
+	arrays := append([]*ir.Array(nil), np.Arrays...)
+	seen := map[*ir.Array]bool{}
+	for _, a := range arrays {
+		seen[a] = true
+	}
+	for _, a := range np.Arrays {
+		for t := a.Alias; t != nil; t = t.Alias {
+			if !seen[t] {
+				seen[t] = true
+				arrays = append(arrays, t)
+			}
+		}
+	}
+	_, err := Assign(arrays, opt)
+	return err
+}

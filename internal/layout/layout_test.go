@@ -1,0 +1,118 @@
+package layout
+
+import (
+	"testing"
+
+	"cachemodel/internal/ir"
+)
+
+func TestSequentialAssign(t *testing.T) {
+	a := ir.NewArray("A", 8, 10)     // 80 bytes
+	b := ir.NewArray("B", 8, 10, 10) // 800 bytes
+	end, err := Assign([]*ir.Array{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Base != 0 || b.Base != 80 || end != 880 {
+		t.Errorf("bases = %d, %d, end %d", a.Base, b.Base, end)
+	}
+}
+
+func TestAlignmentAndPadding(t *testing.T) {
+	a := ir.NewArray("A", 8, 3) // 24 bytes
+	b := ir.NewArray("B", 8, 4)
+	_, err := Assign([]*ir.Array{a, b}, Options{Start: 100, Align: 64, InterPad: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Base != 128 {
+		t.Errorf("A base = %d, want 128 (aligned from 100)", a.Base)
+	}
+	// A ends at 152, +8 pad = 160, aligned to 64 → 192.
+	if b.Base != 192 {
+		t.Errorf("B base = %d, want 192", b.Base)
+	}
+}
+
+func TestPerArrayPad(t *testing.T) {
+	a := ir.NewArray("A", 8, 4) // 32 bytes
+	b := ir.NewArray("B", 8, 4)
+	_, err := Assign([]*ir.Array{a, b}, Options{PadOf: map[string]int64{"A": 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Base != 48 {
+		t.Errorf("B base = %d, want 48 (32 + 16 pad)", b.Base)
+	}
+}
+
+func TestAssumedSizePlacement(t *testing.T) {
+	a := ir.NewArray("A", 8, 10, 0) // assumed-size
+	b := ir.NewArray("B", 8, 4)
+	_, err := Assign([]*ir.Array{a, b}, Options{AssumedSizeElems: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Base != 10*3*8 {
+		t.Errorf("B base = %d, want 240", b.Base)
+	}
+}
+
+func TestAliasResolution(t *testing.T) {
+	a := ir.NewArray("A", 8, 10)
+	v := ir.NewArray("V", 8, 5)
+	v.Alias = a
+	v.AliasOffset = 16
+	w := ir.NewArray("W", 8, 5)
+	w.Alias = v
+	w.AliasOffset = 8
+	_, err := Assign([]*ir.Array{a, v, w}, Options{Start: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Base != 1016 {
+		t.Errorf("V base = %d, want 1016", v.Base)
+	}
+	if w.Base != 1024 {
+		t.Errorf("chained alias W base = %d, want 1024", w.Base)
+	}
+}
+
+func TestAliasesConsumeNoSpace(t *testing.T) {
+	a := ir.NewArray("A", 8, 10)
+	v := ir.NewArray("V", 8, 100)
+	v.Alias = a
+	b := ir.NewArray("B", 8, 1)
+	end, err := Assign([]*ir.Array{a, v, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Base != 80 || end != 88 {
+		t.Errorf("alias consumed space: B at %d, end %d", b.Base, end)
+	}
+}
+
+func TestAssignProgramPlacesAliasTargets(t *testing.T) {
+	// A program whose only references go through an alias view must still
+	// place the concrete target.
+	concrete := ir.NewArray("C", 8, 8, 8)
+	view := ir.NewArray("C$flat", 8, 0)
+	view.Alias = concrete
+
+	b := ir.NewSub("m")
+	b.AddLocal(view)
+	b.Do("I", ir.Con(1), ir.Con(4)).
+		Assign("S1", ir.NewRef(view, ir.Var("I"))).
+		End()
+	_ = b
+	np := &ir.NProgram{Arrays: []*ir.Array{view}}
+	if err := AssignProgram(np, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if concrete.Base < 0 {
+		t.Error("alias target not placed")
+	}
+	if view.Base != concrete.Base {
+		t.Errorf("view base %d != target base %d", view.Base, concrete.Base)
+	}
+}

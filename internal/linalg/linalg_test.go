@@ -1,0 +1,277 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatBasics(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		op   string
+		want Rat
+	}{
+		{NewRat(1, 2), NewRat(1, 3), "+", NewRat(5, 6)},
+		{NewRat(1, 2), NewRat(1, 3), "-", NewRat(1, 6)},
+		{NewRat(2, 3), NewRat(3, 4), "*", NewRat(1, 2)},
+		{NewRat(2, 3), NewRat(4, 3), "/", NewRat(1, 2)},
+		{NewRat(-4, -6), NewRat(0, 5), "+", NewRat(2, 3)},
+	}
+	for _, c := range cases {
+		var got Rat
+		switch c.op {
+		case "+":
+			got = c.a.Add(c.b)
+		case "-":
+			got = c.a.Sub(c.b)
+		case "*":
+			got = c.a.Mul(c.b)
+		case "/":
+			got = c.a.Div(c.b)
+		}
+		if got.Cmp(c.want) != 0 {
+			t.Errorf("%v %s %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRatCanonical(t *testing.T) {
+	r := NewRat(6, -4)
+	if r.Num() != -3 || r.Den() != 2 {
+		t.Errorf("NewRat(6,-4) = %d/%d, want -3/2", r.Num(), r.Den())
+	}
+	if r.String() != "-3/2" {
+		t.Errorf("String = %q", r.String())
+	}
+	if NewRat(4, 2).String() != "2" {
+		t.Errorf("integer rendering broken")
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	cases := []struct {
+		r           Rat
+		floor, ceil int64
+	}{
+		{NewRat(7, 2), 3, 4},
+		{NewRat(-7, 2), -4, -3},
+		{NewRat(6, 2), 3, 3},
+		{NewRat(-6, 2), -3, -3},
+		{NewRat(0, 5), 0, 0},
+		{NewRat(1, 3), 0, 1},
+		{NewRat(-1, 3), -1, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Floor(); got != c.floor {
+			t.Errorf("Floor(%v) = %d, want %d", c.r, got, c.floor)
+		}
+		if got := c.r.Ceil(); got != c.ceil {
+			t.Errorf("Ceil(%v) = %d, want %d", c.r, got, c.ceil)
+		}
+	}
+}
+
+// TestRatFieldProperties uses testing/quick: field axioms on small
+// rationals.
+func TestRatFieldProperties(t *testing.T) {
+	mk := func(n int8, d int8) Rat {
+		dd := int64(d)
+		if dd == 0 {
+			dd = 1
+		}
+		return NewRat(int64(n), dd)
+	}
+	commutative := func(a, b int8, c, d int8) bool {
+		x, y := mk(a, c), mk(b, d)
+		return x.Add(y).Cmp(y.Add(x)) == 0 && x.Mul(y).Cmp(y.Mul(x)) == 0
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error(err)
+	}
+	distributive := func(a, b, c int8) bool {
+		x, y, z := RatInt(int64(a)), mk(b, 3), mk(c, 7)
+		l := x.Mul(y.Add(z))
+		r := x.Mul(y).Add(x.Mul(z))
+		return l.Cmp(r) == 0
+	}
+	if err := quick.Check(distributive, nil); err != nil {
+		t.Error(err)
+	}
+	inverse := func(a int8, b int8) bool {
+		x := mk(a, b)
+		if x.IsZero() {
+			return true
+		}
+		return x.Div(x).Cmp(RatInt(1)) == 0 && x.Sub(x).IsZero()
+	}
+	if err := quick.Check(inverse, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if GCD(12, 18) != 6 || GCD(-12, 18) != 6 || GCD(0, 7) != 7 || GCD(0, 0) != 0 {
+		t.Error("GCD broken")
+	}
+	if LCM(4, 6) != 12 || LCM(0, 5) != 0 {
+		t.Error("LCM broken")
+	}
+}
+
+func TestSolveUnique(t *testing.T) {
+	// The §3.5 system: [[0,1],[1,0]]·x = (−1, 0) has unique solution (0,−1).
+	m := IntMat([]int64{0, 1}, []int64{1, 0})
+	sol, ok := Solve(m, IntVec(-1, 0))
+	if !ok {
+		t.Fatal("inconsistent?")
+	}
+	if !sol.Particular.Equal(IntVec(0, -1)) {
+		t.Errorf("particular = %v, want (0, -1)", sol.Particular)
+	}
+	if len(sol.Nullspace) != 0 {
+		t.Errorf("nullspace = %v, want empty", sol.Nullspace)
+	}
+}
+
+func TestSolveUnderdetermined(t *testing.T) {
+	// x1 + x2 = 2 over 3 unknowns: nullspace rank 2.
+	m := IntMat([]int64{1, 1, 0})
+	sol, ok := Solve(m, IntVec(2))
+	if !ok {
+		t.Fatal("inconsistent?")
+	}
+	if got := m.MulVec(sol.Particular); !got.Equal(IntVec(2)) {
+		t.Errorf("A·particular = %v", got)
+	}
+	if len(sol.Nullspace) != 2 {
+		t.Fatalf("nullspace rank = %d, want 2", len(sol.Nullspace))
+	}
+	for _, v := range sol.Nullspace {
+		if !m.MulVec(v).IsZero() {
+			t.Errorf("nullspace vector %v not in kernel", v)
+		}
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	m := IntMat([]int64{1, 1}, []int64{2, 2})
+	if _, ok := Solve(m, IntVec(1, 3)); ok {
+		t.Error("expected inconsistency")
+	}
+}
+
+func TestSolveEmptyMatrix(t *testing.T) {
+	m := NewMat(0, 3)
+	sol, ok := Solve(m, nil)
+	if !ok || len(sol.Nullspace) != 3 {
+		t.Fatalf("0-row system: ok=%v nullspace=%d, want identity basis of 3", ok, len(sol.Nullspace))
+	}
+}
+
+func TestNullspacePrimitive(t *testing.T) {
+	// Kernel of [2, 4] is spanned by (2, -1) after scaling... primitive
+	// integral: (-2, 1) canonicalised to (2, -1)? First nonzero positive.
+	m := IntMat([]int64{2, 4})
+	ns := Nullspace(m)
+	if len(ns) != 1 {
+		t.Fatalf("nullspace size = %d", len(ns))
+	}
+	v := ns[0]
+	if !m.MulVec(v).IsZero() {
+		t.Fatalf("not in kernel: %v", v)
+	}
+	if !v.IsIntegral() {
+		t.Fatalf("not integral: %v", v)
+	}
+	ints, _ := v.Ints()
+	g := GCD(ints[0], ints[1])
+	if g != 1 {
+		t.Errorf("not primitive: %v (gcd %d)", v, g)
+	}
+	if ints[0] < 0 {
+		t.Errorf("not sign-canonical: %v", v)
+	}
+}
+
+// TestSolveProperty: random small systems — when Solve reports a solution,
+// A·x = b must hold for the particular solution and every nullspace shift.
+func TestSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		rows := 1 + rng.Intn(3)
+		cols := 1 + rng.Intn(4)
+		m := NewMat(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, RatInt(int64(rng.Intn(7)-3)))
+			}
+		}
+		b := make(Vec, rows)
+		for i := range b {
+			b[i] = RatInt(int64(rng.Intn(9) - 4))
+		}
+		sol, ok := Solve(m, b)
+		if !ok {
+			continue
+		}
+		if got := m.MulVec(sol.Particular); !got.Equal(b) {
+			t.Fatalf("trial %d: A·x = %v, want %v (A=%v)", trial, got, b, m)
+		}
+		for _, nv := range sol.Nullspace {
+			shifted := sol.Particular.Add(nv.Scale(RatInt(3)))
+			if got := m.MulVec(shifted); !got.Equal(b) {
+				t.Fatalf("trial %d: nullspace shift breaks solution", trial)
+			}
+		}
+		if Rank(m)+len(sol.Nullspace) != cols {
+			t.Fatalf("trial %d: rank-nullity violated: rank %d + nullity %d != %d",
+				trial, Rank(m), len(sol.Nullspace), cols)
+		}
+	}
+}
+
+func TestIntegralParticular(t *testing.T) {
+	// x1/2 free system where the rational particular needs a kernel shift:
+	// 2·x1 + x2 = 1 → particular (1/2, 0), shiftable to (0, 1).
+	m := IntMat([]int64{2, 1})
+	sol, ok := Solve(m, IntVec(1))
+	if !ok {
+		t.Fatal("inconsistent")
+	}
+	p, ok := IntegralParticular(sol)
+	if !ok {
+		t.Fatal("no integral particular found")
+	}
+	if !p.IsIntegral() {
+		t.Fatalf("non-integral result %v", p)
+	}
+	if got := m.MulVec(p); !got.Equal(IntVec(1)) {
+		t.Fatalf("A·p = %v", got)
+	}
+}
+
+func TestMatDropRow(t *testing.T) {
+	m := IntMat([]int64{1, 2}, []int64{3, 4}, []int64{5, 6})
+	d := m.DropRow(1)
+	if d.Rows != 2 || d.At(1, 0).Cmp(RatInt(5)) != 0 {
+		t.Errorf("DropRow wrong: %v", d)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	v := IntVec(1, 2, 3)
+	w := IntVec(4, 5, 6)
+	if v.Dot(w).Cmp(RatInt(32)) != 0 {
+		t.Error("dot product broken")
+	}
+	if !v.Add(w).Equal(IntVec(5, 7, 9)) || !w.Sub(v).Equal(IntVec(3, 3, 3)) {
+		t.Error("add/sub broken")
+	}
+	if !v.Neg().Equal(IntVec(-1, -2, -3)) {
+		t.Error("neg broken")
+	}
+	if v.IsZero() || !ZeroVec(3).IsZero() {
+		t.Error("IsZero broken")
+	}
+}

@@ -1,0 +1,180 @@
+// Package linalg provides exact rational arithmetic and the small-scale
+// integer linear algebra needed by the reuse analysis: solving affine
+// systems M·x = b over the integers, computing particular solutions and
+// integer nullspace bases via fraction-free Gaussian elimination.
+//
+// All matrices involved are tiny (array dimensionality × loop depth, both
+// typically ≤ 6), so clarity and exactness are preferred over asymptotic
+// performance.
+package linalg
+
+import "fmt"
+
+// Rat is an exact rational number with int64 numerator and denominator.
+// The zero value is 0/1. Rats are always kept in canonical form: the
+// denominator is positive and gcd(num, den) == 1.
+type Rat struct {
+	num int64
+	den int64
+}
+
+// NewRat returns the canonical rational num/den. It panics if den == 0.
+func NewRat(num, den int64) Rat {
+	if den == 0 {
+		panic("linalg: zero denominator")
+	}
+	r := Rat{num, den}
+	r.normalize()
+	return r
+}
+
+// RatInt returns the rational representation of the integer n.
+func RatInt(n int64) Rat { return Rat{n, 1} }
+
+func (r *Rat) normalize() {
+	if r.den == 0 {
+		panic("linalg: zero denominator")
+	}
+	if r.den < 0 {
+		r.num, r.den = -r.num, -r.den
+	}
+	if r.num == 0 {
+		r.den = 1
+		return
+	}
+	g := GCD(abs64(r.num), r.den)
+	r.num /= g
+	r.den /= g
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// GCD returns the greatest common divisor of a and b (non-negative result).
+// GCD(0, 0) == 0 by convention.
+func GCD(a, b int64) int64 {
+	a, b = abs64(a), abs64(b)
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b. LCM(0, x) == 0.
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return abs64(a/GCD(a, b)) * abs64(b)
+}
+
+// Num returns the numerator of r in canonical form.
+func (r Rat) Num() int64 { return r.num }
+
+// Den returns the (positive) denominator of r in canonical form.
+func (r Rat) Den() int64 {
+	if r.den == 0 {
+		return 1 // zero value
+	}
+	return r.den
+}
+
+// IsZero reports whether r == 0.
+func (r Rat) IsZero() bool { return r.num == 0 }
+
+// IsInt reports whether r is an integer.
+func (r Rat) IsInt() bool { return r.Den() == 1 }
+
+// Int returns r as an int64 and reports whether the conversion is exact.
+func (r Rat) Int() (int64, bool) {
+	if !r.IsInt() {
+		return 0, false
+	}
+	return r.num, true
+}
+
+// Float returns the closest float64 to r.
+func (r Rat) Float() float64 { return float64(r.num) / float64(r.Den()) }
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat { return NewRat(r.num*s.Den()+s.num*r.Den(), r.Den()*s.Den()) }
+
+// Sub returns r − s.
+func (r Rat) Sub(s Rat) Rat { return NewRat(r.num*s.Den()-s.num*r.Den(), r.Den()*s.Den()) }
+
+// Mul returns r × s.
+func (r Rat) Mul(s Rat) Rat { return NewRat(r.num*s.num, r.Den()*s.Den()) }
+
+// Div returns r ÷ s. It panics if s == 0.
+func (r Rat) Div(s Rat) Rat {
+	if s.IsZero() {
+		panic("linalg: division by zero")
+	}
+	return NewRat(r.num*s.Den(), r.Den()*s.num)
+}
+
+// Neg returns −r.
+func (r Rat) Neg() Rat { return Rat{-r.num, r.Den()} }
+
+// Cmp compares r and s, returning −1, 0 or +1.
+func (r Rat) Cmp(s Rat) int {
+	d := r.num*s.Den() - s.num*r.Den()
+	switch {
+	case d < 0:
+		return -1
+	case d > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Sign returns the sign of r as −1, 0 or +1.
+func (r Rat) Sign() int {
+	switch {
+	case r.num < 0:
+		return -1
+	case r.num > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Abs returns |r|.
+func (r Rat) Abs() Rat {
+	if r.num < 0 {
+		return Rat{-r.num, r.Den()}
+	}
+	return Rat{r.num, r.Den()}
+}
+
+// Floor returns the largest integer ≤ r.
+func (r Rat) Floor() int64 {
+	d := r.Den()
+	if r.num >= 0 {
+		return r.num / d
+	}
+	return -((-r.num + d - 1) / d)
+}
+
+// Ceil returns the smallest integer ≥ r.
+func (r Rat) Ceil() int64 {
+	d := r.Den()
+	if r.num >= 0 {
+		return (r.num + d - 1) / d
+	}
+	return -(-r.num / d)
+}
+
+// String renders r as "n" or "n/d".
+func (r Rat) String() string {
+	if r.IsInt() {
+		return fmt.Sprintf("%d", r.num)
+	}
+	return fmt.Sprintf("%d/%d", r.num, r.den)
+}

@@ -1,0 +1,355 @@
+// Package normalize implements the five loop-nest pre-processing steps of
+// §3.1 of the paper:
+//
+//  1. all loop step sizes are made 1,
+//  2. statements outside any loop get an enclosing 1..1 loop,
+//  3. statements at depth k < n get n−k innermost 1..1 loops,
+//  4. loop sinking moves statements into the innermost depth by adding IF
+//     guards (a statement before a loop sinks guarded by I == lo; a
+//     statement after the last loop sinks guarded by I == hi),
+//  5. loop variables are renamed positionally so that depth k uses I_k.
+//
+// The input is a call-free ir.Subroutine (run internal/inline first); the
+// output is an ir.NProgram in which every statement is nested inside an
+// n-dimensional nest, with its loop label vector, per-depth affine bounds
+// and affine guard constraints attached.
+package normalize
+
+import (
+	"fmt"
+
+	"cachemodel/internal/ir"
+)
+
+// Normalize applies the five steps to sub and returns the normalised
+// program. It returns an error if the subroutine violates the program
+// model (calls present, non-affine expressions, unknown variables).
+func Normalize(sub *ir.Subroutine) (*ir.NProgram, error) {
+	n := &normalizer{known: map[string]*ir.Array{}}
+	for _, a := range sub.Arrays() {
+		n.known[a.Name] = a
+	}
+	tree, err := n.flatten(sub.Body, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.normalizeSteps(tree, nil); err != nil {
+		return nil, err
+	}
+	depth := maxDepth(tree)
+	if depth == 0 {
+		depth = 1 // a program of straight-line statements still gets one loop
+	}
+	tree = n.sink(tree, 0, depth)
+	np := &ir.NProgram{Name: sub.Name, Depth: depth}
+	seen := map[*ir.Array]bool{}
+	seq := 0
+	for i, w := range tree {
+		nl, err := n.emit(w, []int{i + 1}, nil, nil, nil, depth, np, seen, &seq)
+		if err != nil {
+			return nil, err
+		}
+		np.Top = append(np.Top, nl)
+	}
+	return np, nil
+}
+
+// wnode is a working tree node: either a loop (with children) or a
+// statement, each carrying accumulated IF guards.
+type wnode struct {
+	loop     *ir.Loop // non-nil for loops
+	stmt     *ir.Assign
+	guards   []ir.Cond
+	children []*wnode
+}
+
+type normalizer struct {
+	known map[string]*ir.Array
+	fresh int
+}
+
+// flatten turns a body into wnodes, distributing IF guards onto the
+// contained loops and statements and rejecting call statements.
+func (n *normalizer) flatten(nodes []ir.Node, guards []ir.Cond) ([]*wnode, error) {
+	var out []*wnode
+	for _, node := range nodes {
+		switch node := node.(type) {
+		case *ir.Loop:
+			kids, err := n.flatten(node.Body, nil)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &wnode{loop: node, guards: append([]ir.Cond(nil), guards...), children: kids})
+		case *ir.If:
+			g := append(append([]ir.Cond(nil), guards...), node.Conds...)
+			kids, err := n.flatten(node.Body, g)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, kids...)
+		case *ir.Assign:
+			out = append(out, &wnode{stmt: node, guards: append([]ir.Cond(nil), guards...)})
+		case *ir.Call:
+			return nil, fmt.Errorf("normalize: call to %s not inlined (run internal/inline first)", node.Callee)
+		default:
+			return nil, fmt.Errorf("normalize: unknown node %T", node)
+		}
+	}
+	return out, nil
+}
+
+// normalizeSteps rewrites every loop with step ≠ 1 into a unit-step loop,
+// substituting var := lo + (var−1)·step throughout its subtree. Non-unit
+// steps require constant bounds (the paper's regular programs satisfy
+// this; variable-bound strided loops are data-dependent for trip count).
+func (n *normalizer) normalizeSteps(tree []*wnode, outer []string) error {
+	for _, w := range tree {
+		if w.loop == nil {
+			continue
+		}
+		l := w.loop
+		step := l.Step
+		if step == 0 {
+			step = 1
+		}
+		if step != 1 {
+			if !l.Lo.IsConst() || !l.Hi.IsConst() {
+				return fmt.Errorf("normalize: loop %s has step %d with non-constant bounds", l.Var, step)
+			}
+			lo, hi := l.Lo.Const, l.Hi.Const
+			trip := (hi - lo) / step
+			if (step > 0 && hi < lo) || (step < 0 && hi > lo) {
+				trip = -1 // empty loop
+			}
+			// var := lo + (var' − 1)·step, var' in 1..trip+1
+			repl := ir.Con(lo - step).Plus(ir.Term(step, l.Var))
+			substSubtree(w, l.Var, repl)
+			l.Lo = ir.Con(1)
+			l.Hi = ir.Con(trip + 1)
+			l.Step = 1
+		}
+		if err := n.normalizeSteps(w.children, append(outer, l.Var)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func substSubtree(w *wnode, name string, repl ir.Expr) {
+	for i := range w.guards {
+		w.guards[i] = ir.Cond{LHS: w.guards[i].LHS.Subst(name, repl), Op: w.guards[i].Op, RHS: w.guards[i].RHS.Subst(name, repl)}
+	}
+	if w.stmt != nil {
+		for _, r := range w.stmt.Refs() {
+			for j := range r.Subs {
+				r.Subs[j] = r.Subs[j].Subst(name, repl)
+			}
+		}
+	}
+	if w.loop != nil {
+		// Do not substitute into this loop's own Var; bounds may use it? No:
+		// bounds reference outer loops only.
+		w.loop.Lo = w.loop.Lo.Subst(name, repl)
+		w.loop.Hi = w.loop.Hi.Subst(name, repl)
+	}
+	for _, c := range w.children {
+		substSubtree(c, name, repl)
+	}
+}
+
+func maxDepth(tree []*wnode) int {
+	d := 0
+	for _, w := range tree {
+		if w.loop != nil {
+			if k := 1 + maxDepth(w.children); k > d {
+				d = k
+			}
+		}
+	}
+	return d
+}
+
+// sink rewrites a sibling list at the given depth so that it contains only
+// loops (when depth < n). Statements sink into an adjacent loop with an
+// equality guard, or get a fresh 1..1 loop when no sibling loop exists.
+func (n *normalizer) sink(tree []*wnode, depth, nTotal int) []*wnode {
+	if depth == nTotal {
+		return tree // statement level: nothing to do
+	}
+	hasLoop := false
+	for _, w := range tree {
+		if w.loop != nil {
+			hasLoop = true
+			break
+		}
+	}
+	if !hasLoop {
+		if len(tree) == 0 {
+			return nil
+		}
+		// Wrap the whole run of statements in one fresh 1..1 loop.
+		n.fresh++
+		l := &ir.Loop{Var: fmt.Sprintf("__pad%d", n.fresh), Lo: ir.Con(1), Hi: ir.Con(1), Step: 1}
+		wrapped := &wnode{loop: l, children: tree}
+		wrapped.children = n.sink(wrapped.children, depth+1, nTotal)
+		return []*wnode{wrapped}
+	}
+	// Sink statements into adjacent loops.
+	var loops []*wnode
+	var pending []*wnode // statements awaiting the next loop
+	for _, w := range tree {
+		if w.loop == nil {
+			pending = append(pending, w)
+			continue
+		}
+		if len(pending) > 0 {
+			// Statements before this loop: guard I == lo, prepend.
+			for i := range pending {
+				pending[i].guards = append(pending[i].guards,
+					ir.Cond{LHS: ir.Var(w.loop.Var), Op: ir.EQ, RHS: w.loop.Lo})
+			}
+			w.children = append(append([]*wnode(nil), pending...), w.children...)
+			pending = nil
+		}
+		loops = append(loops, w)
+	}
+	if len(pending) > 0 {
+		// Trailing statements: guard I == hi, append to the last loop.
+		last := loops[len(loops)-1]
+		for i := range pending {
+			pending[i].guards = append(pending[i].guards,
+				ir.Cond{LHS: ir.Var(last.loop.Var), Op: ir.EQ, RHS: last.loop.Hi})
+		}
+		last.children = append(last.children, pending...)
+	}
+	for _, l := range loops {
+		l.children = n.sink(l.children, depth+1, nTotal)
+	}
+	return loops
+}
+
+// emit converts the sunk working tree into the normalised representation,
+// assigning labels, converting expressions to positional affine form and
+// numbering references.
+func (n *normalizer) emit(w *wnode, label []int, vars []string, bounds []ir.NBound,
+	inherited []ir.Cond, nTotal int, np *ir.NProgram, seen map[*ir.Array]bool, seq *int) (*ir.NLoop, error) {
+
+	if w.loop == nil {
+		return nil, fmt.Errorf("normalize: internal error: statement at loop position")
+	}
+	depthOf := map[string]int{}
+	for i, v := range vars {
+		depthOf[v] = i + 1
+	}
+	lo, err := affine(w.loop.Lo, depthOf, len(vars))
+	if err != nil {
+		return nil, fmt.Errorf("loop %s lower bound: %w", w.loop.Var, err)
+	}
+	hi, err := affine(w.loop.Hi, depthOf, len(vars))
+	if err != nil {
+		return nil, fmt.Errorf("loop %s upper bound: %w", w.loop.Var, err)
+	}
+	nl := &ir.NLoop{Bound: ir.NBound{Lo: lo, Hi: hi}}
+	inherited = append(append([]ir.Cond(nil), inherited...), w.guards...)
+	vars = append(vars, w.loop.Var)
+	bounds = append(bounds, nl.Bound)
+	depthOf[w.loop.Var] = len(vars)
+
+	depth := len(label)
+	if depth < nTotal {
+		childIdx := 0
+		for _, c := range w.children {
+			childIdx++
+			cl, err := n.emit(c, append(append([]int(nil), label...), childIdx), vars, bounds, inherited, nTotal, np, seen, seq)
+			if err != nil {
+				return nil, err
+			}
+			nl.Loops = append(nl.Loops, cl)
+		}
+		return nl, nil
+	}
+
+	// depth == nTotal: children are statements.
+	for _, c := range w.children {
+		if c.stmt == nil {
+			return nil, fmt.Errorf("normalize: internal error: loop below depth n")
+		}
+		ns := &ir.NStmt{
+			Label:  append([]int(nil), label...),
+			Bounds: append([]ir.NBound(nil), bounds...),
+			Name:   c.stmt.Label,
+		}
+		allGuards := append(append([]ir.Cond(nil), inherited...), c.guards...)
+		for _, g := range allGuards {
+			lhs, err := affine(g.LHS, depthOf, nTotal)
+			if err != nil {
+				return nil, fmt.Errorf("guard of %s: %w", c.stmt.Label, err)
+			}
+			rhs, err := affine(g.RHS, depthOf, nTotal)
+			if err != nil {
+				return nil, fmt.Errorf("guard of %s: %w", c.stmt.Label, err)
+			}
+			ns.Guards = append(ns.Guards, lowerCond(lhs, g.Op, rhs)...)
+		}
+		for ri, r := range c.stmt.Refs() {
+			nr := &ir.NRef{Array: r.Array, Write: r.Write, Stmt: ns, Seq: *seq,
+				ID: fmt.Sprintf("%s/%s#%d", c.stmt.Label, r.Array.Name, ri)}
+			*seq++
+			for _, s := range r.Subs {
+				a, err := affine(s, depthOf, nTotal)
+				if err != nil {
+					return nil, fmt.Errorf("subscript of %s in %s: %w", r.Array.Name, c.stmt.Label, err)
+				}
+				nr.Subs = append(nr.Subs, a)
+			}
+			ns.Refs = append(ns.Refs, nr)
+			np.Refs = append(np.Refs, nr)
+			if !seen[r.Array] {
+				seen[r.Array] = true
+				np.Arrays = append(np.Arrays, r.Array)
+			}
+		}
+		nl.Stmts = append(nl.Stmts, ns)
+		np.Stmts = append(np.Stmts, ns)
+	}
+	return nl, nil
+}
+
+// affine converts a named expression to positional form, checking that all
+// variables are enclosing loop indices.
+func affine(e ir.Expr, depthOf map[string]int, n int) (ir.Affine, error) {
+	a := ir.Affine{Const: e.Const, Coeff: make([]int64, n)}
+	for v, c := range e.Terms {
+		d, ok := depthOf[v]
+		if !ok {
+			return ir.Affine{}, fmt.Errorf("variable %q is not an enclosing loop index (data-dependent construct?)", v)
+		}
+		a.Coeff[d-1] += c
+	}
+	return a, nil
+}
+
+// lowerCond converts lhs op rhs into ≥0 / =0 normal-form constraints.
+func lowerCond(lhs ir.Affine, op ir.CmpOp, rhs ir.Affine) []ir.NConstraint {
+	d := lhs.Sub(rhs)
+	neg := func(a ir.Affine) ir.Affine {
+		out := ir.Affine{Const: -a.Const, Coeff: make([]int64, len(a.Coeff))}
+		for i, c := range a.Coeff {
+			out.Coeff[i] = -c
+		}
+		return out
+	}
+	switch op {
+	case ir.EQ:
+		return []ir.NConstraint{{Expr: d, IsEq: true}}
+	case ir.LE:
+		return []ir.NConstraint{{Expr: neg(d)}}
+	case ir.LT:
+		return []ir.NConstraint{{Expr: neg(d).AddConst(-1)}}
+	case ir.GE:
+		return []ir.NConstraint{{Expr: d}}
+	case ir.GT:
+		return []ir.NConstraint{{Expr: d.AddConst(-1)}}
+	}
+	panic("normalize: unknown comparison")
+}

@@ -1,0 +1,228 @@
+package normalize
+
+import (
+	"testing"
+
+	"cachemodel/internal/ir"
+	"cachemodel/internal/poly"
+)
+
+// figure1 builds the subroutine of Figure 1 of the paper with N = n.
+//
+//	DO I1 = 2, N
+//	  S1: A(I1-1) = ...
+//	  DO I2 = I1, N
+//	    S2: B(I2-1, I1) = A(I2-1)
+//	  DO I2 = 1, N
+//	    S3: ... = B(I2, I1)
+//	  S4: ... = A(I1)
+//	DO I1 = 1, N-1
+//	  S5: A(I1+1) = ...
+func figure1(n int64) *ir.Subroutine {
+	b := ir.NewSub("foo")
+	A := b.Real8("A", n)
+	B := b.Real8("B", n, n)
+	b.Do("I1", ir.Con(2), ir.Con(n)).
+		Assign("S1", ir.R(A, ir.Var("I1").PlusConst(-1))).
+		Do("I2", ir.Var("I1"), ir.Con(n)).
+		Assign("S2", ir.R(B, ir.Var("I2").PlusConst(-1), ir.Var("I1")), ir.R(A, ir.Var("I2").PlusConst(-1))).
+		End().
+		Do("I2", ir.Con(1), ir.Con(n)).
+		Assign("S3", nil, ir.R(B, ir.Var("I2"), ir.Var("I1"))).
+		End().
+		Assign("S4", nil, ir.R(A, ir.Var("I1"))).
+		End().
+		Do("I1", ir.Con(1), ir.Con(n-1)).
+		Assign("S5", ir.R(A, ir.Var("I1").PlusConst(1))).
+		End()
+	return b.Build()
+}
+
+func mustNormalize(t *testing.T, sub *ir.Subroutine) *ir.NProgram {
+	t.Helper()
+	np, err := Normalize(sub)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	return np
+}
+
+// TestFigure2Normalisation checks the normalised shape of Figure 2: depth
+// 2, five statements, with S1 sunk into L(1,1) guarded by I2 == I1, S4
+// sunk into L(1,2) guarded by I2 == N, and S5 wrapped in a 1..1 loop.
+func TestFigure2Normalisation(t *testing.T) {
+	const n = 10
+	np := mustNormalize(t, figure1(n))
+	if np.Depth != 2 {
+		t.Fatalf("depth = %d, want 2", np.Depth)
+	}
+	if len(np.Stmts) != 5 {
+		t.Fatalf("statements = %d, want 5", len(np.Stmts))
+	}
+	byName := map[string]*ir.NStmt{}
+	for _, s := range np.Stmts {
+		byName[s.Name] = s
+	}
+	// Program order: S1, S2 in L(1,1); S3, S4 in L(1,2); S5 in L(2,1).
+	order := []string{"S1", "S2", "S3", "S4", "S5"}
+	for i, name := range order {
+		if np.Stmts[i].Name != name {
+			t.Errorf("stmt %d = %s, want %s", i, np.Stmts[i].Name, name)
+		}
+	}
+	if g := byName["S1"].Guards; len(g) != 1 || !g[0].IsEq {
+		t.Errorf("S1 guards = %v, want single equality (I2 == I1)", g)
+	}
+	if g := byName["S4"].Guards; len(g) != 1 || !g[0].IsEq {
+		t.Errorf("S4 guards = %v, want single equality (I2 == N)", g)
+	}
+	if g := byName["S2"].Guards; len(g) != 0 {
+		t.Errorf("S2 guards = %v, want none", g)
+	}
+	if g := byName["S5"].Guards; len(g) != 0 {
+		t.Errorf("S5 guards = %v, want none (wrapped in 1..1 loop)", g)
+	}
+}
+
+// TestTable1IterationVectors reproduces Table 1: the iteration vectors of
+// the five statements.
+func TestTable1IterationVectors(t *testing.T) {
+	np := mustNormalize(t, figure1(10))
+	want := map[string]string{
+		"S1": "(1, I1, 1, I2)",
+		"S2": "(1, I1, 1, I2)",
+		"S3": "(1, I1, 2, I2)",
+		"S4": "(1, I1, 2, I2)",
+		"S5": "(2, I1, 1, I2)",
+	}
+	for _, s := range np.Stmts {
+		if got := s.IterationVector(); got != want[s.Name] {
+			t.Errorf("%s iteration vector = %s, want %s", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+// TestFigure2RIS checks the RIS volumes of §3.3 for N = 10:
+// |RIS_S1| = N−1, |RIS_S2| = (N−1)N/2 ... computed on the triangular space.
+func TestFigure2RIS(t *testing.T) {
+	const n = int64(10)
+	np := mustNormalize(t, figure1(n))
+	byName := map[string]*ir.NStmt{}
+	for _, s := range np.Stmts {
+		byName[s.Name] = s
+	}
+	vol := func(name string) int64 {
+		return poly.FromStmt(byName[name]).Volume()
+	}
+	if got, want := vol("S1"), n-1; got != want {
+		t.Errorf("|RIS_S1| = %d, want %d", got, want)
+	}
+	if got, want := vol("S2"), (n-1)*n/2; got != want {
+		t.Errorf("|RIS_S2| = %d, want %d", got, want)
+	}
+	if got, want := vol("S3"), (n-1)*n; got != want {
+		t.Errorf("|RIS_S3| = %d, want %d", got, want)
+	}
+	if got, want := vol("S4"), n-1; got != want {
+		t.Errorf("|RIS_S4| = %d, want %d", got, want)
+	}
+	if got, want := vol("S5"), n-1; got != want {
+		t.Errorf("|RIS_S5| = %d, want %d", got, want)
+	}
+}
+
+// TestStepNormalisation checks that non-unit steps are rewritten to unit
+// steps with substituted subscripts.
+func TestStepNormalisation(t *testing.T) {
+	b := ir.NewSub("s")
+	A := b.Real8("A", 100)
+	b.DoStep("I", ir.Con(1), ir.Con(99), 2).
+		Assign("S1", ir.R(A, ir.Var("I"))).
+		End()
+	np := mustNormalize(t, b.Build())
+	s := np.Stmts[0]
+	sp := poly.FromStmt(s)
+	if got, want := sp.Volume(), int64(50); got != want {
+		t.Fatalf("trip count = %d, want %d", got, want)
+	}
+	// Subscript must now be 2·I − 1: at I = 1 → element 1, at I = 50 → 99.
+	r := s.Refs[0]
+	if got := r.Subs[0].Eval([]int64{1}); got != 1 {
+		t.Errorf("subscript at I=1 is %d, want 1", got)
+	}
+	if got := r.Subs[0].Eval([]int64{50}); got != 99 {
+		t.Errorf("subscript at I=50 is %d, want 99", got)
+	}
+}
+
+// TestGuardOnLoopPropagates checks that an IF wrapped around a whole loop
+// reaches the statements inside it.
+func TestGuardOnLoopPropagates(t *testing.T) {
+	b := ir.NewSub("s")
+	A := b.Real8("A", 100, 100)
+	b.Do("I", ir.Con(1), ir.Con(10)).
+		IfCond(ir.Cond{LHS: ir.Var("I"), Op: ir.GE, RHS: ir.Con(5)}).
+		Do("J", ir.Con(1), ir.Con(10)).
+		Assign("S1", ir.R(A, ir.Var("J"), ir.Var("I"))).
+		End().
+		End().
+		End()
+	np := mustNormalize(t, b.Build())
+	s := np.Stmts[0]
+	if len(s.Guards) != 1 {
+		t.Fatalf("guards = %v, want 1", s.Guards)
+	}
+	sp := poly.FromStmt(s)
+	if got, want := sp.Volume(), int64(6*10); got != want {
+		t.Errorf("volume = %d, want %d", got, want)
+	}
+}
+
+// TestDepthPadding: a 1-D statement next to a 3-D nest must be padded to
+// depth 3 with 1..1 loops.
+func TestDepthPadding(t *testing.T) {
+	b := ir.NewSub("s")
+	A := b.Real8("A", 50)
+	U := b.Real8("U", 50, 50, 50)
+	b.Do("I", ir.Con(1), ir.Con(5)).
+		Assign("S1", ir.R(A, ir.Var("I"))).
+		End().
+		Do("I", ir.Con(1), ir.Con(4)).
+		Do("J", ir.Con(1), ir.Con(3)).
+		Do("K", ir.Con(1), ir.Con(2)).
+		Assign("S2", ir.R(U, ir.Var("K"), ir.Var("J"), ir.Var("I"))).
+		End().End().End()
+	np := mustNormalize(t, b.Build())
+	if np.Depth != 3 {
+		t.Fatalf("depth = %d, want 3", np.Depth)
+	}
+	s1 := np.Stmts[0]
+	if got, want := poly.FromStmt(s1).Volume(), int64(5); got != want {
+		t.Errorf("|RIS_S1| = %d, want %d (1..1 padding loops)", got, want)
+	}
+	if got, want := poly.FromStmt(np.Stmts[1]).Volume(), int64(4*3*2); got != want {
+		t.Errorf("|RIS_S2| = %d, want %d", got, want)
+	}
+}
+
+// TestCallRejected: normalisation must refuse un-inlined calls.
+func TestCallRejected(t *testing.T) {
+	b := ir.NewSub("s")
+	b.Call("f")
+	if _, err := Normalize(b.Build()); err == nil {
+		t.Fatal("expected error for un-inlined call")
+	}
+}
+
+// TestDataDependentRejected: subscripts using a non-loop variable violate
+// the program model.
+func TestDataDependentRejected(t *testing.T) {
+	b := ir.NewSub("s")
+	A := b.Real8("A", 100)
+	b.Do("I", ir.Con(1), ir.Con(10)).
+		Assign("S1", ir.R(A, ir.Var("IDX"))).
+		End()
+	if _, err := Normalize(b.Build()); err == nil {
+		t.Fatal("expected error for data-dependent subscript")
+	}
+}

@@ -1,0 +1,218 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachemodel/internal/ir"
+)
+
+func bound(lo, hi ir.Affine) ir.NBound { return ir.NBound{Lo: lo, Hi: hi} }
+
+func konst(c int64) ir.Affine { return ir.AffineConst(c) }
+
+func rect(dims ...[2]int64) *Space {
+	var bs []ir.NBound
+	for _, d := range dims {
+		bs = append(bs, bound(konst(d[0]), konst(d[1])))
+	}
+	return New(bs, nil)
+}
+
+func TestRectVolume(t *testing.T) {
+	sp := rect([2]int64{1, 10}, [2]int64{2, 5}, [2]int64{1, 1})
+	if got := sp.Volume(); got != 40 {
+		t.Errorf("volume = %d, want 40", got)
+	}
+}
+
+func TestTriangularVolume(t *testing.T) {
+	// I1 in 1..n, I2 in I1..n: n(n+1)/2.
+	n := int64(12)
+	sp := New([]ir.NBound{
+		bound(konst(1), konst(n)),
+		bound(ir.AffineIndex(1), konst(n)),
+	}, nil)
+	if got, want := sp.Volume(), n*(n+1)/2; got != want {
+		t.Errorf("volume = %d, want %d", got, want)
+	}
+}
+
+func TestGuardedVolume(t *testing.T) {
+	// 1..10 × 1..10 with guard I2 == I1: the diagonal.
+	sp := New([]ir.NBound{
+		bound(konst(1), konst(10)),
+		bound(konst(1), konst(10)),
+	}, []ir.NConstraint{{Expr: ir.Affine{Coeff: []int64{-1, 1}}, IsEq: true}})
+	if got := sp.Volume(); got != 10 {
+		t.Errorf("volume = %d, want 10", got)
+	}
+}
+
+func TestInequalityGuardVolume(t *testing.T) {
+	// 1..10 × 1..10 with I1 + I2 <= 6, i.e. 6 − I1 − I2 >= 0.
+	sp := New([]ir.NBound{
+		bound(konst(1), konst(10)),
+		bound(konst(1), konst(10)),
+	}, []ir.NConstraint{{Expr: ir.Affine{Const: 6, Coeff: []int64{-1, -1}}}})
+	// I1=1: I2 in 1..5; I1=2: 1..4; ... I1=5: 1..1 → 5+4+3+2+1 = 15.
+	if got := sp.Volume(); got != 15 {
+		t.Errorf("volume = %d, want 15", got)
+	}
+}
+
+func TestEmptySpace(t *testing.T) {
+	sp := rect([2]int64{5, 4})
+	if got := sp.Volume(); got != 0 {
+		t.Errorf("volume = %d, want 0", got)
+	}
+	if sp.Contains([]int64{5}) {
+		t.Error("Contains on empty space")
+	}
+	if pts := sp.Sample(rand.New(rand.NewSource(1)), 3); len(pts) != 0 {
+		t.Errorf("sampled %d points from empty space", len(pts))
+	}
+}
+
+func TestEnumerateLexOrder(t *testing.T) {
+	sp := New([]ir.NBound{
+		bound(konst(1), konst(3)),
+		bound(ir.AffineIndex(1), konst(3)),
+	}, nil)
+	var got [][2]int64
+	sp.Enumerate(func(idx []int64) bool {
+		got = append(got, [2]int64{idx[0], idx[1]})
+		return true
+	})
+	want := [][2]int64{{1, 1}, {1, 2}, {1, 3}, {2, 2}, {2, 3}, {3, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("points = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if int64(len(got)) != sp.Volume() {
+		t.Errorf("enumeration %d != volume %d", len(got), sp.Volume())
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	sp := rect([2]int64{1, 100})
+	n := 0
+	sp.Enumerate(func(idx []int64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("visited %d, want 5", n)
+	}
+}
+
+// TestVolumeMatchesEnumeration: property check on random spaces — the
+// fast suffix-product volume must equal brute-force enumeration.
+func TestVolumeMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		depth := 1 + rng.Intn(3)
+		var bs []ir.NBound
+		for d := 0; d < depth; d++ {
+			lo := ir.Affine{Const: int64(1 + rng.Intn(3))}
+			hi := ir.Affine{Const: int64(3 + rng.Intn(6))}
+			if d > 0 && rng.Intn(2) == 0 {
+				// Make the bound depend on an outer index.
+				c := make([]int64, d)
+				c[rng.Intn(d)] = 1
+				lo = ir.Affine{Const: 0, Coeff: c}
+			}
+			bs = append(bs, bound(lo, hi))
+		}
+		var gs []ir.NConstraint
+		if rng.Intn(2) == 0 {
+			c := make([]int64, depth)
+			c[rng.Intn(depth)] = 1
+			gs = append(gs, ir.NConstraint{Expr: ir.Affine{Const: -2, Coeff: c}}) // I_d >= 2
+		}
+		sp := New(bs, gs)
+		var brute int64
+		sp.Enumerate(func([]int64) bool { brute++; return true })
+		if got := sp.Volume(); got != brute {
+			t.Fatalf("trial %d: volume %d != enumeration %d (bounds %v)", trial, got, brute, bs)
+		}
+	}
+}
+
+// TestSampleUniformity: sampling a triangular space must cover it roughly
+// uniformly — each half of the space receives close to its share.
+func TestSampleUniformity(t *testing.T) {
+	n := int64(20)
+	sp := New([]ir.NBound{
+		bound(konst(1), konst(n)),
+		bound(ir.AffineIndex(1), konst(n)),
+	}, nil)
+	rng := rand.New(rand.NewSource(7))
+	const draws = 20000
+	pts := sp.Sample(rng, draws)
+	if len(pts) != draws {
+		t.Fatalf("sampled %d of %d", len(pts), draws)
+	}
+	// P(I1 <= 7) = (20+19+...+14)/210 = 119/210 ≈ 0.5667.
+	low := 0
+	for _, p := range pts {
+		if !sp.Contains(p) {
+			t.Fatalf("sampled point %v outside space", p)
+		}
+		if p[0] <= 7 {
+			low++
+		}
+	}
+	got := float64(low) / draws
+	if got < 0.53 || got > 0.61 {
+		t.Errorf("P(I1<=7) estimated %.3f, want ≈ 0.567", got)
+	}
+}
+
+// TestSampleSparseGuard: rejection gives way to exact conditional sampling
+// on a diagonal (acceptance 1/n) and stays correct.
+func TestSampleSparseGuard(t *testing.T) {
+	n := int64(512)
+	sp := New([]ir.NBound{
+		bound(konst(1), konst(n)),
+		bound(konst(1), konst(n)),
+	}, []ir.NConstraint{{Expr: ir.Affine{Coeff: []int64{-1, 1}}, IsEq: true}})
+	rng := rand.New(rand.NewSource(11))
+	pts := sp.Sample(rng, 50)
+	if len(pts) != 50 {
+		t.Fatalf("sampled %d of 50", len(pts))
+	}
+	for _, p := range pts {
+		if p[0] != p[1] {
+			t.Fatalf("off-diagonal sample %v", p)
+		}
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	// I1 in 2..10, I2 in I1..I1+3 → box: I2 in 2..13.
+	sp := New([]ir.NBound{
+		bound(konst(2), konst(10)),
+		bound(ir.AffineIndex(1), ir.AffineIndex(1).AddConst(3)),
+	}, nil)
+	lo, hi, ok := sp.BoundingBox()
+	if !ok {
+		t.Fatal("empty box")
+	}
+	if lo[1] != 2 || hi[1] != 13 {
+		t.Errorf("I2 box = [%d, %d], want [2, 13]", lo[1], hi[1])
+	}
+}
+
+func TestDivHelpers(t *testing.T) {
+	if ceilDiv(7, 2) != 4 || ceilDiv(-7, 2) != -3 || ceilDiv(6, 3) != 2 {
+		t.Error("ceilDiv broken")
+	}
+	if floorDiv(7, 2) != 3 || floorDiv(-7, 2) != -4 || floorDiv(-6, 3) != -2 {
+		t.Error("floorDiv broken")
+	}
+}

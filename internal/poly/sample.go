@@ -1,0 +1,86 @@
+package poly
+
+import (
+	"math/rand"
+)
+
+// Sample draws n points uniformly at random from the space (with
+// replacement). It first tries rejection sampling from the bounding box;
+// when the acceptance rate is too low it falls back to exact conditional
+// sampling driven by sub-volume counts, which is uniform by construction.
+// It returns fewer than n points only if the space is empty.
+func (sp *Space) Sample(rng *rand.Rand, n int) [][]int64 {
+	if sp.Volume() == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi, ok := sp.BoundingBox()
+	if !ok {
+		return nil
+	}
+	boxVol := int64(1)
+	for k := range lo {
+		boxVol *= hi[k] - lo[k] + 1
+		if boxVol < 0 || boxVol > 1<<50 {
+			boxVol = 1 << 50 // avoid overflow; rejection likely hopeless anyway
+			break
+		}
+	}
+	out := make([][]int64, 0, n)
+	// Rejection phase: give up if acceptance appears worse than ~1/4096.
+	trials, accepted := 0, 0
+	maxTrials := 4096 * (n + 16)
+	for len(out) < n && trials < maxTrials {
+		trials++
+		idx := make([]int64, sp.Depth)
+		for k := range idx {
+			idx[k] = lo[k] + rng.Int63n(hi[k]-lo[k]+1)
+		}
+		if sp.Contains(idx) {
+			accepted++
+			out = append(out, idx)
+		}
+		// Periodically check whether rejection is hopeless.
+		if trials == 2048 && accepted == 0 {
+			break
+		}
+	}
+	for len(out) < n {
+		out = append(out, sp.conditionalSample(rng))
+	}
+	return out
+}
+
+// conditionalSample draws one exactly-uniform point by choosing each index
+// proportionally to the volume of the slice it induces.
+func (sp *Space) conditionalSample(rng *rand.Rand) []int64 {
+	idx := make([]int64, sp.Depth)
+	for k := 0; k < sp.Depth; k++ {
+		lo, hi, ok := sp.rangeAt(k, idx)
+		if !ok {
+			// Should not happen while total volume > 0 and choices are
+			// volume-weighted; defend anyway.
+			return idx
+		}
+		// Total volume below this prefix.
+		var total int64
+		weights := make([]int64, hi-lo+1)
+		for v := lo; v <= hi; v++ {
+			idx[k] = v
+			w := sp.count(k+1, idx)
+			weights[v-lo] = w
+			total += w
+		}
+		if total == 0 {
+			return idx
+		}
+		t := rng.Int63n(total)
+		for v := lo; v <= hi; v++ {
+			t -= weights[v-lo]
+			if t < 0 {
+				idx[k] = v
+				break
+			}
+		}
+	}
+	return idx
+}

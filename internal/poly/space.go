@@ -1,0 +1,266 @@
+// Package poly implements the iteration-space machinery of §3.2–3.3:
+// reference iteration spaces (RIS) described by per-depth affine loop
+// bounds plus affine guard constraints, with membership tests, exact
+// volume computation, lexicographic enumeration and uniform sampling.
+package poly
+
+import (
+	"cachemodel/internal/ir"
+)
+
+// Space is the iteration set of a normalised statement: the polytope
+// carved by the n affine bound pairs intersected with the guard
+// constraints. All references of one statement share a Space (§3.3).
+type Space struct {
+	Depth  int
+	Bounds []ir.NBound
+	Guards []ir.NConstraint
+
+	// guardsAt[k] lists the guards whose deepest index is I_{k+1}; they can
+	// be resolved as soon as I_1..I_{k+1} are assigned.
+	guardsAt [][]ir.NConstraint
+	volume   int64
+	volKnown bool
+}
+
+// FromStmt builds the Space of a normalised statement.
+func FromStmt(s *ir.NStmt) *Space {
+	sp := &Space{Depth: s.Depth(), Bounds: s.Bounds, Guards: s.Guards}
+	sp.index()
+	return sp
+}
+
+// New builds a Space from explicit bounds and guards (used in tests).
+func New(bounds []ir.NBound, guards []ir.NConstraint) *Space {
+	sp := &Space{Depth: len(bounds), Bounds: bounds, Guards: guards}
+	sp.index()
+	return sp
+}
+
+func (sp *Space) index() {
+	sp.guardsAt = make([][]ir.NConstraint, sp.Depth)
+	for _, g := range sp.Guards {
+		d := g.Expr.MaxDepthUsed()
+		if d == 0 {
+			d = 1 // constant guard: resolve at the first level
+		}
+		sp.guardsAt[d-1] = append(sp.guardsAt[d-1], g)
+	}
+}
+
+// Contains reports whether idx lies within bounds and satisfies all guards.
+func (sp *Space) Contains(idx []int64) bool {
+	if len(idx) != sp.Depth {
+		return false
+	}
+	for k := 0; k < sp.Depth; k++ {
+		lo := sp.Bounds[k].Lo.Eval(idx)
+		hi := sp.Bounds[k].Hi.Eval(idx)
+		if idx[k] < lo || idx[k] > hi {
+			return false
+		}
+	}
+	for _, g := range sp.Guards {
+		if !g.Holds(idx) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeAt computes the admissible range of I_{k+1} given the assigned
+// prefix idx[0..k-1]: the loop bounds tightened by every guard whose
+// deepest index is I_{k+1}. ok=false means the range is empty.
+// eqOnly, if non-negative, is the single admissible value forced by an
+// equality guard.
+func (sp *Space) rangeAt(k int, idx []int64) (lo, hi int64, ok bool) {
+	lo = sp.Bounds[k].Lo.Eval(idx)
+	hi = sp.Bounds[k].Hi.Eval(idx)
+	for _, g := range sp.guardsAt[k] {
+		c := g.Expr.At(k + 1)
+		// rest = value of the guard expression with I_{k+1} zeroed.
+		save := idx[k]
+		idx[k] = 0
+		rest := g.Expr.Eval(idx)
+		idx[k] = save
+		if c == 0 {
+			// Guard constant in I_{k+1} (only possible via deeper zero
+			// coefficients); evaluate directly.
+			if g.IsEq && rest != 0 {
+				return 0, -1, false
+			}
+			if !g.IsEq && rest < 0 {
+				return 0, -1, false
+			}
+			continue
+		}
+		if g.IsEq {
+			// c·v + rest == 0  =>  v = −rest/c (must divide).
+			if (-rest)%c != 0 {
+				return 0, -1, false
+			}
+			v := -rest / c
+			if v > lo {
+				lo = v
+			}
+			if v < hi {
+				hi = v
+			}
+		} else {
+			// c·v + rest >= 0.
+			if c > 0 {
+				// v >= ceil(−rest/c)
+				b := ceilDiv(-rest, c)
+				if b > lo {
+					lo = b
+				}
+			} else {
+				// v <= floor(rest/−c)
+				b := floorDiv(rest, -c)
+				if b < hi {
+					hi = b
+				}
+			}
+		}
+	}
+	if lo > hi {
+		return 0, -1, false
+	}
+	return lo, hi, true
+}
+
+func ceilDiv(a, b int64) int64 { // b > 0
+	if a >= 0 {
+		return (a + b - 1) / b
+	}
+	return -((-a) / b)
+}
+
+func floorDiv(a, b int64) int64 { // b > 0
+	if a >= 0 {
+		return a / b
+	}
+	return -((-a + b - 1) / b)
+}
+
+// Volume returns the exact number of iteration points in the space. The
+// result is cached. Rectangular suffixes are multiplied out rather than
+// enumerated, so common spaces cost far less than full enumeration.
+func (sp *Space) Volume() int64 {
+	if sp.volKnown {
+		return sp.volume
+	}
+	idx := make([]int64, sp.Depth)
+	sp.volume = sp.count(0, idx)
+	sp.volKnown = true
+	return sp.volume
+}
+
+// suffixIndependent reports whether levels m.. depend only on indices ≥ m
+// (bounds and guards alike), so the sub-volume from level m is a constant.
+func (sp *Space) suffixIndependent(m int) bool {
+	for j := m; j < sp.Depth; j++ {
+		if usesShallowerThan(sp.Bounds[j].Lo, m) || usesShallowerThan(sp.Bounds[j].Hi, m) {
+			return false
+		}
+		for _, g := range sp.guardsAt[j] {
+			if usesShallowerThan(g.Expr, m) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// usesShallowerThan reports whether a references any index I_d with d ≤ m
+// (1-based m levels, i.e. depth index < m in 0-based terms).
+func usesShallowerThan(a ir.Affine, m int) bool {
+	for d := 1; d <= m; d++ {
+		if a.At(d) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (sp *Space) count(k int, idx []int64) int64 {
+	if k == sp.Depth {
+		return 1
+	}
+	lo, hi, ok := sp.rangeAt(k, idx)
+	if !ok {
+		return 0
+	}
+	// If everything below is independent of I_{k+1} and shallower, the
+	// sub-volume is a constant factor.
+	if sp.suffixIndependent(k + 1) {
+		idx[k] = lo
+		sub := sp.count(k+1, idx)
+		return (hi - lo + 1) * sub
+	}
+	var total int64
+	for v := lo; v <= hi; v++ {
+		idx[k] = v
+		total += sp.count(k+1, idx)
+	}
+	return total
+}
+
+// Enumerate calls visit for every point of the space in lexicographic
+// order. If visit returns false, enumeration stops early.
+func (sp *Space) Enumerate(visit func(idx []int64) bool) {
+	idx := make([]int64, sp.Depth)
+	sp.enum(0, idx, visit)
+}
+
+func (sp *Space) enum(k int, idx []int64, visit func([]int64) bool) bool {
+	if k == sp.Depth {
+		return visit(idx)
+	}
+	lo, hi, ok := sp.rangeAt(k, idx)
+	if !ok {
+		return true
+	}
+	for v := lo; v <= hi; v++ {
+		idx[k] = v
+		if !sp.enum(k+1, idx, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundingBox returns constant per-depth index ranges enclosing the space,
+// obtained by interval evaluation of the affine bounds, and reports ok =
+// false when the space is statically empty.
+func (sp *Space) BoundingBox() (lo, hi []int64, ok bool) {
+	lo = make([]int64, sp.Depth)
+	hi = make([]int64, sp.Depth)
+	for k := 0; k < sp.Depth; k++ {
+		blo := intervalEval(sp.Bounds[k].Lo, lo, hi, k, true)
+		bhi := intervalEval(sp.Bounds[k].Hi, lo, hi, k, false)
+		if blo > bhi {
+			return nil, nil, false
+		}
+		lo[k], hi[k] = blo, bhi
+	}
+	return lo, hi, true
+}
+
+// intervalEval evaluates an affine bound over the index intervals of the
+// outer depths, returning the minimum (wantMin) or maximum value.
+func intervalEval(a ir.Affine, lo, hi []int64, k int, wantMin bool) int64 {
+	v := a.Const
+	for d := 1; d <= k; d++ {
+		c := a.At(d)
+		if c == 0 {
+			continue
+		}
+		if (c > 0) == wantMin {
+			v += c * lo[d-1]
+		} else {
+			v += c * hi[d-1]
+		}
+	}
+	return v
+}

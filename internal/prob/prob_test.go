@@ -1,0 +1,157 @@
+package prob
+
+import (
+	"testing"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/trace"
+)
+
+func prep(t *testing.T, sub *ir.Subroutine) *ir.NProgram {
+	t.Helper()
+	np, err := normalize.Normalize(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return np
+}
+
+func streamSub(n int64) *ir.Subroutine {
+	b := ir.NewSub("stream")
+	A := b.Real8("A", n)
+	B := b.Real8("B", n)
+	b.Do("I", ir.Con(1), ir.Con(n)).
+		Assign("S1", ir.R(A, ir.Var("I")), ir.R(B, ir.Var("I"))).
+		End()
+	return b.Build()
+}
+
+func TestPoissonCDF(t *testing.T) {
+	if got := poissonCDF(0, 0); got != 1 {
+		t.Errorf("λ=0 CDF = %v", got)
+	}
+	// λ=1: P(X<=0) = e^{-1} ≈ 0.3679, P(X<=1) ≈ 0.7358.
+	if got := poissonCDF(0, 1); got < 0.36 || got > 0.38 {
+		t.Errorf("P(X<=0 | λ=1) = %v", got)
+	}
+	if got := poissonCDF(1, 1); got < 0.72 || got > 0.75 {
+		t.Errorf("P(X<=1 | λ=1) = %v", got)
+	}
+	// Huge λ: essentially zero.
+	if got := poissonCDF(3, 1e5); got > 1e-6 {
+		t.Errorf("P(X<=3 | λ=1e5) = %v", got)
+	}
+	// Large λ falls to the normal approximation and stays in [0,1].
+	if got := poissonCDF(800, 750); got < 0 || got > 1 {
+		t.Errorf("normal approx out of range: %v", got)
+	}
+}
+
+// TestStreamingEstimate: a pure streaming kernel misses once per line; the
+// probabilistic model must land near 1/LineElems = 25%. (n = 4000 keeps
+// the two arrays from landing exactly one cache size apart.)
+func TestStreamingEstimate(t *testing.T) {
+	np := prep(t, streamSub(4000))
+	cfg := cache.Default32K(1)
+	rep, err := Estimate(np, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := trace.Simulate(np, cfg)
+	if d := rep.MissRatio() - sim.MissRatio(); d < -8 || d > 8 {
+		t.Errorf("prob %.2f%%, sim %.2f%%: too far for a streaming kernel", rep.MissRatio(), sim.MissRatio())
+	}
+}
+
+// TestPathologicalConflictBlindSpot documents the baseline's known blind
+// spot (the reason Table 7's ΔP blows up): when two streams land exactly
+// one cache size apart, a direct-mapped cache misses on every access, but
+// the uniform-mapping assumption predicts a low ratio. The paper's
+// pointwise replacement equations get this right.
+func TestPathologicalConflictBlindSpot(t *testing.T) {
+	np := prep(t, streamSub(4096)) // B begins exactly 32 KB after A
+	cfg := cache.Default32K(1)
+	rep, err := Estimate(np, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := trace.Simulate(np, cfg)
+	if sim.MissRatio() < 99 {
+		t.Fatalf("expected full conflict, sim = %.2f%%", sim.MissRatio())
+	}
+	if rep.MissRatio() > 50 {
+		t.Errorf("probabilistic model unexpectedly saw the conflict: %.2f%%", rep.MissRatio())
+	}
+}
+
+// TestFitsInCacheEstimate: a tiny working set re-read many times is nearly
+// all hits; the model must predict a low ratio.
+func TestFitsInCacheEstimate(t *testing.T) {
+	b := ir.NewSub("fits")
+	A := b.Real8("A", 64)
+	b.Do("T", ir.Con(1), ir.Con(50)).
+		Do("I", ir.Con(1), ir.Con(64)).
+		Assign("S1", nil, ir.R(A, ir.Var("I"))).
+		End().End()
+	np := prep(t, b.Build())
+	cfg := cache.Default32K(2)
+	rep, err := Estimate(np, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MissRatio() > 10 {
+		t.Errorf("prob ratio %.2f%% for an in-cache loop, want small", rep.MissRatio())
+	}
+}
+
+// TestThrashingEstimate: a working set far exceeding a tiny cache should
+// be predicted mostly missing.
+func TestThrashingEstimate(t *testing.T) {
+	b := ir.NewSub("thrash")
+	A := b.Real8("A", 8192)
+	b.Do("T", ir.Con(1), ir.Con(4)).
+		Do("I", ir.Con(1), ir.Con(8192)).
+		Assign("S1", nil, ir.R(A, ir.Var("I").Scale(1))).
+		End().End()
+	np := prep(t, b.Build())
+	cfg := cache.Config{SizeBytes: 512, LineBytes: 32, Assoc: 1}
+	rep, err := Estimate(np, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := trace.Simulate(np, cfg)
+	if rep.MissRatio() < sim.MissRatio()/3 {
+		t.Errorf("prob %.2f%% far below sim %.2f%% under thrashing", rep.MissRatio(), sim.MissRatio())
+	}
+}
+
+func TestRatiosBounded(t *testing.T) {
+	np := prep(t, streamSub(512))
+	rep, err := Estimate(np, cache.Default32K(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.Refs {
+		if e.MissRatio < 0 || e.MissRatio > 1 {
+			t.Errorf("%s: ratio %v out of [0,1]", e.Ref.ID, e.MissRatio)
+		}
+	}
+	if rep.MissRatio() < 0 || rep.MissRatio() > 100 {
+		t.Errorf("aggregate ratio %v", rep.MissRatio())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	np := prep(t, streamSub(512))
+	r1, _ := Estimate(np, cache.Default32K(1), Options{})
+	r2, _ := Estimate(np, cache.Default32K(1), Options{})
+	if r1.MissRatio() != r2.MissRatio() {
+		t.Error("estimates differ across runs with the same seed")
+	}
+}

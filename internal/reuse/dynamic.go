@@ -1,0 +1,93 @@
+package reuse
+
+import (
+	"cachemodel/internal/ir"
+	"cachemodel/internal/linalg"
+)
+
+// DynamicPair captures reuse between two references that are NOT
+// uniformly generated — the paper's §8 future work ("derive systematically
+// the reuse vectors for non-uniformly generated references"). No constant
+// reuse vector exists between such references: the producer iteration that
+// touched the consumer's element depends on the consumer iteration. When
+// the producer's access matrix has full column rank, that iteration is
+// unique and computable per point:
+//
+//	M_p·q + m_p = M_c·i + m_c   ⇒   q = solve(M_p, subs_c(i) − m_p)
+//
+// which the analysis resolves at classification time (the cold and
+// replacement equations then proceed exactly as for static vectors).
+// Producers with nontrivial kernels (e.g. MMT's block-reused copy buffer)
+// have many candidate iterations and are left conservative, as the paper
+// does.
+type DynamicPair struct {
+	Producer *ir.NRef
+	Consumer *ir.NRef
+	mp       *linalg.Mat // producer access matrix (rank × n)
+	moff     []int64     // producer offset vector m_p
+}
+
+// ProducerPoint solves for the unique producer iteration that wrote the
+// element the consumer reads at idx. ok is false when the system is
+// inconsistent or the solution is not integral.
+func (d *DynamicPair) ProducerPoint(idx []int64) (pidx []int64, ok bool) {
+	b := make(linalg.Vec, len(d.moff))
+	for r, s := range d.Consumer.Subs {
+		b[r] = linalg.RatInt(s.Eval(idx) - d.moff[r])
+	}
+	sol, consistent := linalg.Solve(d.mp, b)
+	if !consistent {
+		return nil, false
+	}
+	// Full column rank was checked at generation time: no free variables.
+	out, integral := sol.Particular.Ints()
+	if !integral {
+		return nil, false
+	}
+	return out, true
+}
+
+// GenerateDynamic finds, for every reference, the non-uniform producer
+// candidates with uniquely solvable producer iterations. Pairs within one
+// uniformly generated set are excluded (static vectors cover them).
+func GenerateDynamic(np *ir.NProgram) map[*ir.NRef][]*DynamicPair {
+	n := np.Depth
+	out := map[*ir.NRef][]*DynamicPair{}
+	sets := UniformSets(np)
+	setOf := map[*ir.NRef]*UniformSet{}
+	for _, s := range sets {
+		for _, r := range s.Refs {
+			setOf[r] = s
+		}
+	}
+	// Precompute per-set solvability of the producer matrix.
+	type pinfo struct {
+		m    *linalg.Mat
+		full bool
+	}
+	info := map[*UniformSet]pinfo{}
+	for _, s := range sets {
+		rows, _ := s.Refs[0].AccessMatrix(n)
+		m := linalg.IntMat(rows...)
+		info[s] = pinfo{m: m, full: len(linalg.Nullspace(m)) == 0}
+	}
+	for _, rc := range np.Refs {
+		cs := setOf[rc]
+		for _, s := range sets {
+			if s == cs || s.Array != rc.Array {
+				continue
+			}
+			pi := info[s]
+			if !pi.full {
+				continue // many candidate producers: stay conservative
+			}
+			for _, rp := range s.Refs {
+				_, moff := rp.AccessMatrix(n)
+				out[rc] = append(out[rc], &DynamicPair{
+					Producer: rp, Consumer: rc, mp: pi.m, moff: moff,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,406 @@
+// Package reuse implements the paper's central contribution (§3.4–3.5): a
+// characterisation of data reuse across multiple loop nests. It groups
+// references into uniformly generated sets (generalised to the whole
+// normalised program), and derives temporal and spatial reuse vectors of
+// the interleaved form
+//
+//	r = (ℓ1c−ℓ1p, x1, ℓ2c−ℓ2p, x2, ..., ℓnc−ℓnp, xn)
+//
+// including the second-kind spatial vectors that capture reuse across two
+// adjacent array columns (Fig. 3).
+//
+// Reuse vectors are candidates: the miss equations (internal/cme) verify
+// memory-line equality at every iteration point, so an over-generated
+// candidate never causes incorrect classification, while a missing one can
+// only overestimate misses (the paper's MMT case).
+package reuse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/linalg"
+)
+
+// Vector is a reuse vector from Producer to Consumer: the consumer at
+// iteration i may reuse the memory line the producer touched at i − IdxDiff
+// in the nest labelled Consumer.Stmt.Label − LabelDiff.
+type Vector struct {
+	Producer  *ir.NRef
+	Consumer  *ir.NRef
+	LabelDiff []int   // ℓc − ℓp, componentwise
+	IdxDiff   []int64 // x
+	Spatial   bool    // derived from equation (2) or the cross-column rule
+	Cross     bool    // second-kind spatial vector spanning two columns
+}
+
+// Self reports whether the vector is self reuse (producer == consumer).
+func (v *Vector) Self() bool { return v.Producer == v.Consumer }
+
+// Interleaved returns the 2n-dimensional interleaved vector of §3.5.
+func (v *Vector) Interleaved() []int64 {
+	out := make([]int64, 0, 2*len(v.LabelDiff))
+	for k := range v.LabelDiff {
+		out = append(out, int64(v.LabelDiff[k]), v.IdxDiff[k])
+	}
+	return out
+}
+
+// Compare orders vectors by the interleaved lexicographic order; ascending
+// order is most-recent-producer-first.
+func Compare(a, b *Vector) int {
+	ia, ib := a.Interleaved(), b.Interleaved()
+	for k := range ia {
+		if ia[k] != ib[k] {
+			if ia[k] < ib[k] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// nonNegative reports whether the interleaved vector is ⪰ 0; for the zero
+// vector the producer must precede the consumer textually.
+func (v *Vector) nonNegative() bool {
+	for _, x := range v.Interleaved() {
+		if x != 0 {
+			return x > 0
+		}
+	}
+	return v.Producer.Seq < v.Consumer.Seq
+}
+
+// ProducerPoint maps a consumer iteration to the producer iteration the
+// vector points at (label vector, index vector).
+func (v *Vector) ProducerPoint(idx []int64) (label []int, pidx []int64) {
+	cl := v.Consumer.Stmt.Label
+	label = make([]int, len(cl))
+	pidx = make([]int64, len(idx))
+	for k := range cl {
+		label[k] = cl[k] - v.LabelDiff[k]
+		pidx[k] = idx[k] - v.IdxDiff[k]
+	}
+	return label, pidx
+}
+
+func (v *Vector) String() string {
+	parts := make([]string, 0, 2*len(v.LabelDiff))
+	for _, x := range v.Interleaved() {
+		parts = append(parts, fmt.Sprintf("%d", x))
+	}
+	kind := "T"
+	if v.Spatial {
+		kind = "S"
+	}
+	if v.Cross {
+		kind = "X"
+	}
+	return fmt.Sprintf("%s(%s) %s<-%s", kind, strings.Join(parts, ","), v.Consumer.ID, v.Producer.ID)
+}
+
+// Options tunes candidate generation.
+type Options struct {
+	// KernelSpan is the coefficient range explored along nullspace basis
+	// directions when enumerating candidate solutions (default 1).
+	KernelSpan int
+	// MaxPerPair caps the number of vectors generated per (producer,
+	// consumer) pair (default 128).
+	MaxPerPair int
+	// NoSpatial disables spatial vectors (ablation knob).
+	NoSpatial bool
+	// NoCrossColumn disables the second-kind spatial vectors (ablation).
+	NoCrossColumn bool
+	// NoGroup disables group reuse, keeping only self reuse (ablation).
+	NoGroup bool
+	// NonUniform additionally resolves reuse between non-uniformly
+	// generated references with uniquely solvable producer iterations
+	// (the paper's §8 future work; see GenerateDynamic). Off by default:
+	// the paper's method exploits only uniformly generated reuse.
+	NonUniform bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.KernelSpan == 0 {
+		o.KernelSpan = 1
+	}
+	if o.MaxPerPair == 0 {
+		o.MaxPerPair = 128
+	}
+	return o
+}
+
+// Generate derives, for every reference of the program, its sorted list of
+// reuse vectors under the given cache configuration.
+func Generate(np *ir.NProgram, cfg cache.Config, opt Options) map[*ir.NRef][]*Vector {
+	opt = opt.withDefaults()
+	g := &generator{np: np, cfg: cfg, opt: opt}
+	out := map[*ir.NRef][]*Vector{}
+	for _, set := range UniformSets(np) {
+		// Candidate index-displacement sets depend only on (M, offset
+		// difference), which repeats heavily inside large uniformly
+		// generated sets (Applu's 5×5 unrolled blocks), so they are
+		// memoised per set.
+		g.memo = map[string][][]int64{}
+		for _, rc := range set.Refs {
+			var vecs []*Vector
+			for _, rp := range set.Refs {
+				if opt.NoGroup && rp != rc {
+					continue
+				}
+				vecs = append(vecs, g.pair(rp, rc)...)
+			}
+			vecs = dedupe(vecs)
+			sort.Slice(vecs, func(i, j int) bool {
+				if c := Compare(vecs[i], vecs[j]); c != 0 {
+					return c < 0
+				}
+				// Equal displacement: prefer the textually later (more
+				// recent) producer.
+				return vecs[i].Producer.Seq > vecs[j].Producer.Seq
+			})
+			out[rc] = vecs
+		}
+	}
+	return out
+}
+
+// UniformSet is a set of uniformly generated references: same array and
+// same access matrix M over the normalised index space (§3.4).
+type UniformSet struct {
+	Array *ir.Array
+	Refs  []*ir.NRef
+}
+
+// UniformSets partitions the program's references into uniformly generated
+// sets, in first-occurrence order.
+func UniformSets(np *ir.NProgram) []*UniformSet {
+	var sets []*UniformSet
+	byKey := map[string]*UniformSet{}
+	for _, r := range np.Refs {
+		key := uniformKey(np.Depth, r)
+		s := byKey[key]
+		if s == nil {
+			s = &UniformSet{Array: r.Array}
+			byKey[key] = s
+			sets = append(sets, s)
+		}
+		s.Refs = append(s.Refs, r)
+	}
+	return sets
+}
+
+func uniformKey(n int, r *ir.NRef) string {
+	m, _ := r.AccessMatrix(n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|", r.Array.Name)
+	for _, row := range m {
+		for _, c := range row {
+			fmt.Fprintf(&b, "%d,", c)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+type generator struct {
+	np   *ir.NProgram
+	cfg  cache.Config
+	opt  Options
+	memo map[string][][]int64
+}
+
+// memoised runs gen once per key and caches the produced displacement
+// vectors.
+func (g *generator) memoised(key string, gen func(yield func([]int64))) [][]int64 {
+	if got, ok := g.memo[key]; ok {
+		return got
+	}
+	var out [][]int64
+	gen(func(r []int64) { out = append(out, append([]int64(nil), r...)) })
+	g.memo[key] = out
+	return out
+}
+
+func intsKey(prefix string, xs ...int64) string {
+	var b strings.Builder
+	b.WriteString(prefix)
+	for _, x := range xs {
+		fmt.Fprintf(&b, ",%d", x)
+	}
+	return b.String()
+}
+
+// pair generates all candidate vectors from producer rp to consumer rc.
+func (g *generator) pair(rp, rc *ir.NRef) []*Vector {
+	n := g.np.Depth
+	mRows, mp := rp.AccessMatrix(n)
+	_, mc := rc.AccessMatrix(n)
+	rank := len(mRows)
+	M := linalg.IntMat(mRows...)
+
+	labelDiff := make([]int, n)
+	for k := 0; k < n; k++ {
+		labelDiff[k] = rc.Stmt.Label[k] - rp.Stmt.Label[k]
+	}
+
+	var out []*Vector
+	add := func(idx []int64, spatial, cross bool) {
+		if len(out) >= g.opt.MaxPerPair {
+			return
+		}
+		v := &Vector{Producer: rp, Consumer: rc, LabelDiff: labelDiff, IdxDiff: idx, Spatial: spatial, Cross: cross}
+		if v.nonNegative() {
+			out = append(out, v)
+		}
+	}
+
+	// Temporal: M·r = mp − mc   (equation (1)).
+	bT := make([]int64, rank)
+	for d := 0; d < rank; d++ {
+		bT[d] = mp[d] - mc[d]
+	}
+	for _, r := range g.memoised(intsKey("T", bT...), func(yield func([]int64)) {
+		if sol, ok := linalg.Solve(M, linalg.IntVec(bT...)); ok {
+			if p, ok := linalg.IntegralParticular(sol); ok {
+				g.enumerate(p, sol.Nullspace, yield)
+			}
+		}
+	}) {
+		add(r, false, false)
+	}
+	if g.opt.NoSpatial {
+		return out
+	}
+
+	lineElems := g.cfg.LineElems(rp.Array.ElemSize)
+	if lineElems > 1 && rank >= 1 {
+		// Spatial within a column: M'·r = m'p − m'c with the first-subscript
+		// displacement within a line (equation (2)).
+		Mp := M
+		var bS []int64
+		if rank > 1 {
+			Mp = M.DropRow(0)
+			bS = bT[1:]
+		} else {
+			Mp = linalg.NewMat(0, n)
+			bS = nil
+		}
+		for _, r := range g.memoised(intsKey("S", append(append([]int64(nil), bS...), mp[0]-mc[0])...), func(yield func([]int64)) {
+			if sol, ok := linalg.Solve(Mp, linalg.IntVec(bS...)); ok {
+				if p, ok := linalg.IntegralParticular(sol); ok {
+					m1 := M.Row(0)
+					g.enumerateSpatial(p, sol.Nullspace, m1, mp[0]-mc[0], lineElems, yield)
+				}
+			}
+		}) {
+			add(r, true, false)
+		}
+		// Spatial across adjacent columns (second kind, Fig. 3): the last
+		// element(s) of column c and the first of column c+1 share a line.
+		// Target subscript displacement (consumer − producer):
+		// Δ = (1 − d1 + e, 1, 0, ..., 0) and its mirror, e ∈ 0..L_s−2.
+		if !g.opt.NoCrossColumn && rank >= 2 && rp.Array.Dims[0] > 0 {
+			d1 := rp.Array.Dims[0]
+			for e := int64(0); e < lineElems-1; e++ {
+				for _, sign := range []int64{1, -1} {
+					b := make([]int64, rank)
+					copy(b, bT)
+					b[0] += sign * (1 - d1 + e)
+					b[1] += sign
+					for _, r := range g.memoised(intsKey("X", b...), func(yield func([]int64)) {
+						if sol, ok := linalg.Solve(M, linalg.IntVec(b...)); ok {
+							if p, ok := linalg.IntegralParticular(sol); ok {
+								g.enumerate(p, sol.Nullspace, yield)
+							}
+						}
+					}) {
+						add(r, true, true)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// enumerate yields integral points p + Σ t_i·k_i with |t_i| ≤ KernelSpan.
+func (g *generator) enumerate(p linalg.Vec, kernel []linalg.Vec, yield func([]int64)) {
+	span := int64(g.opt.KernelSpan)
+	var rec func(cur linalg.Vec, k int)
+	rec = func(cur linalg.Vec, k int) {
+		if k == len(kernel) {
+			if ints, ok := cur.Ints(); ok {
+				yield(ints)
+			}
+			return
+		}
+		for t := -span; t <= span; t++ {
+			rec(cur.Add(kernel[k].Scale(linalg.RatInt(t))), k+1)
+		}
+	}
+	rec(p, 0)
+}
+
+// enumerateSpatial enumerates solutions of the spatial system, expanding
+// the kernel directions that move the first subscript so the displacement
+// sweeps the whole line, and filtering to 0 < |M1·r + off| < lineElems
+// (off = mc1 − mp1; a zero displacement is temporal, not spatial).
+func (g *generator) enumerateSpatial(p linalg.Vec, kernel []linalg.Vec, m1 linalg.Vec, mpMinusMc1, lineElems int64, yield func([]int64)) {
+	off := -mpMinusMc1 // displacement = M1·r + mc1 − mp1
+	span := int64(g.opt.KernelSpan)
+	var rec func(cur linalg.Vec, k int)
+	count := 0
+	rec = func(cur linalg.Vec, k int) {
+		if count > 4*g.opt.MaxPerPair {
+			return
+		}
+		if k == len(kernel) {
+			d := m1.Dot(cur)
+			di, ok := d.Int()
+			if !ok {
+				return
+			}
+			disp := di + off
+			if disp == 0 || disp <= -lineElems || disp >= lineElems {
+				return
+			}
+			if ints, ok := cur.Ints(); ok {
+				count++
+				yield(ints)
+			}
+			return
+		}
+		kspan := span
+		// A kernel direction that moves the first subscript must sweep the
+		// whole line span.
+		if !m1.Dot(kernel[k]).IsZero() {
+			c := m1.Dot(kernel[k]).Abs()
+			if ci, ok := c.Int(); ok && ci > 0 {
+				kspan = (lineElems-1)/ci + 1
+			}
+		}
+		for t := -kspan; t <= kspan; t++ {
+			rec(cur.Add(kernel[k].Scale(linalg.RatInt(t))), k+1)
+		}
+	}
+	rec(p, 0)
+}
+
+func dedupe(vecs []*Vector) []*Vector {
+	seen := map[string]bool{}
+	out := vecs[:0]
+	for _, v := range vecs {
+		key := fmt.Sprintf("%p|%v", v.Producer, v.Interleaved())
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package sampling provides the statistical machinery of EstimateMisses
+// (§4.2, Fig. 6): translating a confidence level c and interval half-width
+// w into a sample size for estimating a proportion, including the finite
+// population correction, exactly in the spirit of [5, 22] cited by the
+// paper.
+package sampling
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plan is a sampling request: estimate a proportion within ±W at
+// confidence C (e.g. C=0.95, W=0.05 for the paper's whole-program runs).
+type Plan struct {
+	C float64 // confidence level in (0, 1)
+	W float64 // interval half-width in (0, 1)
+}
+
+// DefaultFallback is the paper's fallback plan (c', w') = (90%, 0.15) used
+// when a RIS is too small for the requested plan.
+var DefaultFallback = Plan{C: 0.90, W: 0.15}
+
+// Validate reports whether the plan's parameters are in range.
+func (p Plan) Validate() error {
+	if !(p.C > 0 && p.C < 1) {
+		return fmt.Errorf("sampling: confidence %v out of (0,1)", p.C)
+	}
+	if !(p.W > 0 && p.W < 1) {
+		return fmt.Errorf("sampling: interval width %v out of (0,1)", p.W)
+	}
+	return nil
+}
+
+// ZScore returns the two-sided standard-normal critical value z such that
+// P(|Z| ≤ z) = c, computed by bisection on the error function (no tables).
+func ZScore(c float64) float64 {
+	// Solve erf(z/√2) = c for z in (0, 40).
+	lo, hi := 0.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if math.Erf(mid/math.Sqrt2) < c {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Size returns the worst-case (p = 1/2) sample size needed for the plan,
+// n = z²/(4w²), rounded up. For the paper's (95%, 0.05) this is 385.
+func (p Plan) Size() int {
+	z := ZScore(p.C)
+	return int(math.Ceil(z * z / (4 * p.W * p.W)))
+}
+
+// SizeFor returns the sample size adjusted with the finite population
+// correction for a population of v points: n' = n / (1 + (n−1)/v).
+func (p Plan) SizeFor(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	n := float64(p.Size())
+	adj := n / (1 + (n-1)/float64(v))
+	s := int(math.Ceil(adj))
+	if int64(s) > v {
+		s = int(v)
+	}
+	return s
+}
+
+// Achievable reports whether a population of v points suffices for the
+// plan, i.e. whether v is at least the uncorrected sample size. This is
+// the "RIS too small" test of Fig. 6.
+func (p Plan) Achievable(v int64) bool { return v >= int64(p.Size()) }
+
+// HalfWidth returns the realised confidence half-width for an observed
+// proportion phat from n samples out of a population of v (v ≤ 0 means
+// infinite), i.e. z·sqrt(phat(1−phat)/n)·fpc.
+func (p Plan) HalfWidth(phat float64, n int, v int64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	if v > 0 && int64(n) >= v {
+		return 0 // full census: no sampling uncertainty
+	}
+	z := ZScore(p.C)
+	se := math.Sqrt(phat * (1 - phat) / float64(n))
+	if v > 1 && int64(n) < v {
+		se *= math.Sqrt(float64(v-int64(n)) / float64(v-1))
+	}
+	return z * se
+}

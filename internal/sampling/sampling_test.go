@@ -1,0 +1,106 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZScore(t *testing.T) {
+	cases := []struct {
+		c, want float64
+	}{
+		{0.90, 1.6449},
+		{0.95, 1.9600},
+		{0.99, 2.5758},
+	}
+	for _, c := range cases {
+		if got := ZScore(c.c); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("ZScore(%v) = %.4f, want %.4f", c.c, got, c.want)
+		}
+	}
+}
+
+// TestPaperSampleSizes: the paper's plans must give the classic sizes —
+// (95%, 0.05) needs 385 samples and the fallback (90%, 0.15) needs 31.
+func TestPaperSampleSizes(t *testing.T) {
+	if got := (Plan{C: 0.95, W: 0.05}).Size(); got != 385 {
+		t.Errorf("(95%%, 0.05) size = %d, want 385", got)
+	}
+	fb := DefaultFallback.Size()
+	if fb < 30 || fb > 31 {
+		t.Errorf("(90%%, 0.15) size = %d, want 30-31", fb)
+	}
+}
+
+func TestSizeForFPC(t *testing.T) {
+	p := Plan{C: 0.95, W: 0.05}
+	if got := p.SizeFor(1 << 40); got != 385 {
+		t.Errorf("infinite-population size = %d, want 385", got)
+	}
+	small := p.SizeFor(400)
+	if small >= 385 || small <= 0 {
+		t.Errorf("FPC size for 400 = %d, want < 385", small)
+	}
+	if got := p.SizeFor(10); got > 10 {
+		t.Errorf("size %d exceeds population 10", got)
+	}
+	if p.SizeFor(0) != 0 {
+		t.Error("empty population must need 0 samples")
+	}
+}
+
+func TestAchievable(t *testing.T) {
+	p := Plan{C: 0.95, W: 0.05}
+	if p.Achievable(384) {
+		t.Error("384 points cannot achieve (95%, 0.05)")
+	}
+	if !p.Achievable(385) {
+		t.Error("385 points achieve (95%, 0.05)")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{{C: 0, W: 0.05}, {C: 1, W: 0.05}, {C: 0.95, W: 0}, {C: 0.95, W: 1}}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("Validate(%+v) accepted", p)
+		}
+	}
+	if (Plan{C: 0.95, W: 0.05}).Validate() != nil {
+		t.Error("valid plan rejected")
+	}
+}
+
+func TestHalfWidth(t *testing.T) {
+	p := Plan{C: 0.95, W: 0.05}
+	// Worst case p = 1/2 with the plan's own size: half-width ≈ w.
+	hw := p.HalfWidth(0.5, p.Size(), 0)
+	if math.Abs(hw-0.05) > 0.002 {
+		t.Errorf("half-width at design point = %.4f, want ≈ 0.05", hw)
+	}
+	// Full census: zero width.
+	if got := p.HalfWidth(0.5, 100, 100); got != 0 {
+		t.Errorf("census half-width = %v, want 0", got)
+	}
+	// FPC shrinks the width for finite populations.
+	if p.HalfWidth(0.5, 100, 150) >= p.HalfWidth(0.5, 100, 0) {
+		t.Error("FPC did not shrink the width")
+	}
+}
+
+// TestSizeMonotone: tighter intervals and higher confidence always need
+// more samples (testing/quick over the parameter grid).
+func TestSizeMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		c := 0.5 + float64(a%49)/100  // 0.50..0.98
+		w := 0.01 + float64(b%20)/100 // 0.01..0.20
+		n1 := (Plan{C: c, W: w}).Size()
+		n2 := (Plan{C: c, W: w / 2}).Size()
+		n3 := (Plan{C: c + 0.01, W: w}).Size()
+		return n2 >= n1 && n3 >= n1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package trace executes a normalised program's iteration space in the
+// lexicographic order of §3.2, producing the memory reference stream. It
+// drives the exact cache simulator (the paper's validation baseline) and
+// provides the ranged execution walk used by the replacement equations to
+// enumerate interference sets.
+package trace
+
+import (
+	"cachemodel/internal/cache"
+	"cachemodel/internal/ir"
+)
+
+// Time identifies one access instant: the interleaved iteration vector
+// (Label, Idx) of §3.2 plus the global intra-point access position Seq.
+type Time struct {
+	Label []int
+	Idx   []int64
+	Seq   int
+}
+
+// Compare orders two access times (negative, zero, positive).
+func Compare(a, b Time) int {
+	if c := ir.CompareIterations(a.Label, a.Idx, b.Label, b.Idx); c != 0 {
+		return c
+	}
+	switch {
+	case a.Seq < b.Seq:
+		return -1
+	case a.Seq > b.Seq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Execute visits every reference access of the program in execution order.
+// The idx slice passed to visit is reused; copy it if retained. Return
+// false from visit to stop early.
+func Execute(np *ir.NProgram, visit func(r *ir.NRef, idx []int64) bool) {
+	idx := make([]int64, np.Depth)
+	for _, nl := range np.Top {
+		if !exec(nl, 1, np.Depth, idx, visit) {
+			return
+		}
+	}
+}
+
+func exec(nl *ir.NLoop, depth, n int, idx []int64, visit func(*ir.NRef, []int64) bool) bool {
+	lo := nl.Bound.Lo.Eval(idx)
+	hi := nl.Bound.Hi.Eval(idx)
+	for v := lo; v <= hi; v++ {
+		idx[depth-1] = v
+		if depth == n {
+			for _, st := range nl.Stmts {
+				if !st.GuardHolds(idx) {
+					continue
+				}
+				for _, r := range st.Refs {
+					if !visit(r, idx) {
+						return false
+					}
+				}
+			}
+			continue
+		}
+		for _, c := range nl.Loops {
+			if !exec(c, depth+1, n, idx, visit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// VisitBetween visits every access with time strictly between a and b, in
+// execution order. Return false from visit to stop early.
+func VisitBetween(np *ir.NProgram, a, b Time, visit func(r *ir.NRef, idx []int64) bool) {
+	if Compare(a, b) >= 0 {
+		return
+	}
+	idx := make([]int64, np.Depth)
+	w := &rangeWalker{np: np, a: a, b: b, visit: visit}
+	for p, nl := range np.Top {
+		lt, ht := true, true
+		pos := p + 1
+		if lt && pos < a.Label[0] {
+			continue
+		}
+		if ht && pos > b.Label[0] {
+			break
+		}
+		lt = lt && pos == a.Label[0]
+		ht = ht && pos == b.Label[0]
+		if !w.walk(nl, 1, idx, lt, ht) {
+			return
+		}
+	}
+}
+
+type rangeWalker struct {
+	np    *ir.NProgram
+	a, b  Time
+	visit func(*ir.NRef, []int64) bool
+}
+
+// walk enumerates the subtree at the given depth. lt (ht) indicates that
+// the label/index prefix chosen so far equals a's (b's) prefix exactly, so
+// the corresponding boundary still constrains deeper choices.
+func (w *rangeWalker) walk(nl *ir.NLoop, depth int, idx []int64, lt, ht bool) bool {
+	n := w.np.Depth
+	lo := nl.Bound.Lo.Eval(idx)
+	hi := nl.Bound.Hi.Eval(idx)
+	from, to := lo, hi
+	if lt && w.a.Idx[depth-1] > from {
+		from = w.a.Idx[depth-1]
+	}
+	if ht && w.b.Idx[depth-1] < to {
+		to = w.b.Idx[depth-1]
+	}
+	for v := from; v <= to; v++ {
+		idx[depth-1] = v
+		vlt := lt && v == w.a.Idx[depth-1]
+		vht := ht && v == w.b.Idx[depth-1]
+		if depth == n {
+			for _, st := range nl.Stmts {
+				if !st.GuardHolds(idx) {
+					continue
+				}
+				for _, r := range st.Refs {
+					if vlt && r.Seq <= w.a.Seq {
+						continue
+					}
+					if vht && r.Seq >= w.b.Seq {
+						continue
+					}
+					if !w.visit(r, idx) {
+						return false
+					}
+				}
+			}
+			continue
+		}
+		for p, c := range nl.Loops {
+			pos := p + 1
+			if vlt && pos < w.a.Label[depth] {
+				continue
+			}
+			if vht && pos > w.b.Label[depth] {
+				break
+			}
+			clt := vlt && pos == w.a.Label[depth]
+			cht := vht && pos == w.b.Label[depth]
+			if !w.walk(c, depth+1, idx, clt, cht) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// VisitBetweenReverse visits every access with time strictly between a
+// and b in REVERSE execution order (most recent first). The replacement
+// equations scan backwards from the consumer so that the first touch of
+// the reused line encountered is the line's most recent fetch, after
+// which no older contention matters — giving exact LRU with early exit.
+func VisitBetweenReverse(np *ir.NProgram, a, b Time, visit func(r *ir.NRef, idx []int64) bool) {
+	if Compare(a, b) >= 0 {
+		return
+	}
+	idx := make([]int64, np.Depth)
+	w := &rangeWalker{np: np, a: a, b: b, visit: visit}
+	for p := len(np.Top) - 1; p >= 0; p-- {
+		lt, ht := true, true
+		pos := p + 1
+		if lt && pos < a.Label[0] {
+			break
+		}
+		if ht && pos > b.Label[0] {
+			continue
+		}
+		lt = lt && pos == a.Label[0]
+		ht = ht && pos == b.Label[0]
+		if !w.walkRev(np.Top[p], 1, idx, lt, ht) {
+			return
+		}
+	}
+}
+
+// walkRev is the descending mirror of walk.
+func (w *rangeWalker) walkRev(nl *ir.NLoop, depth int, idx []int64, lt, ht bool) bool {
+	n := w.np.Depth
+	lo := nl.Bound.Lo.Eval(idx)
+	hi := nl.Bound.Hi.Eval(idx)
+	from, to := lo, hi
+	if lt && w.a.Idx[depth-1] > from {
+		from = w.a.Idx[depth-1]
+	}
+	if ht && w.b.Idx[depth-1] < to {
+		to = w.b.Idx[depth-1]
+	}
+	for v := to; v >= from; v-- {
+		idx[depth-1] = v
+		vlt := lt && v == w.a.Idx[depth-1]
+		vht := ht && v == w.b.Idx[depth-1]
+		if depth == n {
+			for si := len(nl.Stmts) - 1; si >= 0; si-- {
+				st := nl.Stmts[si]
+				if !st.GuardHolds(idx) {
+					continue
+				}
+				for ri := len(st.Refs) - 1; ri >= 0; ri-- {
+					r := st.Refs[ri]
+					if vlt && r.Seq <= w.a.Seq {
+						continue
+					}
+					if vht && r.Seq >= w.b.Seq {
+						continue
+					}
+					if !w.visit(r, idx) {
+						return false
+					}
+				}
+			}
+			continue
+		}
+		for p := len(nl.Loops) - 1; p >= 0; p-- {
+			pos := p + 1
+			if vlt && pos < w.a.Label[depth] {
+				break
+			}
+			if vht && pos > w.b.Label[depth] {
+				continue
+			}
+			clt := vlt && pos == w.a.Label[depth]
+			cht := vht && pos == w.b.Label[depth]
+			if !w.walkRev(nl.Loops[p], depth+1, idx, clt, cht) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RefStats accumulates per-reference simulation counters.
+type RefStats struct {
+	Accesses int64
+	Misses   int64
+}
+
+// SimResult is the outcome of a full cache simulation of a program.
+type SimResult struct {
+	Config   cache.Config
+	PerRef   map[*ir.NRef]*RefStats
+	Accesses int64
+	Misses   int64
+}
+
+// MissRatio returns the global miss ratio in percent.
+func (r *SimResult) MissRatio() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(r.Misses) / float64(r.Accesses)
+}
+
+// Simulate replays the whole program through an exact LRU simulator and
+// returns global and per-reference counts. Arrays must be laid out first.
+// Writes fetch on miss, per the paper's §2 model.
+func Simulate(np *ir.NProgram, cfg cache.Config) *SimResult {
+	return SimulatePolicy(np, cfg, cache.FetchOnWrite)
+}
+
+// SimulatePolicy is Simulate with an explicit write policy, for
+// quantifying the fetch-on-write assumption of the analytical model.
+func SimulatePolicy(np *ir.NProgram, cfg cache.Config, policy cache.WritePolicy) *SimResult {
+	sim := cache.NewSimulator(cfg)
+	sim.SetWritePolicy(policy)
+	res := &SimResult{Config: cfg, PerRef: map[*ir.NRef]*RefStats{}}
+	Execute(np, func(r *ir.NRef, idx []int64) bool {
+		st := res.PerRef[r]
+		if st == nil {
+			st = &RefStats{}
+			res.PerRef[r] = st
+		}
+		st.Accesses++
+		var miss bool
+		if r.Write {
+			miss = sim.AccessWrite(r.AddressAt(idx))
+		} else {
+			miss = sim.Access(r.AddressAt(idx))
+		}
+		if miss {
+			st.Misses++
+		}
+		return true
+	})
+	res.Accesses = sim.Accesses
+	res.Misses = sim.Misses
+	return res
+}

@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+)
+
+// twoNests builds: two sequential 2-deep nests over A and B.
+func twoNests(n int64) *ir.NProgram {
+	b := ir.NewSub("p")
+	A := b.Real8("A", n, n)
+	B := b.Real8("B", n, n)
+	b.Do("I", ir.Con(1), ir.Con(n)).
+		Do("J", ir.Con(1), ir.Con(n)).
+		Assign("S1", ir.R(A, ir.Var("J"), ir.Var("I")), ir.R(B, ir.Var("J"), ir.Var("I"))).
+		End().End().
+		Do("I", ir.Con(1), ir.Con(n)).
+		Do("J", ir.Con(1), ir.Con(n)).
+		Assign("S2", ir.R(B, ir.Var("J"), ir.Var("I")), ir.R(A, ir.Var("J"), ir.Var("I"))).
+		End().End()
+	np, err := normalize.Normalize(b.Build())
+	if err != nil {
+		panic(err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		panic(err)
+	}
+	return np
+}
+
+type access struct {
+	ref *ir.NRef
+	idx []int64
+}
+
+func collect(np *ir.NProgram) []access {
+	var out []access
+	Execute(np, func(r *ir.NRef, idx []int64) bool {
+		out = append(out, access{r, append([]int64(nil), idx...)})
+		return true
+	})
+	return out
+}
+
+func TestExecuteOrder(t *testing.T) {
+	np := twoNests(3)
+	accs := collect(np)
+	if len(accs) != 2*3*3*2 {
+		t.Fatalf("accesses = %d, want 36", len(accs))
+	}
+	// Times must be strictly increasing.
+	for i := 1; i < len(accs); i++ {
+		a := Time{Label: accs[i-1].ref.Stmt.Label, Idx: accs[i-1].idx, Seq: accs[i-1].ref.Seq}
+		b := Time{Label: accs[i].ref.Stmt.Label, Idx: accs[i].idx, Seq: accs[i].ref.Seq}
+		if Compare(a, b) >= 0 {
+			t.Fatalf("access %d not after %d: %v vs %v", i, i-1, b, a)
+		}
+	}
+	// The first nest must fully precede the second.
+	half := len(accs) / 2
+	for i, a := range accs {
+		wantStmt := "S1"
+		if i >= half {
+			wantStmt = "S2"
+		}
+		if a.ref.Stmt.Name != wantStmt {
+			t.Fatalf("access %d in %s, want %s", i, a.ref.Stmt.Name, wantStmt)
+		}
+	}
+}
+
+func TestExecuteEarlyStop(t *testing.T) {
+	np := twoNests(4)
+	n := 0
+	Execute(np, func(r *ir.NRef, idx []int64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("visited %d, want 7", n)
+	}
+}
+
+// TestVisitBetweenMatchesFilter: the ranged walk must produce exactly the
+// accesses strictly between two times, in order — validated against
+// filtering the full trace, over random time pairs.
+func TestVisitBetweenMatchesFilter(t *testing.T) {
+	np := twoNests(4)
+	accs := collect(np)
+	times := make([]Time, len(accs))
+	for i, a := range accs {
+		times[i] = Time{Label: a.ref.Stmt.Label, Idx: a.idx, Seq: a.ref.Seq}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(len(accs))
+		j := rng.Intn(len(accs))
+		if i > j {
+			i, j = j, i
+		}
+		var got []access
+		VisitBetween(np, times[i], times[j], func(r *ir.NRef, idx []int64) bool {
+			got = append(got, access{r, append([]int64(nil), idx...)})
+			return true
+		})
+		var want []access // strictly between
+		if i+1 <= j {
+			want = accs[i+1 : j]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%d..%d): got %d accesses, want %d", trial, i, j, len(got), len(want))
+		}
+		for k := range want {
+			if got[k].ref != want[k].ref {
+				t.Fatalf("trial %d: access %d is %s, want %s", trial, k, got[k].ref.ID, want[k].ref.ID)
+			}
+			for d := range want[k].idx {
+				if got[k].idx[d] != want[k].idx[d] {
+					t.Fatalf("trial %d: access %d idx %v, want %v", trial, k, got[k].idx, want[k].idx)
+				}
+			}
+		}
+	}
+}
+
+func TestVisitBetweenEmptyAndReversed(t *testing.T) {
+	np := twoNests(3)
+	accs := collect(np)
+	t0 := Time{Label: accs[5].ref.Stmt.Label, Idx: accs[5].idx, Seq: accs[5].ref.Seq}
+	n := 0
+	VisitBetween(np, t0, t0, func(*ir.NRef, []int64) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("self-interval visited %d", n)
+	}
+	t1 := Time{Label: accs[2].ref.Stmt.Label, Idx: accs[2].idx, Seq: accs[2].ref.Seq}
+	VisitBetween(np, t0, t1, func(*ir.NRef, []int64) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("reversed interval visited %d", n)
+	}
+}
+
+func TestVisitBetweenEarlyStop(t *testing.T) {
+	np := twoNests(4)
+	accs := collect(np)
+	first := Time{Label: accs[0].ref.Stmt.Label, Idx: accs[0].idx, Seq: accs[0].ref.Seq}
+	last := Time{Label: accs[len(accs)-1].ref.Stmt.Label, Idx: accs[len(accs)-1].idx, Seq: accs[len(accs)-1].ref.Seq}
+	n := 0
+	VisitBetween(np, first, last, func(*ir.NRef, []int64) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("visited %d, want 3", n)
+	}
+}
+
+func TestSimulatePerRefTotals(t *testing.T) {
+	np := twoNests(5)
+	cfg := cache.Config{SizeBytes: 256, LineBytes: 32, Assoc: 1}
+	res := Simulate(np, cfg)
+	var refAcc, refMiss int64
+	for _, st := range res.PerRef {
+		refAcc += st.Accesses
+		refMiss += st.Misses
+	}
+	if refAcc != res.Accesses || refMiss != res.Misses {
+		t.Errorf("per-ref totals %d/%d, global %d/%d", refAcc, refMiss, res.Accesses, res.Misses)
+	}
+	if res.Accesses != 2*5*5*2 {
+		t.Errorf("accesses = %d, want 100", res.Accesses)
+	}
+	if res.MissRatio() <= 0 || res.MissRatio() > 100 {
+		t.Errorf("ratio = %v", res.MissRatio())
+	}
+}
+
+// TestGuardedExecution: guards must suppress accesses in Execute and
+// VisitBetween alike.
+func TestGuardedExecution(t *testing.T) {
+	b := ir.NewSub("g")
+	A := b.Real8("A", 10)
+	b.Do("I", ir.Con(1), ir.Con(10)).
+		IfCond(ir.Cond{LHS: ir.Var("I"), Op: ir.GE, RHS: ir.Con(6)}).
+		Assign("S1", ir.R(A, ir.Var("I"))).
+		End().End()
+	np, err := normalize.Normalize(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	Execute(np, func(*ir.NRef, []int64) bool { n++; return true })
+	if n != 5 {
+		t.Errorf("guarded accesses = %d, want 5", n)
+	}
+}
+
+// TestVisitBetweenReverseMatchesFilter: the reverse ranged walk must
+// produce exactly the reversed strict-interval filter of the full trace.
+func TestVisitBetweenReverseMatchesFilter(t *testing.T) {
+	np := twoNests(4)
+	accs := collect(np)
+	times := make([]Time, len(accs))
+	for i, a := range accs {
+		times[i] = Time{Label: a.ref.Stmt.Label, Idx: a.idx, Seq: a.ref.Seq}
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(len(accs))
+		j := rng.Intn(len(accs))
+		if i > j {
+			i, j = j, i
+		}
+		var got []access
+		VisitBetweenReverse(np, times[i], times[j], func(r *ir.NRef, idx []int64) bool {
+			got = append(got, access{r, append([]int64(nil), idx...)})
+			return true
+		})
+		var want []access
+		for k := j - 1; k > i; k-- {
+			want = append(want, accs[k])
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%d..%d): got %d accesses, want %d", trial, i, j, len(got), len(want))
+		}
+		for k := range want {
+			if got[k].ref != want[k].ref {
+				t.Fatalf("trial %d: access %d is %s, want %s", trial, k, got[k].ref.ID, want[k].ref.ID)
+			}
+			for d := range want[k].idx {
+				if got[k].idx[d] != want[k].idx[d] {
+					t.Fatalf("trial %d: access %d idx %v, want %v", trial, k, got[k].idx, want[k].idx)
+				}
+			}
+		}
+	}
+}
+
+// TestVisitBetweenReverseEarlyStop: early exit from the reverse walk.
+func TestVisitBetweenReverseEarlyStop(t *testing.T) {
+	np := twoNests(4)
+	accs := collect(np)
+	first := Time{Label: accs[0].ref.Stmt.Label, Idx: accs[0].idx, Seq: accs[0].ref.Seq}
+	last := Time{Label: accs[len(accs)-1].ref.Stmt.Label, Idx: accs[len(accs)-1].idx, Seq: accs[len(accs)-1].ref.Seq}
+	n := 0
+	VisitBetweenReverse(np, first, last, func(*ir.NRef, []int64) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("visited %d, want 3", n)
+	}
+}
+
+// TestSimulatePolicy: fetch-on-write equals the default; no-allocate can
+// only increase misses on a write-then-read pattern.
+func TestSimulatePolicy(t *testing.T) {
+	np := twoNests(6)
+	cfg := cache.Config{SizeBytes: 256, LineBytes: 32, Assoc: 2}
+	def := Simulate(np, cfg)
+	fow := SimulatePolicy(np, cfg, cache.FetchOnWrite)
+	if def.Misses != fow.Misses {
+		t.Errorf("default %d != fetch-on-write %d", def.Misses, fow.Misses)
+	}
+	wna := SimulatePolicy(np, cfg, cache.WriteNoAllocate)
+	if wna.Misses < def.Misses {
+		t.Errorf("no-allocate %d < fetch-on-write %d on write-then-read", wna.Misses, def.Misses)
+	}
+}
