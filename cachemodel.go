@@ -38,8 +38,12 @@
 package cachemodel
 
 import (
+	"context"
+
 	"cachemodel/internal/advisor"
+	"cachemodel/internal/budget"
 	"cachemodel/internal/cache"
+	"cachemodel/internal/cerr"
 	"cachemodel/internal/cme"
 	"cachemodel/internal/fparse"
 	"cachemodel/internal/inline"
@@ -138,6 +142,47 @@ type (
 	ProbReport = prob.Report
 )
 
+// Budget bounds an analysis: a wall-clock deadline, a cap on classified
+// iteration points, and a cap on interference-scan steps (the dominant
+// inner cost of the replacement equations). A zero Budget means unlimited.
+// When a budget trips, the solvers degrade down the ladder
+// FindMisses → EstimateMisses → probabilistic instead of failing, unless
+// NoFallback is set; cancellation via the context never degrades — it
+// returns the coherent partial result together with ErrCanceled.
+type Budget = budget.Budget
+
+// BudgetSpent reports the resources an analysis actually consumed.
+type BudgetSpent = budget.Spent
+
+// Tier identifies the rung of the degradation ladder that produced a
+// result: TierExact (every point solved), TierSampled (statistical
+// sample), TierProbabilistic (closed-form Fraguela-style estimate).
+type Tier = cme.Tier
+
+// Degradation-ladder rungs, strongest first.
+const (
+	TierExact         = cme.TierExact
+	TierSampled       = cme.TierSampled
+	TierProbabilistic = cme.TierProbabilistic
+)
+
+// Sentinel errors, matched with errors.Is. Wrapped variants carry
+// position or provenance detail.
+var (
+	// ErrBudgetExceeded reports that a Budget limit tripped.
+	ErrBudgetExceeded = cerr.ErrBudgetExceeded
+	// ErrCanceled reports context cancellation (or an injected one).
+	ErrCanceled = cerr.ErrCanceled
+	// ErrNonAffine reports a construct outside the paper's program model.
+	ErrNonAffine = cerr.ErrNonAffine
+	// ErrDegenerateSystem reports an unsolvable linear system.
+	ErrDegenerateSystem = cerr.ErrDegenerateSystem
+)
+
+// ParseError is the positioned error ParseFortran returns for malformed
+// source.
+type ParseError = fparse.ParseError
+
 // Default32K returns the paper's default cache: 32 KB, 32-byte lines.
 func Default32K(assoc int) Config { return cache.Default32K(assoc) }
 
@@ -153,12 +198,13 @@ type PrepareOptions struct {
 // Prepare runs the paper's front end on a whole program: abstract inlining
 // of every analysable call, loop-nest normalisation and data layout. The
 // returned normalised program is ready for analysis and simulation.
-func Prepare(p *Program, opt PrepareOptions) (*NProgram, *InlineStats, error) {
+func Prepare(p *Program, opt PrepareOptions) (np *NProgram, stats *InlineStats, err error) {
+	defer cerr.RecoverTo(&err)
 	flat, stats, err := inline.Flatten(p, opt.Inline)
 	if err != nil {
 		return nil, nil, err
 	}
-	np, err := normalize.Normalize(flat)
+	np, err = normalize.Normalize(flat)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -175,37 +221,75 @@ func ClassifyCalls(p *Program) InlineStats { return inline.ClassifyProgram(p) }
 
 // NewAnalyzer builds the reuse vectors and iteration spaces of a prepared
 // program for the given cache.
-func NewAnalyzer(np *NProgram, cfg Config, opt AnalyzeOptions) (*cme.Analyzer, error) {
+func NewAnalyzer(np *NProgram, cfg Config, opt AnalyzeOptions) (a *cme.Analyzer, err error) {
+	defer cerr.RecoverTo(&err)
 	return cme.New(np, cfg, opt)
 }
 
 // FindMisses analyses every iteration point of every reference (exact,
 // Fig. 6 left).
 func FindMisses(np *NProgram, cfg Config, opt AnalyzeOptions) (*Report, error) {
+	return FindMissesCtx(context.Background(), np, cfg, opt, Budget{})
+}
+
+// FindMissesCtx is FindMisses under a context and a budget. On budget
+// exhaustion the analysis degrades — unfinished references are resampled
+// (TierSampled) and, if even that cannot finish, estimated in closed form
+// (TierProbabilistic) — and the report records the weakest tier used, so
+// a bounded call always returns a usable Report. On cancellation it
+// returns the coherent partial report together with ErrCanceled.
+func FindMissesCtx(ctx context.Context, np *NProgram, cfg Config, opt AnalyzeOptions, b Budget) (rep *Report, err error) {
+	defer cerr.RecoverTo(&err)
 	a, err := cme.New(np, cfg, opt)
 	if err != nil {
 		return nil, err
 	}
-	return a.FindMisses(), nil
+	return a.FindMissesCtx(ctx, b)
 }
 
 // EstimateMisses analyses a statistically chosen sample of each
 // reference's iteration space (Fig. 6 right).
 func EstimateMisses(np *NProgram, cfg Config, opt AnalyzeOptions, plan Plan) (*Report, error) {
+	return EstimateMissesCtx(context.Background(), np, cfg, opt, plan, Budget{})
+}
+
+// EstimateMissesCtx is EstimateMisses under a context and a budget, with
+// the same degradation and cancellation semantics as FindMissesCtx (the
+// sampled tier degrades straight to the probabilistic one).
+func EstimateMissesCtx(ctx context.Context, np *NProgram, cfg Config, opt AnalyzeOptions, plan Plan, b Budget) (rep *Report, err error) {
+	defer cerr.RecoverTo(&err)
 	a, err := cme.New(np, cfg, opt)
 	if err != nil {
 		return nil, err
 	}
-	return a.EstimateMisses(plan)
+	return a.EstimateMissesCtx(ctx, b, plan)
 }
 
 // Simulate replays the program through the exact LRU simulator.
 func Simulate(np *NProgram, cfg Config) *SimResult { return trace.Simulate(np, cfg) }
 
+// SimulateCtx is Simulate under a context and a budget (Budget.MaxPoints
+// caps simulated accesses). The simulator is the validation baseline, so
+// there is no cheaper tier to degrade to: an interrupted replay returns
+// the truncated prefix counts, marked Truncated, together with
+// ErrCanceled or ErrBudgetExceeded.
+func SimulateCtx(ctx context.Context, np *NProgram, cfg Config, b Budget) (res *SimResult, err error) {
+	defer cerr.RecoverTo(&err)
+	return trace.SimulateCtx(ctx, np, cfg, b)
+}
+
 // EstimateProbabilistic runs the Fraguela-style probabilistic baseline
 // (Table 7).
 func EstimateProbabilistic(np *NProgram, cfg Config, opt ProbOptions) (*ProbReport, error) {
-	return prob.Estimate(np, cfg, opt)
+	return EstimateProbabilisticCtx(context.Background(), np, cfg, opt, Budget{})
+}
+
+// EstimateProbabilisticCtx is EstimateProbabilistic under a context and a
+// budget; each reference costs MembershipSamples points. On interruption
+// the partial report covers the references estimated so far.
+func EstimateProbabilisticCtx(ctx context.Context, np *NProgram, cfg Config, opt ProbOptions, b Budget) (rep *ProbReport, err error) {
+	defer cerr.RecoverTo(&err)
+	return prob.EstimateCtx(ctx, np, cfg, opt, b)
 }
 
 // Diagnosis types (CME-driven diagnosis, internal/advisor).
@@ -221,25 +305,51 @@ type (
 // Diagnose samples the program and attributes every replacement miss to
 // the arrays that supplied the evicting contentions.
 func Diagnose(np *NProgram, cfg Config, opt AnalyzeOptions, plan Plan) (*Diagnosis, error) {
-	return advisor.Diagnose(np, cfg, opt, plan)
+	return DiagnoseCtx(context.Background(), np, cfg, opt, plan, Budget{})
+}
+
+// DiagnoseCtx is Diagnose under a context and a budget. Diagnosis needs
+// pointwise attribution, so there is no cheaper tier: an interrupted run
+// returns the partial diagnosis together with ErrCanceled or
+// ErrBudgetExceeded.
+func DiagnoseCtx(ctx context.Context, np *NProgram, cfg Config, opt AnalyzeOptions, plan Plan, b Budget) (d *Diagnosis, err error) {
+	defer cerr.RecoverTo(&err)
+	return advisor.DiagnoseCtx(ctx, np, cfg, opt, plan, b)
 }
 
 // SearchPadding ranks inter-array paddings by predicted miss ratio.
 func SearchPadding(build func() *Program, array string, pads []int64, cfg Config, opt AnalyzeOptions, plan Plan) ([]Choice, error) {
-	return advisor.SearchPadding(build, array, pads, cfg, opt, plan)
+	return SearchPaddingCtx(context.Background(), build, array, pads, cfg, opt, plan, Budget{})
+}
+
+// SearchPaddingCtx is SearchPadding under a context and a budget: the
+// deadline spans the whole search, the point/scan caps apply per
+// candidate, and an interrupted search returns the candidates evaluated
+// so far (sorted) together with the interruption error.
+func SearchPaddingCtx(ctx context.Context, build func() *Program, array string, pads []int64, cfg Config, opt AnalyzeOptions, plan Plan, b Budget) (cs []Choice, err error) {
+	defer cerr.RecoverTo(&err)
+	return advisor.SearchPaddingCtx(ctx, build, array, pads, cfg, opt, plan, b)
 }
 
 // SearchParameter ranks a parameterised program family (tile sizes, loop
 // orders, ...) by predicted miss ratio.
 func SearchParameter(build func(param int64) *Program, params []int64, cfg Config, opt AnalyzeOptions, plan Plan) ([]Choice, error) {
-	return advisor.SearchParameter(build, params, cfg, opt, plan)
+	return SearchParameterCtx(context.Background(), build, params, cfg, opt, plan, Budget{})
+}
+
+// SearchParameterCtx is SearchParameter under a context and a budget,
+// with the same semantics as SearchPaddingCtx.
+func SearchParameterCtx(ctx context.Context, build func(param int64) *Program, params []int64, cfg Config, opt AnalyzeOptions, plan Plan, b Budget) (cs []Choice, err error) {
+	defer cerr.RecoverTo(&err)
+	return advisor.SearchParameterCtx(ctx, build, params, cfg, opt, plan, b)
 }
 
 // ParseFortran parses FORTRAN-subset source (the paper's program model)
 // into a Program. consts supplies compile-time values for named sizes,
 // the way the paper fixes READ-initialised variables from the reference
-// input.
-func ParseFortran(src string, consts map[string]int64) (*Program, error) {
+// input. Malformed source yields a positioned *ParseError, never a panic.
+func ParseFortran(src string, consts map[string]int64) (p *Program, err error) {
+	defer cerr.RecoverTo(&err)
 	return fparse.Parse(src, consts)
 }
 
@@ -250,7 +360,8 @@ type ParseOptions = fparse.Options
 // paper converts Swim's and Tomcatv's outer IF-GOTO iteration into DO
 // statements with trip counts fixed from the reference input
 // (Options.GotoTrips).
-func ParseFortranOptions(src string, opt ParseOptions) (*Program, error) {
+func ParseFortranOptions(src string, opt ParseOptions) (p *Program, err error) {
+	defer cerr.RecoverTo(&err)
 	return fparse.ParseOptions(src, opt)
 }
 

@@ -14,14 +14,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"cachemodel/internal/advisor"
+	"cachemodel/internal/budget"
 	"cachemodel/internal/cache"
 	"cachemodel/internal/cme"
 	"cachemodel/internal/experiments"
@@ -174,6 +178,37 @@ func cacheFlags(fs *flag.FlagSet) (cs, ls *int64, assoc *int) {
 	return
 }
 
+// budgetFlags registers the analysis-budget flags shared by the budgeted
+// subcommands.
+func budgetFlags(fs *flag.FlagSet) (timeout *time.Duration, maxPoints, maxScan *int64, fallback *bool) {
+	timeout = fs.Duration("timeout", 0, "wall-clock budget, e.g. 500ms (0 = unlimited)")
+	maxPoints = fs.Int64("max-points", 0, "budget: max classified iteration points (0 = unlimited)")
+	maxScan = fs.Int64("max-scan", 0, "budget: max interference-scan steps (0 = unlimited)")
+	fallback = fs.Bool("fallback", true, "on budget exhaustion degrade to cheaper tiers instead of failing")
+	return
+}
+
+// signalContext returns a context cancelled by Ctrl-C, so an interactive
+// interrupt yields the partial result instead of killing the process.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+// printProvenance reports which tier produced the result and what the
+// budget cost, whenever a budget was in play or the analysis degraded.
+func printProvenance(rep *cme.Report, limited bool) {
+	if !limited && !rep.Degraded {
+		return
+	}
+	fmt.Printf("  tier: %s   degraded: %v   point coverage: %.1f%% (%d/%d refs complete)\n",
+		rep.Tier, rep.Degraded, 100*rep.Coverage(), rep.CompleteRefs(), len(rep.Refs))
+	if limited {
+		s := rep.BudgetSpent
+		fmt.Printf("  budget spent: %s wall, %d points, %d scan steps, %d checkpoints\n",
+			s.Wall.Round(time.Microsecond), s.Points, s.Scan, s.Checkpoints)
+	}
+}
+
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	name := fs.String("program", "hydro", "built-in program name")
@@ -187,6 +222,7 @@ func cmdAnalyze(args []string) error {
 	width := fs.Float64("w", 0.05, "confidence interval half-width")
 	perRef := fs.Bool("refs", false, "print the per-reference breakdown")
 	nonUniform := fs.Bool("nonuniform", false, "resolve non-uniformly generated reuse (§8 future work)")
+	timeout, maxPoints, maxScan, fallback := budgetFlags(fs)
 	fs.Parse(args)
 
 	p, err := loadProgram(*file, *consts, *name, *size, *iters)
@@ -202,14 +238,18 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	b := budget.Budget{Deadline: *timeout, MaxPoints: *maxPoints, MaxScan: *maxScan, NoFallback: !*fallback}
+	ctx, stop := signalContext()
+	defer stop()
 	var rep *cme.Report
+	var ierr error
 	if *exact {
-		rep = a.FindMisses()
+		rep, ierr = a.FindMissesCtx(ctx, b)
 	} else {
-		rep, err = a.EstimateMisses(sampling.Plan{C: *conf, W: *width})
-		if err != nil {
-			return err
-		}
+		rep, ierr = a.EstimateMissesCtx(ctx, b, sampling.Plan{C: *conf, W: *width})
+	}
+	if rep == nil {
+		return ierr
 	}
 	mode := "EstimateMisses"
 	if *exact {
@@ -219,6 +259,10 @@ func cmdAnalyze(args []string) error {
 	fmt.Printf("  references: %d   accesses: %d\n", len(rep.Refs), rep.TotalAccesses())
 	fmt.Printf("  miss ratio: %.2f%%   estimated misses: %.0f   time: %.3fs\n",
 		rep.MissRatio(), rep.EstimatedMisses(), rep.Elapsed.Seconds())
+	printProvenance(rep, !b.IsZero() || ierr != nil)
+	if ierr != nil {
+		fmt.Printf("  analysis interrupted: %v (figures above cover the analysed part)\n", ierr)
+	}
 	if *perRef {
 		sort.Slice(rep.Refs, func(i, j int) bool {
 			return rep.Refs[i].MissRatio() > rep.Refs[j].MissRatio()
@@ -229,7 +273,9 @@ func cmdAnalyze(args []string) error {
 				rr.Ref.ID, rr.Volume, rr.Analyzed, 100*rr.MissRatio(), rr.Cold, rr.Repl)
 		}
 	}
-	return nil
+	// A partial (interrupted, non-degraded) analysis exits non-zero so
+	// scripts can tell it from a completed one.
+	return ierr
 }
 
 func cmdSimulate(args []string) error {
@@ -240,6 +286,7 @@ func cmdSimulate(args []string) error {
 	size := fs.Int64("size", 32, "problem size")
 	iters := fs.Int64("iters", 2, "outer iterations (whole programs)")
 	cs, ls, assoc := cacheFlags(fs)
+	timeout, maxPoints, maxScan, _ := budgetFlags(fs)
 	fs.Parse(args)
 
 	p, err := loadProgram(*file, *consts, *name, *size, *iters)
@@ -251,10 +298,20 @@ func cmdSimulate(args []string) error {
 		return err
 	}
 	cfg := cache.Config{SizeBytes: *cs, LineBytes: *ls, Assoc: *assoc}
-	res := trace.Simulate(np, cfg)
+	ctx, stop := signalContext()
+	defer stop()
+	res, ierr := trace.SimulateCtx(ctx, np, cfg,
+		budget.Budget{Deadline: *timeout, MaxPoints: *maxPoints, MaxScan: *maxScan})
+	if res == nil {
+		return ierr
+	}
 	fmt.Printf("%s  simulator  cache %s\n", p.Name, cfg)
 	fmt.Printf("  accesses: %d   misses: %d   miss ratio: %.2f%%\n",
 		res.Accesses, res.Misses, res.MissRatio())
+	if res.Truncated {
+		fmt.Printf("  simulation truncated: %v (counts cover the replayed prefix)\n", ierr)
+		return ierr
+	}
 	return nil
 }
 

@@ -15,11 +15,13 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"time"
 
+	"cachemodel/internal/budget"
 	"cachemodel/internal/cache"
 	"cachemodel/internal/cme"
 	"cachemodel/internal/inline"
@@ -76,6 +78,15 @@ func (d *Diagnosis) Top(n int) []Interference {
 // per the plan, each sampled access classified with attribution, and the
 // contention evidence aggregated per (victim array, interferer array).
 func Diagnose(np *ir.NProgram, cfg cache.Config, opt cme.Options, plan sampling.Plan) (*Diagnosis, error) {
+	return DiagnoseCtx(context.Background(), np, cfg, opt, plan, budget.Budget{})
+}
+
+// DiagnoseCtx is Diagnose under a context and a budget, with a checkpoint
+// per classified sample point. Diagnosis needs pointwise attribution, so
+// there is no cheaper tier to degrade to: an interrupted run returns the
+// partial diagnosis (covering the references sampled so far, scaled to
+// their access counts) together with ErrCanceled or ErrBudgetExceeded.
+func DiagnoseCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, opt cme.Options, plan sampling.Plan, b budget.Budget) (*Diagnosis, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,12 +95,22 @@ func Diagnose(np *ir.NProgram, cfg cache.Config, opt cme.Options, plan sampling.
 		return nil, err
 	}
 	start := time.Now()
+	m := budget.NewMeter(ctx, b)
+	var p *budget.Probe
+	if !m.Unlimited() {
+		p = m.Probe()
+		defer p.Drain()
+	}
 	rng := rand.New(rand.NewSource(20020211)) // the paper's venue date
 	d := &Diagnosis{Config: cfg}
 	cells := map[[2]*ir.Array]float64{}
 	var selfHits float64
+	var ierr error
 
 	for _, r := range np.Refs {
+		if ierr != nil {
+			break
+		}
 		sp := poly.FromStmt(r.Stmt)
 		vol := sp.Volume()
 		if vol == 0 {
@@ -109,7 +130,14 @@ func Diagnose(np *ir.NProgram, cfg cache.Config, opt cme.Options, plan sampling.
 		}
 		weight := float64(vol) / float64(len(pts)) // scale sample to population
 		d.Accesses += float64(vol)
+		classified := 0
 		for _, idx := range pts {
+			if p != nil {
+				if ierr = p.Check(1, 0); ierr != nil {
+					break
+				}
+			}
+			classified++
 			outcome, refs := a.ClassifyDetail(r, idx)
 			switch outcome {
 			case cme.Hit:
@@ -140,7 +168,7 @@ func Diagnose(np *ir.NProgram, cfg cache.Config, opt cme.Options, plan sampling.
 		d.SelfInterference = selfHits / d.Repl
 	}
 	d.Elapsed = time.Since(start)
-	return d, nil
+	return d, ierr
 }
 
 // Choice is one evaluated transformation candidate.
@@ -155,15 +183,28 @@ type Choice struct {
 func SearchPadding(build func() *ir.Program, array string, pads []int64,
 	cfg cache.Config, opt cme.Options, plan sampling.Plan) ([]Choice, error) {
 
+	return SearchPaddingCtx(context.Background(), build, array, pads, cfg, opt, plan, budget.Budget{})
+}
+
+// SearchPaddingCtx is SearchPadding under a context and a budget. The
+// deadline (and the context) spans the whole search; the point and scan
+// caps apply per candidate, since each candidate is an independent
+// estimate. An interrupted search returns the candidates evaluated so far
+// (sorted) together with the interruption error, so a caller can still
+// act on the best choice seen.
+func SearchPaddingCtx(ctx context.Context, build func() *ir.Program, array string, pads []int64,
+	cfg cache.Config, opt cme.Options, plan sampling.Plan, b budget.Budget) ([]Choice, error) {
+
 	var out []Choice
 	for _, pad := range pads {
 		np, err := prepare(build(), layout.Options{PadOf: map[string]int64{array: pad}})
 		if err != nil {
 			return nil, err
 		}
-		rep, err := estimate(np, cfg, opt, plan)
+		rep, err := estimateCtx(ctx, np, cfg, opt, plan, b)
 		if err != nil {
-			return nil, err
+			sortChoices(out)
+			return out, err
 		}
 		out = append(out, Choice{Label: fmt.Sprintf("pad=%d", pad), MissRatio: rep})
 	}
@@ -177,15 +218,25 @@ func SearchPadding(build func() *ir.Program, array string, pads []int64,
 func SearchParameter(build func(param int64) *ir.Program, params []int64,
 	cfg cache.Config, opt cme.Options, plan sampling.Plan) ([]Choice, error) {
 
+	return SearchParameterCtx(context.Background(), build, params, cfg, opt, plan, budget.Budget{})
+}
+
+// SearchParameterCtx is SearchParameter under a context and a budget, with
+// the same semantics as SearchPaddingCtx: global deadline, per-candidate
+// point/scan caps, and partial (sorted) results on interruption.
+func SearchParameterCtx(ctx context.Context, build func(param int64) *ir.Program, params []int64,
+	cfg cache.Config, opt cme.Options, plan sampling.Plan, b budget.Budget) ([]Choice, error) {
+
 	var out []Choice
 	for _, v := range params {
 		np, err := prepare(build(v), layout.Options{})
 		if err != nil {
 			return nil, err
 		}
-		rep, err := estimate(np, cfg, opt, plan)
+		rep, err := estimateCtx(ctx, np, cfg, opt, plan, b)
 		if err != nil {
-			return nil, err
+			sortChoices(out)
+			return out, err
 		}
 		out = append(out, Choice{Label: fmt.Sprintf("%d", v), MissRatio: rep})
 	}
@@ -212,12 +263,12 @@ func prepare(p *ir.Program, lopt layout.Options) (*ir.NProgram, error) {
 	return np, nil
 }
 
-func estimate(np *ir.NProgram, cfg cache.Config, opt cme.Options, plan sampling.Plan) (float64, error) {
+func estimateCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, opt cme.Options, plan sampling.Plan, b budget.Budget) (float64, error) {
 	a, err := cme.New(np, cfg, opt)
 	if err != nil {
 		return 0, err
 	}
-	rep, err := a.EstimateMisses(plan)
+	rep, err := a.EstimateMissesCtx(ctx, b, plan)
 	if err != nil {
 		return 0, err
 	}

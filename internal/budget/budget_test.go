@@ -1,0 +1,257 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cachemodel/internal/cerr"
+)
+
+func TestZeroBudgetIsUnlimited(t *testing.T) {
+	if !(Budget{}).IsZero() {
+		t.Fatal("zero Budget should report IsZero")
+	}
+	m := NewMeter(nil, Budget{})
+	if !m.Unlimited() {
+		t.Fatal("meter over a zero budget and Background context should be Unlimited")
+	}
+	limited := []Budget{
+		{Deadline: time.Second},
+		{MaxPoints: 10},
+		{MaxScan: 10},
+		{Hook: func(int64) error { return nil }},
+	}
+	for i, b := range limited {
+		if b.IsZero() {
+			t.Fatalf("budget %d should not be IsZero", i)
+		}
+		if NewMeter(nil, b).Unlimited() {
+			t.Fatalf("meter over budget %d should not be Unlimited", i)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if NewMeter(ctx, Budget{}).Unlimited() {
+		t.Fatal("meter over a cancellable context should not be Unlimited")
+	}
+}
+
+func TestMaxPointsTrips(t *testing.T) {
+	m := NewMeter(nil, Budget{MaxPoints: 100})
+	p := m.Probe()
+	var err error
+	var i int
+	for i = 0; i < 10_000; i++ {
+		if err = p.Check(1, 0); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("meter never tripped under a 100-point cap")
+	}
+	if !errors.Is(err, cerr.ErrBudgetExceeded) {
+		t.Fatalf("trip error = %v, want ErrBudgetExceeded", err)
+	}
+	// Probes batch: the trip is detected at the first flush past the cap,
+	// so overshoot is bounded by the flush cadence.
+	if i < 99 || i > 100+flushPoints {
+		t.Fatalf("tripped after %d points, want within a flush of the cap", i+1)
+	}
+	if got := m.Err(); !errors.Is(got, cerr.ErrBudgetExceeded) {
+		t.Fatalf("Meter.Err() = %v, want ErrBudgetExceeded", got)
+	}
+	if s := m.Spent(); s.Points <= 100 || s.Checkpoints == 0 {
+		t.Fatalf("Spent() = %+v, want points past cap and checkpoints > 0", s)
+	}
+	// Once tripped, later checks keep failing (within one flush batch).
+	var post error
+	for i := 0; i <= flushPoints && post == nil; i++ {
+		post = p.Check(1, 0)
+	}
+	if !errors.Is(post, cerr.ErrBudgetExceeded) {
+		t.Fatalf("post-trip Check = %v, want ErrBudgetExceeded", post)
+	}
+}
+
+func TestMaxScanTrips(t *testing.T) {
+	m := NewMeter(nil, Budget{MaxScan: 8192})
+	p := m.Probe()
+	var err error
+	for i := 0; i < 1000 && err == nil; i++ {
+		err = p.Check(1, 4096)
+	}
+	if !errors.Is(err, cerr.ErrBudgetExceeded) {
+		t.Fatalf("scan trip error = %v, want ErrBudgetExceeded", err)
+	}
+	if s := m.Spent(); s.Scan <= 8192 {
+		t.Fatalf("Spent().Scan = %d, want past the 8192 cap", s.Scan)
+	}
+}
+
+func TestDeadlineTrips(t *testing.T) {
+	m := NewMeter(nil, Budget{Deadline: time.Millisecond})
+	p := m.Probe()
+	time.Sleep(5 * time.Millisecond)
+	var err error
+	for i := 0; i <= flushPoints && err == nil; i++ {
+		err = p.Check(1, 0)
+	}
+	if !errors.Is(err, cerr.ErrBudgetExceeded) {
+		t.Fatalf("deadline trip error = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMeter(ctx, Budget{})
+	p := m.Probe()
+	if err := p.Flush(); err != nil {
+		t.Fatalf("pre-cancel Flush = %v, want nil", err)
+	}
+	cancel()
+	var err error
+	for i := 0; i <= flushPoints && err == nil; i++ {
+		err = p.Check(1, 0)
+	}
+	if !errors.Is(err, cerr.ErrCanceled) {
+		t.Fatalf("post-cancel error = %v, want ErrCanceled", err)
+	}
+	if errors.Is(err, cerr.ErrBudgetExceeded) {
+		t.Fatal("cancellation must not read as budget exhaustion")
+	}
+}
+
+func TestContextDeadlineMerged(t *testing.T) {
+	// The context carries the earlier deadline; the budget's is later.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	m := NewMeter(ctx, Budget{Deadline: time.Hour})
+	p := m.Probe()
+	time.Sleep(5 * time.Millisecond)
+	var err error
+	for i := 0; i <= flushPoints && err == nil; i++ {
+		err = p.Check(1, 0)
+	}
+	// Either the merged deadline fires (ErrBudgetExceeded) or the context
+	// itself expires first (ErrCanceled); both must land promptly.
+	if !errors.Is(err, cerr.ErrBudgetExceeded) && !errors.Is(err, cerr.ErrCanceled) {
+		t.Fatalf("merged-deadline error = %v", err)
+	}
+}
+
+func TestHookForcesPerCheckpointFlush(t *testing.T) {
+	var n int64
+	m := NewMeter(nil, Budget{Hook: func(k int64) error { n = k; return nil }})
+	p := m.Probe()
+	for i := 0; i < 5; i++ {
+		if err := p.Check(1, 0); err != nil {
+			t.Fatalf("Check %d = %v", i, err)
+		}
+	}
+	if n != 5 {
+		t.Fatalf("hook saw checkpoint %d after 5 checks, want 5 (per-checkpoint flush)", n)
+	}
+	if s := m.Spent(); s.Points != 5 || s.Checkpoints != 5 {
+		t.Fatalf("Spent() = %+v, want 5 points / 5 checkpoints", s)
+	}
+}
+
+func TestHookErrorTrips(t *testing.T) {
+	boom := errors.New("boom")
+	m := NewMeter(nil, Budget{Hook: func(k int64) error {
+		if k == 3 {
+			return boom
+		}
+		return nil
+	}})
+	p := m.Probe()
+	var err error
+	var i int
+	for i = 1; i <= 10 && err == nil; i++ {
+		err = p.Check(1, 0)
+	}
+	if !errors.Is(err, boom) || i-1 != 3 {
+		t.Fatalf("hook trip: err=%v at check %d, want boom at 3", err, i-1)
+	}
+}
+
+func TestGraceReArmsAfterBudgetTrip(t *testing.T) {
+	m := NewMeter(nil, Budget{MaxPoints: 64})
+	p := m.Probe()
+	var err error
+	for i := 0; i < 10_000 && err == nil; i++ {
+		err = p.Check(1, 0)
+	}
+	if !errors.Is(err, cerr.ErrBudgetExceeded) {
+		t.Fatalf("setup trip = %v", err)
+	}
+	m.Grace()
+	if m.Err() != nil {
+		t.Fatalf("Err() after Grace = %v, want nil", m.Err())
+	}
+	if m.Spent().Graces != 1 {
+		t.Fatalf("Graces = %d, want 1", m.Spent().Graces)
+	}
+	// The re-armed allowance (floor: 256 points) lets a cheaper tier run…
+	var extra int
+	for extra = 0; extra < 10_000; extra++ {
+		if err = p.Check(1, 0); err != nil {
+			break
+		}
+	}
+	if extra < 128 {
+		t.Fatalf("only %d points granted after Grace, want at least the floor region", extra)
+	}
+	// …but the meter still trips again rather than running forever.
+	if !errors.Is(err, cerr.ErrBudgetExceeded) {
+		t.Fatalf("re-armed meter never re-tripped: %v", err)
+	}
+}
+
+func TestDrainPublishesWithoutEvaluating(t *testing.T) {
+	m := NewMeter(nil, Budget{MaxPoints: 1})
+	p := m.Probe()
+	for i := 0; i < 3; i++ {
+		p.points++ // accumulate below the flush cadence
+	}
+	p.Drain()
+	if s := m.Spent(); s.Points != 3 {
+		t.Fatalf("Spent().Points = %d after Drain, want 3", s.Points)
+	}
+	if m.Err() != nil {
+		t.Fatalf("Drain must not evaluate limits, got %v", m.Err())
+	}
+}
+
+func TestConcurrentProbes(t *testing.T) {
+	m := NewMeter(nil, Budget{MaxPoints: 50_000})
+	const workers = 8
+	done := make(chan int64, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			p := m.Probe()
+			var n int64
+			for {
+				if err := p.Check(1, 1); err != nil {
+					done <- n
+					return
+				}
+				n++
+			}
+		}()
+	}
+	var total int64
+	for w := 0; w < workers; w++ {
+		total += <-done
+	}
+	if !errors.Is(m.Err(), cerr.ErrBudgetExceeded) {
+		t.Fatalf("Meter.Err() = %v", m.Err())
+	}
+	// All workers observed the trip; overshoot is bounded by one flush batch
+	// per worker.
+	if total > 50_000+workers*flushPoints {
+		t.Fatalf("workers classified %d points, cap 50000 (+%d slack)", total, workers*flushPoints)
+	}
+}

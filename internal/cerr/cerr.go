@@ -1,0 +1,68 @@
+// Package cerr defines the typed sentinel errors of the analysis stack and
+// the panic-to-error recovery used at the public API boundary. Every solver
+// entry point wraps one of these sentinels so callers can dispatch with
+// errors.Is instead of string matching:
+//
+//	rep, err := cachemodel.FindMissesCtx(ctx, np, cfg, opt, budget)
+//	switch {
+//	case errors.Is(err, cachemodel.ErrBudgetExceeded): // partial/degraded result
+//	case errors.Is(err, cachemodel.ErrCanceled):       // caller cancelled
+//	}
+package cerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors of the analysis stack.
+var (
+	// ErrBudgetExceeded reports that an analysis ran out of its Budget
+	// (wall-clock deadline, iteration points or interference-scan work)
+	// and could not, or was not allowed to, degrade further.
+	ErrBudgetExceeded = errors.New("analysis budget exceeded")
+
+	// ErrCanceled reports that the caller's context was cancelled. Unlike
+	// budget exhaustion, cancellation never degrades: the partial result is
+	// returned as-is together with this error.
+	ErrCanceled = errors.New("analysis canceled")
+
+	// ErrNonAffine reports input outside the affine program model (§2): a
+	// product of loop variables in a subscript, a data-dependent loop, ...
+	ErrNonAffine = errors.New("non-affine construct")
+
+	// ErrDegenerateSystem reports a degenerate linear system in the reuse
+	// analysis (zero denominator, dimension mismatch), typically caused by
+	// pathological subscripts.
+	ErrDegenerateSystem = errors.New("degenerate linear system")
+)
+
+// RecoverTo converts a panic in the deferring function into an error wrapping
+// the matching sentinel, for use at public API boundaries:
+//
+//	func FindMisses(...) (rep *Report, err error) {
+//	    defer cerr.RecoverTo(&err)
+//	    ...
+//	}
+//
+// It classifies linalg panics as ErrDegenerateSystem and model-violation
+// panics as ErrNonAffine; everything else becomes a plain error carrying the
+// panic message. Runtime panics that indicate programmer error (nil deref,
+// index out of range) are also converted, so callers never crash on
+// degenerate inputs.
+func RecoverTo(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	msg := fmt.Sprint(r)
+	switch {
+	case strings.HasPrefix(msg, "linalg:"):
+		*err = fmt.Errorf("%w: %s", ErrDegenerateSystem, msg)
+	case strings.Contains(msg, "non-affine") || strings.Contains(msg, "non-loop variable"):
+		*err = fmt.Errorf("%w: %s", ErrNonAffine, msg)
+	default:
+		*err = fmt.Errorf("internal panic: %s", msg)
+	}
+}

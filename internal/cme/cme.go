@@ -10,18 +10,35 @@
 // through to the next vector; otherwise the replacement equation along the
 // vector decides hit or miss (k distinct set contentions evict the line in
 // a k-way cache). Points indeterminate after all vectors are cold misses.
+//
+// Both solvers are interruptible and budget-aware: the Ctx variants thread
+// a context.Context and a budget.Budget through cooperative checkpoints at
+// iteration-point granularity. On budget exhaustion the analysis degrades
+// instead of dying, down the ladder
+//
+//	FindMisses (exact) → EstimateMisses (widened interval) → probabilistic
+//
+// recording per-reference provenance (Tier) and overall Degraded /
+// BudgetSpent fields in the Report so callers can see exactly what
+// produced the numbers. Context cancellation never degrades: the partial
+// report is returned together with ErrCanceled.
 package cme
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 	"time"
 
+	"cachemodel/internal/budget"
 	"cachemodel/internal/cache"
+	"cachemodel/internal/cerr"
 	"cachemodel/internal/ir"
 	"cachemodel/internal/poly"
+	"cachemodel/internal/prob"
 	"cachemodel/internal/reuse"
 	"cachemodel/internal/sampling"
 	"cachemodel/internal/trace"
@@ -45,6 +62,33 @@ func (o Outcome) String() string {
 		return "cold"
 	case ReplacementMiss:
 		return "replacement"
+	}
+	return "?"
+}
+
+// Tier identifies which rung of the degradation ladder produced a result.
+type Tier int
+
+// Degradation ladder, cheapest last.
+const (
+	// TierExact: every iteration point classified (FindMisses).
+	TierExact Tier = iota
+	// TierSampled: a statistically chosen sample classified
+	// (EstimateMisses).
+	TierSampled
+	// TierProbabilistic: the Fraguela-style closed-form baseline; no
+	// pointwise classification at all.
+	TierProbabilistic
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierExact:
+		return "exact"
+	case TierSampled:
+		return "sampled"
+	case TierProbabilistic:
+		return "probabilistic"
 	}
 	return "?"
 }
@@ -76,7 +120,9 @@ type Options struct {
 }
 
 // Analyzer holds the per-program analysis state: reuse vectors, reference
-// iteration spaces and the cache configuration.
+// iteration spaces and the cache configuration. An Analyzer stays valid
+// and reusable after an interrupted or degraded run: every solver call
+// builds fresh per-run reports and never mutates the shared state.
 type Analyzer struct {
 	np       *ir.NProgram
 	cfg      cache.Config
@@ -125,11 +171,20 @@ func (a *Analyzer) Space(s *ir.NStmt) *poly.Space { return a.spaces[s] }
 // Classify decides the outcome of reference r's access at iteration idx by
 // solving the cold and replacement equations along r's reuse vectors.
 func (a *Analyzer) Classify(r *ir.NRef, idx []int64) Outcome {
+	o, _ := a.classifyN(r, idx)
+	return o
+}
+
+// classifyN is Classify plus accounting: it reports the number of accesses
+// visited while scanning interference intervals, the unit of the budget's
+// MaxScan dimension.
+func (a *Analyzer) classifyN(r *ir.NRef, idx []int64) (Outcome, int64) {
 	line := a.cfg.MemLine(r.AddressAt(idx))
 	set := a.cfg.SetOfLine(line)
 	k := a.cfg.Assoc
 	consumer := trace.Time{Label: r.Stmt.Label, Idx: idx, Seq: r.Seq}
 
+	var scanned int64
 	var distinct []int64 // distinct contending lines (reused per vector)
 	for _, v := range a.vecs[r] {
 		plabel, pidx := v.ProducerPoint(idx)
@@ -150,6 +205,7 @@ func (a *Analyzer) Classify(r *ir.NRef, idx []int64) Outcome {
 			// The paper's equations verbatim: k distinct set contentions
 			// anywhere in the interval evict the line.
 			trace.VisitBetween(a.np, producer, consumer, func(ri *ir.NRef, j []int64) bool {
+				scanned++
 				al := a.cfg.MemLine(ri.AddressAt(j))
 				if al == line || a.cfg.SetOfLine(al) != set {
 					return true
@@ -171,6 +227,7 @@ func (a *Analyzer) Classify(r *ir.NRef, idx []int64) Outcome {
 			// of the line is its most recent fetch, and the line is evicted
 			// iff k distinct other lines hit the set after that fetch.
 			trace.VisitBetweenReverse(a.np, producer, consumer, func(ri *ir.NRef, j []int64) bool {
+				scanned++
 				al := a.cfg.MemLine(ri.AddressAt(j))
 				if al == line {
 					return false // most recent fetch found; the count stands
@@ -192,23 +249,23 @@ func (a *Analyzer) Classify(r *ir.NRef, idx []int64) Outcome {
 			})
 		}
 		if evicted {
-			return ReplacementMiss
+			return ReplacementMiss, scanned
 		}
-		return Hit
+		return Hit, scanned
 	}
-	if out, decided := a.classifyDynamic(r, idx, line, set, k, consumer); decided {
-		return out
+	if out, more, decided := a.classifyDynamic(r, idx, line, set, k, consumer); decided {
+		return out, scanned + more
 	}
-	return ColdMiss
+	return ColdMiss, scanned
 }
 
 // classifyDynamic resolves non-uniformly generated reuse (§8 future work)
 // once every static reuse vector has fallen through: among the dynamic
 // producer candidates, the lexicographically latest valid producer
 // iteration decides via the usual replacement walk.
-func (a *Analyzer) classifyDynamic(r *ir.NRef, idx []int64, line, set int64, k int, consumer trace.Time) (Outcome, bool) {
+func (a *Analyzer) classifyDynamic(r *ir.NRef, idx []int64, line, set int64, k int, consumer trace.Time) (Outcome, int64, bool) {
 	if a.dyn == nil {
-		return ColdMiss, false
+		return ColdMiss, 0, false
 	}
 	var best trace.Time
 	found := false
@@ -232,11 +289,13 @@ func (a *Analyzer) classifyDynamic(r *ir.NRef, idx []int64, line, set int64, k i
 		}
 	}
 	if !found {
-		return ColdMiss, false
+		return ColdMiss, 0, false
 	}
+	var scanned int64
 	var distinct []int64
 	evicted := false
 	trace.VisitBetweenReverse(a.np, best, consumer, func(ri *ir.NRef, j []int64) bool {
+		scanned++
 		al := a.cfg.MemLine(ri.AddressAt(j))
 		if al == line {
 			return false
@@ -257,9 +316,9 @@ func (a *Analyzer) classifyDynamic(r *ir.NRef, idx []int64, line, set int64, k i
 		return true
 	})
 	if evicted {
-		return ReplacementMiss, true
+		return ReplacementMiss, scanned, true
 	}
-	return Hit, true
+	return Hit, scanned, true
 }
 
 // ClassifyDetail is Classify plus attribution: for a replacement miss it
@@ -324,6 +383,16 @@ type RefReport struct {
 	Hits     int64
 	Cold     int64
 	Repl     int64
+	// Tier records which rung of the degradation ladder produced this
+	// reference's numbers.
+	Tier Tier
+	// Complete reports that the reference's analysis ran to completion at
+	// its Tier; false means the run was interrupted mid-reference and the
+	// counts cover only a prefix (or sample prefix) of the RIS.
+	Complete bool
+	// Ratio holds the closed-form miss ratio when Tier is
+	// TierProbabilistic (no pointwise counts exist there).
+	Ratio float64
 }
 
 // Misses returns cold + replacement misses among analysed points.
@@ -331,6 +400,9 @@ func (r *RefReport) Misses() int64 { return r.Cold + r.Repl }
 
 // MissRatio returns the reference's estimated miss ratio in [0, 1].
 func (r *RefReport) MissRatio() float64 {
+	if r.Tier == TierProbabilistic {
+		return r.Ratio
+	}
 	if r.Analyzed == 0 {
 		return 0
 	}
@@ -352,6 +424,17 @@ type Report struct {
 	Refs    []*RefReport
 	Elapsed time.Duration
 	Sampled bool
+
+	// Provenance: which tiers produced the numbers and what they cost.
+
+	// Tier is the cheapest (least exact) tier used by any reference, i.e.
+	// the weakest guarantee in the report.
+	Tier Tier
+	// Degraded reports that at least one reference was produced by a
+	// cheaper tier than requested because the budget ran out.
+	Degraded bool
+	// BudgetSpent records the resources consumed by the run.
+	BudgetSpent budget.Spent
 }
 
 // TotalAccesses returns Σ_R |RIS_R|, the program's total access count.
@@ -409,15 +492,74 @@ func (rep *Report) ExactMisses() int64 {
 	return m
 }
 
+// Coverage returns the fraction of the program's accesses that were
+// classified pointwise (1.0 for a complete FindMisses; lower when the run
+// was sampled, interrupted, or degraded to the probabilistic tier).
+func (rep *Report) Coverage() float64 {
+	t := rep.TotalAccesses()
+	if t == 0 {
+		return 0
+	}
+	var an int64
+	for _, r := range rep.Refs {
+		an += r.Analyzed
+	}
+	return float64(an) / float64(t)
+}
+
+// CompleteRefs returns how many references ran to completion at their tier.
+func (rep *Report) CompleteRefs() int {
+	n := 0
+	for _, r := range rep.Refs {
+		if r.Complete {
+			n++
+		}
+	}
+	return n
+}
+
+// finalize stamps aggregate provenance once the per-ref reports settled.
+func (rep *Report) finalize(m *budget.Meter, start time.Time) {
+	rep.Tier = TierExact
+	for _, r := range rep.Refs {
+		if r.Tier > rep.Tier {
+			rep.Tier = r.Tier
+		}
+		if r.Sampled {
+			rep.Sampled = true
+		}
+	}
+	rep.BudgetSpent = m.Spent()
+	rep.Elapsed = time.Since(start)
+}
+
 // FindMisses analyses every iteration point of every reference (the exact
 // algorithm of Fig. 6, left).
 func (a *Analyzer) FindMisses() *Report {
+	rep, _ := a.FindMissesCtx(context.Background(), budget.Budget{})
+	return rep
+}
+
+// FindMissesCtx is FindMisses under a context and a budget. With a zero
+// budget and a background context it is bit-identical to FindMisses. On
+// cancellation it returns the coherent partial report together with
+// ErrCanceled. On budget exhaustion it degrades: references the exact pass
+// did not finish are re-analysed by EstimateMisses under the paper's
+// widened fallback interval, and if even that exhausts its grace
+// allowance, by the closed-form probabilistic baseline — unless the budget
+// sets NoFallback, in which case the partial report is returned with
+// ErrBudgetExceeded.
+func (a *Analyzer) FindMissesCtx(ctx context.Context, b budget.Budget) (*Report, error) {
 	start := time.Now()
+	m := budget.NewMeter(ctx, b)
 	rep := &Report{Config: a.cfg}
-	rep.Refs = a.perRef(func(r *ir.NRef, rr *RefReport) {
+	rep.Refs, _ = a.perRefBudget(m, func(r *ir.NRef, rr *RefReport, p *budget.Probe) error {
+		rr.Tier = TierExact
+		var perr error
 		a.spaces[r.Stmt].Enumerate(func(idx []int64) bool {
+			out, scanned := a.classifyN(r, idx)
 			rr.Analyzed++
-			switch a.Classify(r, idx) {
+			switch out {
 			case Hit:
 				rr.Hits++
 			case ColdMiss:
@@ -425,49 +567,280 @@ func (a *Analyzer) FindMisses() *Report {
 			case ReplacementMiss:
 				rr.Repl++
 			}
+			if p != nil {
+				if perr = p.Check(1, scanned); perr != nil {
+					return false
+				}
+			}
 			return true
 		})
+		if perr == nil {
+			rr.Complete = true
+		}
+		return perr
 	})
-	rep.Elapsed = time.Since(start)
-	return rep
+	return a.degrade(m, rep, start, sampling.DefaultFallback)
 }
 
-// perRef runs work over every reference, possibly in parallel. All lazily
-// built shared state (space volumes, linearised addresses) is warmed
-// sequentially first so the workers only read.
-func (a *Analyzer) perRef(work func(r *ir.NRef, rr *RefReport)) []*RefReport {
+// EstimateMisses analyses a statistically chosen sample of each reference's
+// RIS (the algorithm of Fig. 6, right): a reference whose RIS is too small
+// to achieve the requested (c, w) falls back to the paper's default
+// (90%, 0.15); a RIS too small even for that is analysed exhaustively.
+func (a *Analyzer) EstimateMisses(plan sampling.Plan) (*Report, error) {
+	return a.EstimateMissesCtx(context.Background(), budget.Budget{}, plan)
+}
+
+// EstimateMissesCtx is EstimateMisses under a context and a budget. With a
+// zero budget it is bit-identical to EstimateMisses. On cancellation it
+// returns the partial report with ErrCanceled; on budget exhaustion it
+// degrades unfinished references to the probabilistic baseline (or fails
+// with ErrBudgetExceeded under NoFallback).
+func (a *Analyzer) EstimateMissesCtx(ctx context.Context, b budget.Budget, plan sampling.Plan) (*Report, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := budget.NewMeter(ctx, b)
+	rep := &Report{Config: a.cfg, Sampled: true}
+	rep.Refs, _ = a.perRefBudget(m, a.sampleWorker(plan))
+	// The exact rung is already behind us: degrade straight to the
+	// probabilistic tier for whatever the sampling pass did not finish.
+	return a.degrade(m, rep, start, plan)
+}
+
+// sampleWorker returns the per-reference sampling pass of Fig. 6 (right)
+// as a perRefBudget work function.
+func (a *Analyzer) sampleWorker(plan sampling.Plan) func(*ir.NRef, *RefReport, *budget.Probe) error {
+	seed := a.opt.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF
+	}
+	return func(r *ir.NRef, rr *RefReport, p *budget.Probe) error {
+		// Per-reference RNG: deterministic regardless of worker count.
+		rng := rand.New(rand.NewSource(seed ^ int64(r.Seq)*0x9E3779B9))
+		sp := a.spaces[r.Stmt]
+		vol := rr.Volume
+		rr.Tier = TierSampled
+		var pts [][]int64
+		switch {
+		case plan.Achievable(vol):
+			rr.Sampled = true
+			pts = sp.Sample(rng, plan.SizeFor(vol))
+		case sampling.DefaultFallback.Achievable(vol):
+			rr.Sampled = true
+			pts = sp.Sample(rng, sampling.DefaultFallback.SizeFor(vol))
+		default:
+			// Analyse all points: a full census of a small RIS.
+			rr.Tier = TierExact
+		}
+		var perr error
+		classify := func(idx []int64) bool {
+			out, scanned := a.classifyN(r, idx)
+			rr.Analyzed++
+			switch out {
+			case Hit:
+				rr.Hits++
+			case ColdMiss:
+				rr.Cold++
+			case ReplacementMiss:
+				rr.Repl++
+			}
+			if p != nil {
+				if perr = p.Check(1, scanned); perr != nil {
+					return false
+				}
+			}
+			return true
+		}
+		if rr.Sampled {
+			for _, pt := range pts {
+				if !classify(pt) {
+					break
+				}
+			}
+		} else {
+			sp.Enumerate(classify)
+		}
+		if perr == nil {
+			rr.Complete = true
+		}
+		return perr
+	}
+}
+
+// degrade inspects the outcome of a solver pass and walks the remaining
+// rungs of the ladder for every incomplete reference. fallbackPlan is the
+// sampling plan the TierSampled rung uses (the paper's widened fallback
+// interval when coming from FindMisses).
+func (a *Analyzer) degrade(m *budget.Meter, rep *Report, start time.Time, fallbackPlan sampling.Plan) (*Report, error) {
+	err := m.Err()
+	if err == nil {
+		// Completed within budget; nothing to degrade. (Individual refs
+		// are all complete here by construction.)
+		rep.finalize(m, start)
+		return rep, nil
+	}
+	if errors.Is(err, cerr.ErrCanceled) || m.NoFallback() {
+		rep.finalize(m, start)
+		return rep, err
+	}
+	// TierSampled rung, for references the exact pass left unfinished.
+	// Skip it if this pass already was the sampling pass.
+	firstIncompleteTier := TierProbabilistic
+	for _, rr := range rep.Refs {
+		if !rr.Complete && rr.Tier < firstIncompleteTier {
+			firstIncompleteTier = rr.Tier
+		}
+	}
+	if firstIncompleteTier == TierExact {
+		m.Grace()
+		serr := a.resampleIncomplete(m, rep, fallbackPlan)
+		rep.Degraded = true
+		if serr != nil && errors.Is(serr, cerr.ErrCanceled) {
+			rep.finalize(m, start)
+			return rep, serr
+		}
+	}
+	// Probabilistic rung: closed-form, no iteration walks, cannot exhaust.
+	a.probIncomplete(rep)
+	rep.Degraded = true
+	rep.finalize(m, start)
+	return rep, nil
+}
+
+// resampleIncomplete re-analyses every incomplete reference with the
+// sampling solver under the (typically widened) plan, discarding the
+// biased partial counts of the interrupted exact prefix.
+func (a *Analyzer) resampleIncomplete(m *budget.Meter, rep *Report, plan sampling.Plan) error {
+	work := a.sampleWorker(plan)
+	p := m.Probe()
+	defer p.Drain()
+	for _, rr := range rep.Refs {
+		if rr.Complete {
+			continue
+		}
+		rr.Analyzed, rr.Hits, rr.Cold, rr.Repl = 0, 0, 0, 0
+		rr.Sampled = false
+		if err := work(rr.Ref, rr, p); err != nil {
+			// Leave this and the remaining refs incomplete; the caller
+			// drops them to the probabilistic rung.
+			rr.Analyzed, rr.Hits, rr.Cold, rr.Repl = 0, 0, 0, 0
+			rr.Sampled = false
+			rr.Complete = false
+			return err
+		}
+	}
+	return nil
+}
+
+// probIncomplete resolves every still-incomplete reference with the
+// Fraguela-style probabilistic baseline, reusing the analyzer's reuse
+// vectors (same line geometry, so the vectors transfer directly).
+func (a *Analyzer) probIncomplete(rep *Report) {
+	todo := false
+	for _, rr := range rep.Refs {
+		if !rr.Complete {
+			todo = true
+			break
+		}
+	}
+	if !todo {
+		return
+	}
+	est := prob.NewEstimator(a.np, a.cfg, prob.Options{
+		Reuse:   a.opt.Reuse,
+		Vectors: a.vecs,
+		Seed:    a.opt.Seed,
+	})
+	for _, rr := range rep.Refs {
+		if rr.Complete {
+			continue
+		}
+		rr.Tier = TierProbabilistic
+		rr.Ratio = est.RefRatio(rr.Ref)
+		rr.Analyzed, rr.Hits, rr.Cold, rr.Repl = 0, 0, 0, 0
+		rr.Sampled = false
+		rr.Complete = true
+	}
+}
+
+// perRefBudget runs work over every reference, possibly in parallel, under
+// the meter. Each worker goroutine owns a budget probe (nil when the meter
+// is unlimited, so the no-budget path costs one nil check per point). When
+// one worker trips the meter, the others stop at their next checkpoint and
+// unprocessed references are left incomplete. All lazily built shared
+// state (space volumes, linearised addresses) is warmed sequentially first
+// so the workers only read.
+func (a *Analyzer) perRefBudget(m *budget.Meter, work func(r *ir.NRef, rr *RefReport, p *budget.Probe) error) ([]*RefReport, error) {
 	a.warm()
 	out := make([]*RefReport, len(a.np.Refs))
 	for i, r := range a.np.Refs {
 		out[i] = &RefReport{Ref: r, Volume: a.spaces[r.Stmt].Volume()}
 	}
+	limited := !m.Unlimited()
 	workers := a.opt.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 || len(a.np.Refs) < 2 {
+		var firstErr error
 		for i, r := range a.np.Refs {
-			work(r, out[i])
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				work(a.np.Refs[i], out[i])
+			var p *budget.Probe
+			if limited {
+				p = m.Probe()
 			}
-		}()
+			err := work(r, out[i], p)
+			if p != nil {
+				p.Drain()
+			}
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+		return out, firstErr
 	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int, len(a.np.Refs))
 	for i := range a.np.Refs {
 		next <- i
 	}
 	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var p *budget.Probe
+			if limited {
+				p = m.Probe()
+			}
+			for i := range next {
+				if m.Err() != nil {
+					return // another worker tripped the meter
+				}
+				if err := work(a.np.Refs[i], out[i], p); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					if p != nil {
+						p.Drain()
+					}
+					return
+				}
+			}
+			if p != nil {
+				p.Drain()
+			}
+		}()
+	}
 	wg.Wait()
-	return out
+	return out, firstErr
 }
 
 // warm materialises every lazy cache the workers would otherwise race on:
@@ -483,57 +856,4 @@ func (a *Analyzer) warm() {
 			r.AddressAt(idx)
 		}
 	})
-}
-
-// EstimateMisses analyses a statistically chosen sample of each reference's
-// RIS (the algorithm of Fig. 6, right): a reference whose RIS is too small
-// to achieve the requested (c, w) falls back to the paper's default
-// (90%, 0.15); a RIS too small even for that is analysed exhaustively.
-func (a *Analyzer) EstimateMisses(plan sampling.Plan) (*Report, error) {
-	if err := plan.Validate(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	seed := a.opt.Seed
-	if seed == 0 {
-		seed = 0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF
-	}
-	rep := &Report{Config: a.cfg, Sampled: true}
-	rep.Refs = a.perRef(func(r *ir.NRef, rr *RefReport) {
-		// Per-reference RNG: deterministic regardless of worker count.
-		rng := rand.New(rand.NewSource(seed ^ int64(r.Seq)*0x9E3779B9))
-		sp := a.spaces[r.Stmt]
-		vol := rr.Volume
-		var pts [][]int64
-		switch {
-		case plan.Achievable(vol):
-			rr.Sampled = true
-			pts = sp.Sample(rng, plan.SizeFor(vol))
-		case sampling.DefaultFallback.Achievable(vol):
-			rr.Sampled = true
-			pts = sp.Sample(rng, sampling.DefaultFallback.SizeFor(vol))
-		default:
-			// Analyse all points.
-		}
-		classify := func(idx []int64) {
-			rr.Analyzed++
-			switch a.Classify(r, idx) {
-			case Hit:
-				rr.Hits++
-			case ColdMiss:
-				rr.Cold++
-			case ReplacementMiss:
-				rr.Repl++
-			}
-		}
-		if rr.Sampled {
-			for _, p := range pts {
-				classify(p)
-			}
-		} else {
-			sp.Enumerate(func(idx []int64) bool { classify(idx); return true })
-		}
-	})
-	rep.Elapsed = time.Since(start)
-	return rep, nil
 }

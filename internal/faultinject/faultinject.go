@@ -1,0 +1,66 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// budgeted solvers: it fires a chosen error (cancellation, budget
+// exhaustion, or any other) at exactly the Nth cooperative checkpoint of an
+// analysis, which lets tests prove that partial results are coherent, that
+// degradation engages at any interruption point, and that analyzers remain
+// reusable after an injected fault.
+//
+// Usage:
+//
+//	inj := faultinject.CancelAt(37)
+//	b := budget.Budget{Hook: inj.Hook()}
+//	rep, err := analyzer.FindMissesCtx(ctx, b) // trips at checkpoint 37
+//	if !errors.Is(err, cerr.ErrCanceled) { ... }
+//
+// Run the solver with Workers: 1 for a fully deterministic checkpoint
+// order; with parallel workers the Nth checkpoint is still hit exactly
+// once, but which iteration point it lands on varies.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cachemodel/internal/budget"
+	"cachemodel/internal/cerr"
+)
+
+// Injector fires Err at the Nth checkpoint (1-based), exactly once.
+type Injector struct {
+	N     int64
+	Err   error
+	fired atomic.Bool
+	seen  atomic.Int64
+}
+
+// CancelAt returns an injector that simulates context cancellation at the
+// nth checkpoint.
+func CancelAt(n int64) *Injector {
+	return &Injector{N: n, Err: fmt.Errorf("%w: injected at checkpoint %d", cerr.ErrCanceled, n)}
+}
+
+// ExhaustAt returns an injector that simulates budget exhaustion at the
+// nth checkpoint.
+func ExhaustAt(n int64) *Injector {
+	return &Injector{N: n, Err: fmt.Errorf("%w: injected at checkpoint %d", cerr.ErrBudgetExceeded, n)}
+}
+
+// At returns an injector firing an arbitrary error at the nth checkpoint.
+func At(n int64, err error) *Injector { return &Injector{N: n, Err: err} }
+
+// Hook adapts the injector to a budget.Hook.
+func (i *Injector) Hook() budget.Hook {
+	return func(n int64) error {
+		i.seen.Store(n)
+		if n >= i.N && i.fired.CompareAndSwap(false, true) {
+			return i.Err
+		}
+		return nil
+	}
+}
+
+// Fired reports whether the fault has been injected.
+func (i *Injector) Fired() bool { return i.fired.Load() }
+
+// Checkpoints returns the highest checkpoint index observed.
+func (i *Injector) Checkpoints() int64 { return i.seen.Load() }

@@ -1,0 +1,59 @@
+package fparse
+
+import (
+	"fmt"
+	"strings"
+
+	"cachemodel/internal/cerr"
+	"cachemodel/internal/ir"
+)
+
+// ParseError is a positioned parse failure. Every malformed input yields
+// one (never a panic); Line and Col locate the offending token. When the
+// failure is a program-model violation rather than a syntax error, Err
+// carries the matching sentinel (cerr.ErrNonAffine), so callers can
+// distinguish "fix the source" from "this program is outside the model"
+// with errors.Is.
+type ParseError struct {
+	Line int    // 1-based source line
+	Col  int    // 1-based source column (0 when unknown)
+	Msg  string // human-readable description
+	Err  error  // optional underlying sentinel
+}
+
+// Error formats the error with its position.
+func (e *ParseError) Error() string {
+	switch {
+	case e.Line > 0 && e.Col > 0:
+		return fmt.Sprintf("line %d, col %d: %s", e.Line, e.Col, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+	default:
+		return e.Msg
+	}
+}
+
+// Unwrap exposes the underlying sentinel to errors.Is / errors.As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// perr builds a positioned error from a token.
+func perr(t token, format string, args ...interface{}) *ParseError {
+	return &ParseError{Line: t.line, Col: t.col + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// recoverParse converts a parser/ir panic into a *ParseError, classifying
+// program-model violations. Panics here are defensive: all known invalid
+// inputs are rejected with positioned errors before reaching ir.
+func recoverParse(prog **ir.Program, err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	msg := fmt.Sprint(r)
+	pe := &ParseError{Msg: msg}
+	if strings.Contains(msg, "non-affine") || strings.Contains(msg, "non-loop variable") || strings.Contains(msg, "data-dependent") {
+		pe.Err = cerr.ErrNonAffine
+	}
+	*prog = nil
+	*err = pe
+}

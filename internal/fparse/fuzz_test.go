@@ -1,0 +1,58 @@
+package fparse
+
+import (
+	"errors"
+	"testing"
+
+	"cachemodel/internal/ir"
+	"cachemodel/internal/kernels"
+)
+
+// FuzzParseFortran asserts the parser's robustness contract: any input
+// either parses or fails with a positioned *ParseError — never a panic —
+// and for input that parses, printing is a fixpoint:
+// Print(parse(Print(parse(src)))) == Print(parse(src)).
+func FuzzParseFortran(f *testing.F) {
+	seeds := []string{
+		figure1Src,
+		hydroSrc,
+		mmtSrc,
+		"", "      END\n",
+		"      PROGRAM P\n      REAL*8 A(10)\n      DO I = 1, 10\n        A(I) = A(I)\n      ENDDO\n      END\n",
+		"      PROGRAM P\n      REAL*8 A(10)\n      A(I*J) = 1\n      END\n",
+		"      PROGRAM P\n      REAL*8 A(4,*)\n      IF (I .LE. 3) THEN\n        A(I, J) = 2*I - J + 1\n      ENDIF\n      END\n",
+		"      PROGRAM P\n      PARAMETER (N = 6)\n      REAL*8 A(N)\n      DO 10 I = 1, N, 2\n      A(I) = 0\n 10   CONTINUE\n      END\n",
+		"      SUBROUTINE S(X, Y)\n      DIMENSION X(8), Y(8)\n      CALL T(X(1), Y)\n      END\n",
+	}
+	for _, p := range []*ir.Program{
+		kernels.Hydro(10, 10),
+		kernels.MGRID(8),
+		kernels.MMT(8, 4, 4),
+		kernels.Tomcatv(10, 2),
+		kernels.Swim(10, 2),
+		kernels.VCycle(16, 1),
+	} {
+		seeds = append(seeds, Print(p))
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseOptions(src, Options{})
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("parse error is not a *ParseError: %T %v", err, err)
+			}
+			return
+		}
+		s1 := Print(prog)
+		p1, err := Parse(s1, nil)
+		if err != nil {
+			t.Fatalf("printed source does not reparse: %v\nsource:\n%s", err, s1)
+		}
+		if s2 := Print(p1); s1 != s2 {
+			t.Fatalf("print is not a fixpoint\nfirst:\n%s\nsecond:\n%s", s1, s2)
+		}
+	})
+}

@@ -16,7 +16,6 @@ package fparse
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 type tokKind int
@@ -157,7 +156,7 @@ func lexLine(line string, lineNo int) ([]token, error) {
 				j++
 			}
 			if j >= len(line) {
-				return nil, fmt.Errorf("line %d: unterminated string", lineNo)
+				return nil, &ParseError{Line: lineNo, Col: i + 1, Msg: "unterminated string"}
 			}
 			toks = append(toks, token{kind: tokString, text: line[i+1 : j], line: lineNo, col: i})
 			i = j + 1
@@ -187,11 +186,14 @@ func lexLine(line string, lineNo int) ([]token, error) {
 			toks = append(toks, token{kind: tokRelop, text: ".EQ.", line: lineNo, col: i})
 			i += 2
 		default:
-			return nil, fmt.Errorf("line %d: unexpected character %q", lineNo, rune(c))
+			return nil, &ParseError{Line: lineNo, Col: i + 1, Msg: fmt.Sprintf("unexpected character %q", rune(c))}
 		}
 	}
 	return toks, nil
 }
 
-func isAlpha(c byte) bool { return unicode.IsLetter(rune(c)) }
+// isAlpha accepts ASCII letters only: treating high bytes as Latin-1
+// letters would admit identifiers that are invalid UTF-8, which the
+// printer cannot render back losslessly.
+func isAlpha(c byte) bool { return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') }
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }

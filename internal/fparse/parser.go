@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cachemodel/internal/cerr"
 	"cachemodel/internal/ir"
 )
 
@@ -29,8 +30,10 @@ type Options struct {
 	GotoTrips map[string]int64
 }
 
-// ParseOptions is Parse with IF-GOTO conversion support.
-func ParseOptions(src string, opt Options) (*ir.Program, error) {
+// ParseOptions is Parse with IF-GOTO conversion support. Malformed input
+// yields a positioned *ParseError; the function never panics.
+func ParseOptions(src string, opt Options) (prog *ir.Program, err error) {
+	defer recoverParse(&prog, &err)
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
@@ -48,12 +51,23 @@ func MustParse(src string, consts map[string]int64) *ir.Program {
 	return p
 }
 
+// maxNest bounds statement nesting and maxExprDepth expression nesting,
+// so that pathological input fails with a positioned error instead of
+// exhausting the stack.
+const (
+	maxNest        = 500
+	maxExprDepth   = 1000
+	maxAffineTerms = 100
+)
+
 type parser struct {
 	toks      []token
 	pos       int
 	consts    map[string]int64
 	gotoTrips map[string]int64
 	gotoSeq   int
+	nest      int // statement nesting depth (DO/IF)
+	exprDepth int // expression recursion depth
 	// pendingGoto carries a just-parsed backward GOTO target up to
 	// parseStmts, which performs the loop conversion.
 	pendingGoto string
@@ -73,12 +87,33 @@ func (p *parser) declareArray(name string, a *ir.Array) {
 	p.arrays[name] = a
 }
 
-func (p *parser) peek() token { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) peek() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // the EOF token
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
 func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
 
 func (p *parser) errf(t token, format string, args ...interface{}) error {
-	return fmt.Errorf("line %d: %s", t.line, fmt.Sprintf(format, args...))
+	return perr(t, format, args...)
+}
+
+// errModel is errf for program-model violations (non-affine constructs);
+// the error matches cerr.ErrNonAffine under errors.Is.
+func (p *parser) errModel(t token, format string, args ...interface{}) error {
+	e := perr(t, format, args...)
+	e.Err = cerr.ErrNonAffine
+	return e
 }
 
 func (p *parser) skipNewlines() {
@@ -146,6 +181,9 @@ func (p *parser) parseProgram() (*ir.Program, error) {
 		if err != nil {
 			return nil, err
 		}
+		if _, dup := prog.Subs[sub.Name]; dup {
+			return nil, p.errf(name, "duplicate subroutine %s", sub.Name)
+		}
 		prog.Add(sub)
 		if isMain && mainName == "" {
 			mainName = sub.Name
@@ -157,7 +195,7 @@ func (p *parser) parseProgram() (*ir.Program, error) {
 		prog.SetMain(mainName)
 	}
 	if prog.Main == nil {
-		return nil, fmt.Errorf("no program units found")
+		return nil, &ParseError{Msg: "no program units found"}
 	}
 	return prog, nil
 }
@@ -302,17 +340,27 @@ func (p *parser) parseDeclList(elem int64) error {
 		name := t.text
 		if p.acceptPunct("(") {
 			var dims []int64
-			for {
+			done := false
+			for !done {
 				dim, err := p.parseDim()
 				if err != nil {
 					return err
 				}
 				dims = append(dims, dim)
 				if p.acceptPunct(")") {
-					break
-				}
-				if err := p.expectPunct(","); err != nil {
+					done = true
+				} else if err := p.expectPunct(","); err != nil {
 					return err
+				}
+				// ir.NewArray accepts a positive extent, or 0 (assumed size,
+				// from "*") in the last position only; reject anything else
+				// here so declaration mistakes never reach a panic.
+				d := dims[len(dims)-1]
+				if d <= 0 && !(d == 0 && done) {
+					if d == 0 {
+						return p.errf(t, "array %s: assumed size '*' is only valid as the last dimension", name)
+					}
+					return p.errf(t, "array %s: dimension %d must be positive", name, len(dims))
 				}
 			}
 			if old, ok := p.arrays[name]; ok {
@@ -398,11 +446,11 @@ func (p *parser) parseStmts(stop map[string]bool, doLabels []string) ([]ir.Node,
 			p.pendingGoto = ""
 			pos, known := labelPos[lbl]
 			if !known {
-				return nil, p.errf(t, "GOTO %s is not a backward loop in this scope (forward GOTOs are outside the program model)", lbl)
+				return nil, p.errModel(t, "GOTO %s is not a backward loop in this scope (forward GOTOs are outside the program model)", lbl)
 			}
 			trips, fixed := p.gotoTrips[lbl]
 			if !fixed {
-				return nil, p.errf(t, "IF-GOTO loop to label %s is data-dependent; fix its trip count via Options.GotoTrips (the paper fixes it from the reference input)", lbl)
+				return nil, p.errModel(t, "IF-GOTO loop to label %s is data-dependent; fix its trip count via Options.GotoTrips (the paper fixes it from the reference input)", lbl)
 			}
 			p.gotoSeq++
 			body := append([]ir.Node(nil), out[pos:]...)
@@ -425,6 +473,11 @@ func containsLabel(labels []string, l string) bool {
 
 func (p *parser) parseStmt(doLabels []string) (ir.Node, error) {
 	t := p.peek()
+	if p.nest >= maxNest {
+		return nil, p.errf(t, "statement nesting deeper than %d levels", maxNest)
+	}
+	p.nest++
+	defer func() { p.nest-- }()
 	switch {
 	case t.kind == tokIdent && t.text == "DO":
 		return p.parseDo(doLabels)
@@ -577,7 +630,7 @@ func (p *parser) parseIf(doLabels []string) (ir.Node, error) {
 			return nil, err
 		}
 		if p.peek().kind == tokIdent && p.peek().text == "ELSE" {
-			return nil, p.errf(p.peek(), "ELSE branches are not in the analysable program model")
+			return nil, p.errModel(p.peek(), "ELSE branches are not in the analysable program model")
 		}
 		if !p.acceptIdent("ENDIF") {
 			return nil, p.errf(p.peek(), "expected ENDIF")
@@ -629,7 +682,7 @@ func (p *parser) parseConds() ([]ir.Cond, error) {
 		case ".GT.":
 			cop = ir.GT
 		default:
-			return nil, p.errf(op, "operator %s is outside the affine condition model", op.text)
+			return nil, p.errModel(op, "operator %s is outside the affine condition model", op.text)
 		}
 		rhs, err := p.parseAffine()
 		if err != nil {
@@ -682,6 +735,9 @@ func (p *parser) parseArg() (ir.Arg, error) {
 			if err != nil {
 				return ir.Arg{}, err
 			}
+			if len(subs) != a.Rank() {
+				return ir.Arg{}, p.errf(t, "array %s: %d subscripts for rank %d", t.text, len(subs), a.Rank())
+			}
 			return ir.Arg{Array: a, Subs: subs}, nil
 		}
 		return ir.Arg{Array: a}, nil
@@ -706,6 +762,9 @@ func (p *parser) parseAssign() (ir.Node, error) {
 		subs, err := p.parseSubscripts()
 		if err != nil {
 			return nil, err
+		}
+		if len(subs) != a.Rank() {
+			return nil, p.errf(t, "array %s: %d subscripts for rank %d", name, len(subs), a.Rank())
 		}
 		lhs = ir.NewRef(a, subs...)
 	} else {
@@ -755,6 +814,9 @@ func (p *parser) parseRHS() ([]*ir.Ref, error) {
 				subs, err := p.parseSubscripts()
 				if err != nil {
 					return nil, err
+				}
+				if len(subs) != a.Rank() {
+					return nil, p.errf(t, "array %s: %d subscripts for rank %d", t.text, len(subs), a.Rank())
 				}
 				reads = append(reads, ir.NewRef(a, subs...))
 			}
@@ -808,6 +870,12 @@ func (p *parser) parseAffine() (ir.Expr, error) {
 		} else {
 			return e, nil
 		}
+		// A legitimate affine expression mentions at most the enclosing
+		// loop variables; an unbounded count is pathological input and
+		// each addition copies the term map, so cap it.
+		if len(e.Terms) > maxAffineTerms {
+			return ir.Expr{}, p.errf(p.peek(), "more than %d distinct variables in one affine expression", maxAffineTerms)
+		}
 	}
 }
 
@@ -827,13 +895,18 @@ func (p *parser) parseAffineTerm() (ir.Expr, error) {
 		case e.IsConst():
 			e = f.Scale(e.Const)
 		default:
-			return ir.Expr{}, p.errf(p.peek(), "non-affine product of two variables")
+			return ir.Expr{}, p.errModel(p.peek(), "non-affine product of two variables")
 		}
 	}
 	return e, nil
 }
 
 func (p *parser) parseAffineFactor() (ir.Expr, error) {
+	if p.exprDepth >= maxExprDepth {
+		return ir.Expr{}, p.errf(p.peek(), "expression nesting deeper than %d levels", maxExprDepth)
+	}
+	p.exprDepth++
+	defer func() { p.exprDepth-- }()
 	t := p.next()
 	switch {
 	case t.kind == tokNumber:

@@ -1,0 +1,157 @@
+package fparse
+
+import (
+	"fmt"
+	"strings"
+
+	"cachemodel/internal/ir"
+)
+
+// Print renders a program back into the FORTRAN subset this package
+// parses. For any program the parser itself produced, the output reparses
+// to an equivalent program and printing is a fixpoint:
+// Print(parse(Print(parse(src)))) == Print(parse(src)) — the property the
+// round-trip fuzz target asserts. Names are emitted uppercase (the lexer
+// normalises case), loops use the DO/ENDDO form regardless of how they
+// were written, registered scalars are gone (they live in registers), and
+// assignments whose target was a scalar print with a synthetic sink
+// variable on the left.
+func Print(p *ir.Program) string {
+	var b strings.Builder
+	for _, name := range p.Order {
+		printUnit(&b, p.Subs[name], p.Subs[name] == p.Main)
+	}
+	return b.String()
+}
+
+func printUnit(b *strings.Builder, s *ir.Subroutine, main bool) {
+	kw := "SUBROUTINE"
+	if main {
+		kw = "PROGRAM"
+	}
+	fmt.Fprintf(b, "      %s %s", kw, strings.ToUpper(s.Name))
+	if len(s.Formals) > 0 {
+		names := make([]string, len(s.Formals))
+		for i, a := range s.Formals {
+			names[i] = strings.ToUpper(a.Name)
+		}
+		fmt.Fprintf(b, "(%s)", strings.Join(names, ", "))
+	}
+	b.WriteByte('\n')
+	for _, a := range s.Arrays() {
+		elem := "REAL*8"
+		if a.ElemSize == 4 {
+			elem = "REAL*4"
+		}
+		fmt.Fprintf(b, "      %s %s%s\n", elem, strings.ToUpper(a.Name), dimList(a))
+	}
+	sink := sinkName(s)
+	for _, n := range s.Body {
+		printNode(b, n, 6, sink)
+	}
+	b.WriteString("      END\n")
+}
+
+func dimList(a *ir.Array) string {
+	if a.Rank() == 0 {
+		return ""
+	}
+	parts := make([]string, len(a.Dims))
+	for i, d := range a.Dims {
+		if d > 0 {
+			parts[i] = fmt.Sprintf("%d", d)
+		} else {
+			parts[i] = "*"
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// sinkName picks a scalar name that cannot collide with any array of the
+// unit, for printing assignments whose original target was a scalar.
+func sinkName(s *ir.Subroutine) string {
+	used := map[string]bool{}
+	for _, a := range s.Arrays() {
+		used[strings.ToUpper(a.Name)] = true
+	}
+	name := "SINK"
+	for i := 0; used[name]; i++ {
+		name = fmt.Sprintf("SINK%d", i)
+	}
+	return name
+}
+
+func printNode(b *strings.Builder, n ir.Node, indent int, sink string) {
+	pad := strings.Repeat(" ", indent)
+	switch v := n.(type) {
+	case *ir.Loop:
+		fmt.Fprintf(b, "%sDO %s = %s, %s", pad, strings.ToUpper(v.Var), v.Lo, v.Hi)
+		if v.Step != 0 && v.Step != 1 {
+			fmt.Fprintf(b, ", %d", v.Step)
+		}
+		b.WriteByte('\n')
+		for _, c := range v.Body {
+			printNode(b, c, indent+2, sink)
+		}
+		fmt.Fprintf(b, "%sENDDO\n", pad)
+	case *ir.If:
+		if len(v.Conds) == 0 {
+			for _, c := range v.Body {
+				printNode(b, c, indent, sink)
+			}
+			return
+		}
+		conds := make([]string, len(v.Conds))
+		for i, c := range v.Conds {
+			conds[i] = c.String()
+		}
+		fmt.Fprintf(b, "%sIF (%s) THEN\n", pad, strings.Join(conds, " .AND. "))
+		for _, c := range v.Body {
+			printNode(b, c, indent+2, sink)
+		}
+		fmt.Fprintf(b, "%sENDIF\n", pad)
+	case *ir.Assign:
+		lhs := sink
+		if v.LHS != nil {
+			lhs = refString(v.LHS)
+		}
+		rhs := "0"
+		if len(v.Reads) > 0 {
+			parts := make([]string, len(v.Reads))
+			for i, r := range v.Reads {
+				parts[i] = refString(r)
+			}
+			rhs = strings.Join(parts, " + ")
+		}
+		fmt.Fprintf(b, "%s%s = %s\n", pad, lhs, rhs)
+	case *ir.Call:
+		fmt.Fprintf(b, "%sCALL %s", pad, strings.ToUpper(v.Callee))
+		if len(v.Args) > 0 {
+			parts := make([]string, len(v.Args))
+			for i, a := range v.Args {
+				parts[i] = strings.ToUpper(a.Array.Name)
+				if len(a.Subs) > 0 {
+					parts[i] += "(" + exprList(a.Subs) + ")"
+				}
+			}
+			fmt.Fprintf(b, "(%s)", strings.Join(parts, ", "))
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func refString(r *ir.Ref) string {
+	name := strings.ToUpper(r.Array.Name)
+	if len(r.Subs) == 0 {
+		return name
+	}
+	return name + "(" + exprList(r.Subs) + ")"
+}
+
+func exprList(es []ir.Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -6,6 +6,9 @@
 package trace
 
 import (
+	"context"
+
+	"cachemodel/internal/budget"
 	"cachemodel/internal/cache"
 	"cachemodel/internal/ir"
 )
@@ -253,6 +256,10 @@ type SimResult struct {
 	PerRef   map[*ir.NRef]*RefStats
 	Accesses int64
 	Misses   int64
+	// Truncated reports that the simulation was interrupted by
+	// cancellation or budget exhaustion; the counts cover only the prefix
+	// of the reference stream replayed before the interruption.
+	Truncated bool
 }
 
 // MissRatio returns the global miss ratio in percent.
@@ -273,9 +280,32 @@ func Simulate(np *ir.NProgram, cfg cache.Config) *SimResult {
 // SimulatePolicy is Simulate with an explicit write policy, for
 // quantifying the fetch-on-write assumption of the analytical model.
 func SimulatePolicy(np *ir.NProgram, cfg cache.Config, policy cache.WritePolicy) *SimResult {
+	res, _ := SimulatePolicyCtx(context.Background(), np, cfg, policy, budget.Budget{})
+	return res
+}
+
+// SimulateCtx is Simulate under a context and a budget: the replay
+// checkpoints every simulated access (batched, so the per-access cost is
+// an increment), and an interrupted run returns the truncated prefix
+// counts together with ErrCanceled or ErrBudgetExceeded. The simulator is
+// the validation baseline — there is nothing cheaper to degrade to, so
+// exhaustion is an error rather than a fallback.
+func SimulateCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, b budget.Budget) (*SimResult, error) {
+	return SimulatePolicyCtx(ctx, np, cfg, cache.FetchOnWrite, b)
+}
+
+// SimulatePolicyCtx is SimulateCtx with an explicit write policy.
+func SimulatePolicyCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, policy cache.WritePolicy, b budget.Budget) (*SimResult, error) {
 	sim := cache.NewSimulator(cfg)
 	sim.SetWritePolicy(policy)
 	res := &SimResult{Config: cfg, PerRef: map[*ir.NRef]*RefStats{}}
+	m := budget.NewMeter(ctx, b)
+	var p *budget.Probe
+	if !m.Unlimited() {
+		p = m.Probe()
+		defer p.Drain()
+	}
+	var ierr error
 	Execute(np, func(r *ir.NRef, idx []int64) bool {
 		st := res.PerRef[r]
 		if st == nil {
@@ -292,9 +322,17 @@ func SimulatePolicy(np *ir.NProgram, cfg cache.Config, policy cache.WritePolicy)
 		if miss {
 			st.Misses++
 		}
+		if p != nil {
+			if ierr = p.Check(1, 0); ierr != nil {
+				return false
+			}
+		}
 		return true
 	})
 	res.Accesses = sim.Accesses
 	res.Misses = sim.Misses
-	return res
+	if ierr != nil {
+		res.Truncated = true
+	}
+	return res, ierr
 }
