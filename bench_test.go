@@ -9,6 +9,7 @@
 package cachemodel_test
 
 import (
+	"fmt"
 	"testing"
 
 	"cachemodel"
@@ -197,6 +198,47 @@ func BenchmarkFigure6Solvers(b *testing.B) {
 			cachemodel.Simulate(np, cfg)
 		}
 	})
+}
+
+// BenchmarkParallelScaling measures the tile-parallel exact solver and the
+// set-sharded simulator on Hydro across worker counts, against the
+// sequential seed paths (one worker, memoization off). The CI bench smoke
+// job gates on these numbers: with GOMAXPROCS >= 4 the parallel solver
+// must not be slower than the sequential one.
+func BenchmarkParallelScaling(b *testing.B) {
+	np := prepared(b, cachemodel.KernelHydro(32, 32))
+	cfg := cachemodel.Default32K(2)
+	find := func(opt cachemodel.AnalyzeOptions) func(b *testing.B) {
+		return func(b *testing.B) {
+			var points int64
+			for i := 0; i < b.N; i++ {
+				rep, err := cachemodel.FindMisses(np, cfg, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				points = rep.TotalAccesses()
+			}
+			b.ReportMetric(float64(points), "points")
+		}
+	}
+	b.Run("FindMisses/seq", find(cachemodel.AnalyzeOptions{Workers: 1, NoMemo: true}))
+	b.Run("FindMisses/memo", find(cachemodel.AnalyzeOptions{Workers: 1}))
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("FindMisses/w%d", w), find(cachemodel.AnalyzeOptions{Workers: w}))
+	}
+	b.Run("Simulate/seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cachemodel.Simulate(np, cfg)
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("Simulate/sharded_w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				trace.SimulateSharded(np, cfg, w)
+			}
+		})
+	}
 }
 
 // ---------------------------------------------------------------------

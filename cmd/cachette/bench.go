@@ -1,0 +1,267 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cme"
+	"cachemodel/internal/trace"
+)
+
+// profileFlags registers -cpuprofile / -memprofile and returns a pair of
+// start/stop closures bracketing the measured work.
+func profileFlags(fs *flag.FlagSet) (start func() error, stop func() error) {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	var cpuFile *os.File
+	start = func() error {
+		if *cpu == "" {
+			return nil
+		}
+		f, err := os.Create(*cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuFile = f
+		return nil
+	}
+	stop = func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+		if *mem == "" {
+			return nil
+		}
+		f, err := os.Create(*mem)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		return pprof.WriteHeapProfile(f)
+	}
+	return start, stop
+}
+
+// benchResult is one row of BENCH_solvers.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Ns          int64   `json:"ns"`
+	Points      int64   `json:"points"`
+	NsPerPoint  float64 `json:"ns_per_point"`
+	PointsPerS  float64 `json:"points_per_sec"`
+	Speedup     float64 `json:"speedup_vs_seq"`
+	MissRatio   float64 `json:"miss_ratio_pct"`
+	ExactMisses int64   `json:"exact_misses,omitempty"`
+}
+
+// benchReport is the BENCH_solvers.json document.
+type benchReport struct {
+	Program    string        `json:"program"`
+	Size       int64         `json:"size"`
+	Iters      int64         `json:"iters"`
+	Cache      string        `json:"cache"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Repeat     int           `json:"repeat"`
+	Results    []benchResult `json:"results"`
+}
+
+// cmdBench times the solver variants against each other on one program and
+// emits a machine-readable BENCH_solvers.json: the sequential seed path
+// (one worker, no memo), the memoized sequential solver, the tile-parallel
+// solver, and the sequential vs set-sharded simulator. With -check it also
+// verifies that every variant produces counts bit-identical to the
+// sequential baseline and fails otherwise.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	name := fs.String("program", "tomcatv", "built-in program name")
+	file := fs.String("file", "", "FORTRAN source file to benchmark instead of a built-in")
+	consts := fs.String("const", "", "compile-time constants for -file")
+	size := fs.Int64("size", 32, "problem size")
+	iters := fs.Int64("iters", 1, "outer iterations (whole programs)")
+	cs, ls, assoc := cacheFlags(fs)
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel worker count for the parallel variants")
+	repeat := fs.Int("repeat", 1, "timing repetitions (the fastest is reported)")
+	out := fs.String("out", "BENCH_solvers.json", "output path for the JSON report (- = stdout only)")
+	check := fs.Bool("check", false, "verify all variants produce bit-identical counts")
+	noSim := fs.Bool("nosim", false, "skip the simulator rows")
+	pstart, pstop := profileFlags(fs)
+	fs.Parse(args)
+
+	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	if err != nil {
+		return err
+	}
+	np, _, err := prepare(p)
+	if err != nil {
+		return err
+	}
+	cfg := cache.Config{SizeBytes: *cs, LineBytes: *ls, Assoc: *assoc}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	if err := pstart(); err != nil {
+		return err
+	}
+
+	// time returns the fastest wall time of repeat runs of f, which must
+	// return the report it produced (the last one is kept for checking).
+	timeIt := func(f func() *cme.Report) (time.Duration, *cme.Report) {
+		var best time.Duration
+		var rep *cme.Report
+		for i := 0; i < *repeat; i++ {
+			t0 := time.Now()
+			rep = f()
+			if d := time.Since(t0); i == 0 || d < best {
+				best = d
+			}
+		}
+		return best, rep
+	}
+	newAnalyzer := func(w int, noMemo bool) *cme.Analyzer {
+		a, err := cme.New(np, cfg, cme.Options{Workers: w, NoMemo: noMemo})
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+
+	rep := benchReport{Program: p.Name, Size: *size, Iters: *iters, Cache: cfg.String(),
+		GoMaxProcs: runtime.GOMAXPROCS(0), Workers: *workers, Repeat: *repeat}
+
+	seqDur, seqRep := timeIt(func() *cme.Report { return newAnalyzer(1, true).FindMisses() })
+	points := seqRep.TotalAccesses()
+	row := func(name string, d time.Duration, r *cme.Report) benchResult {
+		br := benchResult{Name: name, Ns: d.Nanoseconds(), Points: points}
+		if points > 0 {
+			br.NsPerPoint = float64(d.Nanoseconds()) / float64(points)
+		}
+		if d > 0 {
+			br.PointsPerS = float64(points) / d.Seconds()
+			br.Speedup = float64(seqDur.Nanoseconds()) / float64(d.Nanoseconds())
+		}
+		if r != nil {
+			br.MissRatio = r.MissRatio()
+			br.ExactMisses = r.ExactMisses()
+		}
+		return br
+	}
+	rep.Results = append(rep.Results, row("findmisses_seq", seqDur, seqRep))
+
+	memoDur, memoRep := timeIt(func() *cme.Report { return newAnalyzer(1, false).FindMisses() })
+	rep.Results = append(rep.Results, row("findmisses_memo", memoDur, memoRep))
+
+	parDur, parRep := timeIt(func() *cme.Report { return newAnalyzer(*workers, false).FindMisses() })
+	rep.Results = append(rep.Results, row(fmt.Sprintf("findmisses_parallel_w%d", *workers), parDur, parRep))
+
+	var simSeq, simShard *trace.SimResult
+	if !*noSim {
+		var simSeqDur, simShardDur time.Duration
+		for i := 0; i < *repeat; i++ {
+			t0 := time.Now()
+			simSeq = trace.Simulate(np, cfg)
+			if d := time.Since(t0); i == 0 || d < simSeqDur {
+				simSeqDur = d
+			}
+		}
+		sr := benchResult{Name: "simulate_seq", Ns: simSeqDur.Nanoseconds(), Points: simSeq.Accesses, Speedup: 1}
+		if simSeq.Accesses > 0 {
+			sr.NsPerPoint = float64(simSeqDur.Nanoseconds()) / float64(simSeq.Accesses)
+			sr.PointsPerS = float64(simSeq.Accesses) / simSeqDur.Seconds()
+		}
+		sr.MissRatio = simSeq.MissRatio()
+		rep.Results = append(rep.Results, sr)
+
+		for i := 0; i < *repeat; i++ {
+			t0 := time.Now()
+			simShard = trace.SimulateSharded(np, cfg, *workers)
+			if d := time.Since(t0); i == 0 || d < simShardDur {
+				simShardDur = d
+			}
+		}
+		ss := benchResult{Name: fmt.Sprintf("simulate_sharded_w%d", *workers), Ns: simShardDur.Nanoseconds(), Points: simShard.Accesses}
+		if simShard.Accesses > 0 {
+			ss.NsPerPoint = float64(simShardDur.Nanoseconds()) / float64(simShard.Accesses)
+			ss.PointsPerS = float64(simShard.Accesses) / simShardDur.Seconds()
+		}
+		if simShardDur > 0 {
+			ss.Speedup = float64(simSeqDur.Nanoseconds()) / float64(simShardDur.Nanoseconds())
+		}
+		ss.MissRatio = simShard.MissRatio()
+		rep.Results = append(rep.Results, ss)
+	}
+	if err := pstop(); err != nil {
+		return err
+	}
+
+	if *check {
+		if err := sameReport(seqRep, memoRep, "findmisses_memo"); err != nil {
+			return err
+		}
+		if err := sameReport(seqRep, parRep, "findmisses_parallel"); err != nil {
+			return err
+		}
+		if simSeq != nil && simShard != nil {
+			if simSeq.Accesses != simShard.Accesses || simSeq.Misses != simShard.Misses {
+				return fmt.Errorf("bench -check: sharded simulator diverged: %d/%d accesses, %d/%d misses",
+					simShard.Accesses, simSeq.Accesses, simShard.Misses, simSeq.Misses)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "cachette bench: all variants bit-identical to the sequential baseline")
+		// Performance gate: on a machine with real parallelism the
+		// tile-parallel solver must at least keep up with the sequential
+		// seed path (best-of-repeat each). Uniprocessors are exempt —
+		// there the memoization, not the worker pool, carries the win.
+		if runtime.GOMAXPROCS(0) >= 4 && *workers > 1 && parDur > seqDur {
+			return fmt.Errorf("bench -check: parallel solver slower than sequential (%v > %v) with %d workers on %d CPUs",
+				parDur, seqDur, *workers, runtime.GOMAXPROCS(0))
+		}
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "-" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cachette bench: wrote %s\n", *out)
+	}
+	os.Stdout.Write(blob)
+	return nil
+}
+
+// sameReport verifies two exact reports carry identical per-reference
+// counts (the bit-identity contract of the parallel and memoized solvers).
+func sameReport(want, got *cme.Report, name string) error {
+	if len(want.Refs) != len(got.Refs) {
+		return fmt.Errorf("bench -check: %s: %d refs vs %d", name, len(got.Refs), len(want.Refs))
+	}
+	for i, w := range want.Refs {
+		g := got.Refs[i]
+		if w.Ref != g.Ref || w.Volume != g.Volume || w.Analyzed != g.Analyzed ||
+			w.Hits != g.Hits || w.Cold != g.Cold || w.Repl != g.Repl {
+			return fmt.Errorf("bench -check: %s: ref %s diverged: got {analyzed %d hits %d cold %d repl %d} want {analyzed %d hits %d cold %d repl %d}",
+				name, w.Ref.ID, g.Analyzed, g.Hits, g.Cold, g.Repl, w.Analyzed, w.Hits, w.Cold, w.Repl)
+		}
+	}
+	return nil
+}

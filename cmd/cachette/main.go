@@ -61,6 +61,8 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -86,6 +88,7 @@ subcommands:
   diagnose     attribute predicted misses to interfering arrays
   sweep        sweep cache size/line/assoc, analytical vs simulated
   trace        emit the program's memory reference trace (R/W address lines)
+  bench        time the solver variants (sequential / memoized / parallel) and emit BENCH_solvers.json
   list         list the built-in programs
 `)
 }
@@ -222,7 +225,10 @@ func cmdAnalyze(args []string) error {
 	width := fs.Float64("w", 0.05, "confidence interval half-width")
 	perRef := fs.Bool("refs", false, "print the per-reference breakdown")
 	nonUniform := fs.Bool("nonuniform", false, "resolve non-uniformly generated reuse (§8 future work)")
+	workers := fs.Int("workers", 0, "parallel classification workers (0 = GOMAXPROCS, 1 = sequential)")
+	noMemo := fs.Bool("nomemo", false, "disable the interference-walk verdict memo")
 	timeout, maxPoints, maxScan, fallback := budgetFlags(fs)
+	pstart, pstop := profileFlags(fs)
 	fs.Parse(args)
 
 	p, err := loadProgram(*file, *consts, *name, *size, *iters)
@@ -234,19 +240,29 @@ func cmdAnalyze(args []string) error {
 		return err
 	}
 	cfg := cache.Config{SizeBytes: *cs, LineBytes: *ls, Assoc: *assoc}
-	a, err := cme.New(np, cfg, cme.Options{Reuse: reuse.Options{NonUniform: *nonUniform}})
+	a, err := cme.New(np, cfg, cme.Options{
+		Reuse:   reuse.Options{NonUniform: *nonUniform},
+		Workers: *workers,
+		NoMemo:  *noMemo,
+	})
 	if err != nil {
 		return err
 	}
 	b := budget.Budget{Deadline: *timeout, MaxPoints: *maxPoints, MaxScan: *maxScan, NoFallback: !*fallback}
 	ctx, stop := signalContext()
 	defer stop()
+	if err := pstart(); err != nil {
+		return err
+	}
 	var rep *cme.Report
 	var ierr error
 	if *exact {
 		rep, ierr = a.FindMissesCtx(ctx, b)
 	} else {
 		rep, ierr = a.EstimateMissesCtx(ctx, b, sampling.Plan{C: *conf, W: *width})
+	}
+	if perr := pstop(); perr != nil {
+		return perr
 	}
 	if rep == nil {
 		return ierr
@@ -286,7 +302,9 @@ func cmdSimulate(args []string) error {
 	size := fs.Int64("size", 32, "problem size")
 	iters := fs.Int64("iters", 2, "outer iterations (whole programs)")
 	cs, ls, assoc := cacheFlags(fs)
+	workers := fs.Int("workers", 1, "set-sharded parallel replay workers (0 = GOMAXPROCS, 1 = sequential)")
 	timeout, maxPoints, maxScan, _ := budgetFlags(fs)
+	pstart, pstop := profileFlags(fs)
 	fs.Parse(args)
 
 	p, err := loadProgram(*file, *consts, *name, *size, *iters)
@@ -300,8 +318,20 @@ func cmdSimulate(args []string) error {
 	cfg := cache.Config{SizeBytes: *cs, LineBytes: *ls, Assoc: *assoc}
 	ctx, stop := signalContext()
 	defer stop()
-	res, ierr := trace.SimulateCtx(ctx, np, cfg,
-		budget.Budget{Deadline: *timeout, MaxPoints: *maxPoints, MaxScan: *maxScan})
+	if err := pstart(); err != nil {
+		return err
+	}
+	b := budget.Budget{Deadline: *timeout, MaxPoints: *maxPoints, MaxScan: *maxScan}
+	var res *trace.SimResult
+	var ierr error
+	if *workers == 1 {
+		res, ierr = trace.SimulateCtx(ctx, np, cfg, b)
+	} else {
+		res, ierr = trace.SimulateShardedCtx(ctx, np, cfg, cache.FetchOnWrite, b, *workers)
+	}
+	if perr := pstop(); perr != nil {
+		return perr
+	}
 	if res == nil {
 		return ierr
 	}

@@ -1,0 +1,431 @@
+package cme
+
+import (
+	"encoding/binary"
+
+	"cachemodel/internal/ir"
+	"cachemodel/internal/reuse"
+	"cachemodel/internal/trace"
+)
+
+// memoInfo is the per-reuse-vector memoization precomputation: invMask has
+// bit d set when the replacement-walk verdict is invariant under
+// translating the consumer iteration along depth d (see the soundness
+// conditions in vectorMemoInfo). A vector with a zero mask gains nothing
+// from the memo and is classified directly.
+type memoInfo struct {
+	invMask uint64
+	// needRes: at least one invariant depth has a shared nonzero address
+	// coefficient, so translations shift every address by a common delta
+	// and the key must capture the consumer address residue modulo
+	// LineBytes·NumSets to pin that delta to a multiple of the way size.
+	needRes bool
+}
+
+// memoEntry caches one replacement-walk verdict together with the scan
+// work the walk performed. Scanned is replayed into the budget accounting
+// on every memo hit, so budgeted runs consume the budget identically with
+// and without memoization (MaxScan meters logical scan work).
+type memoEntry struct {
+	scanned int64
+	evicted bool
+}
+
+// memoPrecompute derives, per depth, the program-wide conditions a depth
+// must satisfy to be translation-invariant:
+//
+//   - rectAt[d]: no loop bound and no guard anywhere in the program
+//     mentions I_{d+1}, so the interval walked between two access times
+//     whose depth-d components both move by t is a pure translate (its
+//     recursion shape and boundary flags are unchanged);
+//   - zeroAt[d]: no reference's linearised address uses I_{d+1} at all, so
+//     a translation along d leaves every visited address untouched (the
+//     time loop of a stepped program is the canonical case);
+//   - sharedAt[d]: every reference's linearised address has the same
+//     coefficient at depth d, so translating along d shifts every address
+//     in the interval (and the consumer's and producer's) by one common
+//     delta, leaving all address differences intact.
+func (a *Analyzer) memoPrecompute() {
+	a.numSets = a.cfg.NumSets()
+	a.wayBytes = a.cfg.LineBytes * a.numSets
+	n := a.np.Depth
+	if n == 0 || n > 64 {
+		return
+	}
+	rect := make([]bool, n)
+	zero := make([]bool, n)
+	shared := make([]bool, n)
+	for d := 0; d < n; d++ {
+		rect[d] = true
+		for _, s := range a.np.Stmts {
+			for _, b := range s.Bounds {
+				if b.Lo.At(d+1) != 0 || b.Hi.At(d+1) != 0 {
+					rect[d] = false
+				}
+			}
+			for _, g := range s.Guards {
+				if g.Expr.At(d+1) != 0 {
+					rect[d] = false
+				}
+			}
+			if !rect[d] {
+				break
+			}
+		}
+		shared[d] = true
+		if len(a.np.Refs) > 0 {
+			c0 := a.np.Refs[0].AddressAffine().At(d + 1)
+			for _, r := range a.np.Refs[1:] {
+				if r.AddressAffine().At(d+1) != c0 {
+					shared[d] = false
+					break
+				}
+			}
+			zero[d] = shared[d] && c0 == 0
+		}
+	}
+	a.memoInfo = map[*reuse.Vector]memoInfo{}
+	for _, vs := range a.vecs {
+		for _, v := range vs {
+			if _, done := a.memoInfo[v]; done {
+				continue
+			}
+			a.memoInfo[v] = vectorMemoInfo(v, rect, zero, shared)
+		}
+	}
+}
+
+// vectorMemoInfo computes the invariant-depth mask of one reuse vector:
+// the depths d such that translating the consumer point by t·e_d (which
+// also translates the producer, at fixed displacement) provably leaves the
+// replacement walk's verdict and scan count unchanged.
+//
+// Soundness: let p be the vector's pivot — the first depth where the
+// interleaved (label, index) displacement is nonzero.
+//
+//   - d < p: producer and consumer agree on label and index at d, so the
+//     walk is pinned to the consumer's I_{d+1} — every visited point X has
+//     X[d] = idx[d]. Under rectAt[d], the pinned recursion shape is the
+//     same at idx[d]+t; every visited address gains the common delta
+//     c_d·t when sharedAt[d] holds (zero when zeroAt[d]).
+//   - d == p with LabelDiff[p] == 0: the walk spans depth-d values
+//     [idx[d]-δ, idx[d]]. Translating both endpoints by t maps the walk
+//     set by the order-preserving bijection X ↦ X + t·e_d (interleaved
+//     comparisons are translation-invariant in one index; rectAt[d] keeps
+//     every translated point valid because the endpoints are valid and no
+//     bound or guard mentions I_{d+1}). All addresses gain the common
+//     delta c_d·t under sharedAt[d].
+//   - d == p with LabelDiff[p] != 0: points in strictly-intermediate label
+//     branches sweep their full depth-d range and do NOT translate, so
+//     the walk is invariant only when addresses ignore I_{d+1} entirely
+//     (zeroAt[d]); then the two walks visit identical address sequences.
+//   - d > p: intermediate subtrees under a one-sided boundary flag change
+//     length under translation; never invariant.
+//
+// When every delta is zero (zeroAt on all masked depths) the verdict is
+// literally the same computation. Otherwise the common delta shifts every
+// address, and the memo key pins the delta to a multiple of the way size
+// wayBytes = LineBytes·NumSets by including the consumer address residue:
+// a shift of m·wayBytes moves every memory line by m·NumSets, preserving
+// line identity, set membership and distinctness — hence the verdict —
+// and the scan count rides along by the bijection. Cold-equation checks
+// stay outside the memo and run fresh at every point.
+func vectorMemoInfo(v *reuse.Vector, rect, zero, shared []bool) memoInfo {
+	pivot := len(v.LabelDiff)
+	for k := range v.LabelDiff {
+		if v.LabelDiff[k] != 0 || v.IdxDiff[k] != 0 {
+			pivot = k
+			break
+		}
+	}
+	labelAtPivot := pivot < len(v.LabelDiff) && v.LabelDiff[pivot] != 0
+	var mask uint64
+	needRes := false
+	for d := 0; d <= pivot && d < len(rect); d++ {
+		if !rect[d] {
+			continue
+		}
+		switch {
+		case zero[d]:
+			mask |= 1 << d
+		case shared[d] && (d < pivot || !labelAtPivot):
+			mask |= 1 << d
+			needRes = true
+		}
+	}
+	return memoInfo{invMask: mask, needRes: needRes}
+}
+
+// classifier is the per-worker classification engine: it owns the
+// strength-reduced interval walker, the distinct-line scratch, and the
+// verdict memo arena. Classifiers share the Analyzer's immutable state
+// (vectors, spaces, memo eligibility) but never each other's scratch, so
+// one classifier per goroutine needs no locking.
+type classifier struct {
+	a      *Analyzer
+	w      *trace.Walker
+	noMemo bool
+	memo   map[*reuse.Vector]map[string]memoEntry
+	keyBuf []byte
+
+	// distinct-line scratch: linear scan for small associativity, an
+	// open-addressed probe table beyond distinctLinear ways.
+	distinct []int64
+	slots    []int64
+	stamps   []uint32
+	epoch    uint32
+	mask     int
+}
+
+// distinctLinear is the associativity up to which the linear distinct scan
+// beats the hash probe (the whole slice fits in two cache lines).
+const distinctLinear = 8
+
+func (a *Analyzer) newClassifier() *classifier {
+	c := &classifier{a: a, w: trace.NewWalker(a.np), noMemo: a.opt.NoMemo}
+	if !c.noMemo {
+		c.memo = map[*reuse.Vector]map[string]memoEntry{}
+	}
+	if k := a.cfg.Assoc; k > distinctLinear {
+		size := 1
+		for size < 4*k {
+			size <<= 1
+		}
+		c.slots = make([]int64, size)
+		c.stamps = make([]uint32, size)
+		c.mask = size - 1
+	}
+	return c
+}
+
+// resetDistinct clears the distinct-line set for a new walk.
+func (c *classifier) resetDistinct() {
+	c.distinct = c.distinct[:0]
+	if c.slots != nil {
+		c.epoch++
+		if c.epoch == 0 { // stamp wrap: flush the table once per 2^32 walks
+			for i := range c.stamps {
+				c.stamps[i] = 0
+			}
+			c.epoch = 1
+		}
+	}
+}
+
+// addDistinct inserts a contending line and reports the distinct count.
+func (c *classifier) addDistinct(line int64) int {
+	if c.slots == nil || c.a.cfg.Assoc <= distinctLinear {
+		for _, d := range c.distinct {
+			if d == line {
+				return len(c.distinct)
+			}
+		}
+		c.distinct = append(c.distinct, line)
+		return len(c.distinct)
+	}
+	h := int(uint64(line) * 0x9E3779B97F4A7C15 >> 32)
+	for i := h & c.mask; ; i = (i + 1) & c.mask {
+		if c.stamps[i] != c.epoch {
+			c.stamps[i] = c.epoch
+			c.slots[i] = line
+			c.distinct = append(c.distinct, line) // count only
+			return len(c.distinct)
+		}
+		if c.slots[i] == line {
+			return len(c.distinct)
+		}
+	}
+}
+
+// memoKey builds the verdict-memo key for a vector: the consumer indices
+// at every non-invariant depth, plus (when the invariant depths carry
+// nonzero shared coefficients) the consumer address residue modulo
+// LineBytes·NumSets. The returned slice aliases the classifier's key
+// buffer; it is only ever used for an immediate map operation.
+func (c *classifier) memoKey(info memoInfo, idx []int64, addr int64) []byte {
+	buf := c.keyBuf[:0]
+	var tmp [8]byte
+	for d, v := range idx {
+		if info.invMask&(1<<d) != 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		buf = append(buf, tmp[:]...)
+	}
+	if info.needRes {
+		res := addr % c.a.wayBytes
+		if res < 0 {
+			res += c.a.wayBytes
+		}
+		binary.LittleEndian.PutUint64(tmp[:], uint64(res))
+		buf = append(buf, tmp[:]...)
+	}
+	c.keyBuf = buf
+	return buf
+}
+
+// replacementWalk runs the replacement equation along one reuse vector for
+// the consumer at idx: it scans the producer..consumer interval for k
+// distinct contending lines and reports whether the line was evicted plus
+// the number of accesses visited.
+func (c *classifier) replacementWalk(producer, consumer trace.Time, line, set int64, k int) (evicted bool, scanned int64) {
+	cfg := &c.a.cfg
+	c.resetDistinct()
+	if c.a.opt.PaperLRU {
+		// The paper's equations verbatim: k distinct set contentions
+		// anywhere in the interval evict the line.
+		c.w.Between(producer, consumer, func(_ *ir.NRef, addr int64) bool {
+			scanned++
+			al := addr / cfg.LineBytes
+			if al == line || al%c.a.numSets != set {
+				return true
+			}
+			if c.addDistinct(al) >= k {
+				evicted = true
+				return false
+			}
+			return true
+		})
+		return evicted, scanned
+	}
+	// Exact LRU: scan backwards from the consumer; the first touch of the
+	// line is its most recent fetch, and the line is evicted iff k
+	// distinct other lines hit the set after that fetch.
+	c.w.BetweenReverse(producer, consumer, func(_ *ir.NRef, addr int64) bool {
+		scanned++
+		al := addr / cfg.LineBytes
+		if al == line {
+			return false // most recent fetch found; the count stands
+		}
+		if al%c.a.numSets != set {
+			return true
+		}
+		if c.addDistinct(al) >= k {
+			evicted = true
+			return false
+		}
+		return true
+	})
+	return evicted, scanned
+}
+
+// classify decides the outcome of reference r's access at idx (the
+// classifyN of the sequential seed path, with memoized walks and the
+// strength-reduced walker). The returned scan count is the logical
+// interference-scan work of the deciding walk — identical whether the
+// verdict came from a walk or from the memo.
+func (c *classifier) classify(r *ir.NRef, idx []int64) (Outcome, int64) {
+	a := c.a
+	addr := r.AddressAt(idx)
+	line := a.cfg.MemLine(addr)
+	set := line % a.numSets
+	k := a.cfg.Assoc
+	consumer := trace.Time{Label: r.Stmt.Label, Idx: idx, Seq: r.Seq}
+
+	for _, v := range a.vecs[r] {
+		plabel, pidx := v.ProducerPoint(idx)
+		// Cold equation: the producer access must exist ...
+		if !a.spaces[v.Producer.Stmt].Contains(pidx) {
+			continue
+		}
+		// ... and touch the same memory line.
+		if a.cfg.MemLine(v.Producer.AddressAt(pidx)) != line {
+			continue
+		}
+		producer := trace.Time{Label: plabel, Idx: pidx, Seq: v.Producer.Seq}
+		var evicted bool
+		var scanned int64
+		info := a.memoInfo[v]
+		if c.memo != nil && info.invMask != 0 {
+			key := c.memoKey(info, idx, addr)
+			vm := c.memo[v]
+			if vm == nil {
+				vm = map[string]memoEntry{}
+				c.memo[v] = vm
+			}
+			if e, ok := vm[string(key)]; ok {
+				evicted, scanned = e.evicted, e.scanned
+			} else {
+				evicted, scanned = c.replacementWalk(producer, consumer, line, set, k)
+				vm[string(key)] = memoEntry{scanned: scanned, evicted: evicted}
+			}
+		} else {
+			evicted, scanned = c.replacementWalk(producer, consumer, line, set, k)
+		}
+		if evicted {
+			return ReplacementMiss, scanned
+		}
+		return Hit, scanned
+	}
+	if out, more, decided := c.classifyDynamic(r, idx, line, set, k, consumer); decided {
+		return out, more
+	}
+	return ColdMiss, 0
+}
+
+// classifyDynamic resolves non-uniformly generated reuse (§8 future work)
+// once every static reuse vector has fallen through.
+func (c *classifier) classifyDynamic(r *ir.NRef, idx []int64, line, set int64, k int, consumer trace.Time) (Outcome, int64, bool) {
+	a := c.a
+	if a.dyn == nil {
+		return ColdMiss, 0, false
+	}
+	var best trace.Time
+	found := false
+	for _, d := range a.dyn[r] {
+		q, ok := d.ProducerPoint(idx)
+		if !ok {
+			continue
+		}
+		if !a.spaces[d.Producer.Stmt].Contains(q) {
+			continue
+		}
+		pt := trace.Time{Label: d.Producer.Stmt.Label, Idx: q, Seq: d.Producer.Seq}
+		if trace.Compare(pt, consumer) >= 0 {
+			continue
+		}
+		// Same element by construction, hence the same memory line; the
+		// cold equation is satisfied.
+		if !found || trace.Compare(pt, best) > 0 {
+			best = pt
+			found = true
+		}
+	}
+	if !found {
+		return ColdMiss, 0, false
+	}
+	var scanned int64
+	evicted := false
+	cfg := &a.cfg
+	c.resetDistinct()
+	c.w.BetweenReverse(best, consumer, func(_ *ir.NRef, addr int64) bool {
+		scanned++
+		al := addr / cfg.LineBytes
+		if al == line {
+			return false
+		}
+		if al%a.numSets != set {
+			return true
+		}
+		if c.addDistinct(al) >= k {
+			evicted = true
+			return false
+		}
+		return true
+	})
+	if evicted {
+		return ReplacementMiss, scanned, true
+	}
+	return Hit, scanned, true
+}
+
+// memoStats reports arena occupancy (for tests and tuning).
+func (c *classifier) memoStats() (vectors, entries int) {
+	for _, vm := range c.memo {
+		if len(vm) > 0 {
+			vectors++
+			entries += len(vm)
+		}
+	}
+	return vectors, entries
+}

@@ -114,9 +114,16 @@ type Options struct {
 	Vectors map[*ir.NRef][]*reuse.Vector
 	// Workers sets the number of goroutines classifying references in
 	// FindMisses / EstimateMisses. 0 uses GOMAXPROCS; 1 runs sequentially.
-	// Results are bit-identical at any worker count: sampling RNGs are
-	// seeded per reference.
+	// Results are bit-identical at any worker count: FindMisses partitions
+	// iteration spaces into tiles whose partial counts merge by summation,
+	// and sampling RNGs are seeded per reference.
 	Workers int
+	// NoMemo disables the interference-walk verdict memo, forcing every
+	// replacement walk to run in full (the behaviour of the original
+	// sequential solver). Budget accounting is identical either way — memo
+	// hits replay the stored scan cost — so this knob exists for
+	// benchmarking the memo and for equivalence tests.
+	NoMemo bool
 }
 
 // Analyzer holds the per-program analysis state: reuse vectors, reference
@@ -131,6 +138,17 @@ type Analyzer struct {
 	dyn      map[*ir.NRef][]*reuse.DynamicPair
 	spaces   map[*ir.NStmt]*poly.Space
 	warmOnce sync.Once
+
+	// Memoization support, precomputed once in New: per-vector invariant
+	// masks plus the cache geometry the memo keys capture.
+	memoInfo map[*reuse.Vector]memoInfo
+	numSets  int64
+	wayBytes int64
+
+	// defc serves the one-off public Classify API; solver passes build one
+	// classifier per worker instead.
+	clsMu sync.Mutex
+	defc  *classifier
 }
 
 // New prepares an analyzer: it generates reuse vectors for every reference
@@ -159,6 +177,7 @@ func New(np *ir.NProgram, cfg cache.Config, opt Options) (*Analyzer, error) {
 	for _, s := range np.Stmts {
 		a.spaces[s] = poly.FromStmt(s)
 	}
+	a.memoPrecompute()
 	return a, nil
 }
 
@@ -177,148 +196,17 @@ func (a *Analyzer) Classify(r *ir.NRef, idx []int64) Outcome {
 
 // classifyN is Classify plus accounting: it reports the number of accesses
 // visited while scanning interference intervals, the unit of the budget's
-// MaxScan dimension.
+// MaxScan dimension. It serves the one-off public API through a shared
+// (mutex-guarded) classifier; the solver passes give each worker its own
+// classifier and skip the lock.
 func (a *Analyzer) classifyN(r *ir.NRef, idx []int64) (Outcome, int64) {
-	line := a.cfg.MemLine(r.AddressAt(idx))
-	set := a.cfg.SetOfLine(line)
-	k := a.cfg.Assoc
-	consumer := trace.Time{Label: r.Stmt.Label, Idx: idx, Seq: r.Seq}
-
-	var scanned int64
-	var distinct []int64 // distinct contending lines (reused per vector)
-	for _, v := range a.vecs[r] {
-		plabel, pidx := v.ProducerPoint(idx)
-		// Cold equation: the producer access must exist ...
-		if !a.spaces[v.Producer.Stmt].Contains(pidx) {
-			continue
-		}
-		// ... and touch the same memory line.
-		if a.cfg.MemLine(v.Producer.AddressAt(pidx)) != line {
-			continue
-		}
-		// Replacement equation along v: count distinct memory lines that
-		// contend for the cache set between the producer and the consumer.
-		producer := trace.Time{Label: plabel, Idx: pidx, Seq: v.Producer.Seq}
-		distinct = distinct[:0]
-		evicted := false
-		if a.opt.PaperLRU {
-			// The paper's equations verbatim: k distinct set contentions
-			// anywhere in the interval evict the line.
-			trace.VisitBetween(a.np, producer, consumer, func(ri *ir.NRef, j []int64) bool {
-				scanned++
-				al := a.cfg.MemLine(ri.AddressAt(j))
-				if al == line || a.cfg.SetOfLine(al) != set {
-					return true
-				}
-				for _, d := range distinct {
-					if d == al {
-						return true
-					}
-				}
-				distinct = append(distinct, al)
-				if len(distinct) >= k {
-					evicted = true
-					return false
-				}
-				return true
-			})
-		} else {
-			// Exact LRU: scan backwards from the consumer; the first touch
-			// of the line is its most recent fetch, and the line is evicted
-			// iff k distinct other lines hit the set after that fetch.
-			trace.VisitBetweenReverse(a.np, producer, consumer, func(ri *ir.NRef, j []int64) bool {
-				scanned++
-				al := a.cfg.MemLine(ri.AddressAt(j))
-				if al == line {
-					return false // most recent fetch found; the count stands
-				}
-				if a.cfg.SetOfLine(al) != set {
-					return true
-				}
-				for _, d := range distinct {
-					if d == al {
-						return true
-					}
-				}
-				distinct = append(distinct, al)
-				if len(distinct) >= k {
-					evicted = true
-					return false
-				}
-				return true
-			})
-		}
-		if evicted {
-			return ReplacementMiss, scanned
-		}
-		return Hit, scanned
+	a.clsMu.Lock()
+	defer a.clsMu.Unlock()
+	if a.defc == nil {
+		a.warm()
+		a.defc = a.newClassifier()
 	}
-	if out, more, decided := a.classifyDynamic(r, idx, line, set, k, consumer); decided {
-		return out, scanned + more
-	}
-	return ColdMiss, scanned
-}
-
-// classifyDynamic resolves non-uniformly generated reuse (§8 future work)
-// once every static reuse vector has fallen through: among the dynamic
-// producer candidates, the lexicographically latest valid producer
-// iteration decides via the usual replacement walk.
-func (a *Analyzer) classifyDynamic(r *ir.NRef, idx []int64, line, set int64, k int, consumer trace.Time) (Outcome, int64, bool) {
-	if a.dyn == nil {
-		return ColdMiss, 0, false
-	}
-	var best trace.Time
-	found := false
-	for _, d := range a.dyn[r] {
-		q, ok := d.ProducerPoint(idx)
-		if !ok {
-			continue
-		}
-		if !a.spaces[d.Producer.Stmt].Contains(q) {
-			continue
-		}
-		pt := trace.Time{Label: d.Producer.Stmt.Label, Idx: q, Seq: d.Producer.Seq}
-		if trace.Compare(pt, consumer) >= 0 {
-			continue
-		}
-		// Same element by construction, hence the same memory line; the
-		// cold equation is satisfied.
-		if !found || trace.Compare(pt, best) > 0 {
-			best = pt
-			found = true
-		}
-	}
-	if !found {
-		return ColdMiss, 0, false
-	}
-	var scanned int64
-	var distinct []int64
-	evicted := false
-	trace.VisitBetweenReverse(a.np, best, consumer, func(ri *ir.NRef, j []int64) bool {
-		scanned++
-		al := a.cfg.MemLine(ri.AddressAt(j))
-		if al == line {
-			return false
-		}
-		if a.cfg.SetOfLine(al) != set {
-			return true
-		}
-		for _, dd := range distinct {
-			if dd == al {
-				return true
-			}
-		}
-		distinct = append(distinct, al)
-		if len(distinct) >= k {
-			evicted = true
-			return false
-		}
-		return true
-	})
-	if evicted {
-		return ReplacementMiss, scanned, true
-	}
-	return Hit, scanned, true
+	return a.defc.classify(r, idx)
 }
 
 // ClassifyDetail is Classify plus attribution: for a replacement miss it
@@ -553,33 +441,153 @@ func (a *Analyzer) FindMissesCtx(ctx context.Context, b budget.Budget) (*Report,
 	start := time.Now()
 	m := budget.NewMeter(ctx, b)
 	rep := &Report{Config: a.cfg}
-	rep.Refs, _ = a.perRefBudget(m, func(r *ir.NRef, rr *RefReport, p *budget.Probe) error {
-		rr.Tier = TierExact
-		var perr error
-		a.spaces[r.Stmt].Enumerate(func(idx []int64) bool {
-			out, scanned := a.classifyN(r, idx)
-			rr.Analyzed++
-			switch out {
-			case Hit:
-				rr.Hits++
-			case ColdMiss:
-				rr.Cold++
-			case ReplacementMiss:
-				rr.Repl++
+	workers := a.opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && len(a.np.Refs) > 0 {
+		rep.Refs, _ = a.findTiled(m, workers)
+	} else {
+		rep.Refs, _ = a.perRefBudget(m, func(c *classifier, r *ir.NRef, rr *RefReport, p *budget.Probe) error {
+			rr.Tier = TierExact
+			perr := a.runTile(c, r, poly.FullTile(), rr, p)
+			if perr == nil {
+				rr.Complete = true
+			}
+			return perr
+		})
+	}
+	return a.degrade(m, rep, start, sampling.DefaultFallback)
+}
+
+// tileFactor is the work-queue overdecomposition ratio of the tiled exact
+// solver: the iteration spaces are split into about tileFactor tiles per
+// worker, so one dominant nest still spreads across all workers while the
+// per-tile scheduling overhead stays negligible.
+const tileFactor = 4
+
+// runTile classifies every iteration point of r inside tile t, summing the
+// outcomes into rr. The full tile covers the whole RIS (the sequential
+// exact pass is runTile over the full tile).
+func (a *Analyzer) runTile(c *classifier, r *ir.NRef, t poly.Tile, rr *RefReport, p *budget.Probe) error {
+	var perr error
+	a.spaces[r.Stmt].EnumerateTile(t, func(idx []int64) bool {
+		out, scanned := c.classify(r, idx)
+		rr.Analyzed++
+		switch out {
+		case Hit:
+			rr.Hits++
+		case ColdMiss:
+			rr.Cold++
+		case ReplacementMiss:
+			rr.Repl++
+		}
+		if p != nil {
+			if perr = p.Check(1, scanned); perr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	return perr
+}
+
+// findTiled is the tile-parallel exact solver: every reference's RIS is
+// split into tiles in proportion to its share of the program's points, the
+// (reference, tile) items feed a worker pool, and the per-tile partial
+// counts are summed into per-reference reports. Because the tiles of one
+// reference partition its RIS and every aggregate is a sum, the merged
+// report is bit-identical to the sequential solver's regardless of worker
+// count or scheduling order. A reference is Complete only if all its tiles
+// ran to completion. Budget checkpoints keep iteration-point granularity
+// via per-worker probes, exactly as in the per-reference fan-out.
+func (a *Analyzer) findTiled(m *budget.Meter, workers int) ([]*RefReport, error) {
+	a.warm()
+	out := make([]*RefReport, len(a.np.Refs))
+	var totVol int64
+	for i, r := range a.np.Refs {
+		out[i] = &RefReport{Ref: r, Volume: a.spaces[r.Stmt].Volume(), Tier: TierExact}
+		totVol += out[i].Volume
+	}
+	type tileItem struct {
+		ref  int
+		tile poly.Tile
+		part RefReport // per-tile partial counts, merged after the pool drains
+		done bool
+	}
+	target := int64(tileFactor * workers)
+	var items []*tileItem
+	for i, r := range a.np.Refs {
+		n := 1
+		if totVol > 0 {
+			n = int((out[i].Volume*target + totVol - 1) / totVol) // ceil of the proportional share
+			if n < 1 {
+				n = 1
+			}
+		}
+		for _, t := range a.spaces[r.Stmt].Tiles(n) {
+			items = append(items, &tileItem{ref: i, tile: t})
+		}
+	}
+	limited := !m.Unlimited()
+	queue := make(chan *tileItem, len(items))
+	for _, it := range items {
+		queue <- it
+	}
+	close(queue)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := a.newClassifier()
+			var p *budget.Probe
+			if limited {
+				p = m.Probe()
+			}
+			for it := range queue {
+				if m.Err() != nil {
+					break // another worker tripped the meter
+				}
+				if err := a.runTile(c, a.np.Refs[it.ref], it.tile, &it.part, p); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					break
+				}
+				it.done = true
 			}
 			if p != nil {
-				if perr = p.Check(1, scanned); perr != nil {
-					return false
-				}
+				p.Drain()
 			}
-			return true
-		})
-		if perr == nil {
-			rr.Complete = true
+		}()
+	}
+	wg.Wait()
+	// Deterministic merge: per-reference sums over its tiles, in item order.
+	complete := make([]bool, len(out))
+	for i := range complete {
+		complete[i] = true
+	}
+	for _, it := range items {
+		rr := out[it.ref]
+		rr.Analyzed += it.part.Analyzed
+		rr.Hits += it.part.Hits
+		rr.Cold += it.part.Cold
+		rr.Repl += it.part.Repl
+		if !it.done {
+			complete[it.ref] = false
 		}
-		return perr
-	})
-	return a.degrade(m, rep, start, sampling.DefaultFallback)
+	}
+	for i := range out {
+		out[i].Complete = complete[i]
+	}
+	return out, firstErr
 }
 
 // EstimateMisses analyses a statistically chosen sample of each reference's
@@ -610,12 +618,12 @@ func (a *Analyzer) EstimateMissesCtx(ctx context.Context, b budget.Budget, plan 
 
 // sampleWorker returns the per-reference sampling pass of Fig. 6 (right)
 // as a perRefBudget work function.
-func (a *Analyzer) sampleWorker(plan sampling.Plan) func(*ir.NRef, *RefReport, *budget.Probe) error {
+func (a *Analyzer) sampleWorker(plan sampling.Plan) func(*classifier, *ir.NRef, *RefReport, *budget.Probe) error {
 	seed := a.opt.Seed
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF
 	}
-	return func(r *ir.NRef, rr *RefReport, p *budget.Probe) error {
+	return func(c *classifier, r *ir.NRef, rr *RefReport, p *budget.Probe) error {
 		// Per-reference RNG: deterministic regardless of worker count.
 		rng := rand.New(rand.NewSource(seed ^ int64(r.Seq)*0x9E3779B9))
 		sp := a.spaces[r.Stmt]
@@ -635,7 +643,7 @@ func (a *Analyzer) sampleWorker(plan sampling.Plan) func(*ir.NRef, *RefReport, *
 		}
 		var perr error
 		classify := func(idx []int64) bool {
-			out, scanned := a.classifyN(r, idx)
+			out, scanned := c.classify(r, idx)
 			rr.Analyzed++
 			switch out {
 			case Hit:
@@ -713,6 +721,7 @@ func (a *Analyzer) degrade(m *budget.Meter, rep *Report, start time.Time, fallba
 // biased partial counts of the interrupted exact prefix.
 func (a *Analyzer) resampleIncomplete(m *budget.Meter, rep *Report, plan sampling.Plan) error {
 	work := a.sampleWorker(plan)
+	c := a.newClassifier()
 	p := m.Probe()
 	defer p.Drain()
 	for _, rr := range rep.Refs {
@@ -721,7 +730,7 @@ func (a *Analyzer) resampleIncomplete(m *budget.Meter, rep *Report, plan samplin
 		}
 		rr.Analyzed, rr.Hits, rr.Cold, rr.Repl = 0, 0, 0, 0
 		rr.Sampled = false
-		if err := work(rr.Ref, rr, p); err != nil {
+		if err := work(c, rr.Ref, rr, p); err != nil {
 			// Leave this and the remaining refs incomplete; the caller
 			// drops them to the probabilistic rung.
 			rr.Analyzed, rr.Hits, rr.Cold, rr.Repl = 0, 0, 0, 0
@@ -766,12 +775,13 @@ func (a *Analyzer) probIncomplete(rep *Report) {
 
 // perRefBudget runs work over every reference, possibly in parallel, under
 // the meter. Each worker goroutine owns a budget probe (nil when the meter
-// is unlimited, so the no-budget path costs one nil check per point). When
-// one worker trips the meter, the others stop at their next checkpoint and
-// unprocessed references are left incomplete. All lazily built shared
+// is unlimited, so the no-budget path costs one nil check per point) and
+// its own classifier, so workers share only the analyzer's immutable state.
+// When one worker trips the meter, the others stop at their next checkpoint
+// and unprocessed references are left incomplete. All lazily built shared
 // state (space volumes, linearised addresses) is warmed sequentially first
 // so the workers only read.
-func (a *Analyzer) perRefBudget(m *budget.Meter, work func(r *ir.NRef, rr *RefReport, p *budget.Probe) error) ([]*RefReport, error) {
+func (a *Analyzer) perRefBudget(m *budget.Meter, work func(c *classifier, r *ir.NRef, rr *RefReport, p *budget.Probe) error) ([]*RefReport, error) {
 	a.warm()
 	out := make([]*RefReport, len(a.np.Refs))
 	for i, r := range a.np.Refs {
@@ -783,13 +793,14 @@ func (a *Analyzer) perRefBudget(m *budget.Meter, work func(r *ir.NRef, rr *RefRe
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers <= 1 || len(a.np.Refs) < 2 {
+		c := a.newClassifier()
 		var firstErr error
 		for i, r := range a.np.Refs {
 			var p *budget.Probe
 			if limited {
 				p = m.Probe()
 			}
-			err := work(r, out[i], p)
+			err := work(c, r, out[i], p)
 			if p != nil {
 				p.Drain()
 			}
@@ -814,6 +825,7 @@ func (a *Analyzer) perRefBudget(m *budget.Meter, work func(r *ir.NRef, rr *RefRe
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			c := a.newClassifier()
 			var p *budget.Probe
 			if limited {
 				p = m.Probe()
@@ -822,7 +834,7 @@ func (a *Analyzer) perRefBudget(m *budget.Meter, work func(r *ir.NRef, rr *RefRe
 				if m.Err() != nil {
 					return // another worker tripped the meter
 				}
-				if err := work(a.np.Refs[i], out[i], p); err != nil {
+				if err := work(c, a.np.Refs[i], out[i], p); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err

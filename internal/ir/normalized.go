@@ -256,6 +256,17 @@ func (r *NRef) AddressAt(idx []int64) int64 {
 	return r.addrAff.Eval(idx)
 }
 
+// AddressAffine returns the cached linearised address expression, so
+// address(idx) = AddressAffine().Eval(idx). Walkers that visit millions of
+// accesses strength-reduce this affine into incremental adds instead of
+// calling AddressAt per access.
+func (r *NRef) AddressAffine() Affine {
+	if !r.addrReady || r.addrBase != r.Array.Base {
+		r.buildAddr()
+	}
+	return r.addrAff
+}
+
 // buildAddr folds base address, element size, strides and subscripts into
 // one affine expression over the index vector.
 func (r *NRef) buildAddr() {

@@ -1,0 +1,103 @@
+package poly
+
+// Tile restricts a Space to the points whose index at depth Dim lies in
+// [Lo, Hi]. The tiles returned by Tiles partition the space: every point
+// lies in exactly one tile, so per-tile enumerations can run concurrently
+// and their (order-independent) aggregates merge into exactly the
+// whole-space result. An out-of-range tile is simply empty; tiling is
+// sound for any dimension, including ones whose exact range depends on
+// outer indices, because the clamp only restricts the admissible range.
+type Tile struct {
+	Dim    int
+	Lo, Hi int64
+}
+
+// Full reports whether the tile covers the whole space (the trivial tile).
+func (t Tile) Full() bool { return t.Dim < 0 }
+
+// FullTile returns the tile covering the whole space.
+func FullTile() Tile { return Tile{Dim: -1} }
+
+// Tiles splits the space into at most n contiguous tiles along one
+// dimension, preferring the outermost dimension wide enough to yield n
+// tiles (outer splits keep per-tile enumeration overhead lowest), and
+// falling back to the widest dimension otherwise. It returns the trivial
+// full tile when the space cannot be split (n <= 1, zero depth, or a
+// statically empty space).
+func (sp *Space) Tiles(n int) []Tile {
+	if n <= 1 || sp.Depth == 0 {
+		return []Tile{FullTile()}
+	}
+	lo, hi, ok := sp.BoundingBox()
+	if !ok {
+		return []Tile{FullTile()}
+	}
+	dim := -1
+	for k := 0; k < sp.Depth; k++ {
+		if hi[k]-lo[k]+1 >= int64(n) {
+			dim = k
+			break
+		}
+	}
+	if dim < 0 {
+		// No dimension is wide enough for n tiles: take the widest.
+		var best int64
+		for k := 0; k < sp.Depth; k++ {
+			if w := hi[k] - lo[k] + 1; w > best {
+				best, dim = w, k
+			}
+		}
+		if best < 2 {
+			return []Tile{FullTile()}
+		}
+	}
+	width := hi[dim] - lo[dim] + 1
+	parts := int64(n)
+	if parts > width {
+		parts = width
+	}
+	tiles := make([]Tile, 0, parts)
+	for i := int64(0); i < parts; i++ {
+		tlo := lo[dim] + i*width/parts
+		thi := lo[dim] + (i+1)*width/parts - 1
+		tiles = append(tiles, Tile{Dim: dim, Lo: tlo, Hi: thi})
+	}
+	return tiles
+}
+
+// EnumerateTile calls visit for every point of the space whose index at
+// t.Dim lies in [t.Lo, t.Hi], in lexicographic order. The full tile
+// enumerates the whole space.
+func (sp *Space) EnumerateTile(t Tile, visit func(idx []int64) bool) {
+	if t.Full() {
+		sp.Enumerate(visit)
+		return
+	}
+	idx := make([]int64, sp.Depth)
+	sp.enumTile(0, idx, t, visit)
+}
+
+func (sp *Space) enumTile(k int, idx []int64, t Tile, visit func([]int64) bool) bool {
+	if k == sp.Depth {
+		return visit(idx)
+	}
+	lo, hi, ok := sp.rangeAt(k, idx)
+	if !ok {
+		return true
+	}
+	if k == t.Dim {
+		if t.Lo > lo {
+			lo = t.Lo
+		}
+		if t.Hi < hi {
+			hi = t.Hi
+		}
+	}
+	for v := lo; v <= hi; v++ {
+		idx[k] = v
+		if !sp.enumTile(k+1, idx, t, visit) {
+			return false
+		}
+	}
+	return true
+}

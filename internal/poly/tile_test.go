@@ -1,0 +1,120 @@
+package poly
+
+import (
+	"fmt"
+	"testing"
+
+	"cachemodel/internal/ir"
+)
+
+// tileSpaces are the shapes the partition property is checked on: a
+// rectangle, a wide-inner rectangle, a triangle (inner bound depends on
+// the outer index) and a guarded space.
+func tileSpaces() map[string]*Space {
+	tri := New([]ir.NBound{
+		bound(konst(1), konst(12)),
+		bound(konst(1), ir.Affine{Coeff: []int64{1}}), // J <= I
+	}, nil)
+	guarded := New([]ir.NBound{
+		bound(konst(1), konst(10)),
+		bound(konst(1), konst(10)),
+	}, []ir.NConstraint{{Expr: ir.Affine{Const: -3, Coeff: []int64{1, 1}}}}) // I+J >= 3
+	return map[string]*Space{
+		"rect":     rect([2]int64{1, 9}, [2]int64{1, 7}),
+		"wide":     rect([2]int64{1, 2}, [2]int64{1, 40}),
+		"tri":      tri,
+		"guarded":  guarded,
+		"single":   rect([2]int64{5, 5}, [2]int64{3, 3}),
+		"negative": rect([2]int64{-6, 6}, [2]int64{-2, 2}),
+	}
+}
+
+// TestTilesPartition: the tiles of a space must partition it — every point
+// of Enumerate appears in exactly one tile's EnumerateTile, each tile
+// enumerates in lexicographic order, and tile counts sum to the volume.
+func TestTilesPartition(t *testing.T) {
+	for name, sp := range tileSpaces() {
+		for _, n := range []int{1, 2, 3, 5, 16, 100} {
+			var whole []string
+			sp.Enumerate(func(idx []int64) bool {
+				whole = append(whole, fmt.Sprint(idx))
+				return true
+			})
+			seen := map[string]int{}
+			tiles := sp.Tiles(n)
+			if len(tiles) > n {
+				t.Fatalf("%s: Tiles(%d) returned %d tiles", name, n, len(tiles))
+			}
+			var total int64
+			for _, tile := range tiles {
+				sp.EnumerateTile(tile, func(idx []int64) bool {
+					seen[fmt.Sprint(idx)]++
+					total++
+					return true
+				})
+			}
+			if total != int64(len(whole)) {
+				t.Fatalf("%s: Tiles(%d): %d points across tiles, Enumerate has %d", name, n, total, len(whole))
+			}
+			for _, k := range whole {
+				if seen[k] != 1 {
+					t.Fatalf("%s: Tiles(%d): point %s covered %d times", name, n, k, seen[k])
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateTileOrder: within one tile the enumeration must be in the
+// space's lexicographic order (the same order Enumerate would use).
+func TestEnumerateTileOrder(t *testing.T) {
+	sp := rect([2]int64{1, 6}, [2]int64{1, 6})
+	for _, tile := range sp.Tiles(3) {
+		var pts [][]int64
+		sp.EnumerateTile(tile, func(idx []int64) bool {
+			pts = append(pts, append([]int64(nil), idx...))
+			return true
+		})
+		for i := 1; i < len(pts); i++ {
+			a, b := pts[i-1], pts[i]
+			less := false
+			for k := range a {
+				if a[k] != b[k] {
+					less = a[k] < b[k]
+					break
+				}
+			}
+			if !less {
+				t.Fatalf("tile %+v: %v not before %v", tile, a, b)
+			}
+		}
+	}
+}
+
+// TestEnumerateTileEarlyStop: returning false stops the tile enumeration.
+func TestEnumerateTileEarlyStop(t *testing.T) {
+	sp := rect([2]int64{1, 10}, [2]int64{1, 10})
+	for _, tile := range sp.Tiles(4) {
+		n := 0
+		sp.EnumerateTile(tile, func([]int64) bool {
+			n++
+			return n < 3
+		})
+		if n != 3 {
+			t.Fatalf("tile %+v: early stop visited %d points", tile, n)
+		}
+	}
+}
+
+// TestFullTile: the trivial tile enumerates the whole space.
+func TestFullTile(t *testing.T) {
+	sp := rect([2]int64{1, 4}, [2]int64{1, 4})
+	var n int64
+	sp.EnumerateTile(FullTile(), func([]int64) bool { n++; return true })
+	if n != sp.Volume() {
+		t.Fatalf("full tile visited %d of %d points", n, sp.Volume())
+	}
+	if got := sp.Tiles(0); len(got) != 1 || !got[0].Full() {
+		t.Fatalf("Tiles(0) = %+v, want the full tile", got)
+	}
+}

@@ -1,0 +1,388 @@
+// Strength-reduced execution and interval walkers. The generic walkers in
+// trace.go call NRef.AddressAt per access, which re-evaluates the full
+// affine address expression (n multiply-adds plus bounds checks) at every
+// visit; the prepared walkers here flatten each reference's address affine
+// once, hoist the depth-prefix of the address and of every guard out of
+// the innermost loop, and reuse one scratch index vector across walks, so
+// the per-access cost of the inner loop is a single multiply-add.
+package trace
+
+import (
+	"cachemodel/internal/ir"
+)
+
+// refPlan is the flattened per-reference address affine: addr(idx) =
+// Const + Σ Coeff[k]·idx[k]. Inner is the innermost coefficient, split out
+// so leaf rows evaluate addr = rowBase + Inner·v.
+type refPlan struct {
+	ref   *ir.NRef
+	konst int64
+	coeff []int64 // full-length (np.Depth) coefficient vector
+	inner int64   // coeff[np.Depth-1]
+}
+
+// guardPlan mirrors one guard constraint with its innermost coefficient
+// split out: the guard holds at the leaf iff rowBase + Inner·v ⋈ 0.
+type guardPlan struct {
+	konst int64
+	coeff []int64
+	inner int64
+	isEq  bool
+}
+
+// stmtPlan is the per-statement leaf plan.
+type stmtPlan struct {
+	stmt   *ir.NStmt
+	guards []guardPlan
+	refs   []refPlan
+	// scratch row bases, rewritten on every leaf-row entry.
+	guardBase []int64
+	refBase   []int64
+}
+
+// rowEnter hoists the depth-prefix of every guard and address affine for
+// the current idx prefix (idx[n-1] is about to sweep).
+func (sp *stmtPlan) rowEnter(idx []int64, n int) {
+	for i := range sp.guards {
+		g := &sp.guards[i]
+		v := g.konst
+		for k := 0; k < n-1; k++ {
+			if c := g.coeff[k]; c != 0 {
+				v += c * idx[k]
+			}
+		}
+		sp.guardBase[i] = v
+	}
+	for i := range sp.refs {
+		r := &sp.refs[i]
+		v := r.konst
+		for k := 0; k < n-1; k++ {
+			if c := r.coeff[k]; c != 0 {
+				v += c * idx[k]
+			}
+		}
+		sp.refBase[i] = v
+	}
+}
+
+// guardsHold evaluates all guards at innermost value v from the hoisted
+// prefixes.
+func (sp *stmtPlan) guardsHold(v int64) bool {
+	for i := range sp.guards {
+		g := &sp.guards[i]
+		val := sp.guardBase[i] + g.inner*v
+		if g.isEq {
+			if val != 0 {
+				return false
+			}
+		} else if val < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func newStmtPlan(st *ir.NStmt, n int) *stmtPlan {
+	sp := &stmtPlan{stmt: st}
+	for _, g := range st.Guards {
+		gp := guardPlan{konst: g.Expr.Const, coeff: make([]int64, n), isEq: g.IsEq}
+		for k := 1; k <= n; k++ {
+			gp.coeff[k-1] = g.Expr.At(k)
+		}
+		gp.inner = gp.coeff[n-1]
+		sp.guards = append(sp.guards, gp)
+	}
+	for _, r := range st.Refs {
+		aff := r.AddressAffine()
+		rp := refPlan{ref: r, konst: aff.Const, coeff: make([]int64, n)}
+		for k := 1; k <= n; k++ {
+			rp.coeff[k-1] = aff.At(k)
+		}
+		rp.inner = rp.coeff[n-1]
+		sp.refs = append(sp.refs, rp)
+	}
+	sp.guardBase = make([]int64, len(sp.guards))
+	sp.refBase = make([]int64, len(sp.refs))
+	return sp
+}
+
+// execPlan is the prepared form of a normalised program for address-
+// carrying execution: the loop tree annotated with per-statement leaf
+// plans. Building it is cheap (linear in program text) relative to any
+// walk, and one plan is reusable across runs by a single goroutine.
+type execPlan struct {
+	np    *ir.NProgram
+	leafs map[*ir.NLoop][]*stmtPlan
+	idx   []int64
+}
+
+// leafPlans builds per-leaf-loop plan slices for the whole tree, so walks
+// never allocate.
+func leafPlans(np *ir.NProgram) map[*ir.NLoop][]*stmtPlan {
+	leafs := map[*ir.NLoop][]*stmtPlan{}
+	var rec func(nl *ir.NLoop)
+	rec = func(nl *ir.NLoop) {
+		if len(nl.Stmts) > 0 {
+			plans := make([]*stmtPlan, len(nl.Stmts))
+			for i, st := range nl.Stmts {
+				plans[i] = newStmtPlan(st, np.Depth)
+			}
+			leafs[nl] = plans
+		}
+		for _, c := range nl.Loops {
+			rec(c)
+		}
+	}
+	for _, nl := range np.Top {
+		rec(nl)
+	}
+	return leafs
+}
+
+func newExecPlan(np *ir.NProgram) *execPlan {
+	return &execPlan{np: np, leafs: leafPlans(np), idx: make([]int64, np.Depth)}
+}
+
+// ExecuteAddr visits every reference access in execution order like
+// Execute, additionally passing the precomputed byte address. Arrays must
+// be laid out. The idx slice is reused; copy it if retained.
+func ExecuteAddr(np *ir.NProgram, visit func(r *ir.NRef, idx []int64, addr int64) bool) {
+	p := newExecPlan(np)
+	for _, nl := range np.Top {
+		if !p.exec(nl, 1, visit) {
+			return
+		}
+	}
+}
+
+func (p *execPlan) exec(nl *ir.NLoop, depth int, visit func(*ir.NRef, []int64, int64) bool) bool {
+	n := p.np.Depth
+	idx := p.idx
+	lo := nl.Bound.Lo.Eval(idx)
+	hi := nl.Bound.Hi.Eval(idx)
+	if depth == n {
+		// Leaf row: hoist guard and address prefixes, then sweep the
+		// innermost index with one multiply-add per access.
+		if lo > hi {
+			return true
+		}
+		plans := p.leafs[nl]
+		for _, sp := range plans {
+			sp.rowEnter(idx, n)
+		}
+		for v := lo; v <= hi; v++ {
+			idx[n-1] = v
+			for _, sp := range plans {
+				if !sp.guardsHold(v) {
+					continue
+				}
+				for i := range sp.refs {
+					r := &sp.refs[i]
+					if !visit(r.ref, idx, sp.refBase[i]+r.inner*v) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	for v := lo; v <= hi; v++ {
+		idx[depth-1] = v
+		for _, c := range nl.Loops {
+			if !p.exec(c, depth+1, visit) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Walker is a prepared, allocation-free interval walker for one program:
+// the replacement equations call Between/BetweenReverse millions of times,
+// so the walker owns its scratch index vector and per-statement plans
+// instead of rebuilding them per walk. A Walker is not safe for concurrent
+// use; give each worker goroutine its own (NewWalker is cheap).
+type Walker struct {
+	np    *ir.NProgram
+	leafs map[*ir.NLoop][]*stmtPlan
+	idx   []int64
+	a, b  Time
+	visit func(*ir.NRef, int64) bool
+}
+
+// NewWalker prepares a walker for the program. Arrays must be laid out.
+func NewWalker(np *ir.NProgram) *Walker {
+	return &Walker{np: np, leafs: leafPlans(np), idx: make([]int64, np.Depth)}
+}
+
+// Between visits every access with time strictly between a and b in
+// execution order, passing the precomputed byte address. Return false from
+// visit to stop early. Equivalent to VisitBetween + AddressAt.
+func (w *Walker) Between(a, b Time, visit func(r *ir.NRef, addr int64) bool) {
+	if Compare(a, b) >= 0 {
+		return
+	}
+	w.a, w.b, w.visit = a, b, visit
+	for p, nl := range w.np.Top {
+		pos := p + 1
+		if pos < a.Label[0] {
+			continue
+		}
+		if pos > b.Label[0] {
+			break
+		}
+		if !w.walk(nl, 1, pos == a.Label[0], pos == b.Label[0]) {
+			break
+		}
+	}
+	w.visit = nil
+}
+
+// BetweenReverse is Between in reverse execution order (most recent
+// first). Equivalent to VisitBetweenReverse + AddressAt.
+func (w *Walker) BetweenReverse(a, b Time, visit func(r *ir.NRef, addr int64) bool) {
+	if Compare(a, b) >= 0 {
+		return
+	}
+	w.a, w.b, w.visit = a, b, visit
+	for p := len(w.np.Top) - 1; p >= 0; p-- {
+		pos := p + 1
+		if pos < w.a.Label[0] {
+			break
+		}
+		if pos > w.b.Label[0] {
+			continue
+		}
+		if !w.walkRev(w.np.Top[p], 1, pos == w.a.Label[0], pos == w.b.Label[0]) {
+			break
+		}
+	}
+	w.visit = nil
+}
+
+func (w *Walker) walk(nl *ir.NLoop, depth int, lt, ht bool) bool {
+	n := w.np.Depth
+	idx := w.idx
+	from := nl.Bound.Lo.Eval(idx)
+	to := nl.Bound.Hi.Eval(idx)
+	if lt && w.a.Idx[depth-1] > from {
+		from = w.a.Idx[depth-1]
+	}
+	if ht && w.b.Idx[depth-1] < to {
+		to = w.b.Idx[depth-1]
+	}
+	if depth == n {
+		if from > to {
+			return true
+		}
+		plans := w.leafs[nl]
+		for _, sp := range plans {
+			sp.rowEnter(idx, n)
+		}
+		for v := from; v <= to; v++ {
+			idx[n-1] = v
+			vlt := lt && v == w.a.Idx[n-1]
+			vht := ht && v == w.b.Idx[n-1]
+			for _, sp := range plans {
+				if !sp.guardsHold(v) {
+					continue
+				}
+				for i := range sp.refs {
+					r := &sp.refs[i]
+					if vlt && r.ref.Seq <= w.a.Seq {
+						continue
+					}
+					if vht && r.ref.Seq >= w.b.Seq {
+						continue
+					}
+					if !w.visit(r.ref, sp.refBase[i]+r.inner*v) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	for v := from; v <= to; v++ {
+		idx[depth-1] = v
+		vlt := lt && v == w.a.Idx[depth-1]
+		vht := ht && v == w.b.Idx[depth-1]
+		for p, c := range nl.Loops {
+			pos := p + 1
+			if vlt && pos < w.a.Label[depth] {
+				continue
+			}
+			if vht && pos > w.b.Label[depth] {
+				break
+			}
+			if !w.walk(c, depth+1, vlt && pos == w.a.Label[depth], vht && pos == w.b.Label[depth]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (w *Walker) walkRev(nl *ir.NLoop, depth int, lt, ht bool) bool {
+	n := w.np.Depth
+	idx := w.idx
+	from := nl.Bound.Lo.Eval(idx)
+	to := nl.Bound.Hi.Eval(idx)
+	if lt && w.a.Idx[depth-1] > from {
+		from = w.a.Idx[depth-1]
+	}
+	if ht && w.b.Idx[depth-1] < to {
+		to = w.b.Idx[depth-1]
+	}
+	if depth == n {
+		if from > to {
+			return true
+		}
+		plans := w.leafs[nl]
+		for _, sp := range plans {
+			sp.rowEnter(idx, n)
+		}
+		for v := to; v >= from; v-- {
+			idx[n-1] = v
+			vlt := lt && v == w.a.Idx[n-1]
+			vht := ht && v == w.b.Idx[n-1]
+			for si := len(plans) - 1; si >= 0; si-- {
+				sp := plans[si]
+				if !sp.guardsHold(v) {
+					continue
+				}
+				for i := len(sp.refs) - 1; i >= 0; i-- {
+					r := &sp.refs[i]
+					if vlt && r.ref.Seq <= w.a.Seq {
+						continue
+					}
+					if vht && r.ref.Seq >= w.b.Seq {
+						continue
+					}
+					if !w.visit(r.ref, sp.refBase[i]+r.inner*v) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	for v := to; v >= from; v-- {
+		idx[depth-1] = v
+		vlt := lt && v == w.a.Idx[depth-1]
+		vht := ht && v == w.b.Idx[depth-1]
+		for p := len(nl.Loops) - 1; p >= 0; p-- {
+			pos := p + 1
+			if vlt && pos < w.a.Label[depth] {
+				break
+			}
+			if vht && pos > w.b.Label[depth] {
+				continue
+			}
+			if !w.walkRev(nl.Loops[p], depth+1, vlt && pos == w.a.Label[depth], vht && pos == w.b.Label[depth]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cachemodel/internal/budget"
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cerr"
+	"cachemodel/internal/ir"
+)
+
+// TestShardedMatchesSequential: the set-sharded simulator must be
+// bit-identical to the sequential simulator — globally and per reference —
+// at every worker count and write policy.
+func TestShardedMatchesSequential(t *testing.T) {
+	progs := map[string]*ir.NProgram{"twoNests": twoNests(12), "guarded": guardedNest(8)}
+	cfgs := []cache.Config{
+		{SizeBytes: 1024, LineBytes: 32, Assoc: 1},
+		{SizeBytes: 2048, LineBytes: 32, Assoc: 2},
+		{SizeBytes: 4096, LineBytes: 64, Assoc: 4},
+	}
+	for name, np := range progs {
+		for _, cfg := range cfgs {
+			for _, policy := range []cache.WritePolicy{cache.FetchOnWrite, cache.WriteNoAllocate} {
+				want := SimulatePolicy(np, cfg, policy)
+				for _, workers := range []int{2, 3, 8, 64} {
+					got, err := SimulateShardedCtx(context.Background(), np, cfg, policy, budget.Budget{}, workers)
+					if err != nil {
+						t.Fatalf("%s [%s] w=%d: %v", name, cfg, workers, err)
+					}
+					if got.Accesses != want.Accesses || got.Misses != want.Misses {
+						t.Fatalf("%s [%s] w=%d policy=%d: got %d/%d accesses/misses, want %d/%d",
+							name, cfg, workers, policy, got.Accesses, got.Misses, want.Accesses, want.Misses)
+					}
+					for r, ws := range want.PerRef {
+						gs := got.PerRef[r]
+						if gs == nil || *gs != *ws {
+							t.Fatalf("%s [%s] w=%d: ref %s diverged: got %+v want %+v", name, cfg, workers, r.ID, gs, ws)
+						}
+					}
+					if len(got.PerRef) != len(want.PerRef) {
+						t.Fatalf("%s [%s] w=%d: %d refs vs %d", name, cfg, workers, len(got.PerRef), len(want.PerRef))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedWorkerClamp: more workers than sets must not break anything
+// (workers are clamped to the set count), and one worker falls back to the
+// sequential path.
+func TestShardedWorkerClamp(t *testing.T) {
+	np := twoNests(8)
+	cfg := cache.Config{SizeBytes: 256, LineBytes: 64, Assoc: 2} // 2 sets
+	want := Simulate(np, cfg)
+	for _, workers := range []int{1, 2, 99} {
+		got := SimulateSharded(np, cfg, workers)
+		if got.Accesses != want.Accesses || got.Misses != want.Misses {
+			t.Fatalf("w=%d: got %d/%d, want %d/%d", workers, got.Accesses, got.Misses, want.Accesses, want.Misses)
+		}
+	}
+}
+
+// TestShardedBudgetTruncation: budget exhaustion mid-replay must yield a
+// coherent truncated prefix — the flag set, the error typed, per-ref
+// counts summing to the global counts, and strictly fewer accesses than
+// the full run.
+func TestShardedBudgetTruncation(t *testing.T) {
+	np := twoNests(16)
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}
+	full := Simulate(np, cfg)
+	res, err := SimulateShardedCtx(context.Background(), np, cfg, cache.FetchOnWrite,
+		budget.Budget{MaxPoints: full.Accesses / 3}, 4)
+	if !errors.Is(err, cerr.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if !res.Truncated {
+		t.Fatal("Truncated not set on an exhausted run")
+	}
+	if res.Accesses <= 0 || res.Accesses >= full.Accesses {
+		t.Fatalf("truncated run replayed %d of %d accesses", res.Accesses, full.Accesses)
+	}
+	var sum int64
+	for _, st := range res.PerRef {
+		sum += st.Accesses
+	}
+	if sum != res.Accesses {
+		t.Fatalf("per-ref accesses sum %d != global %d", sum, res.Accesses)
+	}
+}
+
+// TestShardedCancellation: a cancelled context stops the replay with
+// ErrCanceled and a coherent prefix.
+func TestShardedCancellation(t *testing.T) {
+	np := twoNests(16)
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SimulateShardedCtx(ctx, np, cfg, cache.FetchOnWrite, budget.Budget{MaxPoints: 1 << 40}, 4)
+	if !errors.Is(err, cerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !res.Truncated {
+		t.Fatal("Truncated not set on a cancelled run")
+	}
+}

@@ -298,26 +298,25 @@ func SimulateCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, b budge
 func SimulatePolicyCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, policy cache.WritePolicy, b budget.Budget) (*SimResult, error) {
 	sim := cache.NewSimulator(cfg)
 	sim.SetWritePolicy(policy)
-	res := &SimResult{Config: cfg, PerRef: map[*ir.NRef]*RefStats{}}
 	m := budget.NewMeter(ctx, b)
 	var p *budget.Probe
 	if !m.Unlimited() {
 		p = m.Probe()
 		defer p.Drain()
 	}
+	// Per-reference counters live in a slice indexed by the reference's
+	// global Seq (its position in np.Refs); the map the API exposes is
+	// built once at the end, keeping a map lookup off the per-access path.
+	stats := make([]RefStats, len(np.Refs))
 	var ierr error
-	Execute(np, func(r *ir.NRef, idx []int64) bool {
-		st := res.PerRef[r]
-		if st == nil {
-			st = &RefStats{}
-			res.PerRef[r] = st
-		}
+	ExecuteAddr(np, func(r *ir.NRef, _ []int64, addr int64) bool {
+		st := &stats[r.Seq]
 		st.Accesses++
 		var miss bool
 		if r.Write {
-			miss = sim.AccessWrite(r.AddressAt(idx))
+			miss = sim.AccessWrite(addr)
 		} else {
-			miss = sim.Access(r.AddressAt(idx))
+			miss = sim.Access(addr)
 		}
 		if miss {
 			st.Misses++
@@ -329,10 +328,22 @@ func SimulatePolicyCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, p
 		}
 		return true
 	})
-	res.Accesses = sim.Accesses
-	res.Misses = sim.Misses
+	res := collectSimResult(np, cfg, stats, sim.Accesses, sim.Misses)
 	if ierr != nil {
 		res.Truncated = true
 	}
 	return res, ierr
+}
+
+// collectSimResult assembles the public SimResult from Seq-indexed
+// counters.
+func collectSimResult(np *ir.NProgram, cfg cache.Config, stats []RefStats, accesses, misses int64) *SimResult {
+	res := &SimResult{Config: cfg, PerRef: map[*ir.NRef]*RefStats{}, Accesses: accesses, Misses: misses}
+	for i := range stats {
+		if stats[i].Accesses > 0 {
+			s := stats[i]
+			res.PerRef[np.Refs[i]] = &s
+		}
+	}
+	return res
 }
