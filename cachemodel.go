@@ -265,6 +265,54 @@ func EstimateMissesCtx(ctx context.Context, np *NProgram, cfg Config, opt Analyz
 	return a.EstimateMissesCtx(ctx, b, plan)
 }
 
+// Batch design-space types (see internal/cme: the geometry-invariant
+// pipeline split and the batch solver).
+type (
+	// PreparedProgram is the geometry-invariant stage of the pipeline:
+	// everything about a normalised program that does not depend on cache
+	// geometry or layout, shareable across a whole design-space sweep.
+	PreparedProgram = cme.Prepared
+	// BatchCandidate is one (cache geometry, layout) point of a sweep.
+	BatchCandidate = cme.Candidate
+	// BatchOptions tunes SolveBatch.
+	BatchOptions = cme.BatchOptions
+	// ResultCache is the content-addressed, LRU-bounded store of
+	// per-reference results shared across SolveBatch calls.
+	ResultCache = cme.ResultCache
+	// ResultCacheStats are the result cache's counters.
+	ResultCacheStats = cme.CacheStats
+)
+
+// NewResultCache returns a result cache bounded to capacity entries
+// (capacity <= 0 selects a generous default).
+func NewResultCache(capacity int) *ResultCache { return cme.NewResultCache(capacity) }
+
+// PrepareAnalysis builds the geometry-invariant analysis stage of a
+// prepared (laid-out) program once, for use with SolveBatch. The layout in
+// effect becomes the batch baseline.
+func PrepareAnalysis(np *NProgram, opt AnalyzeOptions) (p *PreparedProgram, err error) {
+	defer cerr.RecoverTo(&err)
+	return cme.Prepare(np, opt)
+}
+
+// SolveBatch evaluates many (geometry, layout) candidates against one
+// prepared program, returning one Report per candidate (index-aligned).
+// Exact-tier results are bit-identical to per-candidate FindMisses; sampled
+// results (BatchOptions.Plan set) are bit-identical to EstimateMisses under
+// the same seed.
+func SolveBatch(ctx context.Context, p *PreparedProgram, cands []BatchCandidate, opt BatchOptions) (reps []*Report, err error) {
+	defer cerr.RecoverTo(&err)
+	return p.SolveBatch(ctx, cands, opt)
+}
+
+// SearchConfigs sweeps cache geometries against one program via SolveBatch
+// and returns the candidates sorted by predicted miss ratio, best first. A
+// nil plan solves exactly.
+func SearchConfigs(ctx context.Context, build func() *Program, cfgs []Config, opt AnalyzeOptions, plan *Plan) (cs []Choice, err error) {
+	defer cerr.RecoverTo(&err)
+	return advisor.SearchConfigs(ctx, build, cfgs, opt, plan)
+}
+
 // Simulate replays the program through the exact LRU simulator.
 func Simulate(np *NProgram, cfg Config) *SimResult { return trace.Simulate(np, cfg) }
 

@@ -14,9 +14,11 @@ import (
 	"cachemodel/internal/trace"
 )
 
-// profileFlags registers -cpuprofile / -memprofile and returns a pair of
-// start/stop closures bracketing the measured work.
-func profileFlags(fs *flag.FlagSet) (start func() error, stop func() error) {
+// profileFlags registers -cpuprofile / -memprofile and returns start/stop
+// closures bracketing the measured work plus a predicate reporting whether
+// CPU profiling was requested — callers use it to turn on the solvers'
+// pprof labels (ref, tile, candidate) only when a profile is being taken.
+func profileFlags(fs *flag.FlagSet) (start func() error, stop func() error, active func() bool) {
 	cpu := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	mem := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	var cpuFile *os.File
@@ -52,7 +54,8 @@ func profileFlags(fs *flag.FlagSet) (start func() error, stop func() error) {
 		runtime.GC()
 		return pprof.WriteHeapProfile(f)
 	}
-	return start, stop
+	active = func() bool { return *cpu != "" }
+	return start, stop, active
 }
 
 // benchResult is one row of BENCH_solvers.json.
@@ -98,7 +101,7 @@ func cmdBench(args []string) error {
 	out := fs.String("out", "BENCH_solvers.json", "output path for the JSON report (- = stdout only)")
 	check := fs.Bool("check", false, "verify all variants produce bit-identical counts")
 	noSim := fs.Bool("nosim", false, "skip the simulator rows")
-	pstart, pstop := profileFlags(fs)
+	pstart, pstop, _ := profileFlags(fs)
 	fs.Parse(args)
 
 	p, err := loadProgram(*file, *consts, *name, *size, *iters)

@@ -228,7 +228,7 @@ func cmdAnalyze(args []string) error {
 	workers := fs.Int("workers", 0, "parallel classification workers (0 = GOMAXPROCS, 1 = sequential)")
 	noMemo := fs.Bool("nomemo", false, "disable the interference-walk verdict memo")
 	timeout, maxPoints, maxScan, fallback := budgetFlags(fs)
-	pstart, pstop := profileFlags(fs)
+	pstart, pstop, prof := profileFlags(fs)
 	fs.Parse(args)
 
 	p, err := loadProgram(*file, *consts, *name, *size, *iters)
@@ -241,9 +241,10 @@ func cmdAnalyze(args []string) error {
 	}
 	cfg := cache.Config{SizeBytes: *cs, LineBytes: *ls, Assoc: *assoc}
 	a, err := cme.New(np, cfg, cme.Options{
-		Reuse:   reuse.Options{NonUniform: *nonUniform},
-		Workers: *workers,
-		NoMemo:  *noMemo,
+		Reuse:         reuse.Options{NonUniform: *nonUniform},
+		Workers:       *workers,
+		NoMemo:        *noMemo,
+		ProfileLabels: prof(),
 	})
 	if err != nil {
 		return err
@@ -304,7 +305,7 @@ func cmdSimulate(args []string) error {
 	cs, ls, assoc := cacheFlags(fs)
 	workers := fs.Int("workers", 1, "set-sharded parallel replay workers (0 = GOMAXPROCS, 1 = sequential)")
 	timeout, maxPoints, maxScan, _ := budgetFlags(fs)
-	pstart, pstop := profileFlags(fs)
+	pstart, pstop, _ := profileFlags(fs)
 	fs.Parse(args)
 
 	p, err := loadProgram(*file, *consts, *name, *size, *iters)
@@ -473,79 +474,6 @@ func cmdDiagnose(args []string) error {
 	for _, cell := range d.Top(*top) {
 		fmt.Printf("    %-10s <- %-10s %12.0f contentions\n",
 			cell.Victim.Name, cell.Interferer.Name, cell.Contentions)
-	}
-	return nil
-}
-
-func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	name := fs.String("program", "hydro", "built-in program name")
-	file := fs.String("file", "", "FORTRAN source file to sweep instead of a built-in")
-	consts := fs.String("const", "", "compile-time constants for -file")
-	size := fs.Int64("size", 32, "problem size")
-	iters := fs.Int64("iters", 2, "outer iterations (whole programs)")
-	sizes := fs.String("sizes", "4096,8192,16384,32768,65536", "cache sizes in bytes, comma separated")
-	lines := fs.String("lines", "32", "line sizes in bytes, comma separated")
-	assocs := fs.String("assocs", "1,2,4", "associativities, comma separated")
-	noSim := fs.Bool("nosim", false, "skip the simulator column (analysis only)")
-	fs.Parse(args)
-
-	p, err := loadProgram(*file, *consts, *name, *size, *iters)
-	if err != nil {
-		return err
-	}
-	np, _, err := prepare(p)
-	if err != nil {
-		return err
-	}
-	parse := func(s string) ([]int64, error) {
-		var out []int64
-		for _, part := range strings.Split(s, ",") {
-			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, v)
-		}
-		return out, nil
-	}
-	css, err := parse(*sizes)
-	if err != nil {
-		return err
-	}
-	lss, err := parse(*lines)
-	if err != nil {
-		return err
-	}
-	kss, err := parse(*assocs)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s — cache design sweep (analytical%s)\n", p.Name,
-		map[bool]string{false: " vs simulated", true: ""}[*noSim])
-	fmt.Printf("%10s %6s %6s %10s %10s\n", "size", "line", "assoc", "est %MR", "sim %MR")
-	for _, cs := range css {
-		for _, ls := range lss {
-			for _, k := range kss {
-				cfg := cache.Config{SizeBytes: cs, LineBytes: ls, Assoc: int(k)}
-				if cfg.Validate() != nil {
-					continue
-				}
-				a, err := cme.New(np, cfg, cme.Options{})
-				if err != nil {
-					return err
-				}
-				rep, err := a.EstimateMisses(sampling.Plan{C: 0.95, W: 0.05})
-				if err != nil {
-					return err
-				}
-				simCol := "-"
-				if !*noSim {
-					simCol = fmt.Sprintf("%10.2f", trace.Simulate(np, cfg).MissRatio())
-				}
-				fmt.Printf("%10d %6d %6d %10.2f %10s\n", cs, ls, k, rep.MissRatio(), simCol)
-			}
-		}
 	}
 	return nil
 }

@@ -192,8 +192,43 @@ func SearchPadding(build func() *ir.Program, array string, pads []int64,
 // estimate. An interrupted search returns the candidates evaluated so far
 // (sorted) together with the interruption error, so a caller can still
 // act on the best choice seen.
+//
+// Unbudgeted searches ride the batch solver: the program is prepared once
+// (normalise, reuse vectors, polyhedra) and every padding is a layout
+// candidate of one cme.SolveBatch sweep, which keeps the worker pool
+// saturated across candidates and shares all geometry-invariant state.
+// Budgeted searches keep the per-candidate path, whose incremental
+// degradation semantics SolveBatch deliberately does not replicate.
 func SearchPaddingCtx(ctx context.Context, build func() *ir.Program, array string, pads []int64,
 	cfg cache.Config, opt cme.Options, plan sampling.Plan, b budget.Budget) ([]Choice, error) {
+
+	if b.IsZero() {
+		np, err := prepare(build(), layout.Options{})
+		if err != nil {
+			return nil, err
+		}
+		p, err := cme.Prepare(np, opt)
+		if err != nil {
+			return nil, err
+		}
+		cands := make([]cme.Candidate, len(pads))
+		for i, pad := range pads {
+			cands[i] = cme.Candidate{
+				Label:  fmt.Sprintf("pad=%d", pad),
+				Config: cfg,
+				Layout: &layout.Options{PadOf: map[string]int64{array: pad}},
+			}
+		}
+		reps, err := p.SolveBatch(ctx, cands, cme.BatchOptions{Plan: &plan})
+		var out []Choice
+		for i, rep := range reps {
+			if rep != nil && rep.CompleteRefs() == len(rep.Refs) {
+				out = append(out, Choice{Label: cands[i].Label, MissRatio: rep.MissRatio()})
+			}
+		}
+		sortChoices(out)
+		return out, err
+	}
 
 	var out []Choice
 	for _, pad := range pads {
@@ -210,6 +245,37 @@ func SearchPaddingCtx(ctx context.Context, build func() *ir.Program, array strin
 	}
 	sortChoices(out)
 	return out, nil
+}
+
+// SearchConfigs sweeps cache geometries against one program: the batch
+// formulation of the "which cache would this code like" question. The
+// program is prepared once; every geometry is one candidate of a single
+// SolveBatch sweep. A nil plan solves exactly; results come back sorted by
+// predicted miss ratio, best first.
+func SearchConfigs(ctx context.Context, build func() *ir.Program, cfgs []cache.Config,
+	opt cme.Options, plan *sampling.Plan) ([]Choice, error) {
+
+	np, err := prepare(build(), layout.Options{})
+	if err != nil {
+		return nil, err
+	}
+	p, err := cme.Prepare(np, opt)
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]cme.Candidate, len(cfgs))
+	for i, cfg := range cfgs {
+		cands[i] = cme.Candidate{Label: cfg.String(), Config: cfg}
+	}
+	reps, err := p.SolveBatch(ctx, cands, cme.BatchOptions{Plan: plan})
+	var out []Choice
+	for i, rep := range reps {
+		if rep != nil && rep.CompleteRefs() == len(rep.Refs) {
+			out = append(out, Choice{Label: cands[i].Label, MissRatio: rep.MissRatio()})
+		}
+	}
+	sortChoices(out)
+	return out, err
 }
 
 // SearchParameter evaluates a parameterised family of programs (tile

@@ -1,0 +1,127 @@
+package cme
+
+import (
+	"math"
+	"testing"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/kernels"
+	"cachemodel/internal/sampling"
+)
+
+// adaptivePlan is the paper's whole-program plan; the adaptive solver must
+// honour exactly this (C, W) contract while drawing fewer points.
+var adaptivePlan = sampling.Plan{C: 0.95, W: 0.05}
+
+// TestAdaptiveFewerSamples is the headline property: on a built-in kernel,
+// variance-driven early stopping draws strictly fewer samples than the
+// a-priori plan while the a-priori run stays available as the hard cap.
+func TestAdaptiveFewerSamples(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 2}
+	_, fixed := prepKernel(t, kernels.Hydro(24, 24), cfg, Options{})
+	_, adapt := prepKernel(t, kernels.Hydro(24, 24), cfg, Options{Adaptive: true})
+
+	fr, err := fixed.EstimateMisses(adaptivePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := adapt.EstimateMisses(adaptivePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fixedN, adaptN int64
+	sampled := false
+	for i, frr := range fr.Refs {
+		arr := ar.Refs[i]
+		if frr.Sampled != arr.Sampled {
+			t.Fatalf("%s: tier disagreement (fixed sampled=%v, adaptive sampled=%v)", frr.Ref.ID, frr.Sampled, arr.Sampled)
+		}
+		if !frr.Sampled {
+			// Census tiers must be untouched by the adaptive flag.
+			if frr.Analyzed != arr.Analyzed || frr.Hits != arr.Hits || frr.Cold != arr.Cold || frr.Repl != arr.Repl {
+				t.Errorf("%s: census results differ under Adaptive", frr.Ref.ID)
+			}
+			continue
+		}
+		sampled = true
+		fixedN += frr.Analyzed
+		adaptN += arr.Analyzed
+		if arr.Analyzed > frr.Analyzed {
+			t.Errorf("%s: adaptive drew %d > a-priori cap %d", frr.Ref.ID, arr.Analyzed, frr.Analyzed)
+		}
+	}
+	if !sampled {
+		t.Fatal("no reference was sampled; the kernel is too small to exercise adaptivity")
+	}
+	if adaptN >= fixedN {
+		t.Errorf("adaptive drew %d samples, a-priori plan %d; want strictly fewer", adaptN, fixedN)
+	}
+	t.Logf("hydro 24x24 %s: a-priori %d samples, adaptive %d (%.0f%%)", cfg, fixedN, adaptN, 100*float64(adaptN)/float64(fixedN))
+}
+
+// TestAdaptiveHonoursPlan is the fixed-seed statistical test of the (C, W)
+// contract: across many independent seeds, the adaptive estimate must fall
+// within ±W of the exact ratio at least about C of the time. With 40 runs at
+// C = 0.95 the expected violation count is 2; ≥ 9 has probability < 1e-4
+// under the contract, so the bound is stable for fixed seeds yet sharp
+// enough to catch a broken stopping rule.
+func TestAdaptiveHonoursPlan(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 2}
+	np, exact := prepKernel(t, kernels.Hydro(24, 24), cfg, Options{})
+	truth := map[int]float64{}
+	for i, rr := range exact.FindMisses().Refs {
+		truth[i] = rr.MissRatio()
+	}
+
+	const runs = 40
+	trials, violations := 0, 0
+	for seed := int64(1); seed <= runs; seed++ {
+		a, err := New(np, cfg, Options{Adaptive: true, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := a.EstimateMisses(adaptivePlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rr := range rep.Refs {
+			if !rr.Sampled {
+				continue
+			}
+			trials++
+			if math.Abs(rr.MissRatio()-truth[i]) > adaptivePlan.W {
+				violations++
+			}
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no sampled references across any seed")
+	}
+	maxViol := trials * 9 / 40 // scaled: 9-of-40-per-ref tail bound
+	if violations > maxViol {
+		t.Errorf("adaptive estimate violated ±W in %d of %d trials (bound %d): stopping rule breaks the (C, W) contract",
+			violations, trials, maxViol)
+	}
+	t.Logf("adaptive coverage: %d violations in %d trials (±%.2f at C=%.2f)", violations, trials, adaptivePlan.W, adaptivePlan.C)
+}
+
+// TestAdaptiveDeterministic: the adaptive path is a pure function of the
+// seed — two runs agree bit-for-bit.
+func TestAdaptiveDeterministic(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 2}
+	np, _ := prepKernel(t, kernels.Hydro(24, 24), cfg, Options{})
+	run := func() *Report {
+		a, err := New(np, cfg, Options{Adaptive: true, Seed: 7, Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := a.EstimateMisses(adaptivePlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1, r2 := run(), run()
+	sameCounts(t, "adaptive determinism", r2, r1)
+}

@@ -1,0 +1,572 @@
+package cme
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cerr"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/poly"
+	"cachemodel/internal/reuse"
+	"cachemodel/internal/sampling"
+	"cachemodel/internal/trace"
+)
+
+// Candidate is one point of a design-space sweep: a cache geometry plus an
+// optional inter-array layout. A nil Layout keeps the layout the program
+// was Prepared under.
+type Candidate struct {
+	Label  string
+	Config cache.Config
+	// Layout, when non-nil, is applied (layout.AssignProgram) before this
+	// candidate is solved. Candidates with equal layouts are grouped and
+	// solved under one base-address assignment; SolveBatch restores the
+	// baseline layout before returning.
+	Layout *layout.Options
+}
+
+// BatchOptions tunes SolveBatch.
+type BatchOptions struct {
+	// Plan selects the sampled solver (EstimateMisses semantics, honouring
+	// the Prepared Options' Seed and Adaptive flags); nil runs the exact
+	// solver (FindMisses semantics) for every candidate.
+	Plan *sampling.Plan
+	// Cache, when non-nil, is consulted per (candidate, reference) before
+	// solving and updated afterwards, so candidates repeated across
+	// SolveBatch calls (or across processes, via Save/Load) are free.
+	Cache *ResultCache
+	// Workers sets the solver pool size (0 = GOMAXPROCS). Results are
+	// bit-identical at any worker count.
+	Workers int
+}
+
+// SolveBatch evaluates every candidate against the Prepared program and
+// returns one Report per candidate, index-aligned with cands.
+//
+// The solve is organised to keep one worker pool saturated across the
+// whole sweep instead of draining it per candidate:
+//
+//   - candidates are grouped by layout (array bases are global state, so
+//     layout groups run sequentially; everything below is within a group);
+//   - exact-tier candidates sharing a line size are FUSED: the cold
+//     equation and the deciding reuse vector of an access depend only on
+//     the line size, so one interval walk classifies the access for every
+//     fused candidate at once, each with its own distinct-line scratch,
+//     stopping position and verdict — bit-identical to per-candidate
+//     FindMisses, including the logical scan counts;
+//   - the work items of all fused groups — (candidate group, reference,
+//     tile) — feed one pool, tiled exactly like findTiled, and the
+//     per-tile partial counts merge deterministically in item order.
+//
+// Sampled candidates (Plan != nil) are not fused — each (candidate,
+// reference) is one pool item — but they share the Prepared state and the
+// per-reference sample points (the sampling RNG is seeded per reference,
+// independent of geometry), and remain bit-identical to per-candidate
+// EstimateMisses under the same seed.
+//
+// Duplicate candidates inside one call are solved once and copied.
+// SolveBatch honours ctx cancellation (returning cerr.ErrCanceled with
+// the completed candidates' reports in place) but not budget.Budget — a
+// sweep is already the cheap formulation; budget individual candidates
+// with FindMissesCtx instead.
+func (p *Prepared) SolveBatch(ctx context.Context, cands []Candidate, opt BatchOptions) ([]*Report, error) {
+	start := time.Now()
+	for i := range cands {
+		if err := cands[i].Config.Validate(); err != nil {
+			return nil, fmt.Errorf("candidate %d (%s): %w", i, cands[i].Label, err)
+		}
+	}
+	workers := opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mode := solveMode{}
+	if opt.Plan != nil {
+		if err := opt.Plan.Validate(); err != nil {
+			return nil, err
+		}
+		seed := p.opt.Seed
+		if seed == 0 {
+			seed = 0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF
+		}
+		mode = solveMode{sampled: true, plan: *opt.Plan, seed: seed, adaptive: p.opt.Adaptive}
+	}
+
+	// Snapshot the baseline layout; candidate layouts mutate global array
+	// bases, so the whole batch runs under this restore guard.
+	snap := p.snapshotBases()
+	defer func() {
+		snap.restore()
+		p.warmAddresses()
+	}()
+
+	reports := make([]*Report, len(cands))
+	// Layout groups, in first-appearance order.
+	groupOf := make([]string, len(cands))
+	var order []string
+	members := map[string][]int{}
+	for i := range cands {
+		key := layoutKey(cands[i].Layout)
+		if _, ok := members[key]; !ok {
+			order = append(order, key)
+		}
+		groupOf[i] = key
+		members[key] = append(members[key], i)
+	}
+	for _, key := range order {
+		idxs := members[key]
+		if err := p.applyLayout(cands[idxs[0]].Layout, snap); err != nil {
+			return reports, err
+		}
+		if err := p.solveLayoutGroup(ctx, cands, idxs, key, mode, opt, workers, reports); err != nil {
+			return reports, err
+		}
+	}
+	for _, rep := range reports {
+		if rep != nil {
+			rep.Elapsed = time.Since(start)
+		}
+	}
+	return reports, nil
+}
+
+// baseSnapshot remembers every array base so candidate layouts can be
+// rolled back. Alias targets outside np.Arrays are included: layout
+// resolves alias chains to concrete bases, and those concrete arrays may
+// only be reachable through the chain.
+type baseSnapshot struct {
+	arrays []*ir.Array
+	bases  []int64
+}
+
+func (p *Prepared) snapshotBases() *baseSnapshot {
+	seen := map[*ir.Array]bool{}
+	var arrays []*ir.Array
+	add := func(a *ir.Array) {
+		if !seen[a] {
+			seen[a] = true
+			arrays = append(arrays, a)
+		}
+	}
+	for _, a := range p.np.Arrays {
+		add(a)
+		for t := a.Alias; t != nil; t = t.Alias {
+			add(t)
+		}
+	}
+	s := &baseSnapshot{arrays: arrays, bases: make([]int64, len(arrays))}
+	for i, a := range arrays {
+		s.bases[i] = a.Base
+	}
+	return s
+}
+
+func (s *baseSnapshot) restore() {
+	for i, a := range s.arrays {
+		a.Base = s.bases[i]
+	}
+}
+
+// warmAddresses sequentially rebuilds every reference's cached linearised
+// address for the bases currently in effect, so parallel workers (and
+// later callers) only ever read the cache.
+func (p *Prepared) warmAddresses() {
+	idx := make([]int64, p.np.Depth)
+	for _, r := range p.np.Refs {
+		r.AddressAt(idx)
+	}
+}
+
+// applyLayout applies a candidate layout (nil = the Prepared baseline) and
+// re-warms addresses.
+func (p *Prepared) applyLayout(lo *layout.Options, snap *baseSnapshot) error {
+	if lo == nil {
+		snap.restore()
+	} else if err := layout.AssignProgram(p.np, *lo); err != nil {
+		return err
+	}
+	p.warmAddresses()
+	return nil
+}
+
+// layoutKey derives a grouping key for a layout candidate: equal options
+// produce equal assignments, so equal keys may share one application.
+func layoutKey(lo *layout.Options) string {
+	if lo == nil {
+		return "baseline"
+	}
+	names := make([]string, 0, len(lo.PadOf))
+	for n := range lo.PadOf {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d:a%d:p%d:z%d", lo.Start, lo.Align, lo.InterPad, lo.AssumedSizeElems)
+	for _, n := range names {
+		fmt.Fprintf(&b, ":%s=%d", n, lo.PadOf[n])
+	}
+	return b.String()
+}
+
+// candKey identifies duplicate candidates within one layout group.
+func candKey(cfg cache.Config) string {
+	return fmt.Sprintf("%d/%d/%d", cfg.SizeBytes, cfg.LineBytes, cfg.Assoc)
+}
+
+// solveLayoutGroup solves the candidates of one layout group (bases
+// already applied and warmed) and fills their reports.
+func (p *Prepared) solveLayoutGroup(ctx context.Context, cands []Candidate, idxs []int, layoutID string, mode solveMode, opt BatchOptions, workers int, reports []*Report) error {
+	// Deduplicate identical (geometry, mode) candidates inside the group.
+	firstOf := map[string]int{}
+	var solve []int // candidate indices that actually solve
+	dupOf := map[int]int{}
+	for _, ci := range idxs {
+		k := candKey(cands[ci].Config)
+		if fi, ok := firstOf[k]; ok {
+			dupOf[ci] = fi
+		} else {
+			firstOf[k] = ci
+			solve = append(solve, ci)
+		}
+	}
+
+	states := make([]*batchCand, 0, len(solve))
+	for _, ci := range solve {
+		a, err := p.Analyzer(cands[ci].Config)
+		if err != nil {
+			return err
+		}
+		cs := &batchCand{ci: ci, label: cands[ci].Label, a: a,
+			rep:  &Report{Config: cands[ci].Config, Sampled: mode.sampled},
+			keys: make([]string, len(p.np.Refs)),
+			need: make([]bool, len(p.np.Refs)),
+		}
+		cs.rep.Refs = make([]*RefReport, len(p.np.Refs))
+		for ri, r := range p.np.Refs {
+			cs.rep.Refs[ri] = &RefReport{Ref: r, Volume: p.spaces[r.Stmt].Volume()}
+			cs.need[ri] = true
+			if opt.Cache != nil {
+				cs.keys[ri] = refKey(p.Digest(), r, p.np, cands[ci].Config, mode)
+				if v, ok := opt.Cache.get(cs.keys[ri]); ok {
+					v.fill(cs.rep.Refs[ri])
+					cs.need[ri] = false
+				}
+			}
+		}
+		states = append(states, cs)
+		reports[ci] = cs.rep
+	}
+
+	var err error
+	if mode.sampled {
+		err = p.solveSampled(ctx, states, *opt.Plan, workers)
+	} else {
+		err = p.solveExactFused(ctx, states, workers)
+	}
+	// Publish solved results to the cache (complete refs only — a
+	// cancelled run must not poison the store with partial counts).
+	if opt.Cache != nil {
+		for _, cs := range states {
+			for ri := range p.np.Refs {
+				if cs.need[ri] && cs.rep.Refs[ri].Complete {
+					opt.Cache.put(cs.keys[ri], snapRef(cs.rep.Refs[ri]))
+				}
+			}
+		}
+	}
+	for _, cs := range states {
+		cs.rep.Tier = TierExact
+		for _, rr := range cs.rep.Refs {
+			if rr.Tier > cs.rep.Tier {
+				cs.rep.Tier = rr.Tier
+			}
+			if rr.Sampled {
+				cs.rep.Sampled = true
+			}
+		}
+	}
+	for dup, src := range dupOf {
+		reports[dup] = copyReport(reports[src], cands[dup].Config)
+	}
+	return err
+}
+
+// copyReport deep-copies a report for a duplicate candidate.
+func copyReport(src *Report, cfg cache.Config) *Report {
+	out := &Report{Config: cfg, Sampled: src.Sampled, Tier: src.Tier, Elapsed: src.Elapsed}
+	out.Refs = make([]*RefReport, len(src.Refs))
+	for i, rr := range src.Refs {
+		cp := *rr
+		out.Refs[i] = &cp
+	}
+	return out
+}
+
+// batchCand is the solve state of one non-duplicate candidate within a
+// layout group: its analyzer, its report under construction, its result
+// cache keys, and the per-reference need mask (false where the result
+// cache already supplied the answer).
+type batchCand struct {
+	ci    int
+	label string
+	a     *Analyzer
+	rep   *Report
+	keys  []string
+	need  []bool
+}
+
+// solveSampled runs the sampled solver for every needed (candidate,
+// reference) pair as one pool of items. Bit-identity with per-candidate
+// EstimateMisses comes for free: the sampling RNG is seeded per
+// reference, independently of the geometry, and each item replays exactly
+// the solo code path (including the Adaptive stopping rule when the
+// Prepared Options enable it).
+func (p *Prepared) solveSampled(ctx context.Context, states []*batchCand, plan sampling.Plan, workers int) error {
+	type item struct {
+		cs *batchCand
+		ri int
+	}
+	var items []item
+	for _, cs := range states {
+		for ri := range p.np.Refs {
+			if cs.need[ri] {
+				items = append(items, item{cs, ri})
+			}
+		}
+	}
+	queue := make(chan item, len(items))
+	for _, it := range items {
+		queue <- it
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	var canceled bool
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			walker := trace.NewWalker(p.np)
+			for it := range queue {
+				if ctx.Err() != nil {
+					mu.Lock()
+					canceled = true
+					mu.Unlock()
+					return
+				}
+				a := it.cs.a
+				c := a.newClassifierW(walker)
+				work := a.sampleWorker(plan)
+				r := p.np.Refs[it.ri]
+				rr := it.cs.rep.Refs[it.ri]
+				if a.opt.ProfileLabels {
+					pprof.Do(context.Background(),
+						pprof.Labels("candidate", it.cs.label, "ref", r.ID, "tile", "full"),
+						func(context.Context) { work(c, r, rr, nil) })
+				} else {
+					work(c, r, rr, nil)
+				}
+				c.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if canceled {
+		return cerr.ErrCanceled
+	}
+	return nil
+}
+
+// fuseGroup is the unit of fused exact solving: the candidates of one
+// layout group that share a line size. Within the group, an access's
+// memory line, its cold equations and hence its deciding reuse vector are
+// identical for every candidate, so one interval walk decides them all.
+type fuseGroup struct {
+	lineBytes int64
+	vecs      map[*ir.NRef][]*reuse.Vector
+	memo      map[*reuse.Vector]memoInfo
+	cands     []*batchCand
+	// active[ri] lists the candidate positions (into cands) that still
+	// need reference ri (result-cache misses).
+	active [][]int
+}
+
+// solveExactFused is the fused exact solver of SolveBatch: candidates are
+// bucketed by line size, each bucket's (reference, tile) items are solved
+// for all bucket candidates in one pass, and all buckets share one pool.
+// When non-uniform (dynamic) reuse is enabled the fused walk would also
+// have to fuse classifyDynamic, so each candidate degenerates to its own
+// bucket and the plain per-candidate classifier runs instead — still on
+// the shared pool and shared Prepared state.
+func (p *Prepared) solveExactFused(ctx context.Context, states []*batchCand, workers int) error {
+	// Bucket candidates by line size (or singleton buckets under dynamic
+	// reuse, where the fused classifier does not apply).
+	groups := map[int64]*fuseGroup{}
+	var order []*fuseGroup
+	for _, cs := range states {
+		lb := cs.a.cfg.LineBytes
+		if p.opt.Reuse.NonUniform {
+			lb = -1 // sentinel: never share
+		}
+		g := groups[lb]
+		if g == nil || lb == -1 {
+			ls := p.lineState(cs.a.cfg.LineBytes)
+			g = &fuseGroup{lineBytes: cs.a.cfg.LineBytes, vecs: ls.vecs, memo: ls.memo}
+			if lb != -1 {
+				groups[lb] = g
+			}
+			order = append(order, g)
+		}
+		g.cands = append(g.cands, cs)
+	}
+	for _, g := range order {
+		g.active = make([][]int, len(p.np.Refs))
+		for ri := range p.np.Refs {
+			for pos, cs := range g.cands {
+				if cs.need[ri] {
+					g.active[ri] = append(g.active[ri], pos)
+				}
+			}
+		}
+	}
+
+	// Work items: (group, ref, tile), tiled proportionally to volume as in
+	// findTiled so one dominant nest spreads across the pool.
+	type tileItem struct {
+		g    *fuseGroup
+		ri   int
+		tile poly.Tile
+		// parts[k] holds the partial counts of g.active[ri][k]'s candidate.
+		parts []RefReport
+		done  bool
+	}
+	var totVol int64
+	for _, r := range p.np.Refs {
+		totVol += p.spaces[r.Stmt].Volume()
+	}
+	target := int64(tileFactor * workers)
+	var items []*tileItem
+	for _, g := range order {
+		for ri, r := range p.np.Refs {
+			if len(g.active[ri]) == 0 {
+				continue
+			}
+			vol := p.spaces[r.Stmt].Volume()
+			n := 1
+			if totVol > 0 {
+				n = int((vol*target + totVol - 1) / totVol)
+				if n < 1 {
+					n = 1
+				}
+			}
+			for _, t := range p.spaces[r.Stmt].Tiles(n) {
+				items = append(items, &tileItem{g: g, ri: ri, tile: t,
+					parts: make([]RefReport, len(g.active[ri]))})
+			}
+		}
+	}
+	queue := make(chan *tileItem, len(items))
+	for _, it := range items {
+		queue <- it
+	}
+	close(queue)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var canceled bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			walker := trace.NewWalker(p.np)
+			fcs := map[*fuseGroup]*fusedClassifier{}
+			defer func() {
+				for _, fc := range fcs {
+					fc.release()
+				}
+			}()
+			for it := range queue {
+				mu.Lock()
+				stop := canceled
+				mu.Unlock()
+				if stop {
+					return
+				}
+				fc := fcs[it.g]
+				if fc == nil {
+					fc = newFusedClassifier(it.g, walker, p)
+					fcs[it.g] = fc
+				}
+				run := func() { fc.runTile(ctx, it.ri, it.tile, it.g.active[it.ri], it.parts) }
+				if p.opt.ProfileLabels {
+					pprof.Do(context.Background(),
+						pprof.Labels("candidate", it.g.candLabel(it.ri), "ref", p.np.Refs[it.ri].ID, "tile", tileLabel(it.tile)),
+						func(context.Context) { run() })
+				} else {
+					run()
+				}
+				if ctx.Err() != nil {
+					mu.Lock()
+					canceled = true
+					mu.Unlock()
+					return
+				}
+				it.done = true
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic merge in item order, exactly as findTiled.
+	complete := map[*fuseGroup][]bool{}
+	for _, g := range order {
+		cc := make([]bool, len(p.np.Refs))
+		for i := range cc {
+			cc[i] = true
+		}
+		complete[g] = cc
+	}
+	for _, it := range items {
+		for k, pos := range it.g.active[it.ri] {
+			rr := it.g.cands[pos].rep.Refs[it.ri]
+			rr.Analyzed += it.parts[k].Analyzed
+			rr.Hits += it.parts[k].Hits
+			rr.Cold += it.parts[k].Cold
+			rr.Repl += it.parts[k].Repl
+		}
+		if !it.done {
+			complete[it.g][it.ri] = false
+		}
+	}
+	for _, g := range order {
+		for ri := range p.np.Refs {
+			for _, pos := range g.active[ri] {
+				rr := g.cands[pos].rep.Refs[ri]
+				rr.Tier = TierExact
+				rr.Complete = complete[g][ri]
+			}
+		}
+	}
+	if canceled {
+		return cerr.ErrCanceled
+	}
+	return nil
+}
+
+// candLabel renders the fused candidates active for a reference as one
+// profile label value.
+func (g *fuseGroup) candLabel(ri int) string {
+	names := make([]string, len(g.active[ri]))
+	for k, pos := range g.active[ri] {
+		names[k] = g.cands[pos].label
+	}
+	return strings.Join(names, "+")
+}

@@ -1,0 +1,85 @@
+package cme
+
+import (
+	"context"
+	"testing"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/kernels"
+	"cachemodel/internal/sampling"
+)
+
+// benchGrid is the 8-geometry design grid used by the batch benchmarks:
+// four capacities crossed with two line sizes, direct-mapped.
+func benchGrid() []cache.Config {
+	var cfgs []cache.Config
+	for _, cs := range []int64{4096, 8192, 16384, 32768} {
+		for _, ls := range []int64{32, 64} {
+			cfgs = append(cfgs, cache.Config{SizeBytes: cs, LineBytes: ls, Assoc: 1})
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkSolveBatch measures the fused exact batch solver over the
+// 8-geometry grid on one Prepared program, against solving the same grid
+// with independent per-candidate FindMisses runs (BenchmarkSoloGrid). The
+// ratio of the two is the structural win of the geometry-invariant split;
+// cmd/cachette's sweep -check reports the end-to-end equivalent.
+func BenchmarkSolveBatch(b *testing.B) {
+	cfgs := benchGrid()
+	np, _ := prepKernel(b, kernels.Hydro(32, 32), cfgs[0], Options{})
+	p, err := Prepare(np, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cands []Candidate
+	for _, c := range cfgs {
+		cands = append(cands, Candidate{Label: c.String(), Config: c})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveBatch(context.Background(), cands, BatchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSoloGrid is the per-candidate baseline for BenchmarkSolveBatch.
+func BenchmarkSoloGrid(b *testing.B) {
+	cfgs := benchGrid()
+	np, _ := prepKernel(b, kernels.Hydro(32, 32), cfgs[0], Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cfgs {
+			a, err := New(np, c, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.FindMisses()
+		}
+	}
+}
+
+// BenchmarkSolveBatchSampled exercises the sampled tier of the batch
+// solver, where classifiers cycle through the scratch pool once per
+// (candidate, reference) work item.
+func BenchmarkSolveBatchSampled(b *testing.B) {
+	cfgs := benchGrid()
+	np, _ := prepKernel(b, kernels.Hydro(32, 32), cfgs[0], Options{})
+	p, err := Prepare(np, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cands []Candidate
+	for _, c := range cfgs {
+		cands = append(cands, Candidate{Label: c.String(), Config: c})
+	}
+	plan := sampling.Plan{C: 0.95, W: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveBatch(context.Background(), cands, BatchOptions{Plan: &plan}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

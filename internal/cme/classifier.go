@@ -2,6 +2,8 @@ package cme
 
 import (
 	"encoding/binary"
+	"math/bits"
+	"sync"
 
 	"cachemodel/internal/ir"
 	"cachemodel/internal/reuse"
@@ -48,16 +50,41 @@ type memoEntry struct {
 func (a *Analyzer) memoPrecompute() {
 	a.numSets = a.cfg.NumSets()
 	a.wayBytes = a.cfg.LineBytes * a.numSets
-	n := a.np.Depth
+	// Addresses in the model are non-negative (layout validates bases), so
+	// a power-of-two set count lets the per-access set filter strength-
+	// reduce the modulo to a mask.
+	a.setMask = -1
+	if a.numSets&(a.numSets-1) == 0 {
+		a.setMask = a.numSets - 1
+	}
+	// Same strength reduction for addr -> memory line on power-of-two
+	// line sizes.
+	a.lineShift = -1
+	if a.cfg.LineBytes&(a.cfg.LineBytes-1) == 0 {
+		a.lineShift = bits.TrailingZeros64(uint64(a.cfg.LineBytes))
+	}
+	if a.memoInfo == nil { // a Prepared-built analyzer shares its table
+		a.memoInfo = memoTable(a.np, a.vecs)
+	}
+}
+
+// memoTable derives the per-vector memoization eligibility for a program
+// and its reuse vectors. The masks depend only on the program structure
+// (bounds, guards, address coefficients — not array bases) and on the
+// vectors themselves, so one table serves every cache geometry and every
+// inter-array layout that shares the vectors' line size.
+func memoTable(np *ir.NProgram, vecs map[*ir.NRef][]*reuse.Vector) map[*reuse.Vector]memoInfo {
+	out := map[*reuse.Vector]memoInfo{}
+	n := np.Depth
 	if n == 0 || n > 64 {
-		return
+		return out
 	}
 	rect := make([]bool, n)
 	zero := make([]bool, n)
 	shared := make([]bool, n)
 	for d := 0; d < n; d++ {
 		rect[d] = true
-		for _, s := range a.np.Stmts {
+		for _, s := range np.Stmts {
 			for _, b := range s.Bounds {
 				if b.Lo.At(d+1) != 0 || b.Hi.At(d+1) != 0 {
 					rect[d] = false
@@ -73,9 +100,9 @@ func (a *Analyzer) memoPrecompute() {
 			}
 		}
 		shared[d] = true
-		if len(a.np.Refs) > 0 {
-			c0 := a.np.Refs[0].AddressAffine().At(d + 1)
-			for _, r := range a.np.Refs[1:] {
+		if len(np.Refs) > 0 {
+			c0 := np.Refs[0].AddressAffine().At(d + 1)
+			for _, r := range np.Refs[1:] {
 				if r.AddressAffine().At(d+1) != c0 {
 					shared[d] = false
 					break
@@ -84,15 +111,15 @@ func (a *Analyzer) memoPrecompute() {
 			zero[d] = shared[d] && c0 == 0
 		}
 	}
-	a.memoInfo = map[*reuse.Vector]memoInfo{}
-	for _, vs := range a.vecs {
+	for _, vs := range vecs {
 		for _, v := range vs {
-			if _, done := a.memoInfo[v]; done {
+			if _, done := out[v]; done {
 				continue
 			}
-			a.memoInfo[v] = vectorMemoInfo(v, rect, zero, shared)
+			out[v] = vectorMemoInfo(v, rect, zero, shared)
 		}
 	}
+	return out
 }
 
 // vectorMemoInfo computes the invariant-depth mask of one reuse vector:
@@ -156,94 +183,100 @@ func vectorMemoInfo(v *reuse.Vector, rect, zero, shared []bool) memoInfo {
 	return memoInfo{invMask: mask, needRes: needRes}
 }
 
-// classifier is the per-worker classification engine: it owns the
-// strength-reduced interval walker, the distinct-line scratch, and the
-// verdict memo arena. Classifiers share the Analyzer's immutable state
-// (vectors, spaces, memo eligibility) but never each other's scratch, so
-// one classifier per goroutine needs no locking.
-type classifier struct {
-	a      *Analyzer
-	w      *trace.Walker
-	noMemo bool
-	memo   map[*reuse.Vector]map[string]memoEntry
-	keyBuf []byte
-
-	// distinct-line scratch: linear scan for small associativity, an
-	// open-addressed probe table beyond distinctLinear ways.
+// walkScratch is the per-walk distinct-line scratch: a linear scan slice
+// for small associativity and an open-addressed probe table beyond
+// distinctLinear ways, plus the memo key buffer. The buffers are recycled
+// through scratchPool across classifiers (and across the per-candidate
+// states of the batch solver), so a sweep spawning workers × candidates
+// classifiers reuses a bounded set of tables instead of re-allocating and
+// re-zeroing them per solve.
+type walkScratch struct {
+	linear   bool
 	distinct []int64
 	slots    []int64
 	stamps   []uint32
 	epoch    uint32
 	mask     int
+	keyBuf   []byte
 }
 
 // distinctLinear is the associativity up to which the linear distinct scan
 // beats the hash probe (the whole slice fits in two cache lines).
 const distinctLinear = 8
 
-func (a *Analyzer) newClassifier() *classifier {
-	c := &classifier{a: a, w: trace.NewWalker(a.np), noMemo: a.opt.NoMemo}
-	if !c.noMemo {
-		c.memo = map[*reuse.Vector]map[string]memoEntry{}
-	}
-	if k := a.cfg.Assoc; k > distinctLinear {
+var scratchPool = sync.Pool{New: func() any { return new(walkScratch) }}
+
+// newWalkScratch takes a scratch from the pool and sizes it for a k-way
+// walk. A recycled table larger than needed is kept as-is (probing a
+// larger table is correct and its stamps stay valid); a smaller one is
+// regrown with fresh stamps.
+func newWalkScratch(assoc int) *walkScratch {
+	s := scratchPool.Get().(*walkScratch)
+	s.linear = assoc <= distinctLinear
+	if !s.linear {
 		size := 1
-		for size < 4*k {
+		for size < 4*assoc {
 			size <<= 1
 		}
-		c.slots = make([]int64, size)
-		c.stamps = make([]uint32, size)
-		c.mask = size - 1
+		if len(s.slots) < size {
+			s.slots = make([]int64, size)
+			s.stamps = make([]uint32, size)
+			s.epoch = 0
+		}
+		s.mask = len(s.slots) - 1
 	}
-	return c
+	return s
 }
 
-// resetDistinct clears the distinct-line set for a new walk.
-func (c *classifier) resetDistinct() {
-	c.distinct = c.distinct[:0]
-	if c.slots != nil {
-		c.epoch++
-		if c.epoch == 0 { // stamp wrap: flush the table once per 2^32 walks
-			for i := range c.stamps {
-				c.stamps[i] = 0
+// release returns the scratch to the pool.
+func (s *walkScratch) release() { scratchPool.Put(s) }
+
+// reset clears the distinct-line set for a new walk.
+func (s *walkScratch) reset() {
+	s.distinct = s.distinct[:0]
+	if !s.linear {
+		s.epoch++
+		if s.epoch == 0 { // stamp wrap: flush the table once per 2^32 walks
+			for i := range s.stamps {
+				s.stamps[i] = 0
 			}
-			c.epoch = 1
+			s.epoch = 1
 		}
 	}
 }
 
-// addDistinct inserts a contending line and reports the distinct count.
-func (c *classifier) addDistinct(line int64) int {
-	if c.slots == nil || c.a.cfg.Assoc <= distinctLinear {
-		for _, d := range c.distinct {
+// add inserts a contending line and reports the distinct count.
+func (s *walkScratch) add(line int64) int {
+	if s.linear {
+		for _, d := range s.distinct {
 			if d == line {
-				return len(c.distinct)
+				return len(s.distinct)
 			}
 		}
-		c.distinct = append(c.distinct, line)
-		return len(c.distinct)
+		s.distinct = append(s.distinct, line)
+		return len(s.distinct)
 	}
 	h := int(uint64(line) * 0x9E3779B97F4A7C15 >> 32)
-	for i := h & c.mask; ; i = (i + 1) & c.mask {
-		if c.stamps[i] != c.epoch {
-			c.stamps[i] = c.epoch
-			c.slots[i] = line
-			c.distinct = append(c.distinct, line) // count only
-			return len(c.distinct)
+	for i := h & s.mask; ; i = (i + 1) & s.mask {
+		if s.stamps[i] != s.epoch {
+			s.stamps[i] = s.epoch
+			s.slots[i] = line
+			s.distinct = append(s.distinct, line) // count only
+			return len(s.distinct)
 		}
-		if c.slots[i] == line {
-			return len(c.distinct)
+		if s.slots[i] == line {
+			return len(s.distinct)
 		}
 	}
 }
 
-// memoKey builds the verdict-memo key for a vector: the consumer indices
-// at every non-invariant depth, plus (when the invariant depths carry
-// nonzero shared coefficients) the consumer address residue modulo
-// LineBytes·NumSets. The returned slice aliases the classifier's key
-// buffer; it is only ever used for an immediate map operation.
-func (c *classifier) memoKey(info memoInfo, idx []int64, addr int64) []byte {
-	buf := c.keyBuf[:0]
+// memoKey appends the verdict-memo key for a vector to the scratch's key
+// buffer: the consumer indices at every non-invariant depth, plus (when
+// the invariant depths carry nonzero shared coefficients) the consumer
+// address residue modulo wayBytes = LineBytes·NumSets. The returned slice
+// aliases the buffer; it is only ever used for an immediate map operation.
+func (s *walkScratch) memoKey(info memoInfo, idx []int64, addr, wayBytes int64) []byte {
+	buf := s.keyBuf[:0]
 	var tmp [8]byte
 	for d, v := range idx {
 		if info.invMask&(1<<d) != 0 {
@@ -253,15 +286,60 @@ func (c *classifier) memoKey(info memoInfo, idx []int64, addr int64) []byte {
 		buf = append(buf, tmp[:]...)
 	}
 	if info.needRes {
-		res := addr % c.a.wayBytes
+		res := addr % wayBytes
 		if res < 0 {
-			res += c.a.wayBytes
+			res += wayBytes
 		}
 		binary.LittleEndian.PutUint64(tmp[:], uint64(res))
 		buf = append(buf, tmp[:]...)
 	}
-	c.keyBuf = buf
+	s.keyBuf = buf
 	return buf
+}
+
+// classifier is the per-worker classification engine: it owns the
+// strength-reduced interval walker, the pooled distinct-line scratch, and
+// the verdict memo arena. Classifiers share the Analyzer's immutable state
+// (vectors, spaces, memo eligibility) but never each other's scratch, so
+// one classifier per goroutine needs no locking.
+type classifier struct {
+	a      *Analyzer
+	w      *trace.Walker
+	noMemo bool
+	memo   map[*reuse.Vector]map[string]memoEntry
+	s      *walkScratch
+	lbuf   []int // reusable producer-point buffers
+	pbuf   []int64
+}
+
+func (a *Analyzer) newClassifier() *classifier {
+	return a.newClassifierW(trace.NewWalker(a.np))
+}
+
+// newClassifierW builds a classifier around an existing walker, letting
+// callers that run several classifiers on one goroutine (the batch solver,
+// one per candidate) share a single prepared walker.
+func (a *Analyzer) newClassifierW(w *trace.Walker) *classifier {
+	c := &classifier{a: a, w: w, noMemo: a.opt.NoMemo, s: newWalkScratch(a.cfg.Assoc)}
+	if !c.noMemo {
+		c.memo = map[*reuse.Vector]map[string]memoEntry{}
+	}
+	return c
+}
+
+// release recycles the classifier's scratch; the classifier must not be
+// used afterwards.
+func (c *classifier) release() {
+	if c.s != nil {
+		c.s.release()
+		c.s = nil
+	}
+}
+
+func (c *classifier) resetDistinct()          { c.s.reset() }
+func (c *classifier) addDistinct(l int64) int { return c.s.add(l) }
+func (c *classifier) memoKey(info memoInfo, idx []int64, addr int64) []byte {
+	return c.s.memoKey(info, idx, addr, c.a.wayBytes)
 }
 
 // replacementWalk runs the replacement equation along one reuse vector for
@@ -271,13 +349,26 @@ func (c *classifier) memoKey(info memoInfo, idx []int64, addr int64) []byte {
 func (c *classifier) replacementWalk(producer, consumer trace.Time, line, set int64, k int) (evicted bool, scanned int64) {
 	cfg := &c.a.cfg
 	c.resetDistinct()
+	numSets, mask, shift := c.a.numSets, c.a.setMask, c.a.lineShift
+	toLine := func(addr int64) int64 {
+		if shift >= 0 {
+			return addr >> shift
+		}
+		return addr / cfg.LineBytes
+	}
+	inSet := func(al int64) bool {
+		if mask >= 0 {
+			return al&mask == set
+		}
+		return al%numSets == set
+	}
 	if c.a.opt.PaperLRU {
 		// The paper's equations verbatim: k distinct set contentions
 		// anywhere in the interval evict the line.
 		c.w.Between(producer, consumer, func(_ *ir.NRef, addr int64) bool {
 			scanned++
-			al := addr / cfg.LineBytes
-			if al == line || al%c.a.numSets != set {
+			al := toLine(addr)
+			if al == line || !inSet(al) {
 				return true
 			}
 			if c.addDistinct(al) >= k {
@@ -293,11 +384,11 @@ func (c *classifier) replacementWalk(producer, consumer trace.Time, line, set in
 	// distinct other lines hit the set after that fetch.
 	c.w.BetweenReverse(producer, consumer, func(_ *ir.NRef, addr int64) bool {
 		scanned++
-		al := addr / cfg.LineBytes
+		al := toLine(addr)
 		if al == line {
 			return false // most recent fetch found; the count stands
 		}
-		if al%c.a.numSets != set {
+		if !inSet(al) {
 			return true
 		}
 		if c.addDistinct(al) >= k {
@@ -323,7 +414,7 @@ func (c *classifier) classify(r *ir.NRef, idx []int64) (Outcome, int64) {
 	consumer := trace.Time{Label: r.Stmt.Label, Idx: idx, Seq: r.Seq}
 
 	for _, v := range a.vecs[r] {
-		plabel, pidx := v.ProducerPoint(idx)
+		plabel, pidx := v.ProducerPointBuf(idx, &c.lbuf, &c.pbuf)
 		// Cold equation: the producer access must exist ...
 		if !a.spaces[v.Producer.Stmt].Contains(pidx) {
 			continue

@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -124,6 +126,20 @@ type Options struct {
 	// hits replay the stored scan cost — so this knob exists for
 	// benchmarking the memo and for equivalence tests.
 	NoMemo bool
+	// Adaptive switches EstimateMisses to sequential sampling: points are
+	// drawn in chunks from the same per-reference RNG stream and a
+	// reference's sampling stops as soon as the Wilson score interval of
+	// the observed miss ratio meets the plan's half-width, instead of
+	// always classifying the a-priori worst-case sample size (which
+	// remains the cap). Runs are deterministic under a fixed Seed; the
+	// classified sample is a prefix of the non-adaptive sample whenever
+	// the space's rejection sampler succeeds chunk by chunk.
+	Adaptive bool
+	// ProfileLabels wraps solver work items in pprof.Do with "ref" and
+	// "tile" labels (plus "candidate" in SolveBatch) so CPU profiles
+	// attribute time to sweep candidates. Off by default: labels cost a
+	// goroutine-label swap per work item.
+	ProfileLabels bool
 }
 
 // Analyzer holds the per-program analysis state: reuse vectors, reference
@@ -141,9 +157,11 @@ type Analyzer struct {
 
 	// Memoization support, precomputed once in New: per-vector invariant
 	// masks plus the cache geometry the memo keys capture.
-	memoInfo map[*reuse.Vector]memoInfo
-	numSets  int64
-	wayBytes int64
+	memoInfo  map[*reuse.Vector]memoInfo
+	numSets   int64
+	wayBytes  int64
+	setMask   int64 // numSets-1 when numSets is a power of two, else -1
+	lineShift int   // log2(LineBytes) when a power of two, else -1
 
 	// defc serves the one-off public Classify API; solver passes build one
 	// classifier per worker instead.
@@ -492,6 +510,29 @@ func (a *Analyzer) runTile(c *classifier, r *ir.NRef, t poly.Tile, rr *RefReport
 	return perr
 }
 
+// runTileLabeled is runTile behind an optional pprof label pair
+// ("ref", "tile"), controlled by Options.ProfileLabels, so CPU profiles
+// attribute samples to individual work items.
+func (a *Analyzer) runTileLabeled(c *classifier, ref int, t poly.Tile, rr *RefReport, p *budget.Probe) error {
+	r := a.np.Refs[ref]
+	if !a.opt.ProfileLabels {
+		return a.runTile(c, r, t, rr, p)
+	}
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("ref", r.ID, "tile", tileLabel(t)), func(context.Context) {
+		err = a.runTile(c, r, t, rr, p)
+	})
+	return err
+}
+
+// tileLabel renders a tile as a short profile label value.
+func tileLabel(t poly.Tile) string {
+	if t.Full() {
+		return "full"
+	}
+	return "d" + strconv.Itoa(t.Dim) + ":" + strconv.FormatInt(t.Lo, 10) + "-" + strconv.FormatInt(t.Hi, 10)
+}
+
 // findTiled is the tile-parallel exact solver: every reference's RIS is
 // split into tiles in proportion to its share of the program's points, the
 // (reference, tile) items feed a worker pool, and the per-tile partial
@@ -545,6 +586,7 @@ func (a *Analyzer) findTiled(m *budget.Meter, workers int) ([]*RefReport, error)
 		go func() {
 			defer wg.Done()
 			c := a.newClassifier()
+			defer c.release()
 			var p *budget.Probe
 			if limited {
 				p = m.Probe()
@@ -553,7 +595,7 @@ func (a *Analyzer) findTiled(m *budget.Meter, workers int) ([]*RefReport, error)
 				if m.Err() != nil {
 					break // another worker tripped the meter
 				}
-				if err := a.runTile(c, a.np.Refs[it.ref], it.tile, &it.part, p); err != nil {
+				if err := a.runTileLabeled(c, it.ref, it.tile, &it.part, p); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -629,14 +671,15 @@ func (a *Analyzer) sampleWorker(plan sampling.Plan) func(*classifier, *ir.NRef, 
 		sp := a.spaces[r.Stmt]
 		vol := rr.Volume
 		rr.Tier = TierSampled
-		var pts [][]int64
+		splan := plan
+		capN := 0
 		switch {
 		case plan.Achievable(vol):
 			rr.Sampled = true
-			pts = sp.Sample(rng, plan.SizeFor(vol))
+			capN = plan.SizeFor(vol)
 		case sampling.DefaultFallback.Achievable(vol):
 			rr.Sampled = true
-			pts = sp.Sample(rng, sampling.DefaultFallback.SizeFor(vol))
+			splan, capN = sampling.DefaultFallback, sampling.DefaultFallback.SizeFor(vol)
 		default:
 			// Analyse all points: a full census of a small RIS.
 			rr.Tier = TierExact
@@ -660,19 +703,65 @@ func (a *Analyzer) sampleWorker(plan sampling.Plan) func(*classifier, *ir.NRef, 
 			}
 			return true
 		}
-		if rr.Sampled {
-			for _, pt := range pts {
+		switch {
+		case rr.Sampled && a.opt.Adaptive:
+			sampleAdaptive(sp, rng, splan, vol, capN, rr, classify)
+		case rr.Sampled:
+			for _, pt := range sp.Sample(rng, capN) {
 				if !classify(pt) {
 					break
 				}
 			}
-		} else {
+		default:
 			sp.Enumerate(classify)
 		}
 		if perr == nil {
 			rr.Complete = true
 		}
 		return perr
+	}
+}
+
+// Adaptive sampling tuning: points are drawn adaptiveChunk at a time (so
+// the RNG stream matches the non-adaptive sampler chunk by chunk while the
+// rejection phase succeeds) and the stopping rule is consulted only from
+// adaptiveMin classified points on. The real floor is the Wilson interval
+// itself: at an all-hit or all-miss prefix it still needs ≈ z²(1−W)/(2W)
+// points before it can meet ±W, so adaptiveMin merely guards the rule's
+// small-n corner.
+const (
+	adaptiveChunk = 32
+	adaptiveMin   = 8
+)
+
+// sampleAdaptive is the sequential-sampling inner loop of EstimateMisses
+// under Options.Adaptive: draw a chunk, classify point by point, and stop
+// as soon as the Wilson score interval of the running miss ratio (read
+// back from rr, which classify updates) fits the plan's half-width. capN,
+// the a-priori sample size, remains the hard cap, so adaptive never draws
+// more than the non-adaptive sampler. The classify callback returns false
+// to abort (budget exhausted).
+func sampleAdaptive(sp *poly.Space, rng *rand.Rand, plan sampling.Plan, vol int64, capN int, rr *RefReport, classify func([]int64) bool) {
+	drawn := 0
+	for drawn < capN {
+		chunk := adaptiveChunk
+		if capN-drawn < chunk {
+			chunk = capN - drawn
+		}
+		pts := sp.Sample(rng, chunk)
+		drawn += chunk
+		for _, pt := range pts {
+			if !classify(pt) {
+				return
+			}
+			if rr.Analyzed >= adaptiveMin &&
+				plan.WilsonHalfWidth(rr.MissRatio(), int(rr.Analyzed), vol) <= plan.W {
+				return
+			}
+		}
+		if len(pts) == 0 {
+			return // empty space; cannot make progress
+		}
 	}
 }
 
@@ -722,6 +811,7 @@ func (a *Analyzer) degrade(m *budget.Meter, rep *Report, start time.Time, fallba
 func (a *Analyzer) resampleIncomplete(m *budget.Meter, rep *Report, plan sampling.Plan) error {
 	work := a.sampleWorker(plan)
 	c := a.newClassifier()
+	defer c.release()
 	p := m.Probe()
 	defer p.Drain()
 	for _, rr := range rep.Refs {
@@ -794,6 +884,7 @@ func (a *Analyzer) perRefBudget(m *budget.Meter, work func(c *classifier, r *ir.
 	}
 	if workers <= 1 || len(a.np.Refs) < 2 {
 		c := a.newClassifier()
+		defer c.release()
 		var firstErr error
 		for i, r := range a.np.Refs {
 			var p *budget.Probe
@@ -826,6 +917,7 @@ func (a *Analyzer) perRefBudget(m *budget.Meter, work func(c *classifier, r *ir.
 		go func() {
 			defer wg.Done()
 			c := a.newClassifier()
+			defer c.release()
 			var p *budget.Probe
 			if limited {
 				p = m.Probe()

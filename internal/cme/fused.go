@@ -1,0 +1,349 @@
+package cme
+
+import (
+	"context"
+	"math/bits"
+
+	"cachemodel/internal/ir"
+	"cachemodel/internal/poly"
+	"cachemodel/internal/reuse"
+	"cachemodel/internal/trace"
+)
+
+// fusedClassifier classifies one access for every candidate of a fuse
+// group in a single pass. Soundness of the fusion rests on two facts that
+// hold within a group (same program, same layout, same line size):
+//
+//  1. The memory line of every access, and therefore every cold equation
+//     — "the producer exists and touches the same line" — is identical
+//     across candidates. Since classify resolves an access by its FIRST
+//     reuse vector with a satisfied cold equation (the replacement walk
+//     then decides hit vs miss, never falls through), all candidates are
+//     decided by the same vector at every point.
+//  2. The interval walked by that vector's replacement equation visits
+//     the same access sequence for every candidate; only the per-access
+//     filter (set membership, line % NumSets_c) and the eviction
+//     threshold (Assoc_c) differ. One traversal can therefore maintain a
+//     distinct-line scratch per candidate and record, per candidate, the
+//     position at which its solo walk would have stopped — reproducing
+//     verdict AND logical scan count bit-identically.
+//
+// Each worker owns one fusedClassifier per fuse group (no locking).
+type fusedClassifier struct {
+	p        *Prepared
+	g        *fuseGroup
+	w        *trace.Walker
+	states   []*fcState // parallel to g.cands
+	paperLRU bool
+	pend     []*fcState    // scratch: states needing a walk at this point
+	walk     []fcWalkEntry // scratch: undecided candidates inside the current walk
+	act      []*fcState    // scratch: states active for the current tile
+	lbuf     []int         // reusable producer-point buffers
+	pbuf     []int64
+
+	// lineShift strength-reduces addr/lineBytes to a shift for the
+	// (ubiquitous) power-of-two line sizes; -1 keeps the division.
+	lineShift int
+
+	// plain handles dynamic (non-uniform) reuse, which classifyFused does
+	// not model; such groups are singletons and delegate to the full
+	// per-candidate classifier.
+	plain *classifier
+}
+
+// fcState is one candidate's slice of the fused walk: its geometry, its
+// pooled distinct-line scratch, its verdict memo, and the per-point
+// transient fields of the walk in progress.
+type fcState struct {
+	numSets  int64
+	setMask  int64 // numSets-1 when numSets is a power of two, else -1
+	wayBytes int64
+	assoc    int
+	scratch  *walkScratch
+	memo     map[*reuse.Vector]map[string]memoEntry
+
+	set      int64
+	walkDone bool
+	evicted  bool
+	scanned  int64
+	key      string // memo key to store after the walk ("" = none)
+}
+
+// fcWalkEntry is the per-access working set of one undecided candidate,
+// copied out of its fcState so the hot loop of fusedWalk scans a compact
+// contiguous array instead of chasing state pointers.
+type fcWalkEntry struct {
+	set     int64
+	setMask int64
+	numSets int64
+	assoc   int
+	scratch *walkScratch
+	st      *fcState
+}
+
+func newFusedClassifier(g *fuseGroup, w *trace.Walker, p *Prepared) *fusedClassifier {
+	fc := &fusedClassifier{p: p, g: g, w: w, paperLRU: p.opt.PaperLRU,
+		states: make([]*fcState, len(g.cands)), lineShift: -1}
+	if g.lineBytes&(g.lineBytes-1) == 0 {
+		fc.lineShift = bits.TrailingZeros64(uint64(g.lineBytes))
+	}
+	if p.dyn != nil {
+		// Dynamic reuse: the group is a singleton (see solveExactFused) and
+		// the full classifier runs instead of the fused walk.
+		fc.plain = g.cands[0].a.newClassifierW(w)
+		return fc
+	}
+	for i, cs := range g.cands {
+		a := cs.a
+		st := &fcState{numSets: a.numSets, setMask: a.setMask, wayBytes: a.wayBytes,
+			assoc: a.cfg.Assoc, scratch: newWalkScratch(a.cfg.Assoc)}
+		if !a.opt.NoMemo {
+			st.memo = map[*reuse.Vector]map[string]memoEntry{}
+		}
+		fc.states[i] = st
+	}
+	return fc
+}
+
+// release recycles the per-candidate scratches.
+func (fc *fusedClassifier) release() {
+	if fc.plain != nil {
+		fc.plain.release()
+		fc.plain = nil
+	}
+	for _, s := range fc.states {
+		if s != nil && s.scratch != nil {
+			s.scratch.release()
+			s.scratch = nil
+		}
+	}
+}
+
+// runTile classifies every point of reference ri inside the tile for the
+// candidates listed in active (positions into g.cands), accumulating each
+// candidate's counts into the parallel parts slice. ctx is polled every
+// 4096 points; an aborted tile leaves partial parts and is not marked
+// done by the caller.
+func (fc *fusedClassifier) runTile(ctx context.Context, ri int, t poly.Tile, active []int, parts []RefReport) {
+	r := fc.p.np.Refs[ri]
+	if fc.plain != nil {
+		n := 0
+		fc.p.spaces[r.Stmt].EnumerateTile(t, func(idx []int64) bool {
+			out, _ := fc.plain.classify(r, idx)
+			parts[0].Analyzed++
+			switch out {
+			case Hit:
+				parts[0].Hits++
+			case ColdMiss:
+				parts[0].Cold++
+			case ReplacementMiss:
+				parts[0].Repl++
+			}
+			n++
+			return n&4095 != 0 || ctx.Err() == nil
+		})
+		return
+	}
+	fc.act = fc.act[:0]
+	for _, pos := range active {
+		fc.act = append(fc.act, fc.states[pos])
+	}
+	n := 0
+	fc.p.spaces[r.Stmt].EnumerateTile(t, func(idx []int64) bool {
+		fc.classifyFused(r, idx, parts)
+		n++
+		return n&4095 != 0 || ctx.Err() == nil
+	})
+}
+
+// classifyFused is classify for all active candidates at once.
+func (fc *fusedClassifier) classifyFused(r *ir.NRef, idx []int64, parts []RefReport) {
+	g := fc.g
+	addr := r.AddressAt(idx)
+	var line int64
+	if fc.lineShift >= 0 {
+		line = addr >> fc.lineShift
+	} else {
+		line = addr / g.lineBytes
+	}
+	consumer := trace.Time{Label: r.Stmt.Label, Idx: idx, Seq: r.Seq}
+
+	for _, v := range g.vecs[r] {
+		plabel, pidx := v.ProducerPointBuf(idx, &fc.lbuf, &fc.pbuf)
+		// Cold equation — shared across the group: the producer access
+		// must exist and touch the same memory line.
+		if !fc.p.spaces[v.Producer.Stmt].Contains(pidx) {
+			continue
+		}
+		paddr := v.Producer.AddressAt(pidx)
+		if fc.lineShift >= 0 {
+			paddr >>= fc.lineShift
+		} else {
+			paddr /= g.lineBytes
+		}
+		if paddr != line {
+			continue
+		}
+		producer := trace.Time{Label: plabel, Idx: pidx, Seq: v.Producer.Seq}
+		info := g.memo[v]
+		fc.pend = fc.pend[:0]
+		for _, s := range fc.act {
+			s.walkDone, s.evicted, s.scanned, s.key = false, false, 0, ""
+			if s.setMask >= 0 {
+				s.set = line & s.setMask
+			} else {
+				s.set = line % s.numSets
+			}
+			if s.memo != nil && info.invMask != 0 {
+				key := s.scratch.memoKey(info, idx, addr, s.wayBytes)
+				vm := s.memo[v]
+				if vm == nil {
+					vm = map[string]memoEntry{}
+					s.memo[v] = vm
+				}
+				if e, ok := vm[string(key)]; ok {
+					s.evicted, s.scanned, s.walkDone = e.evicted, e.scanned, true
+				} else {
+					s.key = string(key)
+				}
+			}
+			if !s.walkDone {
+				fc.pend = append(fc.pend, s)
+			}
+		}
+		if len(fc.pend) > 0 {
+			fc.fusedWalk(producer, consumer, line)
+			for _, s := range fc.pend {
+				if s.key != "" {
+					s.memo[v][s.key] = memoEntry{scanned: s.scanned, evicted: s.evicted}
+				}
+			}
+		}
+		for k, s := range fc.act {
+			parts[k].Analyzed++
+			if s.evicted {
+				parts[k].Repl++
+			} else {
+				parts[k].Hits++
+			}
+		}
+		return
+	}
+	// No reuse vector solves the cold equation: a cold miss everywhere.
+	// (Dynamic reuse never reaches here — NonUniform candidates are
+	// solved unfused; see solveExactFused.)
+	for k := range fc.act {
+		parts[k].Analyzed++
+		parts[k].Cold++
+	}
+}
+
+// fusedWalk runs one shared interval traversal deciding the replacement
+// equation for every pending candidate. Each candidate keeps its own
+// distinct-line set, eviction threshold and stopping position; the
+// traversal ends as soon as every candidate is decided (or, under exact
+// LRU, when the reused line itself is touched — which decides everyone at
+// once, exactly as each solo walk would have stopped there).
+func (fc *fusedClassifier) fusedWalk(producer, consumer trace.Time, line int64) {
+	// walk is the compacted undecided set: candidates are swap-removed the
+	// moment they decide, so the per-access inner loop costs Σ_c (own walk
+	// length), not |group| × (longest walk) — a decided small cache stops
+	// charging the walk immediately, exactly as its solo walk would have
+	// stopped. Entries are values, not state pointers, so the loop scans a
+	// contiguous array. (fc.pend stays intact for the caller's memo stores.)
+	walk := fc.walk[:0]
+	for _, s := range fc.pend {
+		s.scratch.reset()
+		walk = append(walk, fcWalkEntry{set: s.set, setMask: s.setMask,
+			numSets: s.numSets, assoc: s.assoc, scratch: s.scratch, st: s})
+	}
+	var pos int64
+	lineBytes := fc.g.lineBytes
+	lineShift := fc.lineShift
+	// When every pending candidate has a power-of-two set count, candidate
+	// k's set test is (al^line)&mask_k == 0 and the masks are nested, so a
+	// single test against the smallest mask rejects an access that
+	// conflicts with no candidate at all — the overwhelmingly common case
+	// — without touching the per-candidate loop.
+	fastMask := int64(-1)
+	for _, s := range fc.pend {
+		if s.setMask < 0 {
+			fastMask = -1
+			break
+		}
+		if fastMask < 0 || s.setMask < fastMask {
+			fastMask = s.setMask
+		}
+	}
+	// scan applies one interval access to every undecided candidate and
+	// reports whether any remain. Set membership strength-reduces the
+	// modulo to a mask for power-of-two set counts.
+	scan := func(al int64) bool {
+		x := al ^ line
+		if fastMask >= 0 && x&fastMask != 0 {
+			return len(walk) > 0
+		}
+		for i := 0; i < len(walk); {
+			w := &walk[i]
+			var in bool
+			if w.setMask >= 0 {
+				in = x&w.setMask == 0
+			} else {
+				in = al%w.numSets == w.set
+			}
+			if in && w.scratch.add(al) >= w.assoc {
+				w.st.evicted, w.st.scanned, w.st.walkDone = true, pos, true
+				walk[i] = walk[len(walk)-1]
+				walk = walk[:len(walk)-1]
+				continue
+			}
+			i++
+		}
+		return len(walk) > 0
+	}
+	if fc.paperLRU {
+		// The paper's equations verbatim: k distinct set contentions
+		// anywhere in the interval evict; touches of the reused line are
+		// counted as scanned but never stop a solo walk.
+		fc.w.Between(producer, consumer, func(_ *ir.NRef, addr int64) bool {
+			pos++
+			var al int64
+			if lineShift >= 0 {
+				al = addr >> lineShift
+			} else {
+				al = addr / lineBytes
+			}
+			if al == line {
+				return true
+			}
+			return scan(al)
+		})
+	} else {
+		// Exact LRU: scan backwards from the consumer; the first touch of
+		// the line is its most recent fetch and stops every solo walk at
+		// the same position.
+		fc.w.BetweenReverse(producer, consumer, func(_ *ir.NRef, addr int64) bool {
+			pos++
+			var al int64
+			if lineShift >= 0 {
+				al = addr >> lineShift
+			} else {
+				al = addr / lineBytes
+			}
+			if al == line {
+				for _, w := range walk {
+					w.st.scanned, w.st.walkDone = pos, true
+				}
+				walk = walk[:0]
+				return false
+			}
+			return scan(al)
+		})
+	}
+	// Interval exhausted with candidates still undecided: their solo
+	// walks scanned the whole interval and found no eviction.
+	for _, w := range walk {
+		w.st.scanned, w.st.walkDone = pos, true
+	}
+	fc.walk = walk[:0]
+}

@@ -1,0 +1,210 @@
+package cme
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/poly"
+	"cachemodel/internal/reuse"
+)
+
+// Prepared is the geometry-invariant stage of the analysis pipeline: the
+// normalised program together with everything that does not depend on the
+// cache configuration or the inter-array layout — the per-statement
+// iteration polyhedra (with volumes and bounding boxes materialised), the
+// dynamic reuse pairs, and, lazily per line size, the reuse vectors and
+// the memoization-eligibility table. One Prepared program serves any
+// number of (cache.Config, layout) candidates: Analyzer stamps a cheap
+// geometry-dependent view on top of the shared immutable state, and
+// SolveBatch evaluates whole candidate sweeps against it.
+//
+// What is provably Config-independent (and therefore lives here):
+//
+//   - poly.Space per statement: built from bounds and guards only;
+//   - reuse vectors: reuse.Generate consults the configuration solely
+//     through LineElems, i.e. the line size — so vectors are shared per
+//     LineBytes across every capacity and associativity (and across every
+//     layout, since they are derived from subscripts, not addresses);
+//   - the memo table: vectorMemoInfo reads loop bounds, guards and address
+//     coefficients — never array bases — so it too is per-LineBytes.
+//
+// Array base addresses are the one piece of global mutable state
+// (ir.Array.Base); Prepared captures a snapshot of the bases it was built
+// under so SolveBatch can restore them after applying candidate layouts.
+type Prepared struct {
+	np     *ir.NProgram
+	opt    Options
+	spaces map[*ir.NStmt]*poly.Space
+	dyn    map[*ir.NRef][]*reuse.DynamicPair
+	digest [sha256.Size]byte
+
+	mu     sync.Mutex
+	byLine map[int64]*lineShared
+}
+
+// lineShared is the per-line-size slice of the geometry-invariant state.
+type lineShared struct {
+	vecs map[*ir.NRef][]*reuse.Vector
+	memo map[*reuse.Vector]memoInfo
+}
+
+// Prepare builds the geometry-invariant stage once. The program must be
+// laid out (array bases assigned); the layout in effect at Prepare time is
+// the batch solver's baseline, restored after every candidate sweep.
+func Prepare(np *ir.NProgram, opt Options) (*Prepared, error) {
+	for _, arr := range np.Arrays {
+		if arr.Base < 0 {
+			return nil, fmt.Errorf("cme: array %s has no base address; run layout first", arr.Name)
+		}
+	}
+	p := &Prepared{np: np, opt: opt,
+		spaces: map[*ir.NStmt]*poly.Space{},
+		byLine: map[int64]*lineShared{},
+	}
+	for _, s := range np.Stmts {
+		sp := poly.FromStmt(s)
+		sp.Volume() // materialise the lazy caches so workers only read
+		sp.BoundingBox()
+		p.spaces[s] = sp
+	}
+	if opt.Reuse.NonUniform {
+		p.dyn = reuse.GenerateDynamic(np)
+	}
+	p.digest = programDigest(np, opt)
+	return p, nil
+}
+
+// lineState returns (building on first use) the reuse vectors and memo
+// table for one line size.
+func (p *Prepared) lineState(lineBytes int64) *lineShared {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ls, ok := p.byLine[lineBytes]; ok {
+		return ls
+	}
+	// Any valid configuration with this line size yields the same vectors;
+	// reuse.Generate reads it only through LineElems. (Options.Vectors is
+	// deliberately ignored here: caller-supplied vectors describe a single
+	// unknown line size, while this table is keyed by line size.)
+	cfg := cache.Config{SizeBytes: lineBytes, LineBytes: lineBytes, Assoc: 1}
+	vecs := reuse.Generate(p.np, cfg, p.opt.Reuse)
+	ls := &lineShared{vecs: vecs, memo: memoTable(p.np, vecs)}
+	p.byLine[lineBytes] = ls
+	return ls
+}
+
+// Analyzer stamps a geometry-dependent view of the Prepared program for
+// one cache configuration. The returned Analyzer shares the Prepared
+// spaces, vectors and memo table immutably; building it costs no
+// re-normalisation, no reuse generation and no polyhedron work.
+func (p *Prepared) Analyzer(cfg cache.Config) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ls := p.lineState(cfg.LineBytes)
+	a := &Analyzer{np: p.np, cfg: cfg, opt: p.opt,
+		vecs:     ls.vecs,
+		dyn:      p.dyn,
+		spaces:   p.spaces,
+		memoInfo: ls.memo,
+	}
+	a.memoPrecompute()
+	return a, nil
+}
+
+// Program returns the underlying normalised program.
+func (p *Prepared) Program() *ir.NProgram { return p.np }
+
+// Digest returns the content digest of the prepared program: program
+// structure (bounds, guards, subscripts, array shapes), reference order
+// and the analysis options that shape results. Array bases are excluded —
+// the layout is a per-candidate input and enters the result-cache key
+// separately — so the digest is stable across re-layouts of one program.
+func (p *Prepared) Digest() []byte {
+	d := p.digest
+	return d[:]
+}
+
+// programDigest hashes everything about (np, opt) that determines
+// analysis results except cache geometry and array bases.
+func programDigest(np *ir.NProgram, opt Options) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wa := func(a ir.Affine) {
+		wi(a.Const)
+		wi(int64(len(a.Coeff)))
+		for _, c := range a.Coeff {
+			wi(c)
+		}
+	}
+	wi(int64(np.Depth))
+	wi(int64(len(np.Stmts)))
+	for _, s := range np.Stmts {
+		for _, l := range s.Label {
+			wi(int64(l))
+		}
+		wi(int64(len(s.Bounds)))
+		for _, b := range s.Bounds {
+			wa(b.Lo)
+			wa(b.Hi)
+		}
+		wi(int64(len(s.Guards)))
+		for _, g := range s.Guards {
+			wa(g.Expr)
+			if g.IsEq {
+				wi(1)
+			} else {
+				wi(0)
+			}
+		}
+	}
+	wi(int64(len(np.Arrays)))
+	for _, a := range np.Arrays {
+		h.Write([]byte(a.Name))
+		wi(a.ElemSize)
+		for _, d := range a.Dims {
+			wi(d)
+		}
+	}
+	wi(int64(len(np.Refs)))
+	for _, r := range np.Refs {
+		wi(int64(r.Seq))
+		h.Write([]byte(r.Array.Name))
+		if r.Write {
+			wi(1)
+		} else {
+			wi(0)
+		}
+		wi(int64(len(r.Subs)))
+		for _, s := range r.Subs {
+			wa(s)
+		}
+	}
+	// Analysis options that change classification results.
+	ro := opt.Reuse
+	wi(int64(ro.KernelSpan))
+	wi(int64(ro.MaxPerPair))
+	flag := func(b bool) {
+		if b {
+			wi(1)
+		} else {
+			wi(0)
+		}
+	}
+	flag(ro.NoSpatial)
+	flag(ro.NoCrossColumn)
+	flag(ro.NoGroup)
+	flag(ro.NonUniform)
+	flag(opt.PaperLRU)
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

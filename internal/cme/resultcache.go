@@ -1,0 +1,218 @@
+package cme
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/sampling"
+)
+
+// CacheStats are the result cache's observability counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// cachedRef is one cached per-reference result: the complete RefReport of
+// a reference under one fully specified candidate (content-addressed, so
+// the entry is valid wherever the key matches). Stored per reference over
+// the full tile — per-run tile partitions depend on the worker count, but
+// their merged sums do not, which is exactly what makes the entry
+// portable across runs.
+type cachedRef struct {
+	Volume   int64   `json:"volume"`
+	Analyzed int64   `json:"analyzed"`
+	Sampled  bool    `json:"sampled,omitempty"`
+	Hits     int64   `json:"hits"`
+	Cold     int64   `json:"cold"`
+	Repl     int64   `json:"repl"`
+	Tier     Tier    `json:"tier"`
+	Ratio    float64 `json:"ratio,omitempty"`
+}
+
+func (v cachedRef) fill(rr *RefReport) {
+	rr.Volume = v.Volume
+	rr.Analyzed = v.Analyzed
+	rr.Sampled = v.Sampled
+	rr.Hits = v.Hits
+	rr.Cold = v.Cold
+	rr.Repl = v.Repl
+	rr.Tier = v.Tier
+	rr.Ratio = v.Ratio
+	rr.Complete = true
+}
+
+func snapRef(rr *RefReport) cachedRef {
+	return cachedRef{Volume: rr.Volume, Analyzed: rr.Analyzed, Sampled: rr.Sampled,
+		Hits: rr.Hits, Cold: rr.Cold, Repl: rr.Repl, Tier: rr.Tier, Ratio: rr.Ratio}
+}
+
+// ResultCache is a content-addressed, LRU-bounded store of per-reference
+// analysis results. Keys hash the prepared program digest, the reference,
+// the tile, the cache geometry, the layout (every array base), and the
+// solve mode (exact / sampled plan + seed + adaptive), so a hit can only
+// ever return the bit-identical result the solver would recompute.
+// Safe for concurrent use.
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // most recent at front; values are *rcEntry
+	idx     map[string]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type rcEntry struct {
+	key string
+	val cachedRef
+}
+
+// NewResultCache returns a result cache bounded to capacity entries
+// (capacity <= 0 selects a generous default).
+func NewResultCache(capacity int) *ResultCache {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &ResultCache{cap: capacity, lru: list.New(), idx: map[string]*list.Element{}}
+}
+
+// get returns the cached result for key, promoting it to most recent.
+func (c *ResultCache) get(key string) (cachedRef, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.idx[key]; ok {
+		c.lru.MoveToFront(e)
+		c.hits++
+		return e.Value.(*rcEntry).val, true
+	}
+	c.misses++
+	return cachedRef{}, false
+}
+
+// put stores a result, evicting the least recently used entry at capacity.
+func (c *ResultCache) put(key string, v cachedRef) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.idx[key]; ok {
+		e.Value.(*rcEntry).val = v
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.idx[key] = c.lru.PushFront(&rcEntry{key: key, val: v})
+	for c.lru.Len() > c.cap {
+		old := c.lru.Back()
+		c.lru.Remove(old)
+		delete(c.idx, old.Value.(*rcEntry).key)
+		c.evicted++
+	}
+}
+
+// Stats returns the counters (and current occupancy).
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evicted, Entries: c.lru.Len()}
+}
+
+// diskEntry is the JSON form of one persisted cache entry.
+type diskEntry struct {
+	Key string    `json:"key"`
+	Val cachedRef `json:"val"`
+}
+
+// Save writes the cache contents (least recent first, so a Load replays
+// them into the same recency order) to path as JSON.
+func (c *ResultCache) Save(path string) error {
+	c.mu.Lock()
+	entries := make([]diskEntry, 0, c.lru.Len())
+	for e := c.lru.Back(); e != nil; e = e.Prev() {
+		re := e.Value.(*rcEntry)
+		entries = append(entries, diskEntry{Key: re.key, Val: re.val})
+	}
+	c.mu.Unlock()
+	blob, err := json.Marshal(entries)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// Load merges entries persisted by Save into the cache. A missing file is
+// not an error (a cold on-disk store is simply empty).
+func (c *ResultCache) Load(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var entries []diskEntry
+	if err := json.Unmarshal(blob, &entries); err != nil {
+		return fmt.Errorf("result cache %s: %v", path, err)
+	}
+	for _, e := range entries {
+		c.put(e.Key, e.Val)
+	}
+	return nil
+}
+
+// refKey builds the content address of one reference's result under one
+// candidate: prepared-program digest, reference Seq, tile (the full tile —
+// see cachedRef), geometry, every array base in program order (alias
+// chains resolve to concrete bases, so the bases pin the layout
+// completely), and the solve mode.
+func refKey(digest []byte, r *ir.NRef, np *ir.NProgram, cfg cache.Config, mode solveMode) string {
+	h := sha256.New()
+	h.Write(digest)
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wi(int64(r.Seq))
+	wi(-1) // the full tile (Dim -1): per-ref results are tile-merged
+	wi(cfg.SizeBytes)
+	wi(cfg.LineBytes)
+	wi(int64(cfg.Assoc))
+	for _, a := range np.Arrays {
+		wi(a.Base)
+	}
+	if mode.sampled {
+		wi(1)
+		wi(int64(math.Float64bits(mode.plan.C)))
+		wi(int64(math.Float64bits(mode.plan.W)))
+		wi(mode.seed)
+		if mode.adaptive {
+			wi(1)
+		} else {
+			wi(0)
+		}
+	} else {
+		wi(0)
+	}
+	// Hex, not raw bytes: keys must survive the JSON round-trip of the
+	// on-disk store, and encoding/json mangles non-UTF-8 strings.
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// solveMode captures the result-affecting solve parameters beyond the
+// program and the candidate.
+type solveMode struct {
+	sampled  bool
+	plan     sampling.Plan
+	seed     int64
+	adaptive bool
+}

@@ -17,8 +17,11 @@ package reuse
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"cachemodel/internal/cache"
 	"cachemodel/internal/ir"
@@ -88,6 +91,30 @@ func (v *Vector) ProducerPoint(idx []int64) (label []int, pidx []int64) {
 	return label, pidx
 }
 
+// ProducerPointBuf is ProducerPoint writing into caller-owned buffers
+// (grown as needed through the pointers), sparing the two per-call
+// allocations in solver hot loops. The returned slices alias the buffers
+// and are only valid until the next call with the same buffers.
+func (v *Vector) ProducerPointBuf(idx []int64, lbuf *[]int, pbuf *[]int64) (label []int, pidx []int64) {
+	cl := v.Consumer.Stmt.Label
+	if cap(*lbuf) < len(cl) {
+		*lbuf = make([]int, len(cl))
+	}
+	if cap(*pbuf) < len(idx) {
+		*pbuf = make([]int64, len(idx))
+	}
+	label = (*lbuf)[:len(cl)]
+	pidx = (*pbuf)[:len(idx)]
+	for k := len(cl); k < len(pidx); k++ {
+		pidx[k] = 0 // ProducerPoint leaves dimensions beyond the label zeroed
+	}
+	for k := range cl {
+		label[k] = cl[k] - v.LabelDiff[k]
+		pidx[k] = idx[k] - v.IdxDiff[k]
+	}
+	return label, pidx
+}
+
 func (v *Vector) String() string {
 	parts := make([]string, 0, 2*len(v.LabelDiff))
 	for _, x := range v.Interleaved() {
@@ -138,14 +165,15 @@ func (o Options) withDefaults() Options {
 // reuse vectors under the given cache configuration.
 func Generate(np *ir.NProgram, cfg cache.Config, opt Options) map[*ir.NRef][]*Vector {
 	opt = opt.withDefaults()
-	g := &generator{np: np, cfg: cfg, opt: opt}
-	out := map[*ir.NRef][]*Vector{}
-	for _, set := range UniformSets(np) {
-		// Candidate index-displacement sets depend only on (M, offset
-		// difference), which repeats heavily inside large uniformly
-		// generated sets (Applu's 5×5 unrolled blocks), so they are
-		// memoised per set.
-		g.memo = map[string][][]int64{}
+	sets := UniformSets(np)
+	// genSet derives the sorted vector lists of one uniformly generated
+	// set. Sets are independent, so they generate in parallel below; each
+	// invocation owns a private generator (and displacement memo — the
+	// candidate sets depend only on (M, offset difference), which repeats
+	// heavily inside large sets such as Applu's 5×5 unrolled blocks).
+	genSet := func(set *UniformSet) map[*ir.NRef][]*Vector {
+		g := &generator{np: np, cfg: cfg, opt: opt, memo: map[string][][]int64{}}
+		part := make(map[*ir.NRef][]*Vector, len(set.Refs))
 		for _, rc := range set.Refs {
 			var vecs []*Vector
 			for _, rp := range set.Refs {
@@ -163,9 +191,46 @@ func Generate(np *ir.NProgram, cfg cache.Config, opt Options) map[*ir.NRef][]*Ve
 				// recent) producer.
 				return vecs[i].Producer.Seq > vecs[j].Producer.Seq
 			})
-			out[rc] = vecs
+			part[rc] = vecs
 		}
+		return part
 	}
+
+	out := map[*ir.NRef][]*Vector{}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sets) {
+		workers = len(sets)
+	}
+	if workers <= 1 {
+		for _, set := range sets {
+			for r, vecs := range genSet(set) {
+				out[r] = vecs
+			}
+		}
+		return out
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sets) {
+					return
+				}
+				part := genSet(sets[i])
+				mu.Lock()
+				for r, vecs := range part {
+					out[r] = vecs
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 

@@ -8,6 +8,7 @@ package sampling
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Plan is a sampling request: estimate a proportion within ±W at
@@ -32,9 +33,40 @@ func (p Plan) Validate() error {
 	return nil
 }
 
+// zscoreMemo caches bisection results. ZScore sits on hot paths now — the
+// adaptive solver consults the stopping rule per classified point and the
+// advisor calls HalfWidth per reference per candidate — while real callers
+// only ever use a handful of distinct confidence levels, so a small table
+// of common levels (warmed once) plus a concurrent map for everything else
+// removes the 200-iteration erf bisection from every call after the first.
+var (
+	zscoreMemo sync.Map // float64 -> float64
+	zscoreOnce sync.Once
+)
+
+// zscoreWarm seeds the memo with the confidence levels the paper and the
+// CLI use, each computed by the same bisection so memoized and cold
+// results are bit-identical.
+func zscoreWarm() {
+	for _, c := range [...]float64{0.80, 0.90, 0.95, 0.99} {
+		zscoreMemo.Store(c, zscoreBisect(c))
+	}
+}
+
 // ZScore returns the two-sided standard-normal critical value z such that
-// P(|Z| ≤ z) = c, computed by bisection on the error function (no tables).
+// P(|Z| ≤ z) = c, computed by bisection on the error function (no outside
+// tables) and memoized per confidence level.
 func ZScore(c float64) float64 {
+	zscoreOnce.Do(zscoreWarm)
+	if z, ok := zscoreMemo.Load(c); ok {
+		return z.(float64)
+	}
+	z := zscoreBisect(c)
+	zscoreMemo.Store(c, z)
+	return z
+}
+
+func zscoreBisect(c float64) float64 {
 	// Solve erf(z/√2) = c for z in (0, 40).
 	lo, hi := 0.0, 40.0
 	for i := 0; i < 200; i++ {
@@ -74,6 +106,30 @@ func (p Plan) SizeFor(v int64) int {
 // plan, i.e. whether v is at least the uncorrected sample size. This is
 // the "RIS too small" test of Fig. 6.
 func (p Plan) Achievable(v int64) bool { return v >= int64(p.Size()) }
+
+// WilsonHalfWidth returns the half-width of the Wilson score interval for
+// an observed proportion phat from n samples out of a population of v
+// (v ≤ 0 means infinite), with the finite population correction applied to
+// the standard error. The adaptive solver uses this as its stopping rule
+// instead of the Wald width of HalfWidth because Wilson never collapses to
+// zero at phat ∈ {0, 1}: an all-hit prefix still needs n ≈ z²(1−W)/(2W)
+// draws before the interval meets ±W, so sampling cannot stop on a lucky
+// (or unlucky) first handful of points.
+func (p Plan) WilsonHalfWidth(phat float64, n int, v int64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	if v > 0 && int64(n) >= v {
+		return 0 // full census: no sampling uncertainty
+	}
+	z := ZScore(p.C)
+	nn := float64(n)
+	se2 := phat * (1 - phat) / nn
+	if v > 1 && int64(n) < v {
+		se2 *= float64(v-int64(n)) / float64(v-1)
+	}
+	return z * math.Sqrt(se2+z*z/(4*nn*nn)) / (1 + z*z/nn)
+}
 
 // HalfWidth returns the realised confidence half-width for an observed
 // proportion phat from n samples out of a population of v (v ≤ 0 means

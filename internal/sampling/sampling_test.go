@@ -104,3 +104,48 @@ func TestSizeMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestZScoreMemoized: warmed and cold lookups come from the same bisection,
+// so repeated calls (including the pre-warmed table) are bit-identical.
+func TestZScoreMemoized(t *testing.T) {
+	for _, c := range []float64{0.80, 0.90, 0.95, 0.99, 0.925} {
+		first := ZScore(c)
+		for i := 0; i < 3; i++ {
+			if again := ZScore(c); again != first {
+				t.Errorf("ZScore(%v) unstable across calls: %v then %v", c, first, again)
+			}
+		}
+		if got := zscoreBisect(c); got != first {
+			t.Errorf("memoized ZScore(%v)=%v differs from direct bisection %v", c, first, got)
+		}
+	}
+}
+
+// TestWilsonHalfWidth pins the stopping rule's edge behaviour.
+func TestWilsonHalfWidth(t *testing.T) {
+	p := Plan{C: 0.95, W: 0.05}
+	if hw := p.WilsonHalfWidth(0.5, 0, 1000); hw != 1 {
+		t.Errorf("n=0: half-width %v, want 1", hw)
+	}
+	if hw := p.WilsonHalfWidth(0.5, 1000, 1000); hw != 0 {
+		t.Errorf("census: half-width %v, want 0", hw)
+	}
+	// Never collapses at the extremes: a handful of all-hit draws must not
+	// satisfy the plan.
+	if hw := p.WilsonHalfWidth(0, 8, 1_000_000); hw <= p.W {
+		t.Errorf("phat=0, n=8: half-width %v ≤ W; the rule would stop on a lucky prefix", hw)
+	}
+	// Monotone shrinking in n at fixed phat.
+	prev := math.Inf(1)
+	for _, n := range []int{10, 50, 100, 400, 1000} {
+		hw := p.WilsonHalfWidth(0.3, n, 1_000_000)
+		if hw >= prev {
+			t.Errorf("half-width not shrinking: n=%d gives %v ≥ %v", n, hw, prev)
+		}
+		prev = hw
+	}
+	// The FPC tightens the interval versus an infinite population.
+	if inf, fin := p.WilsonHalfWidth(0.3, 100, 0), p.WilsonHalfWidth(0.3, 100, 200); fin >= inf {
+		t.Errorf("FPC did not tighten: finite %v ≥ infinite %v", fin, inf)
+	}
+}
