@@ -51,6 +51,7 @@ import (
 	"cachemodel/internal/kernels"
 	"cachemodel/internal/layout"
 	"cachemodel/internal/normalize"
+	"cachemodel/internal/obs"
 	"cachemodel/internal/prob"
 	"cachemodel/internal/reuse"
 	"cachemodel/internal/sampling"
@@ -265,6 +266,47 @@ func EstimateMissesCtx(ctx context.Context, np *NProgram, cfg Config, opt Analyz
 	return a.EstimateMissesCtx(ctx, b, plan)
 }
 
+// Observability types (see internal/obs): a collector gathers hierarchical
+// spans, registry metrics and throttled progress events for one run; attach
+// it to the context passed into any *Ctx entry point and every pipeline
+// stage it crosses records itself. All entry points are nil-safe, so code
+// paths without a collector pay (almost) nothing.
+type (
+	// ObsCollector gathers spans, metrics and progress for one run.
+	ObsCollector = obs.Collector
+	// ObsEvent is one throttled progress event.
+	ObsEvent = obs.Event
+	// RunReport is the exportable JSON report of one observed run
+	// (schema "cachette/run-report/v1").
+	RunReport = obs.RunReport
+	// RunProvenance summarises a Report for the run report.
+	RunProvenance = obs.Provenance
+	// CandidateProvenance summarises one sweep candidate for the run report.
+	CandidateProvenance = obs.CandidateProvenance
+)
+
+// NewObsCollector returns a collector rooted at name, recording into the
+// process-wide metrics registry.
+func NewObsCollector(name string) *ObsCollector { return obs.New(name) }
+
+// WithCollector attaches a collector to a context; the *Ctx entry points
+// record spans, metrics and progress into it.
+func WithCollector(ctx context.Context, c *ObsCollector) context.Context {
+	return obs.NewContext(ctx, c)
+}
+
+// CollectorFrom returns the collector attached to ctx, or nil.
+func CollectorFrom(ctx context.Context) *ObsCollector { return obs.FromContext(ctx) }
+
+// ValidateRunReport decodes and checks a serialized run report against the
+// documented schema ("cachette/run-report/v1").
+func ValidateRunReport(blob []byte) (*RunReport, error) { return obs.ValidateRunReport(blob) }
+
+// BatchError reports per-candidate failures of SolveBatch: the batch keeps
+// solving the remaining candidates and the failed indices map to their
+// errors (their reports stay nil).
+type BatchError = cme.BatchError
+
 // Batch design-space types (see internal/cme: the geometry-invariant
 // pipeline split and the batch solver).
 type (
@@ -299,7 +341,10 @@ func PrepareAnalysis(np *NProgram, opt AnalyzeOptions) (p *PreparedProgram, err 
 // prepared program, returning one Report per candidate (index-aligned).
 // Exact-tier results are bit-identical to per-candidate FindMisses; sampled
 // results (BatchOptions.Plan set) are bit-identical to EstimateMisses under
-// the same seed.
+// the same seed. A candidate that fails (invalid config, layout error)
+// leaves its report nil and is recorded in the returned *BatchError while
+// the rest of the batch still solves; cancellation and NoFallback budget
+// exhaustion abort the whole batch instead.
 func SolveBatch(ctx context.Context, p *PreparedProgram, cands []BatchCandidate, opt BatchOptions) (reps []*Report, err error) {
 	defer cerr.RecoverTo(&err)
 	return p.SolveBatch(ctx, cands, opt)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"cachemodel/internal/budget"
 	"cachemodel/internal/cache"
 	"cachemodel/internal/cme"
 	"cachemodel/internal/trace"
@@ -102,7 +104,17 @@ func cmdBench(args []string) error {
 	check := fs.Bool("check", false, "verify all variants produce bit-identical counts")
 	noSim := fs.Bool("nosim", false, "skip the simulator rows")
 	pstart, pstop, _ := profileFlags(fs)
+	oflags := obsFlags(fs)
 	fs.Parse(args)
+
+	// The collector rides on a Background context (not the signal context):
+	// a cancellable context makes the budget meter limited, which would put
+	// probe checkpoints inside the timed loops and skew the rows.
+	or, err := oflags.start("bench")
+	if err != nil {
+		return err
+	}
+	ctx := or.Context(context.Background())
 
 	p, err := loadProgram(*file, *consts, *name, *size, *iters)
 	if err != nil {
@@ -148,7 +160,11 @@ func cmdBench(args []string) error {
 	rep := benchReport{Program: p.Name, Size: *size, Iters: *iters, Cache: cfg.String(),
 		GoMaxProcs: runtime.GOMAXPROCS(0), Workers: *workers, Repeat: *repeat}
 
-	seqDur, seqRep := timeIt(func() *cme.Report { return newAnalyzer(1, true).FindMisses() })
+	solve := func(a *cme.Analyzer) *cme.Report {
+		r, _ := a.FindMissesCtx(ctx, budget.Budget{}) // unlimited: never errors
+		return r
+	}
+	seqDur, seqRep := timeIt(func() *cme.Report { return solve(newAnalyzer(1, true)) })
 	points := seqRep.TotalAccesses()
 	row := func(name string, d time.Duration, r *cme.Report) benchResult {
 		br := benchResult{Name: name, Ns: d.Nanoseconds(), Points: points}
@@ -167,10 +183,10 @@ func cmdBench(args []string) error {
 	}
 	rep.Results = append(rep.Results, row("findmisses_seq", seqDur, seqRep))
 
-	memoDur, memoRep := timeIt(func() *cme.Report { return newAnalyzer(1, false).FindMisses() })
+	memoDur, memoRep := timeIt(func() *cme.Report { return solve(newAnalyzer(1, false)) })
 	rep.Results = append(rep.Results, row("findmisses_memo", memoDur, memoRep))
 
-	parDur, parRep := timeIt(func() *cme.Report { return newAnalyzer(*workers, false).FindMisses() })
+	parDur, parRep := timeIt(func() *cme.Report { return solve(newAnalyzer(*workers, false)) })
 	rep.Results = append(rep.Results, row(fmt.Sprintf("findmisses_parallel_w%d", *workers), parDur, parRep))
 
 	var simSeq, simShard *trace.SimResult
@@ -178,7 +194,7 @@ func cmdBench(args []string) error {
 		var simSeqDur, simShardDur time.Duration
 		for i := 0; i < *repeat; i++ {
 			t0 := time.Now()
-			simSeq = trace.Simulate(np, cfg)
+			simSeq, _ = trace.SimulateCtx(ctx, np, cfg, budget.Budget{})
 			if d := time.Since(t0); i == 0 || d < simSeqDur {
 				simSeqDur = d
 			}
@@ -193,7 +209,7 @@ func cmdBench(args []string) error {
 
 		for i := 0; i < *repeat; i++ {
 			t0 := time.Now()
-			simShard = trace.SimulateSharded(np, cfg, *workers)
+			simShard, _ = trace.SimulateShardedCtx(ctx, np, cfg, cache.FetchOnWrite, budget.Budget{}, *workers)
 			if d := time.Since(t0); i == 0 || d < simShardDur {
 				simShardDur = d
 			}
@@ -249,7 +265,7 @@ func cmdBench(args []string) error {
 		fmt.Fprintf(os.Stderr, "cachette bench: wrote %s\n", *out)
 	}
 	os.Stdout.Write(blob)
-	return nil
+	return or.finish(ctx, p.Name, seqRep, nil)
 }
 
 // sameReport verifies two exact reports carry identical per-reference

@@ -35,6 +35,7 @@ import (
 	"cachemodel/internal/kernels"
 	"cachemodel/internal/layout"
 	"cachemodel/internal/normalize"
+	"cachemodel/internal/obs"
 	"cachemodel/internal/reuse"
 	"cachemodel/internal/sampling"
 	"cachemodel/internal/trace"
@@ -63,6 +64,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "obscheck":
+		err = cmdObscheck(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -89,7 +92,13 @@ subcommands:
   sweep        sweep cache size/line/assoc, analytical vs simulated
   trace        emit the program's memory reference trace (R/W address lines)
   bench        time the solver variants (sequential / memoized / parallel) and emit BENCH_solvers.json
+  obscheck     validate a run-report JSON written by -obs-out
   list         list the built-in programs
+
+observability (analyze, bench, sweep):
+  -v             throttled progress lines on stderr
+  -metrics-addr  live Prometheus /metrics + /debug/pprof + /debug/vars endpoint
+  -obs-out       run-report JSON: per-stage spans, solver counters, provenance
 `)
 }
 
@@ -229,29 +238,42 @@ func cmdAnalyze(args []string) error {
 	noMemo := fs.Bool("nomemo", false, "disable the interference-walk verdict memo")
 	timeout, maxPoints, maxScan, fallback := budgetFlags(fs)
 	pstart, pstop, prof := profileFlags(fs)
+	oflags := obsFlags(fs)
 	fs.Parse(args)
 
-	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	or, err := oflags.start("analyze")
 	if err != nil {
 		return err
 	}
+	ctx, stop := signalContext()
+	defer stop()
+	ctx = or.Context(ctx)
+
+	_, pspan := obs.StartSpan(ctx, "parse")
+	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	pspan.End()
+	if err != nil {
+		return err
+	}
+	_, prspan := obs.StartSpan(ctx, "prepare")
 	np, _, err := prepare(p)
+	prspan.End()
 	if err != nil {
 		return err
 	}
 	cfg := cache.Config{SizeBytes: *cs, LineBytes: *ls, Assoc: *assoc}
+	_, rspan := obs.StartSpan(ctx, "reuse")
 	a, err := cme.New(np, cfg, cme.Options{
 		Reuse:         reuse.Options{NonUniform: *nonUniform},
 		Workers:       *workers,
 		NoMemo:        *noMemo,
 		ProfileLabels: prof(),
 	})
+	rspan.End()
 	if err != nil {
 		return err
 	}
 	b := budget.Budget{Deadline: *timeout, MaxPoints: *maxPoints, MaxScan: *maxScan, NoFallback: !*fallback}
-	ctx, stop := signalContext()
-	defer stop()
 	if err := pstart(); err != nil {
 		return err
 	}
@@ -289,6 +311,9 @@ func cmdAnalyze(args []string) error {
 			fmt.Printf("  %-28s %10d %10d %8.2f %8d %8d\n",
 				rr.Ref.ID, rr.Volume, rr.Analyzed, 100*rr.MissRatio(), rr.Cold, rr.Repl)
 		}
+	}
+	if err := or.finish(ctx, p.Name, rep, nil); err != nil {
+		return err
 	}
 	// A partial (interrupted, non-degraded) analysis exits non-zero so
 	// scripts can tell it from a completed one.

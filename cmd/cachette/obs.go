@@ -1,0 +1,181 @@
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
+	"os"
+	"time"
+
+	"cachemodel/internal/cme"
+	"cachemodel/internal/obs"
+)
+
+// obsOpts holds the observability flags shared by analyze, bench and sweep.
+type obsOpts struct {
+	verbose *bool
+	addr    *string
+	wait    *time.Duration
+	out     *string
+}
+
+// obsFlags registers -v, -metrics-addr, -metrics-wait and -obs-out.
+func obsFlags(fs *flag.FlagSet) *obsOpts {
+	return &obsOpts{
+		verbose: fs.Bool("v", false, "print throttled progress lines on stderr"),
+		addr:    fs.String("metrics-addr", "", "serve /metrics (Prometheus), /debug/vars and /debug/pprof on this address (e.g. :9090, :0 = any port)"),
+		wait:    fs.Duration("metrics-wait", 0, "keep the -metrics-addr server alive this long after the run (Ctrl-C ends it early)"),
+		out:     fs.String("obs-out", "", "write the run-report JSON (schema "+obs.SchemaV1+") to this path"),
+	}
+}
+
+// enabled reports whether any observability flag was set; when none is,
+// the run uses the nil collector (the uninstrumented fast path).
+func (o *obsOpts) enabled() bool {
+	return *o.verbose || *o.addr != "" || *o.out != ""
+}
+
+// obsRun is one observed command invocation: the collector plus the
+// optional metrics HTTP server.
+type obsRun struct {
+	opts    *obsOpts
+	command string
+	col     *obs.Collector
+	srv     *http.Server
+}
+
+// start builds the run's collector (nil when no obs flag is set), installs
+// the stderr progress printer under -v, and starts the -metrics-addr
+// server. The resolved listen address is printed, so -metrics-addr :0
+// is usable from scripts.
+func (o *obsOpts) start(command string) (*obsRun, error) {
+	r := &obsRun{opts: o, command: command}
+	if !o.enabled() {
+		return r, nil
+	}
+	r.col = obs.New(command)
+	if *o.verbose {
+		r.col.OnProgress(printProgress, 0)
+	}
+	if *o.addr != "" {
+		obs.PublishExpvar()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(r.col.Registry()))
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		ln, err := net.Listen("tcp", *o.addr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "cachette: metrics on http://%s/metrics\n", ln.Addr())
+		r.srv = &http.Server{Handler: mux}
+		go r.srv.Serve(ln)
+	}
+	return r, nil
+}
+
+// Collector returns the run's collector (nil when observability is off);
+// attach it with obs.NewContext before calling the *Ctx entry points.
+func (r *obsRun) Collector() *obs.Collector { return r.col }
+
+// Context attaches the run's collector to ctx.
+func (r *obsRun) Context(ctx context.Context) context.Context {
+	return obs.NewContext(ctx, r.col)
+}
+
+// finish closes the run: it writes the run report first (so a watcher
+// polling for the file can proceed while the server is still up), then
+// holds the metrics server open for -metrics-wait, then shuts it down.
+// ctx cancellation (Ctrl-C) ends the wait early.
+func (r *obsRun) finish(ctx context.Context, program string, rep *cme.Report, cands []obs.CandidateProvenance) error {
+	if r.col == nil {
+		return nil
+	}
+	rr := r.col.Report()
+	rr.Program = program
+	rr.Command = r.command
+	if rep != nil {
+		rr.Report = provenanceOf(rep)
+	}
+	rr.Candidates = cands
+	if *r.opts.out != "" {
+		if err := rr.WriteFile(*r.opts.out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cachette: wrote run report %s\n", *r.opts.out)
+	}
+	if r.srv != nil {
+		if *r.opts.wait > 0 {
+			fmt.Fprintf(os.Stderr, "cachette: serving metrics for %s (Ctrl-C to stop)\n", *r.opts.wait)
+			select {
+			case <-time.After(*r.opts.wait):
+			case <-ctx.Done():
+			}
+		}
+		r.srv.Close()
+	}
+	return nil
+}
+
+// provenanceOf converts a Report's provenance fields to the run-report form.
+func provenanceOf(rep *cme.Report) *obs.Provenance {
+	s := rep.BudgetSpent
+	return &obs.Provenance{
+		Tier:         rep.Tier.String(),
+		Degraded:     rep.Degraded,
+		Coverage:     rep.Coverage(),
+		MissRatioPct: rep.MissRatio(),
+		Accesses:     rep.TotalAccesses(),
+		Refs:         len(rep.Refs),
+		CompleteRefs: rep.CompleteRefs(),
+		Budget: obs.BudgetSpent{Points: s.Points, Scan: s.Scan, WallNs: s.Wall.Nanoseconds(),
+			Checkpoints: s.Checkpoints, Graces: s.Graces},
+	}
+}
+
+// printProgress is the -v stderr line: stage, done/total with percentage,
+// the unit in flight, and a naive ETA extrapolated from the rate so far.
+func printProgress(e obs.Event) {
+	if e.Total > 0 {
+		pct := 100 * float64(e.Done) / float64(e.Total)
+		eta := ""
+		if e.Done > 0 && e.Done < e.Total {
+			rem := time.Duration(float64(e.Elapsed) * float64(e.Total-e.Done) / float64(e.Done))
+			eta = fmt.Sprintf("  eta %s", rem.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "cachette: %-12s %d/%d (%.1f%%)  %s%s\n",
+			e.Stage, e.Done, e.Total, pct, e.Current, eta)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cachette: %-12s %d  %s\n", e.Stage, e.Done, e.Current)
+}
+
+// cmdObscheck validates a run-report file against the documented schema —
+// the CI smoke step runs it against the -obs-out artifact.
+func cmdObscheck(args []string) error {
+	fs := flag.NewFlagSet("obscheck", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cachette obscheck run.json")
+	}
+	blob, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	r, err := obs.ValidateRunReport(blob)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obscheck: %s ok — program %s, command %s, %d counters, %d histograms, root span %q (%s)\n",
+		fs.Arg(0), r.Program, r.Command, len(r.Metrics.Counters), len(r.Metrics.Histograms),
+		r.Spans.Name, time.Duration(r.Spans.DurNs).Round(time.Millisecond))
+	return nil
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -13,7 +14,7 @@ import (
 	"cachemodel/internal/cache"
 	"cachemodel/internal/cme"
 	"cachemodel/internal/layout"
-
+	"cachemodel/internal/obs"
 	"cachemodel/internal/sampling"
 	"cachemodel/internal/trace"
 )
@@ -26,8 +27,9 @@ type sweepResult struct {
 	Assoc     int     `json:"assoc"`
 	Pad       int64   `json:"pad_elems,omitempty"`
 	MissRatio float64 `json:"miss_ratio_pct"`
-	Tier      string  `json:"tier"`
+	Tier      string  `json:"tier,omitempty"`
 	SimRatio  float64 `json:"sim_miss_ratio_pct,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // sweepReport is the BENCH_sweep.json document: the design-space results
@@ -79,13 +81,26 @@ func cmdSweep(args []string) error {
 	rcFile := fs.String("resultcache", "", "load/save the content-addressed result cache at this path")
 	out := fs.String("out", "BENCH_sweep.json", "output path for the JSON report (- = stdout only)")
 	pstart, pstop, prof := profileFlags(fs)
+	oflags := obsFlags(fs)
 	fs.Parse(args)
 
-	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	or, err := oflags.start("sweep")
 	if err != nil {
 		return err
 	}
+	ctx, stop := signalContext()
+	defer stop()
+	ctx = or.Context(ctx)
+
+	_, pspan := obs.StartSpan(ctx, "parse")
+	p, err := loadProgram(*file, *consts, *name, *size, *iters)
+	pspan.End()
+	if err != nil {
+		return err
+	}
+	_, prspan := obs.StartSpan(ctx, "prepare")
 	np, _, err := prepare(p)
+	prspan.End()
 	if err != nil {
 		return err
 	}
@@ -112,15 +127,15 @@ func cmdSweep(args []string) error {
 	}
 
 	// The candidate grid. Pad 0 means the baseline layout (nil Layout).
+	// Invalid geometries stay in the grid: SolveBatch records them as
+	// per-candidate errors, so the JSON report carries the whole grid
+	// instead of silently dropping rows.
 	var cands []cme.Candidate
 	var padOf []int64 // parallel to cands, for reporting and -check
 	for _, cs := range css {
 		for _, ls := range lss {
 			for _, k := range kss {
 				cfg := cache.Config{SizeBytes: cs, LineBytes: ls, Assoc: int(k)}
-				if cfg.Validate() != nil {
-					continue
-				}
 				for _, pad := range padList {
 					c := cme.Candidate{Label: cfg.String(), Config: cfg}
 					if pad > 0 {
@@ -134,7 +149,7 @@ func cmdSweep(args []string) error {
 		}
 	}
 	if len(cands) == 0 {
-		return fmt.Errorf("sweep: no valid candidate configurations")
+		return fmt.Errorf("sweep: empty candidate grid")
 	}
 
 	opt := cme.Options{Adaptive: *adaptive, ProfileLabels: prof()}
@@ -153,13 +168,14 @@ func cmdSweep(args []string) error {
 		}
 	}
 
-	ctx, stop := signalContext()
-	defer stop()
 	if err := pstart(); err != nil {
 		return err
 	}
 
-	// The batch run: one Prepare, one SolveBatch over the whole grid.
+	// The batch run: one Prepare, one SolveBatch over the whole grid. A
+	// *cme.BatchError means some candidates failed while the rest solved:
+	// the report is still written — with each failure recorded on its row —
+	// and the command exits non-zero at the end.
 	t0 := time.Now()
 	prepd, err := cme.Prepare(np, opt)
 	if err != nil {
@@ -170,7 +186,8 @@ func cmdSweep(args []string) error {
 	if perr := pstop(); perr != nil {
 		return perr
 	}
-	if err != nil {
+	var berr *cme.BatchError
+	if err != nil && !errors.As(err, &berr) {
 		return err
 	}
 
@@ -192,7 +209,11 @@ func cmdSweep(args []string) error {
 	// — fresh front end, fresh analyzer — verify bit-identity, and time it.
 	if *check {
 		t1 := time.Now()
+		checked := 0
 		for i, c := range cands {
+			if reps[i] == nil {
+				continue // failed candidate; its error is recorded on the row
+			}
 			want, err := soloSolve(*file, *consts, *name, *size, *iters, c, opt, plan)
 			if err != nil {
 				return fmt.Errorf("sweep -check: %s: %v", c.Label, err)
@@ -200,6 +221,7 @@ func cmdSweep(args []string) error {
 			if err := sweepSameReport(want, reps[i], c.Label); err != nil {
 				return err
 			}
+			checked++
 		}
 		indepNs := time.Since(t1).Nanoseconds()
 		rep.IndependentNs = indepNs
@@ -207,7 +229,7 @@ func cmdSweep(args []string) error {
 			rep.Speedup = float64(indepNs) / float64(batchNs)
 		}
 		fmt.Fprintf(os.Stderr, "cachette sweep: %d candidates bit-identical; batch %v vs independent %v (%.2fx)\n",
-			len(cands), time.Duration(batchNs), time.Duration(indepNs), rep.Speedup)
+			checked, time.Duration(batchNs), time.Duration(indepNs), rep.Speedup)
 		if indepNs < batchNs {
 			return fmt.Errorf("sweep -check: batch solve slower than %d independent runs (%v > %v)",
 				len(cands), time.Duration(batchNs), time.Duration(indepNs))
@@ -216,13 +238,28 @@ func cmdSweep(args []string) error {
 
 	fmt.Printf("%s — cache design sweep (%d candidates, one batch)\n", p.Name, len(cands))
 	fmt.Printf("%10s %6s %6s %8s %10s %6s %10s\n", "size", "line", "assoc", "pad", "est %MR", "tier", "sim %MR")
+	var cprov []obs.CandidateProvenance
 	for i, c := range cands {
+		row := sweepResult{Label: c.Label, CacheSize: c.Config.SizeBytes, LineSize: c.Config.LineBytes,
+			Assoc: c.Config.Assoc, Pad: padOf[i]}
+		cp := obs.CandidateProvenance{Label: c.Label}
 		r := reps[i]
 		if r == nil {
+			if berr != nil && berr.Errs[i] != nil {
+				row.Error = berr.Errs[i].Error()
+				cp.Error = row.Error
+			}
+			rep.Results = append(rep.Results, row)
+			cprov = append(cprov, cp)
+			fmt.Printf("%10d %6d %6d %8d %29s\n",
+				c.Config.SizeBytes, c.Config.LineBytes, c.Config.Assoc, padOf[i], "error: "+row.Error)
 			continue
 		}
-		row := sweepResult{Label: c.Label, CacheSize: c.Config.SizeBytes, LineSize: c.Config.LineBytes,
-			Assoc: c.Config.Assoc, Pad: padOf[i], MissRatio: r.MissRatio(), Tier: r.Tier.String()}
+		row.MissRatio = r.MissRatio()
+		row.Tier = r.Tier.String()
+		cp.Tier = row.Tier
+		cp.Degraded = r.Degraded
+		cp.MissRatioPct = row.MissRatio
 		simCol := "-"
 		if *sim {
 			sr, err := simulateUnder(*file, *consts, *name, *size, *iters, c)
@@ -233,6 +270,7 @@ func cmdSweep(args []string) error {
 			simCol = fmt.Sprintf("%10.2f", sr)
 		}
 		rep.Results = append(rep.Results, row)
+		cprov = append(cprov, cp)
 		fmt.Printf("%10d %6d %6d %8d %10.2f %6s %10s\n",
 			c.Config.SizeBytes, c.Config.LineBytes, c.Config.Assoc, padOf[i], row.MissRatio, row.Tier, simCol)
 	}
@@ -247,6 +285,14 @@ func cmdSweep(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "cachette sweep: wrote %s\n", *out)
+	}
+	if err := or.finish(ctx, p.Name, nil, cprov); err != nil {
+		return err
+	}
+	// Per-candidate failures surface after the report is on disk: scripts
+	// get the full grid either way, and the exit status still says "look".
+	if berr != nil {
+		return berr
 	}
 	return nil
 }

@@ -25,6 +25,16 @@ import (
 	"time"
 
 	"cachemodel/internal/cerr"
+	"cachemodel/internal/obs"
+)
+
+// Budget metrics: Flush already runs at the probe's coarse cadence (every
+// flushPoints points / flushScan scan steps), so one extra atomic there
+// stays off the per-point path.
+var (
+	mFlushes = obs.Default.Counter("budget_flushes_total")
+	mTrips   = obs.Default.Counter("budget_trips_total")
+	mGraces  = obs.Default.Counter("budget_graces_total")
 )
 
 // Hook is a fault-injection callback consulted at every checkpoint; n is
@@ -149,6 +159,7 @@ func (m *Meter) trip(err error) error {
 	if m.err == nil {
 		m.err = err
 		m.tripped.Store(true)
+		mTrips.Inc()
 	}
 	return m.err
 }
@@ -162,6 +173,7 @@ func (m *Meter) Grace() {
 	m.err = nil
 	m.graces++
 	m.mu.Unlock()
+	mGraces.Inc()
 	if m.hasDeadline {
 		g := m.budget.Deadline / 4
 		if g < 5*time.Millisecond {
@@ -228,6 +240,7 @@ func (p *Probe) Flush() error {
 	sc := m.scan.Add(p.scan)
 	p.points, p.scan, p.pending = 0, 0, 0
 	n := m.checks.Add(1)
+	mFlushes.Inc()
 	if m.budget.Hook != nil {
 		if err := m.budget.Hook(n); err != nil {
 			return m.trip(err)

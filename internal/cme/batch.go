@@ -2,6 +2,7 @@ package cme
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/pprof"
@@ -10,15 +11,40 @@ import (
 	"sync"
 	"time"
 
+	"cachemodel/internal/budget"
 	"cachemodel/internal/cache"
 	"cachemodel/internal/cerr"
 	"cachemodel/internal/ir"
 	"cachemodel/internal/layout"
+	"cachemodel/internal/obs"
 	"cachemodel/internal/poly"
 	"cachemodel/internal/reuse"
 	"cachemodel/internal/sampling"
 	"cachemodel/internal/trace"
 )
+
+// BatchError reports the candidates a SolveBatch call could not solve
+// (invalid configuration, failed layout, analyzer construction error).
+// The batch continues past such candidates: their reports stay nil while
+// every other candidate is solved normally, so callers can surface
+// per-candidate failures instead of losing the whole sweep.
+type BatchError struct {
+	Errs map[int]error // candidate index → its error
+}
+
+func (e *BatchError) Error() string {
+	idxs := make([]int, 0, len(e.Errs))
+	for i := range e.Errs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d of batch candidates failed:", len(e.Errs))
+	for _, i := range idxs {
+		fmt.Fprintf(&b, " [%d] %v;", i, e.Errs[i])
+	}
+	return strings.TrimSuffix(b.String(), ";")
+}
 
 // Candidate is one point of a design-space sweep: a cache geometry plus an
 // optional inter-array layout. A nil Layout keeps the layout the program
@@ -46,6 +72,12 @@ type BatchOptions struct {
 	// Workers sets the solver pool size (0 = GOMAXPROCS). Results are
 	// bit-identical at any worker count.
 	Workers int
+	// Budget caps the whole batch (shared across candidates). On
+	// exhaustion each candidate's unfinished references walk the same
+	// degradation ladder as the solo solvers (sampled fallback, then
+	// probabilistic), with per-candidate Degraded/Tier provenance. The
+	// zero value imposes no limits.
+	Budget budget.Budget
 }
 
 // SolveBatch evaluates every candidate against the Prepared program and
@@ -74,20 +106,29 @@ type BatchOptions struct {
 //
 // Duplicate candidates inside one call are solved once and copied.
 // SolveBatch honours ctx cancellation (returning cerr.ErrCanceled with
-// the completed candidates' reports in place) but not budget.Budget — a
-// sweep is already the cheap formulation; budget individual candidates
-// with FindMissesCtx instead.
+// the completed candidates' reports in place) and opt.Budget (degrading
+// per candidate like the solo solvers). A candidate that cannot be
+// solved at all — invalid configuration, failed layout — does not abort
+// the batch: its report stays nil and the call returns a *BatchError
+// naming every such candidate alongside the solved reports.
 func (p *Prepared) SolveBatch(ctx context.Context, cands []Candidate, opt BatchOptions) ([]*Report, error) {
 	start := time.Now()
+	col := obs.FromContext(ctx)
+	ctx, span := obs.StartSpan(ctx, "solve.batch")
+	defer span.End()
+	errs := map[int]error{}
 	for i := range cands {
 		if err := cands[i].Config.Validate(); err != nil {
-			return nil, fmt.Errorf("candidate %d (%s): %w", i, cands[i].Label, err)
+			errs[i] = fmt.Errorf("candidate %d (%s): %w", i, cands[i].Label, err)
 		}
 	}
 	workers := opt.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	span.SetAttr("candidates", len(cands))
+	span.SetAttr("workers", workers)
+	mBatchCands.Add(int64(len(cands)))
 	mode := solveMode{}
 	if opt.Plan != nil {
 		if err := opt.Plan.Validate(); err != nil {
@@ -108,34 +149,51 @@ func (p *Prepared) SolveBatch(ctx context.Context, cands []Candidate, opt BatchO
 		p.warmAddresses()
 	}()
 
+	m := budget.NewMeter(ctx, opt.Budget)
 	reports := make([]*Report, len(cands))
-	// Layout groups, in first-appearance order.
-	groupOf := make([]string, len(cands))
+	// Layout groups over the solvable candidates, in first-appearance
+	// order.
 	var order []string
 	members := map[string][]int{}
 	for i := range cands {
+		if errs[i] != nil {
+			continue
+		}
 		key := layoutKey(cands[i].Layout)
 		if _, ok := members[key]; !ok {
 			order = append(order, key)
 		}
-		groupOf[i] = key
 		members[key] = append(members[key], i)
 	}
 	for _, key := range order {
 		idxs := members[key]
 		if err := p.applyLayout(cands[idxs[0]].Layout, snap); err != nil {
-			return reports, err
+			// A failed layout sinks only its group's candidates.
+			for _, ci := range idxs {
+				errs[ci] = fmt.Errorf("candidate %d (%s): %w", ci, cands[ci].Label, err)
+			}
+			continue
 		}
-		if err := p.solveLayoutGroup(ctx, cands, idxs, key, mode, opt, workers, reports); err != nil {
+		if err := p.solveLayoutGroup(ctx, m, col, cands, idxs, key, mode, opt, workers, reports, errs); err != nil {
+			// Cancellation / hard budget failure: abort the whole batch.
+			stampBatch(reports, start)
 			return reports, err
 		}
 	}
+	stampBatch(reports, start)
+	if len(errs) > 0 {
+		return reports, &BatchError{Errs: errs}
+	}
+	return reports, nil
+}
+
+// stampBatch stamps the shared elapsed time on every solved report.
+func stampBatch(reports []*Report, start time.Time) {
 	for _, rep := range reports {
 		if rep != nil {
 			rep.Elapsed = time.Since(start)
 		}
 	}
-	return reports, nil
 }
 
 // baseSnapshot remembers every array base so candidate layouts can be
@@ -222,8 +280,10 @@ func candKey(cfg cache.Config) string {
 }
 
 // solveLayoutGroup solves the candidates of one layout group (bases
-// already applied and warmed) and fills their reports.
-func (p *Prepared) solveLayoutGroup(ctx context.Context, cands []Candidate, idxs []int, layoutID string, mode solveMode, opt BatchOptions, workers int, reports []*Report) error {
+// already applied and warmed) and fills their reports. Per-candidate
+// construction failures land in errs; the returned error is reserved for
+// whole-batch aborts (cancellation, NoFallback budget exhaustion).
+func (p *Prepared) solveLayoutGroup(ctx context.Context, m *budget.Meter, col *obs.Collector, cands []Candidate, idxs []int, layoutID string, mode solveMode, opt BatchOptions, workers int, reports []*Report, errs map[int]error) error {
 	// Deduplicate identical (geometry, mode) candidates inside the group.
 	firstOf := map[string]int{}
 	var solve []int // candidate indices that actually solve
@@ -237,12 +297,14 @@ func (p *Prepared) solveLayoutGroup(ctx context.Context, cands []Candidate, idxs
 			solve = append(solve, ci)
 		}
 	}
+	mBatchDedup.Add(int64(len(dupOf)))
 
 	states := make([]*batchCand, 0, len(solve))
 	for _, ci := range solve {
 		a, err := p.Analyzer(cands[ci].Config)
 		if err != nil {
-			return err
+			errs[ci] = fmt.Errorf("candidate %d (%s): %w", ci, cands[ci].Label, err)
+			continue
 		}
 		cs := &batchCand{ci: ci, label: cands[ci].Label, a: a,
 			rep:  &Report{Config: cands[ci].Config, Sampled: mode.sampled},
@@ -265,14 +327,16 @@ func (p *Prepared) solveLayoutGroup(ctx context.Context, cands []Candidate, idxs
 		reports[ci] = cs.rep
 	}
 
-	var err error
+	var serr error
 	if mode.sampled {
-		err = p.solveSampled(ctx, states, *opt.Plan, workers)
+		serr = p.solveSampled(ctx, m, col, states, *opt.Plan, workers)
 	} else {
-		err = p.solveExactFused(ctx, states, workers)
+		serr = p.solveExactFused(ctx, m, col, states, workers)
 	}
-	// Publish solved results to the cache (complete refs only — a
-	// cancelled run must not poison the store with partial counts).
+	// Publish solved results to the cache BEFORE any degradation:
+	// complete refs only, still at the requested tier, so neither a
+	// cancelled run nor a degraded one can poison the store (a degraded
+	// ref is re-completed at a cheaper tier under the same key).
 	if opt.Cache != nil {
 		for _, cs := range states {
 			for ri := range p.np.Refs {
@@ -281,6 +345,17 @@ func (p *Prepared) solveLayoutGroup(ctx context.Context, cands []Candidate, idxs
 				}
 			}
 		}
+	}
+	// Degradation ladder for whatever the budget cut short, mirroring the
+	// solo solvers per candidate.
+	fallback := sampling.DefaultFallback
+	if mode.sampled {
+		fallback = mode.plan
+	}
+	derr := p.degradeBatch(m, states, fallback)
+	if derr == nil && serr != nil {
+		// Cancellation observed by the solver pool on an unlimited meter.
+		derr = serr
 	}
 	for _, cs := range states {
 		cs.rep.Tier = TierExact
@@ -294,14 +369,80 @@ func (p *Prepared) solveLayoutGroup(ctx context.Context, cands []Candidate, idxs
 		}
 	}
 	for dup, src := range dupOf {
+		if reports[src] == nil {
+			errs[dup] = errs[src]
+			continue
+		}
 		reports[dup] = copyReport(reports[src], cands[dup].Config)
 	}
-	return err
+	return derr
+}
+
+// degradeBatch walks the degradation ladder for every candidate with
+// budget-interrupted references, exactly as Analyzer.degrade does for a
+// solo run: one shared Grace re-arms the meter, incomplete exact-tier
+// refs are resampled under the fallback plan, and whatever still cannot
+// finish drops to the closed-form probabilistic baseline. Cancellation
+// and NoFallback budgets abort instead of degrading.
+func (p *Prepared) degradeBatch(m *budget.Meter, states []*batchCand, fallback sampling.Plan) error {
+	err := m.Err()
+	stamp := func() {
+		for _, cs := range states {
+			cs.rep.BudgetSpent = m.Spent()
+		}
+	}
+	if err == nil {
+		stamp()
+		return nil
+	}
+	if errors.Is(err, cerr.ErrCanceled) || m.NoFallback() {
+		stamp()
+		return err
+	}
+	incomplete := func(cs *batchCand) bool {
+		for _, rr := range cs.rep.Refs {
+			if !rr.Complete {
+				return true
+			}
+		}
+		return false
+	}
+	firstIncompleteTier := TierProbabilistic
+	for _, cs := range states {
+		for _, rr := range cs.rep.Refs {
+			if !rr.Complete && rr.Tier < firstIncompleteTier {
+				firstIncompleteTier = rr.Tier
+			}
+		}
+	}
+	if firstIncompleteTier == TierExact {
+		m.Grace()
+		for _, cs := range states {
+			if !incomplete(cs) {
+				continue
+			}
+			serr := cs.a.resampleIncomplete(m, cs.rep, fallback)
+			cs.rep.Degraded = true
+			if serr != nil && errors.Is(serr, cerr.ErrCanceled) {
+				stamp()
+				return serr
+			}
+		}
+	}
+	for _, cs := range states {
+		if incomplete(cs) {
+			cs.a.probIncomplete(cs.rep)
+			cs.rep.Degraded = true
+		}
+	}
+	stamp()
+	return nil
 }
 
 // copyReport deep-copies a report for a duplicate candidate.
 func copyReport(src *Report, cfg cache.Config) *Report {
-	out := &Report{Config: cfg, Sampled: src.Sampled, Tier: src.Tier, Elapsed: src.Elapsed}
+	out := &Report{Config: cfg, Sampled: src.Sampled, Tier: src.Tier, Elapsed: src.Elapsed,
+		Degraded: src.Degraded, BudgetSpent: src.BudgetSpent}
 	out.Refs = make([]*RefReport, len(src.Refs))
 	for i, rr := range src.Refs {
 		cp := *rr
@@ -329,16 +470,18 @@ type batchCand struct {
 // reference, independently of the geometry, and each item replays exactly
 // the solo code path (including the Adaptive stopping rule when the
 // Prepared Options enable it).
-func (p *Prepared) solveSampled(ctx context.Context, states []*batchCand, plan sampling.Plan, workers int) error {
+func (p *Prepared) solveSampled(ctx context.Context, m *budget.Meter, col *obs.Collector, states []*batchCand, plan sampling.Plan, workers int) error {
 	type item struct {
 		cs *batchCand
 		ri int
 	}
 	var items []item
+	var planned int64
 	for _, cs := range states {
-		for ri := range p.np.Refs {
+		for ri, r := range p.np.Refs {
 			if cs.need[ri] {
 				items = append(items, item{cs, ri})
+				planned += plannedFor(plan, p.spaces[r.Stmt].Volume())
 			}
 		}
 	}
@@ -347,6 +490,7 @@ func (p *Prepared) solveSampled(ctx context.Context, states []*batchCand, plan s
 		queue <- it
 	}
 	close(queue)
+	limited := !m.Unlimited()
 	var wg sync.WaitGroup
 	var canceled bool
 	var mu sync.Mutex
@@ -355,12 +499,20 @@ func (p *Prepared) solveSampled(ctx context.Context, states []*batchCand, plan s
 		go func() {
 			defer wg.Done()
 			walker := trace.NewWalker(p.np)
+			var pb *budget.Probe
+			if limited {
+				pb = m.Probe()
+				defer pb.Drain()
+			}
 			for it := range queue {
 				if ctx.Err() != nil {
 					mu.Lock()
 					canceled = true
 					mu.Unlock()
 					return
+				}
+				if m.Err() != nil {
+					return // another worker tripped the meter
 				}
 				a := it.cs.a
 				c := a.newClassifierW(walker)
@@ -370,11 +522,12 @@ func (p *Prepared) solveSampled(ctx context.Context, states []*batchCand, plan s
 				if a.opt.ProfileLabels {
 					pprof.Do(context.Background(),
 						pprof.Labels("candidate", it.cs.label, "ref", r.ID, "tile", "full"),
-						func(context.Context) { work(c, r, rr, nil) })
+						func(context.Context) { work(c, r, rr, pb) })
 				} else {
-					work(c, r, rr, nil)
+					work(c, r, rr, pb)
 				}
 				c.release()
+				col.AddProgress("solve.batch", rr.Analyzed, planned, it.cs.label+"/"+r.ID)
 			}
 		}()
 	}
@@ -406,7 +559,7 @@ type fuseGroup struct {
 // have to fuse classifyDynamic, so each candidate degenerates to its own
 // bucket and the plain per-candidate classifier runs instead — still on
 // the shared pool and shared Prepared state.
-func (p *Prepared) solveExactFused(ctx context.Context, states []*batchCand, workers int) error {
+func (p *Prepared) solveExactFused(ctx context.Context, m *budget.Meter, col *obs.Collector, states []*batchCand, workers int) error {
 	// Bucket candidates by line size (or singleton buckets under dynamic
 	// reuse, where the fused classifier does not apply).
 	groups := map[int64]*fuseGroup{}
@@ -473,12 +626,21 @@ func (p *Prepared) solveExactFused(ctx context.Context, states []*batchCand, wor
 			}
 		}
 	}
+	// Progress denominator: every (active candidate, ref) pair classifies
+	// the ref's full volume.
+	var progTotal int64
+	for _, g := range order {
+		for ri, r := range p.np.Refs {
+			progTotal += int64(len(g.active[ri])) * p.spaces[r.Stmt].Volume()
+		}
+	}
 	queue := make(chan *tileItem, len(items))
 	for _, it := range items {
 		queue <- it
 	}
 	close(queue)
 
+	limited := !m.Unlimited()
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var canceled bool
@@ -493,11 +655,16 @@ func (p *Prepared) solveExactFused(ctx context.Context, states []*batchCand, wor
 					fc.release()
 				}
 			}()
+			var pb *budget.Probe
+			if limited {
+				pb = m.Probe()
+				defer pb.Drain()
+			}
 			for it := range queue {
 				mu.Lock()
 				stop := canceled
 				mu.Unlock()
-				if stop {
+				if stop || m.Err() != nil {
 					return
 				}
 				fc := fcs[it.g]
@@ -505,13 +672,17 @@ func (p *Prepared) solveExactFused(ctx context.Context, states []*batchCand, wor
 					fc = newFusedClassifier(it.g, walker, p)
 					fcs[it.g] = fc
 				}
-				run := func() { fc.runTile(ctx, it.ri, it.tile, it.g.active[it.ri], it.parts) }
+				var rerr error
+				run := func() { rerr = fc.runTile(ctx, it.ri, it.tile, it.g.active[it.ri], it.parts, pb) }
 				if p.opt.ProfileLabels {
 					pprof.Do(context.Background(),
 						pprof.Labels("candidate", it.g.candLabel(it.ri), "ref", p.np.Refs[it.ri].ID, "tile", tileLabel(it.tile)),
 						func(context.Context) { run() })
 				} else {
 					run()
+				}
+				if rerr != nil {
+					return // meter tripped; the merge leaves this ref incomplete
 				}
 				if ctx.Err() != nil {
 					mu.Lock()
@@ -520,6 +691,11 @@ func (p *Prepared) solveExactFused(ctx context.Context, states []*batchCand, wor
 					return
 				}
 				it.done = true
+				var delta int64
+				for k := range it.parts {
+					delta += it.parts[k].Analyzed
+				}
+				col.AddProgress("solve.batch", delta, progTotal, p.np.Refs[it.ri].ID)
 			}
 		}()
 	}

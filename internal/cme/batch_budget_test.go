@@ -1,0 +1,108 @@
+package cme
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cachemodel/internal/budget"
+	"cachemodel/internal/cache"
+	"cachemodel/internal/faultinject"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+)
+
+// TestFusedBudgetCheckpointParity proves the fused batch solver spends
+// budget exactly like the solo exact solver: with a hook firing at the Nth
+// cooperative checkpoint (every classified point flushes under a hook, and
+// Workers=1 fixes the traversal order), a single-candidate batch must trip
+// at the same point, degrade the same references, and produce a report
+// whose per-reference provenance is bit-identical to solo FindMissesCtx
+// under a twin injector.
+func TestFusedBudgetCheckpointParity(t *testing.T) {
+	build := func() *ir.Subroutine { return copyThenRead(48) }
+	cfg := cache.Config{SizeBytes: 256, LineBytes: 32, Assoc: 2}
+	degraded := 0
+	for _, n := range []int64{1, 7, 40, 120, 1 << 20} {
+		// Solo run. The injector CAS fires exactly once, so each run needs
+		// its own injector with the same N.
+		np, err := normalize.Normalize(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		a, err := New(np, cfg, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, serr := a.FindMissesCtx(context.Background(), budget.Budget{Hook: faultinject.ExhaustAt(n).Hook()})
+		if serr != nil {
+			t.Fatalf("n=%d: solo did not degrade: %v", n, serr)
+		}
+
+		// Batch run: one candidate, same geometry, twin injector.
+		_, p := prepBatch(t, build(), Options{Workers: 1})
+		reps, berr := p.SolveBatch(context.Background(),
+			[]Candidate{{Label: "twin", Config: cfg}},
+			BatchOptions{Workers: 1, Budget: budget.Budget{Hook: faultinject.ExhaustAt(n).Hook()}})
+		if berr != nil {
+			t.Fatalf("n=%d: batch did not degrade: %v", n, berr)
+		}
+		got := reps[0]
+
+		if got.Tier != solo.Tier || got.Degraded != solo.Degraded {
+			t.Errorf("n=%d: batch tier=%v degraded=%v, solo tier=%v degraded=%v",
+				n, got.Tier, got.Degraded, solo.Tier, solo.Degraded)
+		}
+		if len(got.Refs) != len(solo.Refs) {
+			t.Fatalf("n=%d: %d refs vs %d", n, len(got.Refs), len(solo.Refs))
+		}
+		for i, g := range got.Refs {
+			w := solo.Refs[i]
+			if g.Tier != w.Tier || g.Complete != w.Complete || g.Sampled != w.Sampled ||
+				g.Analyzed != w.Analyzed || g.Hits != w.Hits || g.Cold != w.Cold || g.Repl != w.Repl {
+				t.Errorf("n=%d ref %d (%s): batch {tier=%v complete=%v sampled=%v n=%d hit=%d cold=%d repl=%d} vs solo {tier=%v complete=%v sampled=%v n=%d hit=%d cold=%d repl=%d}",
+					n, i, w.Ref.ID,
+					g.Tier, g.Complete, g.Sampled, g.Analyzed, g.Hits, g.Cold, g.Repl,
+					w.Tier, w.Complete, w.Sampled, w.Analyzed, w.Hits, w.Cold, w.Repl)
+			}
+		}
+		if solo.Degraded {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("no injection point actually degraded; the parity test proved nothing")
+	}
+}
+
+// TestSolveBatchPartialFailure: an invalid candidate is recorded in the
+// returned *BatchError with a nil report while the valid candidates still
+// solve, bit-identically to their solo runs.
+func TestSolveBatchPartialFailure(t *testing.T) {
+	_, p := prepBatch(t, stencil1D(64), Options{})
+	good := cache.Config{SizeBytes: 256, LineBytes: 32, Assoc: 1}
+	bad := cache.Config{SizeBytes: 100, LineBytes: 32, Assoc: 1} // not line×assoc divisible
+	cands := []Candidate{
+		{Label: "good", Config: good},
+		{Label: "bad", Config: bad},
+		{Label: "good2", Config: good},
+	}
+	reps, err := p.SolveBatch(context.Background(), cands, BatchOptions{Workers: 2})
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BatchError", err)
+	}
+	if len(be.Errs) != 1 || be.Errs[1] == nil {
+		t.Fatalf("Errs = %v, want exactly index 1", be.Errs)
+	}
+	if reps[1] != nil {
+		t.Error("failed candidate still produced a report")
+	}
+	want := soloReport(t, func() *ir.Subroutine { return stencil1D(64) }, good, nil, Options{}, nil)
+	sameCounts(t, "good", reps[0], want)
+	sameCounts(t, "good2", reps[2], want)
+}

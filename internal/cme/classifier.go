@@ -310,6 +310,12 @@ type classifier struct {
 	s      *walkScratch
 	lbuf   []int // reusable producer-point buffers
 	pbuf   []int64
+
+	// Local metric accumulators, flushed into the obs registry once at
+	// release() so the hot loop never touches an atomic.
+	nWalks    int64
+	nMemoHits int64
+	nSteps    int64
 }
 
 func (a *Analyzer) newClassifier() *classifier {
@@ -327,13 +333,22 @@ func (a *Analyzer) newClassifierW(w *trace.Walker) *classifier {
 	return c
 }
 
-// release recycles the classifier's scratch; the classifier must not be
-// used afterwards.
+// release recycles the classifier's scratch and flushes the locally
+// accumulated metrics; the classifier must not be used afterwards.
 func (c *classifier) release() {
 	if c.s != nil {
 		c.s.release()
 		c.s = nil
 	}
+	c.flushMetrics()
+}
+
+// flushMetrics publishes the local walk counters and resets them.
+func (c *classifier) flushMetrics() {
+	mWalks.Add(c.nWalks)
+	mWalkMemoHits.Add(c.nMemoHits)
+	mWalkSteps.Add(c.nSteps)
+	c.nWalks, c.nMemoHits, c.nSteps = 0, 0, 0
 }
 
 func (c *classifier) resetDistinct()          { c.s.reset() }
@@ -436,12 +451,17 @@ func (c *classifier) classify(r *ir.NRef, idx []int64) (Outcome, int64) {
 			}
 			if e, ok := vm[string(key)]; ok {
 				evicted, scanned = e.evicted, e.scanned
+				c.nMemoHits++
 			} else {
 				evicted, scanned = c.replacementWalk(producer, consumer, line, set, k)
 				vm[string(key)] = memoEntry{scanned: scanned, evicted: evicted}
+				c.nWalks++
+				c.nSteps += scanned
 			}
 		} else {
 			evicted, scanned = c.replacementWalk(producer, consumer, line, set, k)
+			c.nWalks++
+			c.nSteps += scanned
 		}
 		if evicted {
 			return ReplacementMiss, scanned

@@ -39,6 +39,7 @@ import (
 	"cachemodel/internal/cache"
 	"cachemodel/internal/cerr"
 	"cachemodel/internal/ir"
+	"cachemodel/internal/obs"
 	"cachemodel/internal/poly"
 	"cachemodel/internal/prob"
 	"cachemodel/internal/reuse"
@@ -457,25 +458,38 @@ func (a *Analyzer) FindMisses() *Report {
 // ErrBudgetExceeded.
 func (a *Analyzer) FindMissesCtx(ctx context.Context, b budget.Budget) (*Report, error) {
 	start := time.Now()
+	col := obs.FromContext(ctx)
+	ctx, span := obs.StartSpan(ctx, "solve.exact")
+	defer span.End()
 	m := budget.NewMeter(ctx, b)
 	rep := &Report{Config: a.cfg}
 	workers := a.opt.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	span.SetAttr("workers", workers)
+	span.SetAttr("refs", len(a.np.Refs))
 	if workers > 1 && len(a.np.Refs) > 0 {
-		rep.Refs, _ = a.findTiled(m, workers)
+		rep.Refs, _ = a.findTiled(m, workers, col)
 	} else {
+		var totVol int64
+		if col != nil {
+			a.warm()
+			for _, r := range a.np.Refs {
+				totVol += a.spaces[r.Stmt].Volume()
+			}
+		}
 		rep.Refs, _ = a.perRefBudget(m, func(c *classifier, r *ir.NRef, rr *RefReport, p *budget.Probe) error {
 			rr.Tier = TierExact
 			perr := a.runTile(c, r, poly.FullTile(), rr, p)
 			if perr == nil {
 				rr.Complete = true
 			}
+			col.AddProgress("solve.exact", rr.Analyzed, totVol, r.ID)
 			return perr
 		})
 	}
-	return a.degrade(m, rep, start, sampling.DefaultFallback)
+	return a.degrade(ctx, m, rep, start, sampling.DefaultFallback)
 }
 
 // tileFactor is the work-queue overdecomposition ratio of the tiled exact
@@ -489,6 +503,7 @@ const tileFactor = 4
 // exact pass is runTile over the full tile).
 func (a *Analyzer) runTile(c *classifier, r *ir.NRef, t poly.Tile, rr *RefReport, p *budget.Probe) error {
 	var perr error
+	before := rr.Analyzed
 	a.spaces[r.Stmt].EnumerateTile(t, func(idx []int64) bool {
 		out, scanned := c.classify(r, idx)
 		rr.Analyzed++
@@ -507,6 +522,8 @@ func (a *Analyzer) runTile(c *classifier, r *ir.NRef, t poly.Tile, rr *RefReport
 		}
 		return true
 	})
+	mTilesSolved.Inc()
+	mPointsClassed.Add(rr.Analyzed - before)
 	return perr
 }
 
@@ -542,7 +559,7 @@ func tileLabel(t poly.Tile) string {
 // count or scheduling order. A reference is Complete only if all its tiles
 // ran to completion. Budget checkpoints keep iteration-point granularity
 // via per-worker probes, exactly as in the per-reference fan-out.
-func (a *Analyzer) findTiled(m *budget.Meter, workers int) ([]*RefReport, error) {
+func (a *Analyzer) findTiled(m *budget.Meter, workers int, col *obs.Collector) ([]*RefReport, error) {
 	a.warm()
 	out := make([]*RefReport, len(a.np.Refs))
 	var totVol int64
@@ -604,6 +621,7 @@ func (a *Analyzer) findTiled(m *budget.Meter, workers int) ([]*RefReport, error)
 					break
 				}
 				it.done = true
+				col.AddProgress("solve.exact", it.part.Analyzed, totVol, a.np.Refs[it.ref].ID)
 			}
 			if p != nil {
 				p.Drain()
@@ -650,12 +668,51 @@ func (a *Analyzer) EstimateMissesCtx(ctx context.Context, b budget.Budget, plan 
 		return nil, err
 	}
 	start := time.Now()
+	col := obs.FromContext(ctx)
+	ctx, span := obs.StartSpan(ctx, "solve.sampled")
+	defer span.End()
 	m := budget.NewMeter(ctx, b)
 	rep := &Report{Config: a.cfg, Sampled: true}
-	rep.Refs, _ = a.perRefBudget(m, a.sampleWorker(plan))
+	work := a.sampleWorker(plan)
+	var planned int64
+	if col != nil {
+		planned = a.plannedSample(plan)
+	}
+	span.SetAttr("refs", len(a.np.Refs))
+	rep.Refs, _ = a.perRefBudget(m, func(c *classifier, r *ir.NRef, rr *RefReport, p *budget.Probe) error {
+		err := work(c, r, rr, p)
+		col.AddProgress("solve.sampled", rr.Analyzed, planned, r.ID)
+		return err
+	})
 	// The exact rung is already behind us: degrade straight to the
 	// probabilistic tier for whatever the sampling pass did not finish.
-	return a.degrade(m, rep, start, plan)
+	return a.degrade(ctx, m, rep, start, plan)
+}
+
+// plannedSample returns the a-priori total of points the sampling pass
+// will classify across all references under plan (the denominator of the
+// progress stream; the adaptive sampler may stop short of it).
+func (a *Analyzer) plannedSample(plan sampling.Plan) int64 {
+	a.warm()
+	var tot int64
+	for _, r := range a.np.Refs {
+		tot += plannedFor(plan, a.spaces[r.Stmt].Volume())
+	}
+	return tot
+}
+
+// plannedFor returns how many points the sampling pass will classify for
+// one reference of the given volume under plan (mirroring sampleWorker's
+// plan selection).
+func plannedFor(plan sampling.Plan, vol int64) int64 {
+	switch {
+	case plan.Achievable(vol):
+		return int64(plan.SizeFor(vol))
+	case sampling.DefaultFallback.Achievable(vol):
+		return int64(sampling.DefaultFallback.SizeFor(vol))
+	default:
+		return vol
+	}
 }
 
 // sampleWorker returns the per-reference sampling pass of Fig. 6 (right)
@@ -680,6 +737,7 @@ func (a *Analyzer) sampleWorker(plan sampling.Plan) func(*classifier, *ir.NRef, 
 		case sampling.DefaultFallback.Achievable(vol):
 			rr.Sampled = true
 			splan, capN = sampling.DefaultFallback, sampling.DefaultFallback.SizeFor(vol)
+			sampling.FallbackPlans.Inc()
 		default:
 			// Analyse all points: a full census of a small RIS.
 			rr.Tier = TierExact
@@ -717,6 +775,10 @@ func (a *Analyzer) sampleWorker(plan sampling.Plan) func(*classifier, *ir.NRef, 
 		}
 		if perr == nil {
 			rr.Complete = true
+		}
+		mPointsClassed.Add(rr.Analyzed)
+		if rr.Sampled {
+			sampling.Draws.Add(rr.Analyzed)
 		}
 		return perr
 	}
@@ -756,6 +818,7 @@ func sampleAdaptive(sp *poly.Space, rng *rand.Rand, plan sampling.Plan, vol int6
 			}
 			if rr.Analyzed >= adaptiveMin &&
 				plan.WilsonHalfWidth(rr.MissRatio(), int(rr.Analyzed), vol) <= plan.W {
+				sampling.EarlyStops.Inc()
 				return
 			}
 		}
@@ -769,7 +832,7 @@ func sampleAdaptive(sp *poly.Space, rng *rand.Rand, plan sampling.Plan, vol int6
 // rungs of the ladder for every incomplete reference. fallbackPlan is the
 // sampling plan the TierSampled rung uses (the paper's widened fallback
 // interval when coming from FindMisses).
-func (a *Analyzer) degrade(m *budget.Meter, rep *Report, start time.Time, fallbackPlan sampling.Plan) (*Report, error) {
+func (a *Analyzer) degrade(ctx context.Context, m *budget.Meter, rep *Report, start time.Time, fallbackPlan sampling.Plan) (*Report, error) {
 	err := m.Err()
 	if err == nil {
 		// Completed within budget; nothing to degrade. (Individual refs
@@ -781,6 +844,8 @@ func (a *Analyzer) degrade(m *budget.Meter, rep *Report, start time.Time, fallba
 		rep.finalize(m, start)
 		return rep, err
 	}
+	_, dspan := obs.StartSpan(ctx, "degrade")
+	defer dspan.End()
 	// TierSampled rung, for references the exact pass left unfinished.
 	// Skip it if this pass already was the sampling pass.
 	firstIncompleteTier := TierProbabilistic
@@ -802,6 +867,7 @@ func (a *Analyzer) degrade(m *budget.Meter, rep *Report, start time.Time, fallba
 	a.probIncomplete(rep)
 	rep.Degraded = true
 	rep.finalize(m, start)
+	dspan.SetAttr("tier", rep.Tier.String())
 	return rep, nil
 }
 

@@ -4,7 +4,9 @@ import (
 	"context"
 	"math/bits"
 
+	"cachemodel/internal/budget"
 	"cachemodel/internal/ir"
+	"cachemodel/internal/obs"
 	"cachemodel/internal/poly"
 	"cachemodel/internal/reuse"
 	"cachemodel/internal/trace"
@@ -49,6 +51,12 @@ type fusedClassifier struct {
 	// not model; such groups are singletons and delegate to the full
 	// per-candidate classifier.
 	plain *classifier
+
+	// Local metric accumulators (flushed at release, never per point).
+	hCands    *obs.LocalHistogram // candidates per fused traversal
+	nWalks    int64
+	nMemoHits int64
+	nSteps    int64
 }
 
 // fcState is one candidate's slice of the fused walk: its geometry, its
@@ -83,7 +91,8 @@ type fcWalkEntry struct {
 
 func newFusedClassifier(g *fuseGroup, w *trace.Walker, p *Prepared) *fusedClassifier {
 	fc := &fusedClassifier{p: p, g: g, w: w, paperLRU: p.opt.PaperLRU,
-		states: make([]*fcState, len(g.cands)), lineShift: -1}
+		states: make([]*fcState, len(g.cands)), lineShift: -1,
+		hCands: mFusedCandidates.NewLocal()}
 	if g.lineBytes&(g.lineBytes-1) == 0 {
 		fc.lineShift = bits.TrailingZeros64(uint64(g.lineBytes))
 	}
@@ -105,7 +114,8 @@ func newFusedClassifier(g *fuseGroup, w *trace.Walker, p *Prepared) *fusedClassi
 	return fc
 }
 
-// release recycles the per-candidate scratches.
+// release recycles the per-candidate scratches and flushes the locally
+// accumulated metrics.
 func (fc *fusedClassifier) release() {
 	if fc.plain != nil {
 		fc.plain.release()
@@ -117,19 +127,29 @@ func (fc *fusedClassifier) release() {
 			s.scratch = nil
 		}
 	}
+	fc.hCands.Flush()
+	mWalks.Add(fc.nWalks)
+	mWalkMemoHits.Add(fc.nMemoHits)
+	mWalkSteps.Add(fc.nSteps)
+	fc.nWalks, fc.nMemoHits, fc.nSteps = 0, 0, 0
 }
 
 // runTile classifies every point of reference ri inside the tile for the
 // candidates listed in active (positions into g.cands), accumulating each
 // candidate's counts into the parallel parts slice. ctx is polled every
 // 4096 points; an aborted tile leaves partial parts and is not marked
-// done by the caller.
-func (fc *fusedClassifier) runTile(ctx context.Context, ri int, t poly.Tile, active []int, parts []RefReport) {
+// done by the caller. A non-nil probe is consulted per point with the
+// fused totals — len(active) classified points and the summed logical
+// scan work — so a single-candidate batch spends the budget exactly as
+// the solo exact solver does (Check(1, scanned) per point, cold = 0).
+func (fc *fusedClassifier) runTile(ctx context.Context, ri int, t poly.Tile, active []int, parts []RefReport, p *budget.Probe) error {
 	r := fc.p.np.Refs[ri]
+	var perr error
 	if fc.plain != nil {
 		n := 0
+		before := parts[0].Analyzed
 		fc.p.spaces[r.Stmt].EnumerateTile(t, func(idx []int64) bool {
-			out, _ := fc.plain.classify(r, idx)
+			out, scanned := fc.plain.classify(r, idx)
 			parts[0].Analyzed++
 			switch out {
 			case Hit:
@@ -139,25 +159,50 @@ func (fc *fusedClassifier) runTile(ctx context.Context, ri int, t poly.Tile, act
 			case ReplacementMiss:
 				parts[0].Repl++
 			}
+			if p != nil {
+				if perr = p.Check(1, scanned); perr != nil {
+					return false
+				}
+			}
 			n++
 			return n&4095 != 0 || ctx.Err() == nil
 		})
-		return
+		mTilesSolved.Inc()
+		mPointsClassed.Add(parts[0].Analyzed - before)
+		return perr
 	}
 	fc.act = fc.act[:0]
 	for _, pos := range active {
 		fc.act = append(fc.act, fc.states[pos])
 	}
+	var before int64
+	for k := range parts {
+		before += parts[k].Analyzed
+	}
 	n := 0
 	fc.p.spaces[r.Stmt].EnumerateTile(t, func(idx []int64) bool {
-		fc.classifyFused(r, idx, parts)
+		scanned := fc.classifyFused(r, idx, parts)
+		if p != nil {
+			if perr = p.Check(int64(len(fc.act)), scanned); perr != nil {
+				return false
+			}
+		}
 		n++
 		return n&4095 != 0 || ctx.Err() == nil
 	})
+	var after int64
+	for k := range parts {
+		after += parts[k].Analyzed
+	}
+	mTilesSolved.Inc()
+	mPointsClassed.Add(after - before)
+	return perr
 }
 
-// classifyFused is classify for all active candidates at once.
-func (fc *fusedClassifier) classifyFused(r *ir.NRef, idx []int64, parts []RefReport) {
+// classifyFused is classify for all active candidates at once. It returns
+// the summed logical scan work of the point across the active candidates
+// (memo replays included; cold misses scan nothing).
+func (fc *fusedClassifier) classifyFused(r *ir.NRef, idx []int64, parts []RefReport) int64 {
 	g := fc.g
 	addr := r.AddressAt(idx)
 	var line int64
@@ -203,6 +248,7 @@ func (fc *fusedClassifier) classifyFused(r *ir.NRef, idx []int64, parts []RefRep
 				}
 				if e, ok := vm[string(key)]; ok {
 					s.evicted, s.scanned, s.walkDone = e.evicted, e.scanned, true
+					fc.nMemoHits++
 				} else {
 					s.key = string(key)
 				}
@@ -212,22 +258,27 @@ func (fc *fusedClassifier) classifyFused(r *ir.NRef, idx []int64, parts []RefRep
 			}
 		}
 		if len(fc.pend) > 0 {
+			fc.hCands.Observe(int64(len(fc.pend)))
 			fc.fusedWalk(producer, consumer, line)
+			fc.nWalks += int64(len(fc.pend))
 			for _, s := range fc.pend {
+				fc.nSteps += s.scanned
 				if s.key != "" {
 					s.memo[v][s.key] = memoEntry{scanned: s.scanned, evicted: s.evicted}
 				}
 			}
 		}
+		var scanned int64
 		for k, s := range fc.act {
 			parts[k].Analyzed++
+			scanned += s.scanned
 			if s.evicted {
 				parts[k].Repl++
 			} else {
 				parts[k].Hits++
 			}
 		}
-		return
+		return scanned
 	}
 	// No reuse vector solves the cold equation: a cold miss everywhere.
 	// (Dynamic reuse never reaches here — NonUniform candidates are
@@ -236,6 +287,7 @@ func (fc *fusedClassifier) classifyFused(r *ir.NRef, idx []int64, parts []RefRep
 		parts[k].Analyzed++
 		parts[k].Cold++
 	}
+	return 0
 }
 
 // fusedWalk runs one shared interval traversal deciding the replacement

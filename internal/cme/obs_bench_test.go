@@ -1,0 +1,51 @@
+package cme
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cachemodel/internal/budget"
+	"cachemodel/internal/cache"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/obs"
+)
+
+// BenchmarkObsOverhead compares an exact solve with no collector in the
+// context (the nil-sink fast path) against the same solve with a live
+// collector, progress sink and span tree attached. The instrumented run
+// must stay within ~2% of the uninstrumented one: the hot loops accumulate
+// into plain locals and publish only at tile and classifier-release
+// boundaries, never per point.
+//
+//	go test ./internal/cme/ -run xxx -bench ObsOverhead -count 5
+func BenchmarkObsOverhead(b *testing.B) {
+	np, err := normalize.Normalize(stencil1D(4096))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2}
+	run := func(b *testing.B, ctx context.Context) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, err := New(np, cfg, Options{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := a.FindMissesCtx(ctx, budget.Budget{})
+			if err != nil || rep.Tier != TierExact {
+				b.Fatalf("tier %v, err %v", rep.Tier, err)
+			}
+		}
+	}
+	b.Run("uninstrumented", func(b *testing.B) { run(b, context.Background()) })
+	b.Run("instrumented", func(b *testing.B) {
+		col := obs.New("bench")
+		col.OnProgress(func(obs.Event) {}, time.Millisecond)
+		run(b, obs.NewContext(context.Background(), col))
+	})
+}

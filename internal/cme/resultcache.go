@@ -13,6 +13,7 @@ import (
 
 	"cachemodel/internal/cache"
 	"cachemodel/internal/ir"
+	"cachemodel/internal/obs"
 	"cachemodel/internal/sampling"
 )
 
@@ -95,9 +96,11 @@ func (c *ResultCache) get(key string) (cachedRef, bool) {
 	if e, ok := c.idx[key]; ok {
 		c.lru.MoveToFront(e)
 		c.hits++
+		mCacheHits.Inc()
 		return e.Value.(*rcEntry).val, true
 	}
 	c.misses++
+	mCacheMisses.Inc()
 	return cachedRef{}, false
 }
 
@@ -116,6 +119,7 @@ func (c *ResultCache) put(key string, v cachedRef) {
 		c.lru.Remove(old)
 		delete(c.idx, old.Value.(*rcEntry).key)
 		c.evicted++
+		mCacheEvictions.Inc()
 	}
 }
 
@@ -133,7 +137,10 @@ type diskEntry struct {
 }
 
 // Save writes the cache contents (least recent first, so a Load replays
-// them into the same recency order) to path as JSON.
+// them into the same recency order) to path as JSON. The write is
+// atomic — temp file, fsync, rename — so an interrupted run (the SIGINT
+// path) can never leave a truncated store behind; the previous store
+// survives intact until the rename commits.
 func (c *ResultCache) Save(path string) error {
 	c.mu.Lock()
 	entries := make([]diskEntry, 0, c.lru.Len())
@@ -146,7 +153,7 @@ func (c *ResultCache) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, blob, 0o644)
+	return obs.WriteFileAtomic(path, blob)
 }
 
 // Load merges entries persisted by Save into the cache. A missing file is

@@ -1,0 +1,160 @@
+package cme
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func rcVal(n int64) cachedRef {
+	return cachedRef{Volume: n, Analyzed: n, Hits: n, Tier: TierExact}
+}
+
+// TestResultCacheEvictionOrder pins the LRU contract: a get promotes, so
+// the entry evicted at capacity is the least recently *used*, not the
+// least recently inserted.
+func TestResultCacheEvictionOrder(t *testing.T) {
+	c := NewResultCache(3)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), rcVal(int64(i)))
+	}
+	if _, ok := c.get("k0"); !ok { // k0 promoted; k1 is now LRU
+		t.Fatal("k0 missing right after insert")
+	}
+	c.put("k3", rcVal(3))
+	if _, ok := c.get("k1"); ok {
+		t.Error("k1 survived past capacity; eviction ignored the get-promotion")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted, want only k1 gone", k)
+		}
+	}
+	s := c.Stats()
+	// gets: k0 hit, k1 miss, then k0/k2/k3 hits.
+	if s.Hits != 4 || s.Misses != 1 || s.Evictions != 1 || s.Entries != 3 {
+		t.Errorf("stats = %+v, want 4 hits / 1 miss / 1 eviction / 3 entries", s)
+	}
+}
+
+// TestResultCachePutPromotes: re-putting an existing key updates the value
+// in place and counts as a touch for eviction order.
+func TestResultCachePutPromotes(t *testing.T) {
+	c := NewResultCache(2)
+	c.put("a", rcVal(1))
+	c.put("b", rcVal(2))
+	c.put("a", rcVal(3)) // update + promote; b becomes LRU
+	c.put("c", rcVal(4)) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived; re-put of a did not promote")
+	}
+	if v, ok := c.get("a"); !ok || v.Volume != 3 {
+		t.Errorf("a = %+v ok=%v, want updated value 3", v, ok)
+	}
+}
+
+// TestResultCacheConcurrent hammers get/put from many goroutines (run
+// under -race) and checks the counters stay coherent: every get is either
+// a hit or a miss, and entries = misses − evictions when every miss is
+// followed by one put of a fresh key.
+func TestResultCacheConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 500
+		capacity   = 64
+	)
+	c := NewResultCache(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i*7)%97)
+				if _, ok := c.get(k); !ok {
+					c.put(k, rcVal(int64(i)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != goroutines*iters {
+		t.Errorf("hits %d + misses %d != %d gets", s.Hits, s.Misses, goroutines*iters)
+	}
+	if s.Entries > capacity {
+		t.Errorf("%d entries, capacity %d", s.Entries, capacity)
+	}
+	// Puts of the same key can race (get-miss then put twice), so puts >=
+	// misses is not exact; but live entries can never exceed distinct keys
+	// and evictions can never exceed puts − entries.
+	if s.Evictions < 0 || s.Entries < 0 {
+		t.Errorf("negative counters: %+v", s)
+	}
+	if s.Misses < int64(s.Entries) {
+		t.Errorf("%d entries from only %d misses", s.Entries, s.Misses)
+	}
+}
+
+// TestResultCacheSaveLoadRecency: Save writes least-recent-first so a Load
+// into a smaller cache keeps the most recently used entries.
+func TestResultCacheSaveLoadRecency(t *testing.T) {
+	c := NewResultCache(0)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), rcVal(int64(i)))
+	}
+	if _, ok := c.get("k0"); !ok { // k0 most recent; k1 now oldest
+		t.Fatal("k0 missing")
+	}
+	path := filepath.Join(t.TempDir(), "rc.json")
+	if err := c.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	d := NewResultCache(3)
+	if err := d.Load(path); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, ok := d.get("k1"); ok {
+		t.Error("k1 survived the capacity-3 reload; Save lost the recency order")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if v, ok := d.get(k); !ok || v.Volume != int64(k[1]-'0') {
+			t.Errorf("%s lost or stale after reload (%+v, ok=%v)", k, v, ok)
+		}
+	}
+}
+
+// TestResultCacheSaveAtomic: Save must replace an existing store without
+// ever leaving a temp file behind (the SIGINT-safety contract).
+func TestResultCacheSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rc.json")
+	c := NewResultCache(0)
+	c.put("old", rcVal(1))
+	if err := c.Save(path); err != nil {
+		t.Fatalf("first save: %v", err)
+	}
+	c.put("new", rcVal(2))
+	if err := c.Save(path); err != nil {
+		t.Fatalf("second save: %v", err)
+	}
+	d := NewResultCache(0)
+	if err := d.Load(path); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, ok := d.get("new"); !ok {
+		t.Error("second save did not replace the store")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package obs is a zero-dependency instrumentation layer for the CME
+// pipeline: a lock-light metrics registry (atomic counters, gauges and
+// fixed-bucket histograms), hierarchical wall-time spans, a throttled
+// progress stream, and exporters (Prometheus text, expvar, JSON run
+// reports).
+//
+// The package is designed around a nil-sink fast path: every entry point
+// that hot code touches is either a plain atomic on a package-global
+// metric (one uncontended atomic add per coarse-grained flush) or a
+// nil-safe method on a *Collector / *Span that returns immediately when
+// no collector is installed.  Hot loops must accumulate into plain local
+// integers and flush at tile / classifier-release boundaries, never
+// per point.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil || d == 0 {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket integer histogram.  Buckets are upper
+// bounds (inclusive), sorted ascending; observations above the last
+// bound land in the implicit +Inf bucket.  Counts are per-bucket
+// (non-cumulative) internally; exporters cumulate as needed.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    atomic.Int64
+	total  atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+func (h *Histogram) bucketFor(v int64) int {
+	// Bucket counts are tiny (≤ a dozen); linear scan beats binary
+	// search for the sizes we use.
+	for i, ub := range h.bounds {
+		if v <= ub {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// Observe records a single value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[h.bucketFor(v)].Add(1)
+	h.sum.Add(v)
+	h.total.Add(1)
+}
+
+// ObserveN records a value observed n times (used when flushing a
+// LocalHistogram).
+func (h *Histogram) observeBucket(i int, n, sum int64) {
+	h.counts[i].Add(n)
+	h.sum.Add(sum)
+	h.total.Add(n)
+}
+
+// Bounds returns the configured upper bounds.
+func (h *Histogram) Bounds() []int64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1, last is +Inf
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.total.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// LocalHistogram is a non-atomic scratch histogram for hot loops: a
+// worker observes locally and flushes the accumulated buckets into the
+// shared Histogram once, at a tile or release boundary.
+type LocalHistogram struct {
+	h      *Histogram
+	counts []int64
+	sums   []int64
+}
+
+// NewLocal returns a local accumulator for h.  A nil receiver yields a
+// nil local, whose methods are all no-ops.
+func (h *Histogram) NewLocal() *LocalHistogram {
+	if h == nil {
+		return nil
+	}
+	return &LocalHistogram{h: h, counts: make([]int64, len(h.counts)), sums: make([]int64, len(h.counts))}
+}
+
+// Observe records a value locally (no atomics).
+func (l *LocalHistogram) Observe(v int64) {
+	if l == nil {
+		return
+	}
+	i := l.h.bucketFor(v)
+	l.counts[i]++
+	l.sums[i] += v
+}
+
+// Flush pushes the local buckets into the shared histogram and resets
+// the local state.
+func (l *LocalHistogram) Flush() {
+	if l == nil {
+		return
+	}
+	for i, n := range l.counts {
+		if n != 0 {
+			l.h.observeBucket(i, n, l.sums[i])
+			l.counts[i] = 0
+			l.sums[i] = 0
+		}
+	}
+}
+
+// Registry holds named metrics.  Get-or-create calls take a mutex, but
+// they run once per metric at package init / first use; the returned
+// pointers are stable and all subsequent updates are lock-free atomics.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Default is the package-global registry.  Pipeline packages register
+// their metrics here at init time; exporters snapshot it.
+var Default = NewRegistry()
+
+func validName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9' && i > 0, c == '_':
+		default:
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	validName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	validName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use.  Later calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	validName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies all current metric values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counts)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// names returns the sorted metric names of each kind (for exporters).
+func (r *Registry) names() (counters, gauges, hists []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n := range r.counts {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.hists {
+		hists = append(hists, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return
+}

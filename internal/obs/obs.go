@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one progress update on the throttled stream.
+type Event struct {
+	Stage   string        // pipeline stage, e.g. "solve.exact"
+	Done    int64         // work units finished so far
+	Total   int64         // total work units (0 when unknown)
+	Current string        // human label for the unit in flight (e.g. a ref)
+	Elapsed time.Duration // since collector creation
+}
+
+// Collector is the per-run instrumentation sink: it owns the root span,
+// points at a metrics registry, and fans throttled progress events to an
+// optional callback.  All methods are nil-safe; the nil collector is the
+// uninstrumented fast path.
+type Collector struct {
+	reg   *Registry
+	root  *Span
+	start time.Time
+
+	onProgress  func(Event)
+	minInterval time.Duration
+	lastEmit    atomic.Int64 // ns since start of last emitted event
+
+	mu   sync.Mutex
+	done map[string]int64 // per-stage cumulative progress
+}
+
+// New returns a collector rooted at a span with the given name,
+// recording metrics into the Default registry.
+func New(rootName string) *Collector {
+	return &Collector{
+		reg:         Default,
+		root:        newSpan(rootName),
+		start:       time.Now(),
+		minInterval: 500 * time.Millisecond,
+		done:        make(map[string]int64),
+	}
+}
+
+// OnProgress installs a progress callback and the minimum interval
+// between emitted events.  interval <= 0 keeps the default (500ms).
+func (c *Collector) OnProgress(fn func(Event), interval time.Duration) {
+	if c == nil {
+		return
+	}
+	c.onProgress = fn
+	if interval > 0 {
+		c.minInterval = interval
+	}
+}
+
+// Registry returns the collector's metrics registry (Default for
+// collectors made with New; nil-safe).
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return Default
+	}
+	return c.reg
+}
+
+// Root returns the collector's root span.
+func (c *Collector) Root() *Span {
+	if c == nil {
+		return nil
+	}
+	return c.root
+}
+
+// Finish ends the root span.
+func (c *Collector) Finish() {
+	if c == nil {
+		return
+	}
+	c.root.End()
+}
+
+// Progress records that done-of-total units are complete for a stage and
+// emits a throttled event.  done is cumulative for the stage.  The final
+// event (done == total, total > 0) always emits so consumers see 100%.
+func (c *Collector) Progress(stage string, done, total int64, current string) {
+	if c == nil || c.onProgress == nil {
+		return
+	}
+	elapsed := time.Since(c.start)
+	final := total > 0 && done >= total
+	if !final {
+		last := c.lastEmit.Load()
+		if elapsed-time.Duration(last) < c.minInterval {
+			return
+		}
+		if !c.lastEmit.CompareAndSwap(last, int64(elapsed)) {
+			return // another worker emitted concurrently
+		}
+	} else {
+		c.lastEmit.Store(int64(elapsed))
+	}
+	c.onProgress(Event{Stage: stage, Done: done, Total: total, Current: current, Elapsed: elapsed})
+}
+
+// AddProgress accumulates delta units for a stage inside the collector
+// (for many concurrent workers that each finish chunks out of order) and
+// emits a throttled event with the new cumulative count.
+func (c *Collector) AddProgress(stage string, delta, total int64, current string) {
+	if c == nil || c.onProgress == nil {
+		return
+	}
+	c.mu.Lock()
+	c.done[stage] += delta
+	done := c.done[stage]
+	c.mu.Unlock()
+	c.Progress(stage, done, total, current)
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the collector.  A nil collector
+// returns ctx unchanged.
+func NewContext(ctx context.Context, c *Collector) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the collector carried by ctx, or nil.
+func FromContext(ctx context.Context) *Collector {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(ctxKey{}).(*Collector)
+	return c
+}
+
+type spanKey struct{}
+
+// StartSpan opens a child span under the context's current span (or the
+// collector root) and returns the derived context plus the span.  With
+// no collector in ctx it returns (ctx, nil) without allocating; the nil
+// span's End/SetAttr are no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	c := FromContext(ctx)
+	if c == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		parent = c.root
+	}
+	s := newSpan(name)
+	parent.addChild(s)
+	return context.WithValue(ctx, spanKey{}, s), s
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_counter_total")
+	g := r.Gauge("test_gauge")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := g.Value(); got != 8000 {
+		t.Fatalf("gauge = %d, want 8000", got)
+	}
+	// Same name returns the same metric.
+	if r.Counter("test_counter_total") != c {
+		t.Fatal("registry returned a different counter for the same name")
+	}
+}
+
+func TestNilMetricSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var l *LocalHistogram
+	c.Add(3)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	l.Observe(1)
+	l.Flush()
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil metrics should read zero")
+	}
+	if h.NewLocal() != nil {
+		t.Fatal("nil histogram should yield nil local")
+	}
+}
+
+func TestHistogramBucketsAndLocalFlush(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", 1, 4, 16)
+	h.Observe(1)  // bucket le=1
+	h.Observe(3)  // le=4
+	h.Observe(16) // le=16
+	h.Observe(99) // +Inf
+
+	l := h.NewLocal()
+	for i := 0; i < 10; i++ {
+		l.Observe(2) // le=4
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("pre-flush count = %d, want 4 (local not flushed)", s.Count)
+	}
+	l.Flush()
+	s = h.Snapshot()
+	if s.Count != 14 {
+		t.Fatalf("post-flush count = %d, want 14", s.Count)
+	}
+	wantCounts := []int64{1, 11, 1, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Sum != 1+3+16+99+20 {
+		t.Fatalf("sum = %d, want %d", s.Sum, 1+3+16+99+20)
+	}
+	// Flush is idempotent after reset.
+	l.Flush()
+	if got := h.Snapshot().Count; got != 14 {
+		t.Fatalf("double flush changed count to %d", got)
+	}
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid metric name")
+		}
+	}()
+	NewRegistry().Counter("Bad-Name")
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	col := New("run")
+	ctx := NewContext(context.Background(), col)
+	ctx, solve := StartSpan(ctx, "solve.exact")
+	solve.SetAttr("refs", 7)
+	_, tile := StartSpan(ctx, "tile")
+	tile.End()
+	solve.End()
+	col.Finish()
+
+	snap := col.Root().Snapshot()
+	if snap.Name != "run" || len(snap.Children) != 1 {
+		t.Fatalf("root snapshot = %+v", snap)
+	}
+	child := snap.Children[0]
+	if child.Name != "solve.exact" || child.Attrs["refs"] != 7 {
+		t.Fatalf("child = %+v", child)
+	}
+	if len(child.Children) != 1 || child.Children[0].Name != "tile" {
+		t.Fatalf("grandchild = %+v", child.Children)
+	}
+	if child.DurNs < 0 {
+		t.Fatalf("negative duration %d", child.DurNs)
+	}
+}
+
+func TestNilCollectorFastPath(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("empty context should carry no collector")
+	}
+	ctx2, span := StartSpan(ctx, "x")
+	if ctx2 != ctx || span != nil {
+		t.Fatal("StartSpan without collector must be a no-op")
+	}
+	span.End()
+	span.SetAttr("k", "v")
+	var c *Collector
+	c.Progress("s", 1, 2, "ref")
+	c.AddProgress("s", 1, 2, "ref")
+	c.Finish()
+	c.OnProgress(func(Event) {}, time.Second)
+	if c.Report() != nil {
+		t.Fatal("nil collector report should be nil")
+	}
+	if NewContext(ctx, nil) != ctx {
+		t.Fatal("NewContext(nil) must return ctx unchanged")
+	}
+}
+
+func TestProgressThrottleAndFinalEmit(t *testing.T) {
+	col := New("run")
+	var events []Event
+	col.OnProgress(func(e Event) { events = append(events, e) }, time.Hour)
+	// First event passes (lastEmit starts at 0 but elapsed < interval,
+	// so nothing emits until the final one).
+	for i := int64(1); i < 100; i++ {
+		col.Progress("solve", i, 100, "ref")
+	}
+	if len(events) != 0 {
+		t.Fatalf("throttle leaked %d events", len(events))
+	}
+	col.Progress("solve", 100, 100, "ref")
+	if len(events) != 1 {
+		t.Fatalf("final event not forced: %d events", len(events))
+	}
+	e := events[0]
+	if e.Done != 100 || e.Total != 100 || e.Stage != "solve" {
+		t.Fatalf("final event = %+v", e)
+	}
+}
+
+func TestAddProgressAccumulates(t *testing.T) {
+	col := New("run")
+	var last Event
+	col.OnProgress(func(e Event) { last = e }, time.Nanosecond)
+	col.AddProgress("solve", 40, 100, "a")
+	time.Sleep(2 * time.Millisecond)
+	col.AddProgress("solve", 60, 100, "b")
+	if last.Done != 100 || last.Total != 100 {
+		t.Fatalf("cumulative progress = %+v, want done=100", last)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cme_tiles_solved_total").Add(5)
+	r.Gauge("cme_workers").Set(3)
+	h := r.Histogram("cme_fused_walk_candidates", 1, 2, 4)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE cme_tiles_solved_total counter\ncme_tiles_solved_total 5\n",
+		"# TYPE cme_workers gauge\ncme_workers 3\n",
+		"cme_fused_walk_candidates_bucket{le=\"1\"} 1\n",
+		"cme_fused_walk_candidates_bucket{le=\"2\"} 1\n",
+		"cme_fused_walk_candidates_bucket{le=\"4\"} 2\n",
+		"cme_fused_walk_candidates_bucket{le=\"+Inf\"} 3\n",
+		"cme_fused_walk_candidates_sum 13\n",
+		"cme_fused_walk_candidates_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

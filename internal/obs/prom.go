@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// WritePrometheus renders every metric in r using the Prometheus text
+// exposition format (version 0.0.4).  Counters get a _total-as-named
+// counter line, gauges a gauge line, histograms cumulative _bucket
+// series with le labels plus _sum and _count.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	counters, gauges, hists := r.names()
+	for _, name := range counters {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.Counter(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.Gauge(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range hists {
+		s := r.Histogram(name).Snapshot()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum int64
+		for i, ub := range s.Bounds {
+			cum += s.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, ub, cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Counts[len(s.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, cum, name, s.Sum, name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry in Prometheus text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the Default registry as the expvar variable
+// "cachette_metrics" (a JSON snapshot).  Safe to call repeatedly; only
+// the first call registers.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("cachette_metrics", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// SchemaV1 identifies the run-report JSON schema documented in
+// DESIGN.md §Observability.
+const SchemaV1 = "cachette/run-report/v1"
+
+// BudgetSpent mirrors budget.Spent for the run report without importing
+// internal/budget (obs stays a leaf package).
+type BudgetSpent struct {
+	Points      int64 `json:"points"`
+	Scan        int64 `json:"scan"`
+	WallNs      int64 `json:"wall_ns"`
+	Checkpoints int64 `json:"checkpoints"`
+	Graces      int   `json:"graces"`
+}
+
+// Provenance embeds what a cme.Report says about what was answered and
+// what it cost.
+type Provenance struct {
+	Tier         string      `json:"tier"`
+	Degraded     bool        `json:"degraded"`
+	Coverage     float64     `json:"coverage"`
+	MissRatioPct float64     `json:"miss_ratio_pct"`
+	Accesses     int64       `json:"accesses"`
+	Refs         int         `json:"refs"`
+	CompleteRefs int         `json:"complete_refs"`
+	Budget       BudgetSpent `json:"budget"`
+}
+
+// CandidateProvenance is the per-candidate row for batch runs.
+type CandidateProvenance struct {
+	Label        string  `json:"label"`
+	Tier         string  `json:"tier,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	MissRatioPct float64 `json:"miss_ratio_pct,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// RunReport is the structured artifact written by -obs-out: one JSON
+// document explaining both what was answered (Report provenance) and
+// what it cost (spans + metrics).
+type RunReport struct {
+	Schema     string                `json:"schema"`
+	Program    string                `json:"program"`
+	Command    string                `json:"command"`
+	Started    time.Time             `json:"started"`
+	ElapsedNs  int64                 `json:"elapsed_ns"`
+	Report     *Provenance           `json:"report,omitempty"`
+	Candidates []CandidateProvenance `json:"candidates,omitempty"`
+	Spans      SpanSnapshot          `json:"spans"`
+	Metrics    Snapshot              `json:"metrics"`
+}
+
+// Report assembles a RunReport from the collector's spans and registry.
+// The caller fills Program/Command/Report/Candidates.
+func (c *Collector) Report() *RunReport {
+	if c == nil {
+		return nil
+	}
+	c.Finish()
+	return &RunReport{
+		Schema:    SchemaV1,
+		Started:   c.start,
+		ElapsedNs: int64(time.Since(c.start)),
+		Spans:     c.root.Snapshot(),
+		Metrics:   c.reg.Snapshot(),
+	}
+}
+
+// WriteFile persists the run report atomically (fsync + rename).
+func (r *RunReport) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, append(blob, '\n'))
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory, fsyncs it, then renames it over path, so an interrupted
+// writer can never leave a truncated file behind.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	tmpName = "" // renamed away; nothing to clean up
+	return nil
+}
+
+// ValidateRunReport checks blob against the v1 schema: schema id,
+// non-empty program, a well-formed span tree (every span named, child
+// durations non-negative), and a metrics snapshot exposing at least one
+// cme_* series.  Returns the decoded report on success.
+func ValidateRunReport(blob []byte) (*RunReport, error) {
+	var r RunReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("run report: %w", err)
+	}
+	if r.Schema != SchemaV1 {
+		return nil, fmt.Errorf("run report: schema %q, want %q", r.Schema, SchemaV1)
+	}
+	if r.Program == "" {
+		return nil, fmt.Errorf("run report: missing program")
+	}
+	if r.ElapsedNs < 0 {
+		return nil, fmt.Errorf("run report: negative elapsed_ns")
+	}
+	if err := validateSpan(r.Spans, ""); err != nil {
+		return nil, err
+	}
+	hasCME := false
+	for name := range r.Metrics.Counters {
+		if strings.HasPrefix(name, "cme_") {
+			hasCME = true
+			break
+		}
+	}
+	if !hasCME {
+		for name := range r.Metrics.Histograms {
+			if strings.HasPrefix(name, "cme_") {
+				hasCME = true
+				break
+			}
+		}
+	}
+	if !hasCME {
+		return nil, fmt.Errorf("run report: no cme_* metric in snapshot")
+	}
+	return &r, nil
+}
+
+func validateSpan(s SpanSnapshot, parent string) error {
+	if s.Name == "" {
+		return fmt.Errorf("run report: unnamed span under %q", parent)
+	}
+	if s.DurNs < 0 {
+		return fmt.Errorf("run report: span %q has negative duration", s.Name)
+	}
+	for _, c := range s.Children {
+		if err := validateSpan(c, s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

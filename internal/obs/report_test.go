@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testReport(t *testing.T) *RunReport {
+	t.Helper()
+	col := New("run")
+	col.Registry().Counter("cme_tiles_solved_total").Add(3)
+	ctx := NewContext(context.Background(), col)
+	_, s := StartSpan(ctx, "solve.exact")
+	s.End()
+	rep := col.Report()
+	rep.Program = "tomcatv"
+	rep.Command = "analyze"
+	rep.Report = &Provenance{Tier: "exact", Coverage: 1, MissRatioPct: 1.5, Accesses: 10, Refs: 2, CompleteRefs: 2}
+	return rep
+}
+
+func TestRunReportRoundTrip(t *testing.T) {
+	rep := testReport(t)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateRunReport(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != "tomcatv" || got.Report.Tier != "exact" {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if len(got.Spans.Children) != 1 || got.Spans.Children[0].Name != "solve.exact" {
+		t.Fatalf("span tree lost: %+v", got.Spans)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	rep := testReport(t)
+	cases := []struct {
+		name   string
+		mutate func(*RunReport)
+		substr string
+	}{
+		{"schema", func(r *RunReport) { r.Schema = "v0" }, "schema"},
+		{"program", func(r *RunReport) { r.Program = "" }, "program"},
+		{"span", func(r *RunReport) { r.Spans.Children[0].Name = "" }, "unnamed span"},
+		{"metrics", func(r *RunReport) { r.Metrics = Snapshot{} }, "no cme_"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := *rep
+			spans := rep.Spans
+			spans.Children = append([]SpanSnapshot(nil), rep.Spans.Children...)
+			cp.Spans = spans
+			tc.mutate(&cp)
+			blob, err := json.Marshal(&cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ValidateRunReport(blob); err == nil || !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("want error containing %q, got %v", tc.substr, err)
+			}
+		})
+	}
+	if _, err := ValidateRunReport([]byte("{")); err == nil {
+		t.Fatal("malformed JSON must fail validation")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	if err := WriteFileAtomic(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != "second" {
+		t.Fatalf("content = %q", blob)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+	// Writing into a missing directory surfaces the error.
+	if err := WriteFileAtomic(filepath.Join(dir, "nope", "x.json"), []byte("x")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func TestRunReportWriteFile(t *testing.T) {
+	rep := testReport(t)
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateRunReport(blob); err != nil {
+		t.Fatal(err)
+	}
+}

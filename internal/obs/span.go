@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span records wall time for one pipeline stage.  Spans form a tree:
+// StartSpan on a context whose collector already carries a span links
+// the new span as a child.  All methods are nil-safe so instrumented
+// code needs no collector-presence checks.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    map[string]any
+	children []*Span
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End marks the span finished.  Idempotent: only the first End sticks.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Span) addChild(c *Span) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// Duration returns the span's elapsed wall time.  For an unfinished
+// span it reports time since start.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// SpanSnapshot is the JSON form of a span subtree.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	Start    time.Time      `json:"start"`
+	DurNs    int64          `json:"dur_ns"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot copies the span subtree.  Unfinished spans report their
+// duration so far.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		Name:  s.name,
+		Start: s.start,
+		DurNs: int64(s.durationLocked()),
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			snap.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+// durationLocked is Duration without locking; callers must hold s.mu.
+func (s *Span) durationLocked() time.Duration {
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}

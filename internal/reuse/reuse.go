@@ -26,7 +26,21 @@ import (
 	"cachemodel/internal/cache"
 	"cachemodel/internal/ir"
 	"cachemodel/internal/linalg"
+	"cachemodel/internal/obs"
 )
+
+// mVectorsGenerated counts reuse vectors produced by Generate (after
+// dedup), flushed once per generation pass.
+var mVectorsGenerated = obs.Default.Counter("reuse_vectors_generated_total")
+
+// countVectors flushes the generated-vector total into the obs registry.
+func countVectors(out map[*ir.NRef][]*Vector) {
+	var n int64
+	for _, vecs := range out {
+		n += int64(len(vecs))
+	}
+	mVectorsGenerated.Add(n)
+}
 
 // Vector is a reuse vector from Producer to Consumer: the consumer at
 // iteration i may reuse the memory line the producer touched at i − IdxDiff
@@ -207,6 +221,7 @@ func Generate(np *ir.NProgram, cfg cache.Config, opt Options) map[*ir.NRef][]*Ve
 				out[r] = vecs
 			}
 		}
+		countVectors(out)
 		return out
 	}
 	var next atomic.Int64
@@ -231,6 +246,7 @@ func Generate(np *ir.NProgram, cfg cache.Config, opt Options) map[*ir.NRef][]*Ve
 		}()
 	}
 	wg.Wait()
+	countVectors(out)
 	return out
 }
 

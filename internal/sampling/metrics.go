@@ -1,0 +1,17 @@
+package sampling
+
+import "cachemodel/internal/obs"
+
+// Sampling metrics, updated by the solver passes that draw samples
+// (internal/cme) at per-reference granularity — never per draw.
+var (
+	// Draws counts sampled points actually classified.
+	Draws = obs.Default.Counter("sampling_draws_total")
+	// EarlyStops counts references whose adaptive sampling stopped ahead
+	// of the a-priori sample size via the Wilson interval rule.
+	EarlyStops = obs.Default.Counter("sampling_early_stops_total")
+	// FallbackPlans counts references that fell back to the paper's
+	// default (90%, 0.15) plan because the requested plan was not
+	// achievable on their RIS volume.
+	FallbackPlans = obs.Default.Counter("sampling_fallback_plans_total")
+)

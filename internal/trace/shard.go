@@ -15,6 +15,7 @@ import (
 	"cachemodel/internal/budget"
 	"cachemodel/internal/cache"
 	"cachemodel/internal/ir"
+	"cachemodel/internal/obs"
 )
 
 // shardItem is one access routed to a shard: the global reference index
@@ -56,6 +57,9 @@ func SimulateShardedCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	_, span := obs.StartSpan(ctx, "simulate.sharded")
+	defer span.End()
+	span.SetAttr("workers", workers)
 
 	nsh := workers
 	queues := make([]chan []shardItem, nsh)

@@ -11,6 +11,15 @@ import (
 	"cachemodel/internal/budget"
 	"cachemodel/internal/cache"
 	"cachemodel/internal/ir"
+	"cachemodel/internal/obs"
+)
+
+// Simulator metrics, flushed once per simulation run (the per-access path
+// stays atomic-free).
+var (
+	mSimRuns     = obs.Default.Counter("trace_sim_runs_total")
+	mSimAccesses = obs.Default.Counter("trace_sim_accesses_total")
+	mSimMisses   = obs.Default.Counter("trace_sim_misses_total")
 )
 
 // Time identifies one access instant: the interleaved iteration vector
@@ -296,6 +305,8 @@ func SimulateCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, b budge
 
 // SimulatePolicyCtx is SimulateCtx with an explicit write policy.
 func SimulatePolicyCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, policy cache.WritePolicy, b budget.Budget) (*SimResult, error) {
+	_, span := obs.StartSpan(ctx, "simulate")
+	defer span.End()
 	sim := cache.NewSimulator(cfg)
 	sim.SetWritePolicy(policy)
 	m := budget.NewMeter(ctx, b)
@@ -335,6 +346,13 @@ func SimulatePolicyCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, p
 	return res, ierr
 }
 
+// flushSimMetrics publishes one simulation run's totals.
+func flushSimMetrics(res *SimResult) {
+	mSimRuns.Inc()
+	mSimAccesses.Add(res.Accesses)
+	mSimMisses.Add(res.Misses)
+}
+
 // collectSimResult assembles the public SimResult from Seq-indexed
 // counters.
 func collectSimResult(np *ir.NProgram, cfg cache.Config, stats []RefStats, accesses, misses int64) *SimResult {
@@ -345,5 +363,6 @@ func collectSimResult(np *ir.NProgram, cfg cache.Config, stats []RefStats, acces
 			res.PerRef[np.Refs[i]] = &s
 		}
 	}
+	flushSimMetrics(res)
 	return res
 }
