@@ -13,6 +13,7 @@ import (
 	"cachemodel/internal/budget"
 	"cachemodel/internal/cache"
 	"cachemodel/internal/cme"
+	"cachemodel/internal/obs"
 	"cachemodel/internal/trace"
 )
 
@@ -70,6 +71,10 @@ type benchResult struct {
 	Speedup     float64 `json:"speedup_vs_seq"`
 	MissRatio   float64 `json:"miss_ratio_pct"`
 	ExactMisses int64   `json:"exact_misses,omitempty"`
+	// SymbolicPct is the fraction (in percent) of classified points the
+	// symbolic fast path resolved without enumerating them; present only
+	// on rows that ran with the fast path enabled.
+	SymbolicPct float64 `json:"symbolic_pct,omitempty"`
 }
 
 // benchReport is the BENCH_solvers.json document.
@@ -102,6 +107,7 @@ func cmdBench(args []string) error {
 	repeat := fs.Int("repeat", 1, "timing repetitions (the fastest is reported)")
 	out := fs.String("out", "BENCH_solvers.json", "output path for the JSON report (- = stdout only)")
 	check := fs.Bool("check", false, "verify all variants produce bit-identical counts")
+	noSym := fs.Bool("nosymbolic", false, "disable the symbolic region fast path in every solver row")
 	noSim := fs.Bool("nosim", false, "skip the simulator rows")
 	pstart, pstop, _ := profileFlags(fs)
 	oflags := obsFlags(fs)
@@ -149,12 +155,26 @@ func cmdBench(args []string) error {
 		}
 		return best, rep
 	}
-	newAnalyzer := func(w int, noMemo bool) *cme.Analyzer {
-		a, err := cme.New(np, cfg, cme.Options{Workers: w, NoMemo: noMemo})
+	newAnalyzer := func(w int, noMemo, noSymbolic bool) *cme.Analyzer {
+		a, err := cme.New(np, cfg, cme.Options{Workers: w, NoMemo: noMemo, NoSymbolic: noSymbolic || *noSym})
 		if err != nil {
 			panic(err)
 		}
 		return a
+	}
+	// Symbolic-coverage accounting: the solver splits every classified
+	// point into symbolically resolved vs enumerated; deltas of the shared
+	// counters around a timed run yield the row's coverage fraction.
+	symCtr := obs.Default.Counter("cme_points_symbolic_total")
+	enumCtr := obs.Default.Counter("cme_points_enumerated_total")
+	symPct := func(f func()) float64 {
+		s0, e0 := symCtr.Value(), enumCtr.Value()
+		f()
+		s, e := symCtr.Value()-s0, enumCtr.Value()-e0
+		if s+e == 0 {
+			return 0
+		}
+		return 100 * float64(s) / float64(s+e)
 	}
 
 	rep := benchReport{Program: p.Name, Size: *size, Iters: *iters, Cache: cfg.String(),
@@ -164,7 +184,7 @@ func cmdBench(args []string) error {
 		r, _ := a.FindMissesCtx(ctx, budget.Budget{}) // unlimited: never errors
 		return r
 	}
-	seqDur, seqRep := timeIt(func() *cme.Report { return solve(newAnalyzer(1, true)) })
+	seqDur, seqRep := timeIt(func() *cme.Report { return solve(newAnalyzer(1, true, true)) })
 	points := seqRep.TotalAccesses()
 	row := func(name string, d time.Duration, r *cme.Report) benchResult {
 		br := benchResult{Name: name, Ns: d.Nanoseconds(), Points: points}
@@ -183,11 +203,26 @@ func cmdBench(args []string) error {
 	}
 	rep.Results = append(rep.Results, row("findmisses_seq", seqDur, seqRep))
 
-	memoDur, memoRep := timeIt(func() *cme.Report { return solve(newAnalyzer(1, false)) })
+	memoDur, memoRep := timeIt(func() *cme.Report { return solve(newAnalyzer(1, false, true)) })
 	rep.Results = append(rep.Results, row("findmisses_memo", memoDur, memoRep))
 
-	parDur, parRep := timeIt(func() *cme.Report { return solve(newAnalyzer(*workers, false)) })
-	rep.Results = append(rep.Results, row(fmt.Sprintf("findmisses_parallel_w%d", *workers), parDur, parRep))
+	// Single-core symbolic row: memo + region fast path. Its speedup over
+	// findmisses_memo isolates the fast path's contribution.
+	var symDur time.Duration
+	var symRep *cme.Report
+	pct := symPct(func() { symDur, symRep = timeIt(func() *cme.Report { return solve(newAnalyzer(1, false, false)) }) })
+	symRow := row("findmisses_symbolic", symDur, symRep)
+	symRow.SymbolicPct = pct
+	rep.Results = append(rep.Results, symRow)
+
+	var parDur time.Duration
+	var parRep *cme.Report
+	pct = symPct(func() {
+		parDur, parRep = timeIt(func() *cme.Report { return solve(newAnalyzer(*workers, false, false)) })
+	})
+	parRow := row(fmt.Sprintf("findmisses_parallel_w%d", *workers), parDur, parRep)
+	parRow.SymbolicPct = pct
+	rep.Results = append(rep.Results, parRow)
 
 	var simSeq, simShard *trace.SimResult
 	if !*noSim {
@@ -231,6 +266,9 @@ func cmdBench(args []string) error {
 
 	if *check {
 		if err := sameReport(seqRep, memoRep, "findmisses_memo"); err != nil {
+			return err
+		}
+		if err := sameReport(seqRep, symRep, "findmisses_symbolic"); err != nil {
 			return err
 		}
 		if err := sameReport(seqRep, parRep, "findmisses_parallel"); err != nil {

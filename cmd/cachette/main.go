@@ -236,6 +236,7 @@ func cmdAnalyze(args []string) error {
 	nonUniform := fs.Bool("nonuniform", false, "resolve non-uniformly generated reuse (§8 future work)")
 	workers := fs.Int("workers", 0, "parallel classification workers (0 = GOMAXPROCS, 1 = sequential)")
 	noMemo := fs.Bool("nomemo", false, "disable the interference-walk verdict memo")
+	noSymbolic := fs.Bool("nosymbolic", false, "disable the symbolic region fast path (classify every point)")
 	timeout, maxPoints, maxScan, fallback := budgetFlags(fs)
 	pstart, pstop, prof := profileFlags(fs)
 	oflags := obsFlags(fs)
@@ -267,6 +268,7 @@ func cmdAnalyze(args []string) error {
 		Reuse:         reuse.Options{NonUniform: *nonUniform},
 		Workers:       *workers,
 		NoMemo:        *noMemo,
+		NoSymbolic:    *noSymbolic,
 		ProfileLabels: prof(),
 	})
 	rspan.End()

@@ -75,6 +75,7 @@ func cmdSweep(args []string) error {
 	conf := fs.Float64("c", 0.95, "confidence level for the sampled tier")
 	width := fs.Float64("w", 0.05, "confidence interval half-width for the sampled tier")
 	adaptive := fs.Bool("adaptive", false, "sampled tier: variance-driven early stopping (Wilson interval)")
+	noSymbolic := fs.Bool("nosymbolic", false, "disable the symbolic region fast path (classify every point)")
 	workers := fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
 	check := fs.Bool("check", false, "re-solve every candidate independently, verify bit-identical reports, and gate on the speedup")
 	sim := fs.Bool("sim", false, "add an exact-simulator column (slow; display only)")
@@ -152,7 +153,7 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("sweep: empty candidate grid")
 	}
 
-	opt := cme.Options{Adaptive: *adaptive, ProfileLabels: prof()}
+	opt := cme.Options{Adaptive: *adaptive, NoSymbolic: *noSymbolic, ProfileLabels: prof()}
 	var plan *sampling.Plan
 	if !*exact {
 		plan = &sampling.Plan{C: *conf, W: *width}

@@ -546,6 +546,7 @@ type fuseGroup struct {
 	lineBytes int64
 	vecs      map[*ir.NRef][]*reuse.Vector
 	memo      map[*reuse.Vector]memoInfo
+	sym       map[*ir.NRef]*refSym
 	cands     []*batchCand
 	// active[ri] lists the candidate positions (into cands) that still
 	// need reference ri (result-cache misses).
@@ -572,7 +573,7 @@ func (p *Prepared) solveExactFused(ctx context.Context, m *budget.Meter, col *ob
 		g := groups[lb]
 		if g == nil || lb == -1 {
 			ls := p.lineState(cs.a.cfg.LineBytes)
-			g = &fuseGroup{lineBytes: cs.a.cfg.LineBytes, vecs: ls.vecs, memo: ls.memo}
+			g = &fuseGroup{lineBytes: cs.a.cfg.LineBytes, vecs: ls.vecs, memo: ls.memo, sym: ls.sym}
 			if lb != -1 {
 				groups[lb] = g
 			}
@@ -620,7 +621,13 @@ func (p *Prepared) solveExactFused(ctx context.Context, m *budget.Meter, col *ob
 					n = 1
 				}
 			}
-			for _, t := range p.spaces[r.Stmt].Tiles(n) {
+			// As in findTiled, tile choice derives from the symbolic info
+			// regardless of NoSymbolic so both modes tile identically.
+			avoid := -1
+			if sym := g.sym[r]; sym != nil {
+				avoid = sym.avoid
+			}
+			for _, t := range p.spaces[r.Stmt].TilesAvoiding(n, avoid) {
 				items = append(items, &tileItem{g: g, ri: ri, tile: t,
 					parts: make([]RefReport, len(g.active[ri]))})
 			}

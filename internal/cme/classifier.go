@@ -68,6 +68,63 @@ func (a *Analyzer) memoPrecompute() {
 	}
 }
 
+// depthTraits are the program-wide per-depth invariance predicates the
+// memo table and the symbolic region solver both build on (see
+// memoPrecompute for their soundness roles). coeff[d] holds the shared
+// address coefficient at depth d, valid when shared[d] (zero when
+// zero[d]). They depend only on bounds, guards and address coefficients —
+// never on array bases — so one set serves every geometry and layout.
+type depthTraits struct {
+	rect   []bool
+	zero   []bool
+	shared []bool
+	coeff  []int64
+}
+
+// programTraits derives the per-depth predicates of a program.
+func programTraits(np *ir.NProgram) *depthTraits {
+	n := np.Depth
+	t := &depthTraits{
+		rect:   make([]bool, n),
+		zero:   make([]bool, n),
+		shared: make([]bool, n),
+		coeff:  make([]int64, n),
+	}
+	for d := 0; d < n; d++ {
+		t.rect[d] = true
+		for _, s := range np.Stmts {
+			for _, b := range s.Bounds {
+				if b.Lo.At(d+1) != 0 || b.Hi.At(d+1) != 0 {
+					t.rect[d] = false
+				}
+			}
+			for _, g := range s.Guards {
+				if g.Expr.At(d+1) != 0 {
+					t.rect[d] = false
+				}
+			}
+			if !t.rect[d] {
+				break
+			}
+		}
+		t.shared[d] = true
+		if len(np.Refs) > 0 {
+			c0 := np.Refs[0].AddressAffine().At(d + 1)
+			for _, r := range np.Refs[1:] {
+				if r.AddressAffine().At(d+1) != c0 {
+					t.shared[d] = false
+					break
+				}
+			}
+			if t.shared[d] {
+				t.coeff[d] = c0
+			}
+			t.zero[d] = t.shared[d] && c0 == 0
+		}
+	}
+	return t
+}
+
 // memoTable derives the per-vector memoization eligibility for a program
 // and its reuse vectors. The masks depend only on the program structure
 // (bounds, guards, address coefficients — not array bases) and on the
@@ -79,44 +136,13 @@ func memoTable(np *ir.NProgram, vecs map[*ir.NRef][]*reuse.Vector) map[*reuse.Ve
 	if n == 0 || n > 64 {
 		return out
 	}
-	rect := make([]bool, n)
-	zero := make([]bool, n)
-	shared := make([]bool, n)
-	for d := 0; d < n; d++ {
-		rect[d] = true
-		for _, s := range np.Stmts {
-			for _, b := range s.Bounds {
-				if b.Lo.At(d+1) != 0 || b.Hi.At(d+1) != 0 {
-					rect[d] = false
-				}
-			}
-			for _, g := range s.Guards {
-				if g.Expr.At(d+1) != 0 {
-					rect[d] = false
-				}
-			}
-			if !rect[d] {
-				break
-			}
-		}
-		shared[d] = true
-		if len(np.Refs) > 0 {
-			c0 := np.Refs[0].AddressAffine().At(d + 1)
-			for _, r := range np.Refs[1:] {
-				if r.AddressAffine().At(d+1) != c0 {
-					shared[d] = false
-					break
-				}
-			}
-			zero[d] = shared[d] && c0 == 0
-		}
-	}
+	t := programTraits(np)
 	for _, vs := range vecs {
 		for _, v := range vs {
 			if _, done := out[v]; done {
 				continue
 			}
-			out[v] = vectorMemoInfo(v, rect, zero, shared)
+			out[v] = vectorMemoInfo(v, t.rect, t.zero, t.shared)
 		}
 	}
 	return out

@@ -127,6 +127,14 @@ type Options struct {
 	// hits replay the stored scan cost — so this knob exists for
 	// benchmarking the memo and for equivalence tests.
 	NoMemo bool
+	// NoSymbolic disables the symbolic region fast path, forcing the exact
+	// solvers to classify every iteration point individually. Reports are
+	// bit-identical either way — the fast path replicates (or counts)
+	// exactly the verdicts enumeration would have produced, and under a
+	// budget it replays the per-point cost stream so checkpoints land on
+	// the same iteration points — so this knob exists for benchmarking the
+	// fast path and for equivalence tests.
+	NoSymbolic bool
 	// Adaptive switches EstimateMisses to sequential sampling: points are
 	// drawn in chunks from the same per-reference RNG stream and a
 	// reference's sampling stops as soon as the Wilson score interval of
@@ -159,6 +167,7 @@ type Analyzer struct {
 	// Memoization support, precomputed once in New: per-vector invariant
 	// masks plus the cache geometry the memo keys capture.
 	memoInfo  map[*reuse.Vector]memoInfo
+	symOf     map[*ir.NRef]*refSym // built in warm()
 	numSets   int64
 	wayBytes  int64
 	setMask   int64 // numSets-1 when numSets is a power of two, else -1
@@ -502,6 +511,11 @@ const tileFactor = 4
 // outcomes into rr. The full tile covers the whole RIS (the sequential
 // exact pass is runTile over the full tile).
 func (a *Analyzer) runTile(c *classifier, r *ir.NRef, t poly.Tile, rr *RefReport, p *budget.Probe) error {
+	if !a.opt.NoSymbolic {
+		if sym := a.symOf[r]; sym.usable() {
+			return a.runTileSym(c, r, sym, t, rr, p)
+		}
+	}
 	var perr error
 	before := rr.Analyzed
 	a.spaces[r.Stmt].EnumerateTile(t, func(idx []int64) bool {
@@ -524,6 +538,7 @@ func (a *Analyzer) runTile(c *classifier, r *ir.NRef, t poly.Tile, rr *RefReport
 	})
 	mTilesSolved.Inc()
 	mPointsClassed.Add(rr.Analyzed - before)
+	mPointsEnumerated.Add(rr.Analyzed - before)
 	return perr
 }
 
@@ -583,7 +598,14 @@ func (a *Analyzer) findTiled(m *budget.Meter, workers int, col *obs.Collector) (
 				n = 1
 			}
 		}
-		for _, t := range a.spaces[r.Stmt].Tiles(n) {
+		// Keep the reference's best replication dimension contiguous so
+		// tiling does not truncate symbolic runs. The avoidance choice is
+		// independent of Options.NoSymbolic so both modes tile identically.
+		avoid := -1
+		if sym := a.symOf[r]; sym != nil {
+			avoid = sym.avoid
+		}
+		for _, t := range a.spaces[r.Stmt].TilesAvoiding(n, avoid) {
 			items = append(items, &tileItem{ref: i, tile: t})
 		}
 	}
@@ -1024,6 +1046,14 @@ func (a *Analyzer) warm() {
 		}
 		for _, r := range a.np.Refs {
 			r.AddressAt(idx)
+		}
+		// Symbolic-region eligibility is computed even under NoSymbolic:
+		// the tiler consults it (TilesAvoiding) either way, so budgeted
+		// symbolic and non-symbolic runs see identical tile sequences and
+		// hence identical checkpoint order. A Prepared-built analyzer
+		// arrives with the shared per-line table already stamped.
+		if a.symOf == nil {
+			a.symOf = buildSymInfo(a.np, a.spaces, a.vecs, a.memoInfo, a.dyn, a.cfg.LineBytes)
 		}
 	})
 }

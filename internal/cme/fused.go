@@ -169,11 +169,21 @@ func (fc *fusedClassifier) runTile(ctx context.Context, ri int, t poly.Tile, act
 		})
 		mTilesSolved.Inc()
 		mPointsClassed.Add(parts[0].Analyzed - before)
+		mPointsEnumerated.Add(parts[0].Analyzed - before)
 		return perr
 	}
 	fc.act = fc.act[:0]
 	for _, pos := range active {
 		fc.act = append(fc.act, fc.states[pos])
+	}
+	// Symbolic fast path: unbudgeted solves only — budgeted batch runs
+	// enumerate, which is trivially bit-identical (and rare: budgets bind
+	// per point, where replay would cost as much as classification).
+	if p == nil && !fc.p.opt.NoSymbolic {
+		if sym := fc.g.sym[r]; sym.usable() {
+			fc.runTileSym(ctx, r, sym, t, parts)
+			return nil
+		}
 	}
 	var before int64
 	for k := range parts {
@@ -196,6 +206,7 @@ func (fc *fusedClassifier) runTile(ctx context.Context, ri int, t poly.Tile, act
 	}
 	mTilesSolved.Inc()
 	mPointsClassed.Add(after - before)
+	mPointsEnumerated.Add(after - before)
 	return perr
 }
 

@@ -7,15 +7,17 @@ import "cachemodel/internal/obs"
 // tile or classifier release, so the steady-state cost is a handful of
 // uncontended atomic adds per tile — not per point.
 var (
-	mTilesSolved     = obs.Default.Counter("cme_tiles_solved_total")
-	mPointsClassed   = obs.Default.Counter("cme_points_classified_total")
-	mWalks           = obs.Default.Counter("cme_walks_total")
-	mWalkMemoHits    = obs.Default.Counter("cme_walk_memo_hits_total")
-	mWalkSteps       = obs.Default.Counter("cme_walk_steps_total")
-	mFusedCandidates = obs.Default.Histogram("cme_fused_walk_candidates", 1, 2, 4, 8, 16, 32)
-	mCacheHits       = obs.Default.Counter("cme_resultcache_hits_total")
-	mCacheMisses     = obs.Default.Counter("cme_resultcache_misses_total")
-	mCacheEvictions  = obs.Default.Counter("cme_resultcache_evictions_total")
-	mBatchCands      = obs.Default.Counter("cme_batch_candidates_total")
-	mBatchDedup      = obs.Default.Counter("cme_batch_dedup_total")
+	mTilesSolved      = obs.Default.Counter("cme_tiles_solved_total")
+	mPointsClassed    = obs.Default.Counter("cme_points_classified_total")
+	mPointsSymbolic   = obs.Default.Counter("cme_points_symbolic_total")
+	mPointsEnumerated = obs.Default.Counter("cme_points_enumerated_total")
+	mWalks            = obs.Default.Counter("cme_walks_total")
+	mWalkMemoHits     = obs.Default.Counter("cme_walk_memo_hits_total")
+	mWalkSteps        = obs.Default.Counter("cme_walk_steps_total")
+	mFusedCandidates  = obs.Default.Histogram("cme_fused_walk_candidates", 1, 2, 4, 8, 16, 32)
+	mCacheHits        = obs.Default.Counter("cme_resultcache_hits_total")
+	mCacheMisses      = obs.Default.Counter("cme_resultcache_misses_total")
+	mCacheEvictions   = obs.Default.Counter("cme_resultcache_evictions_total")
+	mBatchCands       = obs.Default.Counter("cme_batch_candidates_total")
+	mBatchDedup       = obs.Default.Counter("cme_batch_dedup_total")
 )

@@ -50,6 +50,7 @@ type Prepared struct {
 type lineShared struct {
 	vecs map[*ir.NRef][]*reuse.Vector
 	memo map[*reuse.Vector]memoInfo
+	sym  map[*ir.NRef]*refSym
 }
 
 // Prepare builds the geometry-invariant stage once. The program must be
@@ -93,6 +94,9 @@ func (p *Prepared) lineState(lineBytes int64) *lineShared {
 	cfg := cache.Config{SizeBytes: lineBytes, LineBytes: lineBytes, Assoc: 1}
 	vecs := reuse.Generate(p.np, cfg, p.opt.Reuse)
 	ls := &lineShared{vecs: vecs, memo: memoTable(p.np, vecs)}
+	// Symbolic-region eligibility reads the same inputs as the memo table
+	// plus the line size, so it shares the per-line cache.
+	ls.sym = buildSymInfo(p.np, p.spaces, vecs, ls.memo, p.dyn, lineBytes)
 	p.byLine[lineBytes] = ls
 	return ls
 }
@@ -111,6 +115,7 @@ func (p *Prepared) Analyzer(cfg cache.Config) (*Analyzer, error) {
 		dyn:      p.dyn,
 		spaces:   p.spaces,
 		memoInfo: ls.memo,
+		symOf:    ls.sym,
 	}
 	a.memoPrecompute()
 	return a, nil

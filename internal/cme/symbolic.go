@@ -1,0 +1,705 @@
+package cme
+
+import (
+	"context"
+	"sort"
+
+	"cachemodel/internal/budget"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/poly"
+	"cachemodel/internal/reuse"
+	"cachemodel/internal/trace"
+)
+
+// This file implements the symbolic region solver: instead of classifying
+// every iteration point, it classifies one representative region and
+// replicates the verdicts across the translates that provably share them,
+// and resolves all-cold references by pure lattice-point counting. Reports
+// are bit-identical to the enumerating solver; Options.NoSymbolic turns
+// the fast path off for benchmarking and equivalence testing.
+//
+// Soundness rests on the same per-depth invariance predicates the verdict
+// memo uses (programTraits / vectorMemoInfo). A dimension k is eligible
+// for a reference when EVERY reuse vector of the reference carries
+// invariance bit k. Translating the consumer by t·e_k then
+//
+//   - keeps the recursion shape of every deeper level and every guard
+//     (rectAt[k]: nothing mentions I_{k+1});
+//   - keeps each vector's replacement-walk verdict AND scan count
+//     whenever the common address delta c_k·t is a multiple of the line
+//     size: all visited addresses, the consumer's and the producer's
+//     shift by the same whole-line amount, so every line identity
+//     difference, set-membership relation and distinctness relation in
+//     the walk is preserved (the walk only ever compares lines against
+//     the consumer's line and set). The translation period is therefore
+//     trace.LineWrapPeriod(c_k, LineBytes) — a divisor of the set-wrap
+//     period numSets·lineBytes/gcd, and 1 when addresses ignore I_{k+1}
+//     entirely (the time loop of a stepped program);
+//   - leaves each vector's cold equation unchanged except for the
+//     producer-existence bound at depth k itself, which is an interval of
+//     idx[k] computed from the producer's depth-k bound pair — the slab
+//     decomposition below splits the dimension at those interval
+//     boundaries, so the verdict pattern is constant (period-P periodic)
+//     within each slab.
+//
+// Within a slab longer than the period P, the solver classifies the first
+// P values (the representatives) and replicates their aggregate outcomes
+// onto the remaining values. Under a budget probe it instead records the
+// per-point (outcome, scanned) stream of each representative subtree and
+// replays it point by point for every replica, issuing the same
+// Check(1, scanned) sequence the enumerator would have issued — budget
+// trip points, degradation decisions and partial counts stay
+// bit-identical even under fault injection (the PR 2 memo's parity
+// discipline, lifted from single walks to whole regions).
+
+// refSym is the per-reference symbolic-region precomputation.
+type refSym struct {
+	// allCold: no reuse vector's producer-existence system has any
+	// solution inside the reference's iteration space, so every point is a
+	// cold miss (the replacement polytope is empty) and the tile resolves
+	// by counting alone.
+	allCold bool
+	// dims[k] describes depth k when it is eligible for replication.
+	dims []*dimSym
+	// avoid is the dimension the tiler should keep contiguous (-1: none).
+	avoid  int
+	anyDim bool
+}
+
+// usable reports whether the fast path can improve on enumeration.
+func (s *refSym) usable() bool { return s != nil && (s.allCold || s.anyDim) }
+
+// dimSym is one eligible replication dimension of a reference.
+type dimSym struct {
+	period int64
+	// ivs holds, per reuse vector, the producer-existence interval of
+	// idx[k] as a pre-shifted affine pair over the prefix idx[0..k-1].
+	ivs []ivSpec
+}
+
+type ivSpec struct {
+	lo, hi ir.Affine
+}
+
+// symPatternCap bounds the recorded verdict stream of one representative
+// subtree in budget mode; larger subtrees fall back to enumeration for
+// their replicas (deterministically, so parity is unaffected).
+const symPatternCap = 1 << 15
+
+// symPattern is a recorded per-point verdict stream of one representative
+// subtree, in enumeration order.
+type symPattern struct {
+	outs    []byte
+	scans   []int64
+	overrun bool
+}
+
+// shiftAffine returns a'(idx) = a(idx − D) + add: the same coefficients
+// with the displacement folded into the constant.
+func shiftAffine(a ir.Affine, D []int64, add int64) ir.Affine {
+	out := ir.Affine{Const: a.Const + add, Coeff: append([]int64(nil), a.Coeff...)}
+	for d := 1; d <= a.MaxDepthUsed(); d++ {
+		if c := a.At(d); c != 0 && d-1 < len(D) {
+			out.Const -= c * D[d-1]
+		}
+	}
+	return out
+}
+
+// varMinus returns the affine I_{m+1} − a.
+func varMinus(m int, a ir.Affine) ir.Affine {
+	n := len(a.Coeff)
+	if m+1 > n {
+		n = m + 1
+	}
+	co := make([]int64, n)
+	for i, c := range a.Coeff {
+		co[i] = -c
+	}
+	co[m]++
+	return ir.Affine{Const: -a.Const, Coeff: co}
+}
+
+// minusVar returns the affine a − I_{m+1}.
+func minusVar(a ir.Affine, m int) ir.Affine {
+	n := len(a.Coeff)
+	if m+1 > n {
+		n = m + 1
+	}
+	co := make([]int64, n)
+	copy(co, a.Coeff)
+	co[m]--
+	return ir.Affine{Const: a.Const, Coeff: co}
+}
+
+// producerSystem renders "the producer point of v exists" as affine
+// constraints over the consumer iteration: the producer's bounds and
+// guards composed with the displacement idx − IdxDiff. ok = false when
+// the system cannot be expressed over the consumer's depth.
+func producerSystem(v *reuse.Vector, depth int) ([]ir.NConstraint, bool) {
+	p := v.Producer.Stmt
+	if p.Depth() != depth {
+		return nil, false
+	}
+	D := v.IdxDiff
+	var sys []ir.NConstraint
+	for m := 0; m < depth; m++ {
+		bl, bh := p.Bounds[m].Lo, p.Bounds[m].Hi
+		if bl.MaxDepthUsed() > depth || bh.MaxDepthUsed() > depth {
+			return nil, false
+		}
+		// Lo(idx−D) + D[m] <= idx[m] <= Hi(idx−D) + D[m]
+		sys = append(sys,
+			ir.NConstraint{Expr: varMinus(m, shiftAffine(bl, D, D[m]))},
+			ir.NConstraint{Expr: minusVar(shiftAffine(bh, D, D[m]), m)})
+	}
+	for _, g := range p.Guards {
+		if g.Expr.MaxDepthUsed() > depth {
+			return nil, false
+		}
+		sys = append(sys, ir.NConstraint{Expr: shiftAffine(g.Expr, D, 0), IsEq: g.IsEq})
+	}
+	return sys, true
+}
+
+// buildSymInfo derives the symbolic-region eligibility of every reference
+// for one line size. It reads only program structure, reuse vectors and
+// the memo invariance masks — never array bases — so, like the memo
+// table, one table serves every capacity, associativity and layout that
+// shares the line size.
+func buildSymInfo(np *ir.NProgram, spaces map[*ir.NStmt]*poly.Space,
+	vecs map[*ir.NRef][]*reuse.Vector, memo map[*reuse.Vector]memoInfo,
+	dyn map[*ir.NRef][]*reuse.DynamicPair, lineBytes int64) map[*ir.NRef]*refSym {
+
+	out := make(map[*ir.NRef]*refSym, len(np.Refs))
+	traits := programTraits(np)
+	for _, r := range np.Refs {
+		rs := &refSym{avoid: -1}
+		out[r] = rs
+		if np.Depth == 0 || np.Depth > 64 {
+			continue
+		}
+		if dyn != nil && len(dyn[r]) > 0 {
+			// Dynamically generated reuse is not invariance-analysed.
+			continue
+		}
+		sp := spaces[r.Stmt]
+		n := sp.Depth
+		vs := vecs[r]
+		rs.dims = make([]*dimSym, n)
+
+		// Empty replacement polytope: every vector's producer-existence
+		// system has no solution inside the consumer's space.
+		rs.allCold = true
+		for _, v := range vs {
+			sys, ok := producerSystem(v, n)
+			if !ok || sp.CountWith(poly.FullTile(), sys) > 0 {
+				rs.allCold = false
+				break
+			}
+		}
+		if rs.allCold {
+			continue
+		}
+
+		blo, bhi, bok := sp.BoundingBox()
+		for k := 0; k < n; k++ {
+			if !traits.zero[k] && !traits.shared[k] {
+				continue
+			}
+			period := int64(1)
+			if traits.coeff[k] != 0 {
+				period = trace.LineWrapPeriod(traits.coeff[k], lineBytes)
+			}
+			if bok && bhi[k]-blo[k]+1 <= period {
+				continue // the dimension can never hold more than one period
+			}
+			ds := &dimSym{period: period, ivs: make([]ivSpec, 0, len(vs))}
+			ok := len(vs) > 0
+			for _, v := range vs {
+				if memo[v].invMask&(1<<k) == 0 {
+					ok = false
+					break
+				}
+				p := v.Producer.Stmt
+				if p.Depth() != n {
+					ok = false
+					break
+				}
+				bl, bh := p.Bounds[k].Lo, p.Bounds[k].Hi
+				if bl.MaxDepthUsed() > k || bh.MaxDepthUsed() > k {
+					ok = false // the producer's depth-k bound is not outer-only
+					break
+				}
+				D := v.IdxDiff
+				ds.ivs = append(ds.ivs, ivSpec{
+					lo: shiftAffine(bl, D, D[k]),
+					hi: shiftAffine(bh, D, D[k]),
+				})
+			}
+			if ok {
+				rs.dims[k] = ds
+				rs.anyDim = true
+				if rs.avoid < 0 && period == 1 {
+					rs.avoid = k
+				}
+			}
+		}
+	}
+	return out
+}
+
+// symDelta is the aggregate outcome of one representative subtree.
+type symDelta struct {
+	analyzed, hits, cold, repl int64
+}
+
+// symRun executes one (reference, tile) solve with region replication,
+// bit-identical to plain enumeration of the same tile.
+type symRun struct {
+	a    *Analyzer
+	c    *classifier
+	r    *ir.NRef
+	sym  *refSym
+	sp   *poly.Space
+	t    poly.Tile
+	rr   *RefReport
+	p    *budget.Probe
+	perr error
+	idx  []int64
+	nRep int64 // points resolved without classification
+
+	rec    *symPattern  // active budget-mode recording (nil otherwise)
+	cuts   [][]int64    // per-depth slab-boundary scratch
+	deltas [][]symDelta // per-depth aggregate scratch
+}
+
+// runTileSym is the symbolic counterpart of runTile.
+func (a *Analyzer) runTileSym(c *classifier, r *ir.NRef, sym *refSym, t poly.Tile, rr *RefReport, p *budget.Probe) error {
+	sp := a.spaces[r.Stmt]
+	before := rr.Analyzed
+	s := &symRun{a: a, c: c, r: r, sym: sym, sp: sp, t: t, rr: rr, p: p,
+		idx:    make([]int64, sp.Depth),
+		cuts:   make([][]int64, sp.Depth),
+		deltas: make([][]symDelta, sp.Depth),
+	}
+	if sym.allCold {
+		s.runAllCold()
+	} else {
+		s.run(0)
+	}
+	total := rr.Analyzed - before
+	mTilesSolved.Inc()
+	mPointsClassed.Add(total)
+	mPointsSymbolic.Add(s.nRep)
+	mPointsEnumerated.Add(total - s.nRep)
+	return s.perr
+}
+
+// runAllCold resolves an empty-replacement-polytope reference: every point
+// is a cold miss with zero scan work. Without a probe the tile is counted
+// in closed form; with one, the points are replayed individually so the
+// budget checkpoint sequence matches the enumerator's exactly.
+func (s *symRun) runAllCold() {
+	if s.p == nil {
+		cnt := s.sp.CountTile(s.t)
+		s.rr.Analyzed += cnt
+		s.rr.Cold += cnt
+		s.nRep += cnt
+		return
+	}
+	s.sp.EnumerateTile(s.t, func([]int64) bool {
+		s.nRep++
+		return s.emit(ColdMiss, 0)
+	})
+}
+
+// emit accounts one point's outcome, feeding the active recording and the
+// budget probe exactly as the enumerating loop would.
+func (s *symRun) emit(out Outcome, scanned int64) bool {
+	s.rr.Analyzed++
+	switch out {
+	case Hit:
+		s.rr.Hits++
+	case ColdMiss:
+		s.rr.Cold++
+	case ReplacementMiss:
+		s.rr.Repl++
+	}
+	if s.rec != nil {
+		if len(s.rec.outs) >= symPatternCap {
+			s.rec.overrun = true
+		} else {
+			s.rec.outs = append(s.rec.outs, byte(out))
+			s.rec.scans = append(s.rec.scans, scanned)
+		}
+	}
+	if s.p != nil {
+		if s.perr = s.p.Check(1, scanned); s.perr != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// run recurses over the iteration space in lexicographic order, matching
+// EnumerateTile's structure level by level; at an eligible dimension it
+// switches to slab decomposition instead of the plain loop.
+func (s *symRun) run(k int) bool {
+	if k == s.sp.Depth {
+		out, scanned := s.c.classify(s.r, s.idx)
+		return s.emit(out, scanned)
+	}
+	lo, hi, ok := s.sp.RangeAt(k, s.idx)
+	if !ok {
+		return true
+	}
+	if k == s.t.Dim {
+		if s.t.Lo > lo {
+			lo = s.t.Lo
+		}
+		if s.t.Hi < hi {
+			hi = s.t.Hi
+		}
+		if lo > hi {
+			return true
+		}
+	}
+	var d *dimSym
+	if s.rec == nil { // replication is disabled inside a recording
+		d = s.sym.dims[k]
+	}
+	if d == nil || hi-lo+1 <= d.period {
+		for v := lo; v <= hi; v++ {
+			s.idx[k] = v
+			if !s.run(k + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return s.runSlabs(k, d, lo, hi)
+}
+
+// slabCuts computes the ascending slab boundaries of [lo, hi] at depth k:
+// the values where some vector's producer-existence interval opens or
+// closes. Within a slab every vector's existence status is constant along
+// the dimension, so verdicts repeat with the dimension's period.
+func (s *symRun) slabCuts(k int, d *dimSym, lo, hi int64) []int64 {
+	cuts := s.cuts[k][:0]
+	for _, iv := range d.ivs {
+		a := iv.lo.Eval(s.idx)
+		b := iv.hi.Eval(s.idx) + 1
+		if a > lo && a <= hi {
+			cuts = append(cuts, a)
+		}
+		if b > lo && b <= hi {
+			cuts = append(cuts, b)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	w := 0
+	for i, c := range cuts {
+		if i == 0 || c != cuts[w-1] {
+			cuts[w] = c
+			w++
+		}
+	}
+	cuts = cuts[:w]
+	s.cuts[k] = cuts
+	return cuts
+}
+
+func (s *symRun) runSlabs(k int, d *dimSym, lo, hi int64) bool {
+	cuts := s.slabCuts(k, d, lo, hi)
+	start := lo
+	for ci := 0; ci <= len(cuts); ci++ {
+		end := hi
+		if ci < len(cuts) {
+			end = cuts[ci] - 1
+		}
+		if !s.runSlab(k, d, start, end) {
+			return false
+		}
+		start = end + 1
+		// Re-read the cut list: deeper recursion shares the per-depth
+		// scratch only below k, so the slice is intact, but it may have
+		// been moved by append in a sibling call.
+		cuts = s.cuts[k]
+	}
+	return true
+}
+
+// runSlab solves one slab [lo, hi] of depth k: when the slab holds more
+// than one period P, the first P values are classified and the remaining
+// values inherit their verdicts by translation.
+func (s *symRun) runSlab(k int, d *dimSym, lo, hi int64) bool {
+	if lo > hi {
+		return true
+	}
+	n := hi - lo + 1
+	P := d.period
+	if n <= P {
+		for v := lo; v <= hi; v++ {
+			s.idx[k] = v
+			if !s.run(k + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if s.p == nil {
+		// Aggregate replication: classify the representatives, then copy
+		// their aggregate outcomes onto every further translate.
+		dl := s.deltas[k]
+		if int64(cap(dl)) < P {
+			dl = make([]symDelta, P)
+		} else {
+			dl = dl[:P]
+		}
+		s.deltas[k] = dl
+		for j := int64(0); j < P; j++ {
+			before := symDelta{s.rr.Analyzed, s.rr.Hits, s.rr.Cold, s.rr.Repl}
+			s.idx[k] = lo + j
+			if !s.run(k + 1) {
+				return false
+			}
+			dl[j] = symDelta{
+				analyzed: s.rr.Analyzed - before.analyzed,
+				hits:     s.rr.Hits - before.hits,
+				cold:     s.rr.Cold - before.cold,
+				repl:     s.rr.Repl - before.repl,
+			}
+		}
+		dl = s.deltas[k] // recursion below k never touches level k's scratch
+		for j := int64(0); j < P; j++ {
+			extra := (n - 1 - j) / P // translates beyond the representative
+			if extra == 0 {
+				continue
+			}
+			s.rr.Analyzed += extra * dl[j].analyzed
+			s.rr.Hits += extra * dl[j].hits
+			s.rr.Cold += extra * dl[j].cold
+			s.rr.Repl += extra * dl[j].repl
+			s.nRep += extra * dl[j].analyzed
+		}
+		return true
+	}
+	// Budget mode: record each representative's per-point verdict stream
+	// and replay it for the translates in enumeration order, so the probe
+	// sees the identical Check(1, scanned) sequence (and trips at the
+	// identical point) as under plain enumeration.
+	pats := make([]*symPattern, P)
+	for j := int64(0); j < P; j++ {
+		pat := &symPattern{}
+		s.rec = pat
+		s.idx[k] = lo + j
+		ok := s.run(k + 1)
+		s.rec = nil
+		if !ok {
+			return false
+		}
+		pats[j] = pat
+	}
+	for v := lo + P; v <= hi; v++ {
+		pat := pats[(v-lo)%P]
+		if pat.overrun {
+			// Subtree too large to record: classify this translate anew
+			// (deeper replication may still engage).
+			s.idx[k] = v
+			if !s.run(k + 1) {
+				return false
+			}
+			continue
+		}
+		for i, o := range pat.outs {
+			s.nRep++
+			if !s.emit(Outcome(o), pat.scans[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ---- fused batch variant ----
+
+// symRunFused replays the same region logic for a fused candidate group:
+// the line size (and hence every period and every slab) is shared across
+// the group, so one slab decomposition replicates every candidate's
+// aggregates at once. It runs only on unbudgeted solves; budgeted batch
+// runs enumerate, which is trivially bit-identical.
+type symRunFused struct {
+	fc    *fusedClassifier
+	r     *ir.NRef
+	sym   *refSym
+	sp    *poly.Space
+	t     poly.Tile
+	parts []RefReport
+	ctx   context.Context
+	idx   []int64
+	nRep  int64 // replicated points per candidate
+	nPts  int64 // classified points (context-poll cadence)
+
+	cuts   [][]int64
+	deltas [][]symDelta // per depth: P * len(parts) deltas, row-major
+}
+
+// runTileSym mirrors fusedClassifier.runTile for an eligible reference.
+func (fc *fusedClassifier) runTileSym(ctx context.Context, r *ir.NRef, sym *refSym, t poly.Tile, parts []RefReport) {
+	sp := fc.p.spaces[r.Stmt]
+	var before int64
+	for i := range parts {
+		before += parts[i].Analyzed
+	}
+	s := &symRunFused{fc: fc, r: r, sym: sym, sp: sp, t: t, parts: parts, ctx: ctx,
+		idx:    make([]int64, sp.Depth),
+		cuts:   make([][]int64, sp.Depth),
+		deltas: make([][]symDelta, sp.Depth),
+	}
+	if sym.allCold {
+		cnt := sp.CountTile(t)
+		for i := range parts {
+			parts[i].Analyzed += cnt
+			parts[i].Cold += cnt
+		}
+		s.nRep = cnt
+	} else {
+		s.run(0)
+	}
+	var after int64
+	for i := range parts {
+		after += parts[i].Analyzed
+	}
+	mTilesSolved.Inc()
+	mPointsClassed.Add(after - before)
+	mPointsSymbolic.Add(s.nRep * int64(len(parts)))
+	mPointsEnumerated.Add(after - before - s.nRep*int64(len(parts)))
+}
+
+func (s *symRunFused) run(k int) bool {
+	if k == s.sp.Depth {
+		s.fc.classifyFused(s.r, s.idx, s.parts)
+		s.nPts++
+		return s.nPts&4095 != 0 || s.ctx.Err() == nil
+	}
+	lo, hi, ok := s.sp.RangeAt(k, s.idx)
+	if !ok {
+		return true
+	}
+	if k == s.t.Dim {
+		if s.t.Lo > lo {
+			lo = s.t.Lo
+		}
+		if s.t.Hi < hi {
+			hi = s.t.Hi
+		}
+		if lo > hi {
+			return true
+		}
+	}
+	d := s.sym.dims[k]
+	if d == nil || hi-lo+1 <= d.period {
+		for v := lo; v <= hi; v++ {
+			s.idx[k] = v
+			if !s.run(k + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	// Slab decomposition (same derivation as symRun.runSlabs).
+	cuts := s.cuts[k][:0]
+	for _, iv := range d.ivs {
+		a := iv.lo.Eval(s.idx)
+		b := iv.hi.Eval(s.idx) + 1
+		if a > lo && a <= hi {
+			cuts = append(cuts, a)
+		}
+		if b > lo && b <= hi {
+			cuts = append(cuts, b)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	w := 0
+	for i, c := range cuts {
+		if i == 0 || c != cuts[w-1] {
+			cuts[w] = c
+			w++
+		}
+	}
+	cuts = cuts[:w]
+	s.cuts[k] = cuts
+	start := lo
+	for ci := 0; ci <= len(cuts); ci++ {
+		end := hi
+		if ci < len(cuts) {
+			end = cuts[ci] - 1
+		}
+		if !s.runSlab(k, d, start, end) {
+			return false
+		}
+		start = end + 1
+		cuts = s.cuts[k]
+	}
+	return true
+}
+
+func (s *symRunFused) runSlab(k int, d *dimSym, lo, hi int64) bool {
+	if lo > hi {
+		return true
+	}
+	n := hi - lo + 1
+	P := d.period
+	if n <= P {
+		for v := lo; v <= hi; v++ {
+			s.idx[k] = v
+			if !s.run(k + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	nc := int64(len(s.parts))
+	dl := s.deltas[k]
+	if int64(cap(dl)) < P*nc {
+		dl = make([]symDelta, P*nc)
+	} else {
+		dl = dl[:P*nc]
+	}
+	s.deltas[k] = dl
+	for j := int64(0); j < P; j++ {
+		row := dl[j*nc : (j+1)*nc]
+		for i := range s.parts {
+			row[i] = symDelta{s.parts[i].Analyzed, s.parts[i].Hits, s.parts[i].Cold, s.parts[i].Repl}
+		}
+		s.idx[k] = lo + j
+		if !s.run(k + 1) {
+			return false
+		}
+		for i := range s.parts {
+			row[i] = symDelta{
+				analyzed: s.parts[i].Analyzed - row[i].analyzed,
+				hits:     s.parts[i].Hits - row[i].hits,
+				cold:     s.parts[i].Cold - row[i].cold,
+				repl:     s.parts[i].Repl - row[i].repl,
+			}
+		}
+	}
+	dl = s.deltas[k]
+	for j := int64(0); j < P; j++ {
+		extra := (n - 1 - j) / P
+		if extra == 0 {
+			continue
+		}
+		row := dl[j*nc : (j+1)*nc]
+		for i := range s.parts {
+			s.parts[i].Analyzed += extra * row[i].analyzed
+			s.parts[i].Hits += extra * row[i].hits
+			s.parts[i].Cold += extra * row[i].cold
+			s.parts[i].Repl += extra * row[i].repl
+		}
+		s.nRep += extra * row[0].analyzed
+	}
+	return true
+}

@@ -9,6 +9,10 @@ import (
 // when the acceptance rate is too low it falls back to exact conditional
 // sampling driven by sub-volume counts, which is uniform by construction.
 // It returns fewer than n points only if the space is empty.
+//
+// The returned points share one backing array, so a call costs O(1)
+// allocations regardless of n; rejection trials draw into pooled scratch
+// and only accepted points are copied out.
 func (sp *Space) Sample(rng *rand.Rand, n int) [][]int64 {
 	if sp.Volume() == 0 || n <= 0 {
 		return nil
@@ -26,61 +30,79 @@ func (sp *Space) Sample(rng *rand.Rand, n int) [][]int64 {
 		}
 	}
 	out := make([][]int64, 0, n)
+	backing := make([]int64, n*sp.Depth)
+	take := func(src []int64) {
+		dst := backing[len(out)*sp.Depth : (len(out)+1)*sp.Depth]
+		copy(dst, src)
+		out = append(out, dst)
+	}
 	// Rejection phase: give up if acceptance appears worse than ~1/4096.
+	ip := getIdx(sp.Depth)
+	idx := *ip
 	trials, accepted := 0, 0
 	maxTrials := 4096 * (n + 16)
 	for len(out) < n && trials < maxTrials {
 		trials++
-		idx := make([]int64, sp.Depth)
 		for k := range idx {
 			idx[k] = lo[k] + rng.Int63n(hi[k]-lo[k]+1)
 		}
 		if sp.Contains(idx) {
 			accepted++
-			out = append(out, idx)
+			take(idx)
 		}
 		// Periodically check whether rejection is hopeless.
 		if trials == 2048 && accepted == 0 {
 			break
 		}
 	}
+	var weights []int64
 	for len(out) < n {
-		out = append(out, sp.conditionalSample(rng))
+		sp.conditionalSample(rng, idx, &weights)
+		take(idx)
 	}
+	putIdx(ip)
 	return out
 }
 
-// conditionalSample draws one exactly-uniform point by choosing each index
-// proportionally to the volume of the slice it induces.
-func (sp *Space) conditionalSample(rng *rand.Rand) []int64 {
-	idx := make([]int64, sp.Depth)
+// conditionalSample draws one exactly-uniform point into idx by choosing
+// each index proportionally to the volume of the slice it induces. The
+// weights buffer is reused (and grown) across levels and calls.
+func (sp *Space) conditionalSample(rng *rand.Rand, idx []int64, weights *[]int64) {
+	for i := range idx {
+		idx[i] = 0
+	}
 	for k := 0; k < sp.Depth; k++ {
 		lo, hi, ok := sp.rangeAt(k, idx)
 		if !ok {
 			// Should not happen while total volume > 0 and choices are
 			// volume-weighted; defend anyway.
-			return idx
+			return
 		}
 		// Total volume below this prefix.
 		var total int64
-		weights := make([]int64, hi-lo+1)
+		w := *weights
+		if need := int(hi - lo + 1); cap(w) < need {
+			w = make([]int64, need)
+			*weights = w
+		} else {
+			w = w[:need]
+		}
 		for v := lo; v <= hi; v++ {
 			idx[k] = v
-			w := sp.count(k+1, idx)
-			weights[v-lo] = w
-			total += w
+			c := sp.count(k+1, idx)
+			w[v-lo] = c
+			total += c
 		}
 		if total == 0 {
-			return idx
+			return
 		}
 		t := rng.Int63n(total)
 		for v := lo; v <= hi; v++ {
-			t -= weights[v-lo]
+			t -= w[v-lo]
 			if t < 0 {
 				idx[k] = v
 				break
 			}
 		}
 	}
-	return idx
 }

@@ -5,8 +5,40 @@
 package poly
 
 import (
+	"sync"
+
 	"cachemodel/internal/ir"
 )
+
+// idxPool recycles index scratch slices across Enumerate / EnumerateTile /
+// Sample / CountWith calls. Spaces are shared immutably between worker
+// goroutines, so the scratch cannot live on the Space itself; pooling keeps
+// the per-call hot paths allocation-free instead.
+var idxPool = sync.Pool{New: func() any {
+	s := make([]int64, 0, 16)
+	return &s
+}}
+
+// getIdx returns a zeroed scratch index slice of length n from the pool,
+// via a stable pointer so the round trip through the pool allocates
+// nothing in steady state.
+func getIdx(n int) *[]int64 {
+	p := idxPool.Get().(*[]int64)
+	s := *p
+	if cap(s) < n {
+		s = make([]int64, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*p = s
+	return p
+}
+
+// putIdx recycles a scratch slice obtained from getIdx.
+func putIdx(p *[]int64) { idxPool.Put(p) }
 
 // Space is the iteration set of a normalised statement: the polytope
 // carved by the n affine bound pairs intersected with the guard
@@ -71,12 +103,25 @@ func (sp *Space) Contains(idx []int64) bool {
 // rangeAt computes the admissible range of I_{k+1} given the assigned
 // prefix idx[0..k-1]: the loop bounds tightened by every guard whose
 // deepest index is I_{k+1}. ok=false means the range is empty.
-// eqOnly, if non-negative, is the single admissible value forced by an
-// equality guard.
 func (sp *Space) rangeAt(k int, idx []int64) (lo, hi int64, ok bool) {
 	lo = sp.Bounds[k].Lo.Eval(idx)
 	hi = sp.Bounds[k].Hi.Eval(idx)
-	for _, g := range sp.guardsAt[k] {
+	return narrowBy(sp.guardsAt[k], k, idx, lo, hi)
+}
+
+// RangeAt exposes the admissible range of I_{k+1} under the assigned
+// prefix idx[0..k-1] (bounds tightened by the guards resolvable at this
+// level). Callers must treat idx as scratch: entries at depth >= k may be
+// overwritten transiently. ok=false means the range is empty.
+func (sp *Space) RangeAt(k int, idx []int64) (lo, hi int64, ok bool) {
+	return sp.rangeAt(k, idx)
+}
+
+// narrowBy tightens the candidate range [lo, hi] of I_{k+1} by a set of
+// affine constraints whose deepest used index is I_{k+1}, evaluated at the
+// prefix idx[0..k-1]. idx[k] is used as scratch and restored.
+func narrowBy(cons []ir.NConstraint, k int, idx []int64, lo, hi int64) (int64, int64, bool) {
+	for _, g := range cons {
 		c := g.Expr.At(k + 1)
 		// rest = value of the guard expression with I_{k+1} zeroed.
 		save := idx[k]
@@ -150,8 +195,9 @@ func (sp *Space) Volume() int64 {
 	if sp.volKnown {
 		return sp.volume
 	}
-	idx := make([]int64, sp.Depth)
-	sp.volume = sp.count(0, idx)
+	ip := getIdx(sp.Depth)
+	sp.volume = sp.count(0, *ip)
+	putIdx(ip)
 	sp.volKnown = true
 	return sp.volume
 }
@@ -207,10 +253,13 @@ func (sp *Space) count(k int, idx []int64) int64 {
 }
 
 // Enumerate calls visit for every point of the space in lexicographic
-// order. If visit returns false, enumeration stops early.
+// order. If visit returns false, enumeration stops early. The idx slice
+// passed to visit is scratch owned by the enumeration: callers must copy
+// it to retain a point.
 func (sp *Space) Enumerate(visit func(idx []int64) bool) {
-	idx := make([]int64, sp.Depth)
-	sp.enum(0, idx, visit)
+	ip := getIdx(sp.Depth)
+	sp.enum(0, *ip, visit)
+	putIdx(ip)
 }
 
 func (sp *Space) enum(k int, idx []int64, visit func([]int64) bool) bool {

@@ -25,6 +25,16 @@ func FullTile() Tile { return Tile{Dim: -1} }
 // full tile when the space cannot be split (n <= 1, zero depth, or a
 // statically empty space).
 func (sp *Space) Tiles(n int) []Tile {
+	return sp.TilesAvoiding(n, -1)
+}
+
+// TilesAvoiding is Tiles with one dimension declared off-limits: the split
+// prefers any other dimension, falling back to the avoided one only when no
+// alternative is at least two wide. Solvers use it to keep a dimension
+// contiguous inside every tile (the symbolic fast path replicates verdicts
+// along one dimension, which tiling across it would truncate). avoid = -1
+// places no restriction.
+func (sp *Space) TilesAvoiding(n, avoid int) []Tile {
 	if n <= 1 || sp.Depth == 0 {
 		return []Tile{FullTile()}
 	}
@@ -32,24 +42,27 @@ func (sp *Space) Tiles(n int) []Tile {
 	if !ok {
 		return []Tile{FullTile()}
 	}
-	dim := -1
-	for k := 0; k < sp.Depth; k++ {
-		if hi[k]-lo[k]+1 >= int64(n) {
-			dim = k
-			break
-		}
-	}
-	if dim < 0 {
-		// No dimension is wide enough for n tiles: take the widest.
-		var best int64
+	pick := func(skip int) int {
 		for k := 0; k < sp.Depth; k++ {
-			if w := hi[k] - lo[k] + 1; w > best {
-				best, dim = w, k
+			if k != skip && hi[k]-lo[k]+1 >= int64(n) {
+				return k
 			}
 		}
-		if best < 2 {
-			return []Tile{FullTile()}
+		// No dimension is wide enough for n tiles: take the widest.
+		d, best := -1, int64(1)
+		for k := 0; k < sp.Depth; k++ {
+			if w := hi[k] - lo[k] + 1; k != skip && w > best {
+				best, d = w, k
+			}
 		}
+		return d
+	}
+	dim := pick(avoid)
+	if dim < 0 && avoid >= 0 {
+		dim = pick(-1) // every alternative is degenerate; split the avoided dim
+	}
+	if dim < 0 {
+		return []Tile{FullTile()}
 	}
 	width := hi[dim] - lo[dim] + 1
 	parts := int64(n)
@@ -73,8 +86,9 @@ func (sp *Space) EnumerateTile(t Tile, visit func(idx []int64) bool) {
 		sp.Enumerate(visit)
 		return
 	}
-	idx := make([]int64, sp.Depth)
-	sp.enumTile(0, idx, t, visit)
+	ip := getIdx(sp.Depth)
+	sp.enumTile(0, *ip, t, visit)
+	putIdx(ip)
 }
 
 func (sp *Space) enumTile(k int, idx []int64, t Tile, visit func([]int64) bool) bool {
