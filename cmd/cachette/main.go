@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"cachemodel/internal/advisor"
@@ -66,6 +67,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "obscheck":
 		err = cmdObscheck(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -93,6 +96,7 @@ subcommands:
   trace        emit the program's memory reference trace (R/W address lines)
   bench        time the solver variants (sequential / memoized / parallel) and emit BENCH_solvers.json
   obscheck     validate a run-report JSON written by -obs-out
+  serve        run the multi-tenant analysis server (HTTP/JSON + SSE + /metrics)
   list         list the built-in programs
 
 observability (analyze, bench, sweep):
@@ -200,10 +204,12 @@ func budgetFlags(fs *flag.FlagSet) (timeout *time.Duration, maxPoints, maxScan *
 	return
 }
 
-// signalContext returns a context cancelled by Ctrl-C, so an interactive
-// interrupt yields the partial result instead of killing the process.
+// signalContext returns a context cancelled by Ctrl-C or SIGTERM, so an
+// interactive interrupt — or a supervisor's shutdown — yields the partial
+// result (and, for serve, a graceful drain) instead of killing the
+// process mid-write.
 func signalContext() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt)
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 // printProvenance reports which tier produced the result and what the

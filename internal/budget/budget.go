@@ -152,6 +152,13 @@ func (m *Meter) Err() error {
 	return m.err
 }
 
+// Trip trips the meter with an external failure, as if a checkpoint had
+// observed it: the first error wins and every subsequent probe flush
+// returns it, so all workers of the analysis stand down. The solver uses
+// it to convert a panic in a pool goroutine into an ordinary tripped-meter
+// failure (per-job panic isolation in the serving layer).
+func (m *Meter) Trip(err error) error { return m.trip(err) }
+
 // trip records the first tripping error and returns the winning one.
 func (m *Meter) trip(err error) error {
 	m.mu.Lock()

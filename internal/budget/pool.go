@@ -1,0 +1,78 @@
+package budget
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a global admission budget shared by every concurrent analysis of
+// one process: a fixed allowance of iteration points that in-flight jobs
+// reserve on admission and return on completion. It is the load-shedding
+// complement of the per-request Budget — a request whose reservation does
+// not fit is rejected up front (the server's typed 503) instead of being
+// admitted and starved.
+//
+// The pool deliberately reserves *declared* budgets, not measured spend:
+// admission control has to answer before the work runs, so it prices a job
+// at its cap (MaxPoints, or a configured default weight when the request
+// is unlimited) and trusts the Meter to enforce the cap during the run.
+type Pool struct {
+	mu   sync.Mutex
+	cap  int64
+	used int64
+}
+
+// NewPool returns an admission pool of the given point capacity
+// (capacity <= 0 means unlimited: TryAcquire always succeeds).
+func NewPool(capacity int64) *Pool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Pool{cap: capacity}
+}
+
+// TryAcquire reserves n points; it reports false (reserving nothing) when
+// the reservation does not fit. n <= 0 reserves nothing and succeeds.
+func (p *Pool) TryAcquire(n int64) bool {
+	if p == nil || n <= 0 {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cap > 0 && p.used+n > p.cap {
+		return false
+	}
+	p.used += n
+	return true
+}
+
+// Release returns a reservation to the pool.
+func (p *Pool) Release(n int64) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.used -= n
+	if p.used < 0 {
+		panic(fmt.Sprintf("budget: pool released more than acquired (used %d)", p.used))
+	}
+}
+
+// InUse reports the currently reserved points.
+func (p *Pool) InUse() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+// Cap reports the pool capacity (0 = unlimited).
+func (p *Pool) Cap() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.cap
+}

@@ -1,0 +1,84 @@
+package budget
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolAdmissionAndRelease(t *testing.T) {
+	p := NewPool(100)
+	if !p.TryAcquire(60) {
+		t.Fatal("60/100 refused")
+	}
+	if !p.TryAcquire(40) {
+		t.Fatal("100/100 refused")
+	}
+	if p.TryAcquire(1) {
+		t.Fatal("overcommit allowed")
+	}
+	if got := p.InUse(); got != 100 {
+		t.Fatalf("InUse = %d, want 100", got)
+	}
+	p.Release(40)
+	if !p.TryAcquire(30) {
+		t.Fatal("30 refused after release of 40")
+	}
+}
+
+func TestPoolUnlimitedAndNil(t *testing.T) {
+	if !NewPool(0).TryAcquire(1 << 60) {
+		t.Fatal("unlimited pool refused")
+	}
+	var p *Pool
+	if !p.TryAcquire(5) {
+		t.Fatal("nil pool refused")
+	}
+	p.Release(5) // must not panic
+	if p.InUse() != 0 || p.Cap() != 0 {
+		t.Fatal("nil pool reports non-zero state")
+	}
+}
+
+func TestPoolZeroAcquire(t *testing.T) {
+	p := NewPool(1)
+	if !p.TryAcquire(0) || !p.TryAcquire(-3) {
+		t.Fatal("non-positive reservation refused")
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d after no-op acquires, want 0", p.InUse())
+	}
+}
+
+// TestPoolConcurrent hammers the pool from many goroutines and checks the
+// invariant used never exceeds cap and drains back to zero.
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if p.TryAcquire(8) {
+					if got := p.InUse(); got > 64 {
+						t.Errorf("InUse = %d exceeds cap 64", got)
+					}
+					p.Release(8)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after drain, want 0", got)
+	}
+}
+
+func TestPoolOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	NewPool(10).Release(1)
+}

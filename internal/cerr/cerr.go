@@ -36,7 +36,25 @@ var (
 	// analysis (zero denominator, dimension mismatch), typically caused by
 	// pathological subscripts.
 	ErrDegenerateSystem = errors.New("degenerate linear system")
+
+	// ErrTransient marks a failure worth retrying: a flaky I/O operation
+	// on the on-disk result cache, an injected transient fault, a job
+	// preempted mid-queue. Wrap concrete errors with it
+	// (fmt.Errorf("%w: ...", cerr.ErrTransient, ...)) so retry loops can
+	// dispatch with IsTransient instead of string matching.
+	ErrTransient = errors.New("transient failure")
+
+	// ErrPanic marks an error converted from a recovered panic that did
+	// not classify as a model violation or a degenerate system — a crash
+	// isolated into a typed failure. Long-running callers (the serving
+	// layer) dispatch on it to fail one job while the process lives on;
+	// it must never be degraded around, because the partial counts of a
+	// crashed solve carry no guarantee.
+	ErrPanic = errors.New("internal panic")
 )
+
+// IsTransient reports whether err is marked retryable (wraps ErrTransient).
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
 
 // RecoverTo converts a panic in the deferring function into an error wrapping
 // the matching sentinel, for use at public API boundaries:
@@ -56,13 +74,20 @@ func RecoverTo(err *error) {
 	if r == nil {
 		return
 	}
+	*err = FromPanic(r)
+}
+
+// FromPanic classifies a recovered panic value into the matching typed
+// error without re-panicking, for recovery sites that are not deferred at
+// an API boundary (solver pool goroutines, job runners).
+func FromPanic(r any) error {
 	msg := fmt.Sprint(r)
 	switch {
 	case strings.HasPrefix(msg, "linalg:"):
-		*err = fmt.Errorf("%w: %s", ErrDegenerateSystem, msg)
+		return fmt.Errorf("%w: %s", ErrDegenerateSystem, msg)
 	case strings.Contains(msg, "non-affine") || strings.Contains(msg, "non-loop variable"):
-		*err = fmt.Errorf("%w: %s", ErrNonAffine, msg)
+		return fmt.Errorf("%w: %s", ErrNonAffine, msg)
 	default:
-		*err = fmt.Errorf("internal panic: %s", msg)
+		return fmt.Errorf("%w: %s", ErrPanic, msg)
 	}
 }

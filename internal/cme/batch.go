@@ -129,17 +129,12 @@ func (p *Prepared) SolveBatch(ctx context.Context, cands []Candidate, opt BatchO
 	span.SetAttr("candidates", len(cands))
 	span.SetAttr("workers", workers)
 	mBatchCands.Add(int64(len(cands)))
-	mode := solveMode{}
 	if opt.Plan != nil {
 		if err := opt.Plan.Validate(); err != nil {
 			return nil, err
 		}
-		seed := p.opt.Seed
-		if seed == 0 {
-			seed = 0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF
-		}
-		mode = solveMode{sampled: true, plan: *opt.Plan, seed: seed, adaptive: p.opt.Adaptive}
 	}
+	mode := p.batchMode(opt.Plan)
 
 	// Snapshot the baseline layout; candidate layouts mutate global array
 	// bases, so the whole batch runs under this restore guard.
@@ -395,7 +390,11 @@ func (p *Prepared) degradeBatch(m *budget.Meter, states []*batchCand, fallback s
 		stamp()
 		return nil
 	}
-	if errors.Is(err, cerr.ErrCanceled) || m.NoFallback() {
+	// As in the solo ladder: cancellation, isolated panics and injected
+	// transient faults abort typed instead of degrading — their partial
+	// counts carry no guarantee worth papering over.
+	if errors.Is(err, cerr.ErrCanceled) || errors.Is(err, cerr.ErrPanic) ||
+		errors.Is(err, cerr.ErrTransient) || m.NoFallback() {
 		stamp()
 		return err
 	}
@@ -498,6 +497,7 @@ func (p *Prepared) solveSampled(ctx context.Context, m *budget.Meter, col *obs.C
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer guardWorker(m)
 			walker := trace.NewWalker(p.np)
 			var pb *budget.Probe
 			if limited {
@@ -655,6 +655,7 @@ func (p *Prepared) solveExactFused(ctx context.Context, m *budget.Meter, col *ob
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer guardWorker(m)
 			walker := trace.NewWalker(p.np)
 			fcs := map[*fuseGroup]*fusedClassifier{}
 			defer func() {

@@ -501,6 +501,19 @@ func (a *Analyzer) FindMissesCtx(ctx context.Context, b budget.Budget) (*Report,
 	return a.degrade(ctx, m, rep, start, sampling.DefaultFallback)
 }
 
+// guardWorker is deferred at the top of every solver pool goroutine: it
+// converts a panic into a tripped meter instead of a process crash. The
+// other workers observe the trip at their next checkpoint and stand down,
+// the merge leaves the crashed item incomplete, and the caller gets the
+// classified panic error — which the degradation ladder refuses to paper
+// over (a crashed solve's partial counts carry no guarantee). This is the
+// foundation of the serving layer's per-job panic isolation.
+func guardWorker(m *budget.Meter) {
+	if r := recover(); r != nil {
+		m.Trip(cerr.FromPanic(r))
+	}
+}
+
 // tileFactor is the work-queue overdecomposition ratio of the tiled exact
 // solver: the iteration spaces are split into about tileFactor tiles per
 // worker, so one dominant nest still spreads across all workers while the
@@ -624,6 +637,7 @@ func (a *Analyzer) findTiled(m *budget.Meter, workers int, col *obs.Collector) (
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer guardWorker(m)
 			c := a.newClassifier()
 			defer c.release()
 			var p *budget.Probe
@@ -862,7 +876,11 @@ func (a *Analyzer) degrade(ctx context.Context, m *budget.Meter, rep *Report, st
 		rep.finalize(m, start)
 		return rep, nil
 	}
-	if errors.Is(err, cerr.ErrCanceled) || m.NoFallback() {
+	// Cancellation means stop, not degrade; a panic or injected transient
+	// fault means the counts carry no guarantee — degrading would launder a
+	// crash into a plausible-looking number. All three surface typed.
+	if errors.Is(err, cerr.ErrCanceled) || errors.Is(err, cerr.ErrPanic) ||
+		errors.Is(err, cerr.ErrTransient) || m.NoFallback() {
 		rep.finalize(m, start)
 		return rep, err
 	}
@@ -1004,6 +1022,7 @@ func (a *Analyzer) perRefBudget(m *budget.Meter, work func(c *classifier, r *ir.
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer guardWorker(m)
 			c := a.newClassifier()
 			defer c.release()
 			var p *budget.Probe

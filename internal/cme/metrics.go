@@ -18,6 +18,7 @@ var (
 	mCacheHits        = obs.Default.Counter("cme_resultcache_hits_total")
 	mCacheMisses      = obs.Default.Counter("cme_resultcache_misses_total")
 	mCacheEvictions   = obs.Default.Counter("cme_resultcache_evictions_total")
+	mCacheCorrupt     = obs.Default.Counter("cme_resultcache_corrupt_total")
 	mBatchCands       = obs.Default.Counter("cme_batch_candidates_total")
 	mBatchDedup       = obs.Default.Counter("cme_batch_dedup_total")
 )

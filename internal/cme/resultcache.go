@@ -136,11 +136,24 @@ type diskEntry struct {
 	Val cachedRef `json:"val"`
 }
 
+// StoreSchemaV1 identifies the checksummed on-disk store envelope.
+const StoreSchemaV1 = "cachette/resultcache/v1"
+
+// diskStore is the on-disk envelope: the entries blob plus a SHA-256 over
+// it, so Load can tell a garbled or truncated-then-patched store from a
+// valid one even when the damage still parses as JSON (a flipped digit in
+// a count, say).
+type diskStore struct {
+	Schema  string          `json:"schema"`
+	Sum     string          `json:"sum"` // hex SHA-256 of Entries' JSON
+	Entries json.RawMessage `json:"entries"`
+}
+
 // Save writes the cache contents (least recent first, so a Load replays
-// them into the same recency order) to path as JSON. The write is
-// atomic — temp file, fsync, rename — so an interrupted run (the SIGINT
-// path) can never leave a truncated store behind; the previous store
-// survives intact until the rename commits.
+// them into the same recency order) to path as checksummed JSON. The
+// write is atomic — temp file, fsync, rename — so an interrupted run (the
+// SIGINT path) can never leave a truncated store behind; the previous
+// store survives intact until the rename commits.
 func (c *ResultCache) Save(path string) error {
 	c.mu.Lock()
 	entries := make([]diskEntry, 0, c.lru.Len())
@@ -149,7 +162,12 @@ func (c *ResultCache) Save(path string) error {
 		entries = append(entries, diskEntry{Key: re.key, Val: re.val})
 	}
 	c.mu.Unlock()
-	blob, err := json.Marshal(entries)
+	inner, err := json.Marshal(entries)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(inner)
+	blob, err := json.Marshal(diskStore{Schema: StoreSchemaV1, Sum: hex.EncodeToString(sum[:]), Entries: inner})
 	if err != nil {
 		return err
 	}
@@ -157,7 +175,12 @@ func (c *ResultCache) Save(path string) error {
 }
 
 // Load merges entries persisted by Save into the cache. A missing file is
-// not an error (a cold on-disk store is simply empty).
+// not an error (a cold on-disk store is simply empty), and neither is a
+// corrupt one: a store that fails to decode, fails its checksum, or
+// carries an impossible entry is quarantined — renamed to path+".corrupt"
+// — and the cache simply starts cold, recomputing instead of erroring. A
+// content-addressed cache can always be rebuilt; the only unrecoverable
+// sin would be serving a damaged entry as truth.
 func (c *ResultCache) Load(path string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -166,12 +189,65 @@ func (c *ResultCache) Load(path string) error {
 		}
 		return err
 	}
-	var entries []diskEntry
-	if err := json.Unmarshal(blob, &entries); err != nil {
-		return fmt.Errorf("result cache %s: %v", path, err)
+	entries, err := decodeStore(blob)
+	if err != nil {
+		mCacheCorrupt.Inc()
+		// Quarantine keeps the evidence for debugging while getting it out
+		// of the load path; a failed rename is not fatal (worst case the
+		// next Save overwrites the damage).
+		_ = os.Rename(path, path+".corrupt")
+		return nil
 	}
 	for _, e := range entries {
 		c.put(e.Key, e.Val)
+	}
+	return nil
+}
+
+// decodeStore decodes and fully validates a persisted store.
+func decodeStore(blob []byte) ([]diskEntry, error) {
+	var ds diskStore
+	if err := json.Unmarshal(blob, &ds); err != nil {
+		return nil, fmt.Errorf("result cache: %v", err)
+	}
+	if ds.Schema != StoreSchemaV1 {
+		return nil, fmt.Errorf("result cache: schema %q, want %q", ds.Schema, StoreSchemaV1)
+	}
+	sum := sha256.Sum256(ds.Entries)
+	if hex.EncodeToString(sum[:]) != ds.Sum {
+		return nil, fmt.Errorf("result cache: checksum mismatch")
+	}
+	var entries []diskEntry
+	if err := json.Unmarshal(ds.Entries, &entries); err != nil {
+		return nil, fmt.Errorf("result cache: entries: %v", err)
+	}
+	for i, e := range entries {
+		if err := e.Val.validate(); err != nil {
+			return nil, fmt.Errorf("result cache: entry %d (%s): %v", i, e.Key, err)
+		}
+		if e.Key == "" {
+			return nil, fmt.Errorf("result cache: entry %d: empty key", i)
+		}
+	}
+	return entries, nil
+}
+
+// validate rejects impossible per-reference results — the last line of
+// defence should a damaged store still pass the checksum (it cannot via
+// Save, but quarantined stores get hand-edited, and defence in depth is
+// cheap at load time).
+func (v cachedRef) validate() error {
+	switch {
+	case v.Volume < 0 || v.Analyzed < 0 || v.Hits < 0 || v.Cold < 0 || v.Repl < 0:
+		return fmt.Errorf("negative count")
+	case v.Analyzed > v.Volume:
+		return fmt.Errorf("analyzed %d exceeds volume %d", v.Analyzed, v.Volume)
+	case v.Hits+v.Cold+v.Repl > v.Analyzed:
+		return fmt.Errorf("outcomes %d exceed analyzed %d", v.Hits+v.Cold+v.Repl, v.Analyzed)
+	case v.Tier < TierExact || v.Tier > TierProbabilistic:
+		return fmt.Errorf("unknown tier %d", v.Tier)
+	case v.Ratio < 0 || v.Ratio > 1:
+		return fmt.Errorf("ratio %g outside [0,1]", v.Ratio)
 	}
 	return nil
 }
@@ -222,4 +298,58 @@ type solveMode struct {
 	plan     sampling.Plan
 	seed     int64
 	adaptive bool
+}
+
+// batchMode derives the solve mode one SolveBatch invocation with this
+// plan would run under (mirroring SolveBatch's seed defaulting).
+func (p *Prepared) batchMode(plan *sampling.Plan) solveMode {
+	if plan == nil {
+		return solveMode{}
+	}
+	seed := p.opt.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF
+	}
+	return solveMode{sampled: true, plan: *plan, seed: seed, adaptive: p.opt.Adaptive}
+}
+
+// SolveKey returns the SHA-256 content address of one SolveBatch
+// invocation over this Prepared program: the prepared digest, every
+// candidate's geometry and layout (in order), and the solve mode. Two
+// invocations with equal keys produce bit-identical reports, which makes
+// the key the natural singleflight handle for a serving layer: identical
+// concurrent requests collapse onto one solve, and the key doubles as a
+// stable job fingerprint in logs and metrics.
+func (p *Prepared) SolveKey(cands []Candidate, plan *sampling.Plan) string {
+	mode := p.batchMode(plan)
+	h := sha256.New()
+	h.Write(p.Digest())
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wi(int64(len(cands)))
+	for _, c := range cands {
+		wi(c.Config.SizeBytes)
+		wi(c.Config.LineBytes)
+		wi(int64(c.Config.Assoc))
+		lk := layoutKey(c.Layout)
+		wi(int64(len(lk)))
+		h.Write([]byte(lk))
+	}
+	if mode.sampled {
+		wi(1)
+		wi(int64(math.Float64bits(mode.plan.C)))
+		wi(int64(math.Float64bits(mode.plan.W)))
+		wi(mode.seed)
+		if mode.adaptive {
+			wi(1)
+		} else {
+			wi(0)
+		}
+	} else {
+		wi(0)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,6 +1,9 @@
 package cme
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -123,6 +126,131 @@ func TestResultCacheSaveLoadRecency(t *testing.T) {
 	for _, k := range []string{"k0", "k2", "k3"} {
 		if v, ok := d.get(k); !ok || v.Volume != int64(k[1]-'0') {
 			t.Errorf("%s lost or stale after reload (%+v, ok=%v)", k, v, ok)
+		}
+	}
+}
+
+// TestResultCacheLoadCorruptFlippedBytes is the corruption regression
+// test: flip bytes at every position of a persisted store, one at a time,
+// and Load each damaged copy. No flip may error, panic, or smuggle a
+// damaged entry into the cache — a flip either leaves the store
+// byte-identical in meaning (impossible here: any flip breaks the
+// checksum or the JSON) or quarantines it to .corrupt and starts cold.
+func TestResultCacheLoadCorruptFlippedBytes(t *testing.T) {
+	c := NewResultCache(0)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), rcVal(int64(i+1)))
+	}
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "rc.json")
+	if err := c.Save(clean); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	blob, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every byte position is a candidate; step a few bytes at a time to
+	// keep the test quick while still covering envelope, sum and entries.
+	for pos := 0; pos < len(blob); pos += 3 {
+		bad := append([]byte(nil), blob...)
+		// xor 0x01, not a case flip: Go's JSON decoder matches field names
+		// case-insensitively, so a case-flipped envelope key would decode
+		// identically and (correctly) load clean.
+		bad[pos] ^= 0x01
+		path := filepath.Join(dir, fmt.Sprintf("bad%d.json", pos))
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d := NewResultCache(0)
+		if err := d.Load(path); err != nil {
+			t.Fatalf("flip at %d: Load errored: %v", pos, err)
+		}
+		if s := d.Stats(); s.Entries != 0 {
+			t.Fatalf("flip at %d: %d damaged entries loaded", pos, s.Entries)
+		}
+		if _, err := os.Stat(path + ".corrupt"); err != nil {
+			t.Fatalf("flip at %d: no quarantine file: %v", pos, err)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("flip at %d: damaged store still in place", pos)
+		}
+	}
+	// The clean store still loads in full.
+	d := NewResultCache(0)
+	if err := d.Load(clean); err != nil {
+		t.Fatalf("clean load: %v", err)
+	}
+	if s := d.Stats(); s.Entries != 4 {
+		t.Fatalf("clean load got %d entries, want 4", s.Entries)
+	}
+}
+
+// TestResultCacheLoadTruncated: every truncation of a valid store is
+// quarantined, not erred on.
+func TestResultCacheLoadTruncated(t *testing.T) {
+	c := NewResultCache(0)
+	c.put("k", rcVal(7))
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "rc.json")
+	if err := c.Save(clean); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n += 7 {
+		path := filepath.Join(dir, fmt.Sprintf("trunc%d.json", n))
+		if err := os.WriteFile(path, blob[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d := NewResultCache(0)
+		if err := d.Load(path); err != nil {
+			t.Fatalf("truncation to %d bytes: Load errored: %v", n, err)
+		}
+		if s := d.Stats(); s.Entries != 0 {
+			t.Fatalf("truncation to %d bytes loaded %d entries", n, s.Entries)
+		}
+		if _, err := os.Stat(path + ".corrupt"); err != nil {
+			t.Fatalf("truncation to %d bytes: no quarantine: %v", n, err)
+		}
+	}
+}
+
+// TestResultCacheLoadRejectsImpossibleEntry: a store whose checksum is
+// valid but whose entry is semantically impossible (hand-edited) is
+// quarantined by the value validator.
+func TestResultCacheLoadRejectsImpossibleEntry(t *testing.T) {
+	for name, val := range map[string]cachedRef{
+		"negative_hits":    {Volume: 4, Analyzed: 4, Hits: -1, Tier: TierExact},
+		"analyzed>volume":  {Volume: 4, Analyzed: 5, Tier: TierExact},
+		"outcomes>counted": {Volume: 4, Analyzed: 4, Hits: 3, Cold: 2, Tier: TierExact},
+		"bad_tier":         {Volume: 4, Analyzed: 4, Tier: Tier(9)},
+		"bad_ratio":        {Volume: 4, Analyzed: 0, Tier: TierProbabilistic, Ratio: 1.5},
+	} {
+		inner, err := json.Marshal([]diskEntry{{Key: "k", Val: val}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(inner)
+		blob, err := json.Marshal(diskStore{Schema: StoreSchemaV1, Sum: hex.EncodeToString(sum[:]), Entries: inner})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "rc.json")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d := NewResultCache(0)
+		if err := d.Load(path); err != nil {
+			t.Fatalf("%s: Load errored: %v", name, err)
+		}
+		if s := d.Stats(); s.Entries != 0 {
+			t.Errorf("%s: impossible entry loaded", name)
+		}
+		if _, err := os.Stat(path + ".corrupt"); err != nil {
+			t.Errorf("%s: no quarantine: %v", name, err)
 		}
 	}
 }

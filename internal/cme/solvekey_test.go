@@ -1,0 +1,52 @@
+package cme
+
+import (
+	"testing"
+
+	"cachemodel/internal/cache"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/sampling"
+)
+
+// TestSolveKeyStableAndDiscriminating: equal (program, candidates, mode)
+// invocations share one key — even across separate builds of the program —
+// while any result-affecting difference changes it.
+func TestSolveKeyStableAndDiscriminating(t *testing.T) {
+	cands := []Candidate{
+		{Config: cache.Config{SizeBytes: 8192, LineBytes: 32, Assoc: 1}},
+		{Config: cache.Config{SizeBytes: 16384, LineBytes: 32, Assoc: 2},
+			Layout: &layout.Options{PadOf: map[string]int64{"A": 8}}},
+	}
+	plan := &sampling.Plan{C: 0.95, W: 0.05}
+
+	_, p1 := prepBatch(t, stencil1D(64), Options{})
+	_, p2 := prepBatch(t, stencil1D(64), Options{})
+	base := p1.SolveKey(cands, nil)
+	if base == "" || len(base) != 64 {
+		t.Fatalf("SolveKey = %q, want 64 hex chars", base)
+	}
+	if got := p2.SolveKey(cands, nil); got != base {
+		t.Errorf("identical invocations on separate builds diverge: %s vs %s", got, base)
+	}
+
+	diffs := map[string]string{
+		"plan":      p1.SolveKey(cands, plan),
+		"geometry":  p1.SolveKey([]Candidate{{Config: cache.Config{SizeBytes: 4096, LineBytes: 32, Assoc: 1}}, cands[1]}, nil),
+		"layout":    p1.SolveKey([]Candidate{cands[0], {Config: cands[1].Config}}, nil),
+		"order":     p1.SolveKey([]Candidate{cands[1], cands[0]}, nil),
+		"truncated": p1.SolveKey(cands[:1], nil),
+	}
+	seen := map[string]string{base: "base"}
+	for name, key := range diffs {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[key] = name
+	}
+
+	// A different program changes the key through the prepared digest.
+	_, p3 := prepBatch(t, copyThenRead(48), Options{})
+	if got := p3.SolveKey(cands, nil); got == base {
+		t.Error("different programs share a key")
+	}
+}

@@ -62,5 +62,43 @@ func (i *Injector) Hook() budget.Hook {
 // Fired reports whether the fault has been injected.
 func (i *Injector) Fired() bool { return i.fired.Load() }
 
+// Transient is the harness's transient-error mode: an operation that fails
+// its first N invocations with an error wrapping cerr.ErrTransient and
+// succeeds from invocation N+1 on. It exercises retry loops (internal/retry
+// classifies retryability via cerr.IsTransient) and the server's
+// re-enqueue path deterministically.
+type Transient struct {
+	// N is how many leading calls fail.
+	N int64
+	// Err is the failure returned while failing; when nil a default
+	// transient error is used. A non-nil Err is wrapped so it still
+	// satisfies cerr.IsTransient.
+	Err   error
+	calls atomic.Int64
+}
+
+// TransientN returns a transient fault failing the first n calls.
+func TransientN(n int64) *Transient { return &Transient{N: n} }
+
+// Op adapts the fault to a plain operation for retry.Do.
+func (t *Transient) Op() func() error {
+	return func() error { return t.Call() }
+}
+
+// Call performs one invocation: an error for the first N calls, nil after.
+func (t *Transient) Call() error {
+	n := t.calls.Add(1)
+	if n > t.N {
+		return nil
+	}
+	if t.Err != nil {
+		return fmt.Errorf("%w: injected call %d of %d: %v", cerr.ErrTransient, n, t.N, t.Err)
+	}
+	return fmt.Errorf("%w: injected call %d of %d", cerr.ErrTransient, n, t.N)
+}
+
+// Calls reports how many invocations the fault has seen.
+func (t *Transient) Calls() int64 { return t.calls.Load() }
+
 // Checkpoints returns the highest checkpoint index observed.
 func (i *Injector) Checkpoints() int64 { return i.seen.Load() }

@@ -36,6 +36,43 @@ type Provenance struct {
 	Budget       BudgetSpent `json:"budget"`
 }
 
+// JobOutcomes records what happened to every job of a server run: the
+// counts a run report needs so "the server ran" is auditable the same way
+// "the analysis ran" is — completed/shed/degraded/failed are the serving
+// analogue of tier/coverage provenance.
+type JobOutcomes struct {
+	// Completed jobs finished with a result (possibly degraded).
+	Completed int64 `json:"completed"`
+	// Shed requests were rejected at admission (queue full or global
+	// budget saturated) — the load the server refused rather than stalled.
+	Shed int64 `json:"shed"`
+	// Degraded jobs completed below their requested tier (budget ladder).
+	Degraded int64 `json:"degraded"`
+	// Failed jobs ended with a typed error (cancelled, exhausted with
+	// NoFallback, non-affine input, isolated panic).
+	Failed int64 `json:"failed"`
+	// Retried counts transient-failure re-enqueues.
+	Retried int64 `json:"retried,omitempty"`
+	// SingleflightHits counts jobs that shared another job's in-flight
+	// solve instead of recomputing.
+	SingleflightHits int64 `json:"singleflight_hits,omitempty"`
+}
+
+// validate rejects impossible outcome counts.
+func (j *JobOutcomes) validate() error {
+	if j == nil {
+		return nil
+	}
+	if j.Completed < 0 || j.Shed < 0 || j.Degraded < 0 || j.Failed < 0 ||
+		j.Retried < 0 || j.SingleflightHits < 0 {
+		return fmt.Errorf("run report: negative job outcome count: %+v", *j)
+	}
+	if j.Degraded > j.Completed {
+		return fmt.Errorf("run report: %d degraded jobs exceed %d completed", j.Degraded, j.Completed)
+	}
+	return nil
+}
+
 // CandidateProvenance is the per-candidate row for batch runs.
 type CandidateProvenance struct {
 	Label        string  `json:"label"`
@@ -56,8 +93,11 @@ type RunReport struct {
 	ElapsedNs  int64                 `json:"elapsed_ns"`
 	Report     *Provenance           `json:"report,omitempty"`
 	Candidates []CandidateProvenance `json:"candidates,omitempty"`
-	Spans      SpanSnapshot          `json:"spans"`
-	Metrics    Snapshot              `json:"metrics"`
+	// Jobs carries the job-level outcomes of a server run (nil for
+	// one-shot analyses).
+	Jobs    *JobOutcomes `json:"jobs,omitempty"`
+	Spans   SpanSnapshot `json:"spans"`
+	Metrics Snapshot     `json:"metrics"`
 }
 
 // Report assembles a RunReport from the collector's spans and registry.
@@ -138,25 +178,49 @@ func ValidateRunReport(blob []byte) (*RunReport, error) {
 	if err := validateSpan(r.Spans, ""); err != nil {
 		return nil, err
 	}
-	hasCME := false
-	for name := range r.Metrics.Counters {
-		if strings.HasPrefix(name, "cme_") {
-			hasCME = true
-			break
-		}
+	if err := r.Jobs.validate(); err != nil {
+		return nil, err
 	}
-	if !hasCME {
-		for name := range r.Metrics.Histograms {
-			if strings.HasPrefix(name, "cme_") {
-				hasCME = true
-				break
-			}
-		}
+	// A one-shot analysis must expose solver metrics; a server run (Jobs
+	// present) may instead have shed everything before any solver ran, in
+	// which case the serve_* series stand in as proof of instrumentation.
+	prefixes := []string{"cme_"}
+	if r.Jobs != nil {
+		prefixes = append(prefixes, "serve_")
 	}
-	if !hasCME {
-		return nil, fmt.Errorf("run report: no cme_* metric in snapshot")
+	if !hasMetricPrefix(r.Metrics, prefixes) {
+		return nil, fmt.Errorf("run report: no %s metric in snapshot", strings.Join(prefixes, "/"))
 	}
 	return &r, nil
+}
+
+// hasMetricPrefix reports whether any counter, gauge or histogram name
+// starts with one of the prefixes.
+func hasMetricPrefix(s Snapshot, prefixes []string) bool {
+	match := func(name string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	for name := range s.Counters {
+		if match(name) {
+			return true
+		}
+	}
+	for name := range s.Gauges {
+		if match(name) {
+			return true
+		}
+	}
+	for name := range s.Histograms {
+		if match(name) {
+			return true
+		}
+	}
+	return false
 }
 
 func validateSpan(s SpanSnapshot, parent string) error {

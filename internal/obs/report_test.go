@@ -74,6 +74,68 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+// TestValidateJobOutcomes covers the server-run shape of the report:
+// job-level outcomes validate, serve_* metrics stand in for cme_* when
+// Jobs is present, and impossible counts are rejected.
+func TestValidateJobOutcomes(t *testing.T) {
+	rep := testReport(t)
+	rep.Jobs = &JobOutcomes{Completed: 5, Shed: 2, Degraded: 1, Failed: 1, Retried: 3, SingleflightHits: 2}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateRunReport(blob)
+	if err != nil {
+		t.Fatalf("valid job outcomes rejected: %v", err)
+	}
+	if got.Jobs == nil || got.Jobs.Completed != 5 || got.Jobs.Shed != 2 {
+		t.Fatalf("job outcomes lost in round trip: %+v", got.Jobs)
+	}
+
+	// Server run that shed everything: no cme_* metric ever fired, but a
+	// serve_* gauge proves the instrumentation ran.
+	shedOnly := testReport(t)
+	shedOnly.Jobs = &JobOutcomes{Shed: 10}
+	shedOnly.Metrics = Snapshot{Gauges: map[string]int64{"serve_queue_depth": 0},
+		Counters: map[string]int64{"serve_shed_total": 10}}
+	blob, err = json.Marshal(shedOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateRunReport(blob); err != nil {
+		t.Fatalf("shed-only server report rejected: %v", err)
+	}
+
+	// Without Jobs, serve_* metrics alone must NOT satisfy validation.
+	plain := testReport(t)
+	plain.Metrics = Snapshot{Counters: map[string]int64{"serve_shed_total": 1}}
+	blob, err = json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateRunReport(blob); err == nil {
+		t.Fatal("one-shot report with only serve_* metrics validated")
+	}
+
+	for name, jo := range map[string]JobOutcomes{
+		"negative":            {Completed: -1},
+		"degraded>completed":  {Completed: 1, Degraded: 2},
+		"negative_shed":       {Shed: -4},
+		"negative_flight_hit": {SingleflightHits: -1},
+	} {
+		bad := testReport(t)
+		joCopy := jo
+		bad.Jobs = &joCopy
+		blob, err := json.Marshal(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateRunReport(blob); err == nil {
+			t.Errorf("%s: impossible outcomes validated", name)
+		}
+	}
+}
+
 func TestWriteFileAtomic(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "store.json")

@@ -1,0 +1,189 @@
+// Package retry is a small, deterministic-by-seed retry helper for the
+// serving layer: capped exponential backoff with full jitter, a
+// context-cancellation short-circuit, and transient-error classification
+// via cerr.ErrTransient.
+//
+// It exists for the two places the server must absorb flaky failures
+// instead of surfacing them: transient result-cache I/O (a Load/Save that
+// hits a momentarily unavailable file) and re-enqueueing preempted or
+// transiently failed jobs. Hot analysis paths never retry — budgets and
+// the degradation ladder own that territory — so this package optimises
+// for auditability (an exported, testable schedule) over throughput.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cachemodel/internal/cerr"
+)
+
+// Policy describes one retry schedule. The zero value is usable and means
+// "no retries": a single attempt whose failure is returned as-is.
+type Policy struct {
+	// Attempts is the total number of tries, including the first
+	// (<= 1 means no retries).
+	Attempts int
+	// Base is the backoff before the first retry (default 10ms when
+	// Attempts > 1 and Base is zero).
+	Base time.Duration
+	// Max caps every backoff delay (default 10*Base). The un-jittered
+	// schedule is min(Base*2^k, Max) before the k-th retry (0-based).
+	Max time.Duration
+	// Jitter selects full jitter: each delay is drawn uniformly from
+	// [delay/2, delay], so synchronized clients (many jobs re-enqueued by
+	// one drain) spread out instead of thundering back together.
+	// Disabled when false: the schedule is exactly min(Base*2^k, Max).
+	Jitter bool
+	// Seed seeds the jitter RNG so tests can pin the schedule
+	// (0 uses a fixed default seed; runs are deterministic either way).
+	Seed int64
+	// RetryIf decides whether an error is worth another attempt; nil
+	// defaults to cerr.IsTransient.
+	RetryIf func(error) bool
+	// Sleep replaces the delay function (tests); nil uses a context-aware
+	// timer sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// withDefaults resolves the documented defaults.
+func (p Policy) withDefaults() Policy {
+	if p.Attempts > 1 && p.Base <= 0 {
+		p.Base = 10 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 10 * p.Base
+	}
+	if p.RetryIf == nil {
+		p.RetryIf = cerr.IsTransient
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	if p.Seed == 0 {
+		p.Seed = 0x5DEECE66D
+	}
+	return p
+}
+
+// Delay returns the un-jittered backoff before retry k (0-based):
+// min(Base*2^k, Max). Exported so tests and docs can audit the schedule.
+func (p Policy) Delay(k int) time.Duration {
+	q := p.withDefaults()
+	d := q.Base
+	for i := 0; i < k; i++ {
+		d *= 2
+		if d >= q.Max {
+			return q.Max
+		}
+	}
+	if d > q.Max {
+		d = q.Max
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs fn until it succeeds, the policy's attempts are exhausted, the
+// error is not retryable, or ctx is cancelled. It returns nil on success,
+// the last fn error when attempts run out or the error is permanent, and
+// the last fn error (not ctx.Err) when cancellation interrupts the backoff
+// sleep — the operation's own failure is the more useful diagnostic, and
+// callers that care can still errors.Is against context.Canceled through
+// the transient wrapper they supplied.
+func Do(ctx context.Context, p Policy, fn func() error) error {
+	q := p.withDefaults()
+	var rng *rand.Rand
+	if q.Jitter {
+		rng = rand.New(rand.NewSource(q.Seed))
+	}
+	attempts := q.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for k := 0; k < attempts; k++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return err
+			}
+			return cerr
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if k == attempts-1 || !q.RetryIf(err) {
+			return err
+		}
+		d := q.Delay(k)
+		if rng != nil && d > 0 {
+			// Full jitter over the upper half keeps a floor under the
+			// delay (never hammer immediately) while decorrelating peers.
+			d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+		}
+		if q.Sleep(ctx, d) != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// Backoff is a reusable schedule iterator for callers that manage their
+// own loop (the server's job re-enqueue path): each Next call returns the
+// jittered delay before the next retry and whether one is allowed.
+// Safe for concurrent use.
+type Backoff struct {
+	p  Policy
+	mu sync.Mutex
+	k  int
+	rn *rand.Rand
+}
+
+// NewBackoff returns a fresh iterator over p's schedule.
+func NewBackoff(p Policy) *Backoff {
+	q := p.withDefaults()
+	b := &Backoff{p: q}
+	if q.Jitter {
+		b.rn = rand.New(rand.NewSource(q.Seed))
+	}
+	return b
+}
+
+// Next returns the delay before retry k and advances; ok is false once the
+// policy's attempts are exhausted.
+func (b *Backoff) Next() (d time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.k >= b.p.Attempts-1 {
+		return 0, false
+	}
+	d = b.p.Delay(b.k)
+	if b.rn != nil && d > 0 {
+		d = d/2 + time.Duration(b.rn.Int63n(int64(d/2)+1))
+	}
+	b.k++
+	return d, true
+}
+
+// Tries reports how many retries have been handed out.
+func (b *Backoff) Tries() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.k
+}

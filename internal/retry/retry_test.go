@@ -1,0 +1,209 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cachemodel/internal/cerr"
+	"cachemodel/internal/faultinject"
+)
+
+// TestDelaySchedule pins the un-jittered schedule: Base*2^k capped at Max.
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Attempts: 8, Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped from here on
+		80 * time.Millisecond,
+	}
+	for k, w := range want {
+		if got := p.Delay(k); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+// TestDelayDefaults checks the documented defaults kick in.
+func TestDelayDefaults(t *testing.T) {
+	p := Policy{Attempts: 3}
+	if got := p.Delay(0); got != 10*time.Millisecond {
+		t.Errorf("default Base: Delay(0) = %v, want 10ms", got)
+	}
+	if got := p.Delay(20); got != 100*time.Millisecond {
+		t.Errorf("default Max: Delay(20) = %v, want 10*Base = 100ms", got)
+	}
+}
+
+// TestJitterBounds draws the whole schedule many times under different
+// seeds and asserts every jittered delay stays within [delay/2, delay],
+// and that jitter actually varies (not a constant).
+func TestJitterBounds(t *testing.T) {
+	p := Policy{Attempts: 6, Base: 8 * time.Millisecond, Max: 64 * time.Millisecond, Jitter: true}
+	seen := map[time.Duration]bool{}
+	for seed := int64(1); seed <= 200; seed++ {
+		q := p
+		q.Seed = seed
+		b := NewBackoff(q)
+		for k := 0; ; k++ {
+			d, ok := b.Next()
+			if !ok {
+				break
+			}
+			full := p.Delay(k)
+			if d < full/2 || d > full {
+				t.Fatalf("seed %d retry %d: jittered delay %v outside [%v, %v]", seed, k, d, full/2, full)
+			}
+			seen[d] = true
+		}
+	}
+	if len(seen) < 20 {
+		t.Errorf("jitter produced only %d distinct delays over 200 seeds; want spread", len(seen))
+	}
+}
+
+// TestJitterDeterministicUnderSeed pins that equal seeds give equal
+// schedules (the serve tests rely on reproducible chaos runs).
+func TestJitterDeterministicUnderSeed(t *testing.T) {
+	p := Policy{Attempts: 5, Base: 4 * time.Millisecond, Jitter: true, Seed: 42}
+	a, b := NewBackoff(p), NewBackoff(p)
+	for {
+		da, oka := a.Next()
+		db, okb := b.Next()
+		if oka != okb || da != db {
+			t.Fatalf("same seed diverged: (%v,%v) vs (%v,%v)", da, oka, db, okb)
+		}
+		if !oka {
+			break
+		}
+	}
+}
+
+// TestDoRetriesTransient runs Do against faultinject's transient-error
+// mode: an op failing its first 3 calls must succeed on the 4th attempt
+// and consume exactly 4 calls.
+func TestDoRetriesTransient(t *testing.T) {
+	tr := faultinject.TransientN(3)
+	slept := 0
+	p := Policy{Attempts: 5, Base: time.Millisecond,
+		Sleep: func(context.Context, time.Duration) error { slept++; return nil }}
+	if err := Do(context.Background(), p, tr.Op()); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if got := tr.Calls(); got != 4 {
+		t.Errorf("op called %d times, want 4", got)
+	}
+	if slept != 3 {
+		t.Errorf("slept %d times, want 3", slept)
+	}
+}
+
+// TestDoExhaustsAttempts returns the last transient error when the fault
+// outlives the policy.
+func TestDoExhaustsAttempts(t *testing.T) {
+	tr := faultinject.TransientN(100)
+	p := Policy{Attempts: 3, Base: time.Millisecond,
+		Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := Do(context.Background(), p, tr.Op())
+	if !cerr.IsTransient(err) {
+		t.Fatalf("want transient error after exhaustion, got %v", err)
+	}
+	if got := tr.Calls(); got != 3 {
+		t.Errorf("op called %d times, want 3", got)
+	}
+}
+
+// TestDoPermanentErrorShortCircuits stops immediately on a non-transient
+// error.
+func TestDoPermanentErrorShortCircuits(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	p := Policy{Attempts: 5, Base: time.Millisecond,
+		Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := Do(context.Background(), p, func() error { calls++; return perm })
+	if !errors.Is(err, perm) {
+		t.Fatalf("want permanent error, got %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("op called %d times, want 1", calls)
+	}
+}
+
+// TestDoContextCancelShortCircuits: cancellation during backoff stops the
+// loop and surfaces the op's last error.
+func TestDoContextCancelShortCircuits(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{Attempts: 10, Base: time.Hour} // would sleep forever without cancel
+	start := time.Now()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Do(ctx, p, func() error {
+			calls++
+			return fmt.Errorf("%w: flaky", cerr.ErrTransient)
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !cerr.IsTransient(err) {
+			t.Fatalf("want the op's transient error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if calls != 1 {
+		t.Errorf("op called %d times, want 1 (cancel hit during first backoff)", calls)
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("cancellation took %v; the 1h backoff leaked", time.Since(start))
+	}
+}
+
+// TestDoPreCancelled: an already-cancelled context runs nothing.
+func TestDoPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Policy{Attempts: 3}, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("op called %d times, want 0", calls)
+	}
+}
+
+// TestBackoffExhaustion: Attempts-1 retries then ok=false forever.
+func TestBackoffExhaustion(t *testing.T) {
+	b := NewBackoff(Policy{Attempts: 3, Base: time.Millisecond})
+	for i := 0; i < 2; i++ {
+		if _, ok := b.Next(); !ok {
+			t.Fatalf("retry %d refused; want 2 retries", i)
+		}
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("third retry allowed; want exhaustion after Attempts-1")
+	}
+	if b.Tries() != 2 {
+		t.Errorf("Tries = %d, want 2", b.Tries())
+	}
+}
+
+// TestZeroPolicySingleAttempt: the zero policy tries once, no retries.
+func TestZeroPolicySingleAttempt(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{}, func() error {
+		calls++
+		return fmt.Errorf("%w: once", cerr.ErrTransient)
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("zero policy: calls=%d err=%v; want 1 call and the error back", calls, err)
+	}
+}

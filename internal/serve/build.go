@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cachemodel/internal/budget"
+	"cachemodel/internal/cache"
+	"cachemodel/internal/cme"
+	"cachemodel/internal/fparse"
+	"cachemodel/internal/inline"
+	"cachemodel/internal/ir"
+	"cachemodel/internal/kernels"
+	"cachemodel/internal/layout"
+	"cachemodel/internal/normalize"
+	"cachemodel/internal/sampling"
+)
+
+// ProgramSpec names the program a request wants analysed: a built-in
+// workload (Program) or inline FORTRAN source (Source, with compile-time
+// Consts). Exactly one of the two must be set.
+type ProgramSpec struct {
+	Program string           `json:"program,omitempty"`
+	Source  string           `json:"source,omitempty"`
+	Consts  map[string]int64 `json:"consts,omitempty"`
+	Size    int64            `json:"size,omitempty"`  // default 32
+	Iters   int64            `json:"iters,omitempty"` // default 2
+}
+
+// BudgetSpec is the per-request analysis budget. Zero fields inherit the
+// server defaults; TimeoutMs is clamped to the server's MaxDeadline either
+// way, so one tenant cannot monopolise a worker.
+type BudgetSpec struct {
+	TimeoutMs  int64 `json:"timeout_ms,omitempty"`
+	MaxPoints  int64 `json:"max_points,omitempty"`
+	MaxScan    int64 `json:"max_scan,omitempty"`
+	NoFallback bool  `json:"no_fallback,omitempty"`
+}
+
+// AnalyzeRequest is the POST /v1/analyze body: one program, one cache
+// geometry, one budget.
+type AnalyzeRequest struct {
+	ProgramSpec
+	Budget BudgetSpec `json:"budget"`
+
+	CacheBytes int64 `json:"cache_bytes,omitempty"` // default 32768
+	LineBytes  int64 `json:"line_bytes,omitempty"`  // default 32
+	Assoc      int   `json:"assoc,omitempty"`       // default 1
+
+	Exact      bool    `json:"exact,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"` // default 0.95
+	Width      float64 `json:"width,omitempty"`      // default 0.05
+	Adaptive   bool    `json:"adaptive,omitempty"`
+
+	Priority string `json:"priority,omitempty"` // "interactive" (default) | "batch"
+}
+
+// SweepRequest is the POST /v1/sweep body: one program against a cache
+// design-space grid, mirroring `cachette sweep`.
+type SweepRequest struct {
+	ProgramSpec
+	Budget BudgetSpec `json:"budget"`
+
+	CacheSizes []int64 `json:"cache_sizes,omitempty"` // default {4096..65536}
+	LineSizes  []int64 `json:"line_sizes,omitempty"`  // default {32}
+	Assocs     []int   `json:"assocs,omitempty"`      // default {1,2,4}
+	PadArray   string  `json:"pad_array,omitempty"`
+	Pads       []int64 `json:"pads,omitempty"`
+
+	Exact      bool    `json:"exact,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	Width      float64 `json:"width,omitempty"`
+	Adaptive   bool    `json:"adaptive,omitempty"`
+
+	Priority string `json:"priority,omitempty"`
+}
+
+// jobSpec is a fully validated, ready-to-solve job: the normalised
+// program, the candidate grid, the sampling plan and the armed budget.
+// Everything admission needs (cost) is computed here, before the job
+// touches the queue.
+type jobSpec struct {
+	program string
+	np      *ir.NProgram
+	opt     cme.Options
+	cands   []cme.Candidate
+	plan    *sampling.Plan
+	bud     budget.Budget
+	cost    int64 // reserved against the server's point pool
+}
+
+func parsePriority(s string) (int, error) {
+	switch strings.ToLower(s) {
+	case "", "interactive":
+		return prioInteractive, nil
+	case "batch":
+		return prioBatch, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q (want interactive or batch)", s)
+}
+
+// buildProgram instantiates the requested program: inline source through
+// the FORTRAN front end, otherwise a built-in workload by name.
+func buildProgram(spec *ProgramSpec, maxSize int64) (*ir.Program, error) {
+	size, iters := spec.Size, spec.Iters
+	if size == 0 {
+		size = 32
+	}
+	if iters == 0 {
+		iters = 2
+	}
+	if size < 1 || iters < 1 {
+		return nil, fmt.Errorf("size and iters must be positive (got %d, %d)", size, iters)
+	}
+	if size > maxSize {
+		return nil, fmt.Errorf("size %d exceeds the server limit %d", size, maxSize)
+	}
+	if spec.Source != "" {
+		if spec.Program != "" {
+			return nil, fmt.Errorf("set program or source, not both")
+		}
+		cm := map[string]int64{}
+		for k, v := range spec.Consts {
+			cm[strings.ToUpper(k)] = v
+		}
+		return fparse.Parse(spec.Source, cm)
+	}
+	switch strings.ToLower(spec.Program) {
+	case "":
+		return nil, fmt.Errorf("missing program (or inline source)")
+	case "tomcatv":
+		return kernels.Tomcatv(size, iters), nil
+	case "swim":
+		return kernels.Swim(size, iters), nil
+	case "applu":
+		return kernels.Applu(size, iters), nil
+	case "vcycle":
+		return kernels.VCycle(size, iters), nil
+	}
+	for _, ks := range kernels.Suite() {
+		if strings.EqualFold(ks.Name, spec.Program) {
+			return ks.Build(size), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown program %q", spec.Program)
+}
+
+// prepareProgram runs the front half of the pipeline: inline, normalise,
+// assign the baseline layout.
+func prepareProgram(p *ir.Program) (*ir.NProgram, error) {
+	flat, _, err := inline.Flatten(p, inline.Options{})
+	if err != nil {
+		return nil, err
+	}
+	np, err := normalize.Normalize(flat)
+	if err != nil {
+		return nil, err
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		return nil, err
+	}
+	np.Name = p.Name
+	return np, nil
+}
+
+// buildPlan validates the sampled-tier parameters (nil when exact).
+func buildPlan(exact bool, conf, width float64) (*sampling.Plan, error) {
+	if exact {
+		return nil, nil
+	}
+	if conf == 0 {
+		conf = 0.95
+	}
+	if width == 0 {
+		width = 0.05
+	}
+	plan := &sampling.Plan{C: conf, W: width}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// buildBudget maps a request budget onto budget.Budget under the server
+// limits. Every job gets a deadline (MaxDeadline when unspecified) and a
+// point cap (DefaultMaxPoints when unspecified): an unmetered job could
+// neither be cancelled at a checkpoint nor admission-controlled, so
+// "unlimited" is not a thing the server hands out.
+func (o *Options) buildBudget(bs BudgetSpec) (budget.Budget, error) {
+	if bs.TimeoutMs < 0 || bs.MaxPoints < 0 || bs.MaxScan < 0 {
+		return budget.Budget{}, fmt.Errorf("budget fields must be non-negative")
+	}
+	b := budget.Budget{
+		Deadline:   o.MaxDeadline,
+		MaxPoints:  bs.MaxPoints,
+		MaxScan:    bs.MaxScan,
+		NoFallback: bs.NoFallback,
+	}
+	if d := time.Duration(bs.TimeoutMs) * time.Millisecond; d > 0 && d < o.MaxDeadline {
+		b.Deadline = d
+	}
+	if b.MaxPoints == 0 || b.MaxPoints > o.DefaultMaxPoints {
+		b.MaxPoints = o.DefaultMaxPoints
+	}
+	return b, nil
+}
+
+// specFromAnalyze validates an analyze request into a jobSpec.
+func (o *Options) specFromAnalyze(req *AnalyzeRequest) (*jobSpec, error) {
+	p, err := buildProgram(&req.ProgramSpec, o.MaxProblemSize)
+	if err != nil {
+		return nil, err
+	}
+	np, err := prepareProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cache.Config{SizeBytes: req.CacheBytes, LineBytes: req.LineBytes, Assoc: req.Assoc}
+	if cfg.SizeBytes == 0 {
+		cfg.SizeBytes = 32 * 1024
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 32
+	}
+	if cfg.Assoc == 0 {
+		cfg.Assoc = 1
+	}
+	plan, err := buildPlan(req.Exact, req.Confidence, req.Width)
+	if err != nil {
+		return nil, err
+	}
+	bud, err := o.buildBudget(req.Budget)
+	if err != nil {
+		return nil, err
+	}
+	return &jobSpec{
+		program: p.Name,
+		np:      np,
+		opt:     cme.Options{Adaptive: req.Adaptive},
+		cands:   []cme.Candidate{{Label: cfg.String(), Config: cfg}},
+		plan:    plan,
+		bud:     bud,
+		cost:    bud.MaxPoints,
+	}, nil
+}
+
+// specFromSweep validates a sweep request into a jobSpec with the full
+// candidate grid, mirroring `cachette sweep`: invalid geometries stay in
+// the grid and fail per candidate, and pad 0 means the baseline layout.
+func (o *Options) specFromSweep(req *SweepRequest) (*jobSpec, error) {
+	p, err := buildProgram(&req.ProgramSpec, o.MaxProblemSize)
+	if err != nil {
+		return nil, err
+	}
+	np, err := prepareProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	css := req.CacheSizes
+	if len(css) == 0 {
+		css = []int64{4096, 8192, 16384, 32768, 65536}
+	}
+	lss := req.LineSizes
+	if len(lss) == 0 {
+		lss = []int64{32}
+	}
+	kss := req.Assocs
+	if len(kss) == 0 {
+		kss = []int{1, 2, 4}
+	}
+	padList := req.Pads
+	if req.PadArray == "" && len(padList) > 0 {
+		return nil, fmt.Errorf("pads given without pad_array")
+	}
+	if len(padList) == 0 {
+		padList = []int64{0}
+	}
+	if n := len(css) * len(lss) * len(kss) * len(padList); n > o.MaxCandidates {
+		return nil, fmt.Errorf("candidate grid of %d exceeds the server limit %d", n, o.MaxCandidates)
+	}
+	var cands []cme.Candidate
+	for _, cs := range css {
+		for _, ls := range lss {
+			for _, k := range kss {
+				cfg := cache.Config{SizeBytes: cs, LineBytes: ls, Assoc: k}
+				for _, pad := range padList {
+					c := cme.Candidate{Label: cfg.String(), Config: cfg}
+					if pad > 0 {
+						c.Label = fmt.Sprintf("%s+pad%d", cfg.String(), pad)
+						c.Layout = &layout.Options{PadOf: map[string]int64{req.PadArray: pad}}
+					}
+					cands = append(cands, c)
+				}
+			}
+		}
+	}
+	plan, err := buildPlan(req.Exact, req.Confidence, req.Width)
+	if err != nil {
+		return nil, err
+	}
+	bud, err := o.buildBudget(req.Budget)
+	if err != nil {
+		return nil, err
+	}
+	return &jobSpec{
+		program: p.Name,
+		np:      np,
+		opt:     cme.Options{Adaptive: req.Adaptive},
+		cands:   cands,
+		plan:    plan,
+		bud:     bud,
+		cost:    bud.MaxPoints,
+	}, nil
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cachemodel/internal/budget"
+	"cachemodel/internal/faultinject"
+	"cachemodel/internal/retry"
+)
+
+// jobNum extracts the numeric part of a job ID ("j000042" → 42).
+func jobNum(id string) int {
+	n, _ := strconv.Atoi(strings.TrimLeft(id, "j0"))
+	return n
+}
+
+// chaosHook deals a deterministic fault per job based on its ID: every
+// 5th job gets nothing, a transient first attempt, injected exhaustion,
+// injected cancellation, or a raw panic. Transient state is shared across
+// a job's attempts so the retry actually recovers.
+func chaosHook() func(string) budget.Hook {
+	var mu sync.Mutex
+	transients := map[string]*faultinject.Transient{}
+	return func(id string) budget.Hook {
+		switch jobNum(id) % 5 {
+		case 1:
+			mu.Lock()
+			tr := transients[id]
+			if tr == nil {
+				tr = faultinject.TransientN(1)
+				transients[id] = tr
+			}
+			mu.Unlock()
+			return func(int64) error { return tr.Call() }
+		case 2:
+			return faultinject.ExhaustAt(3).Hook()
+		case 3:
+			return faultinject.CancelAt(2).Hook()
+		case 4:
+			var once atomic.Bool
+			return func(n int64) error {
+				if n >= 2 && once.CompareAndSwap(false, true) {
+					panic(fmt.Sprintf("chaos: injected panic in %s", id))
+				}
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// TestServeChaos is the acceptance scenario: a corrupted on-disk cache at
+// startup, then 60 concurrent clients — duplicates, cancellations, sweeps,
+// injected transients, exhaustions and panics — against a small worker
+// pool with a bounded queue and point pool. The server must never panic,
+// never emit an untyped failure, shed rather than stall, keep duplicate
+// answers bit-identical, and drain to a clean flushed cache.
+func TestServeChaos(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rc.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"garbage`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Options{
+		Workers:           4,
+		QueueCap:          24,
+		MaxPointsInFlight: 64 << 20,
+		CachePath:         path,
+		RetryPolicy:       retry.Policy{Attempts: 3, Base: time.Millisecond, Jitter: true},
+		JobHook:           chaosHook(),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The corrupt store was quarantined at startup, not trusted and not
+	// fatal: the server came up cold with the evidence set aside.
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt store not quarantined: %v", err)
+	}
+
+	const clients = 60
+	const dupBody = `{"program":"jacobi2d","size":24}`
+	bodies := []string{
+		`{"program":"hydro","size":24}`,
+		`{"program":"daxpy","size":256}`,
+		`{"program":"hydro","size":32,"budget":{"max_points":100000}}`,
+		`{"program":"sor2d","size":24,"priority":"batch"}`,
+	}
+
+	type submission struct {
+		id        string
+		dup       bool
+		cancelled bool
+	}
+	var (
+		mu       sync.Mutex
+		subs     []submission
+		shedSeen int64
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var urlPath, body string
+			isDup := i%6 == 0
+			switch {
+			case isDup:
+				urlPath, body = "/v1/analyze", dupBody
+			case i%13 == 0:
+				urlPath = "/v1/sweep"
+				body = `{"program":"jacobi2d","size":24,"cache_sizes":[4096,16384],"line_sizes":[32],"assocs":[1]}`
+			default:
+				urlPath, body = "/v1/analyze", bodies[i%len(bodies)]
+			}
+			resp, err := http.Post(ts.URL+urlPath, "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			var m map[string]any
+			json.NewDecoder(resp.Body).Decode(&m)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				id, _ := m["job"].(string)
+				cancelled := i%17 == 0
+				if cancelled {
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+					if dresp, err := http.DefaultClient.Do(req); err == nil {
+						dresp.Body.Close()
+					}
+				}
+				mu.Lock()
+				subs = append(subs, submission{id: id, dup: isDup && !cancelled, cancelled: cancelled})
+				mu.Unlock()
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				// Load shed: typed, with Retry-After — the allowed refusal.
+				if resp.Header.Get("Retry-After") == "" {
+					t.Errorf("client %d: shed %d without Retry-After: %v", i, resp.StatusCode, m)
+				}
+				atomic.AddInt64(&shedSeen, 1)
+			default:
+				t.Errorf("client %d: unexpected status %d: %v", i, resp.StatusCode, m)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Every admitted job reaches a terminal state — the server may refuse
+	// work but may never sit on it.
+	okKinds := map[string]bool{
+		kindCanceled: true, kindBudget: true, kindTransient: true,
+		kindPanic: true, kindNonAffine: true, kindDegenerate: true,
+	}
+	var dupResults [][]CandidateResult
+	for _, sub := range subs {
+		jb := waitTerminal(t, ts, sub.id)
+		switch jb.Status {
+		case StatusDone:
+			if jb.Result == nil || len(jb.Result.Candidates) == 0 {
+				t.Errorf("job %s done without candidates", sub.id)
+				continue
+			}
+			for _, c := range jb.Result.Candidates {
+				if c.Error == "" && c.Accesses <= 0 {
+					t.Errorf("job %s: candidate %s has no accesses", sub.id, c.Label)
+				}
+			}
+			// Only un-degraded duplicate runs are comparable to the bit: a
+			// duplicate whose own attempt drew an injected exhaustion
+			// legitimately carries degraded (but still honest) counts.
+			// (Injected exhaustion does not always degrade: a solve served
+			// from the result cache or a shared flight can finish before
+			// checkpoint 3 ever fires — which is itself the system behaving.)
+			if sub.dup && !jb.Result.Degraded {
+				dupResults = append(dupResults, jb.Result.Candidates)
+			}
+		case StatusFailed:
+			if jb.Result == nil || jb.Result.Error == nil {
+				t.Errorf("job %s failed without a typed error", sub.id)
+				continue
+			}
+			if !okKinds[jb.Result.Error.Kind] {
+				t.Errorf("job %s failed with unexpected kind %q: %s",
+					sub.id, jb.Result.Error.Kind, jb.Result.Error.Message)
+			}
+		default:
+			t.Errorf("job %s not terminal: %s", sub.id, jb.Status)
+		}
+	}
+
+	// Duplicate requests that completed must agree to the bit — shared
+	// in-flight, served from the result cache, or recomputed.
+	for i := 1; i < len(dupResults); i++ {
+		if !reflect.DeepEqual(dupResults[0], dupResults[i]) {
+			t.Fatalf("duplicate results diverge:\n%+v\n%+v", dupResults[0], dupResults[i])
+		}
+	}
+
+	// The books balance: every admitted job is completed or failed, every
+	// refusal was counted.
+	out := s.Outcomes()
+	if got := out.Completed + out.Failed; got != int64(len(subs)) {
+		t.Errorf("outcomes %d completed + %d failed != %d admitted", out.Completed, out.Failed, len(subs))
+	}
+	if out.Shed != atomic.LoadInt64(&shedSeen) {
+		t.Errorf("server counted %d sheds, clients saw %d", out.Shed, shedSeen)
+	}
+
+	// Graceful drain under the aftermath: flush must produce a valid store.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no flushed store: %v", err)
+	}
+	var store struct {
+		Schema string `json:"schema"`
+		Sum    string `json:"sum"`
+	}
+	if err := json.Unmarshal(blob, &store); err != nil || store.Schema == "" || store.Sum == "" {
+		t.Fatalf("flushed store malformed: %v (schema %q)", err, store.Schema)
+	}
+
+	rep := s.RunReport()
+	if rep.Jobs == nil {
+		t.Fatalf("run report missing job outcomes")
+	}
+	if err := rep.WriteFile(filepath.Join(dir, "report.json")); err != nil {
+		t.Fatalf("run report after chaos: %v", err)
+	}
+}

@@ -1,0 +1,23 @@
+package serve
+
+import "cachemodel/internal/obs"
+
+// Serving metrics, in the Default registry so /metrics exposes them next
+// to the solver's cme_* series. Gauges track the live state the load
+// shedder acts on; counters record every admission decision and job
+// outcome so a run report (or a scrape) can audit exactly what the server
+// did under pressure.
+var (
+	mQueueDepth = obs.Default.Gauge("serve_queue_depth")
+	mRunning    = obs.Default.Gauge("serve_jobs_running")
+	mReserved   = obs.Default.Gauge("serve_points_reserved")
+
+	mAdmitted   = obs.Default.Counter("serve_admitted_total")
+	mShed       = obs.Default.Counter("serve_shed_total")
+	mCompleted  = obs.Default.Counter("serve_jobs_completed_total")
+	mDegraded   = obs.Default.Counter("serve_jobs_degraded_total")
+	mFailed     = obs.Default.Counter("serve_jobs_failed_total")
+	mPanics     = obs.Default.Counter("serve_job_panics_total")
+	mFlightHits = obs.Default.Counter("serve_singleflight_hits_total")
+	mRetries    = obs.Default.Counter("serve_job_retries_total")
+)

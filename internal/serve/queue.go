@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Job priorities. Interactive jobs always pop before batch jobs; within a
+// priority the queue is FIFO, so admission order is completion order under
+// uniform load.
+const (
+	prioInteractive = iota
+	prioBatch
+	numPriorities
+)
+
+// Typed admission failures: the HTTP layer maps errQueueFull to 429 and
+// errDraining to 503, both with Retry-After, so a shed request is always
+// distinguishable from a failed one.
+var (
+	errQueueFull = errors.New("job queue full")
+	errDraining  = errors.New("server draining")
+)
+
+// jobQueue is the bounded, priority-aware admission queue. push never
+// blocks — a full queue is an admission failure (load shedding), not a
+// stall — while pop blocks until work arrives or the queue is closed and
+// empty. close stops intake immediately but lets pop drain the backlog,
+// which is exactly the graceful-drain contract.
+type jobQueue struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	capacity int
+	levels   [numPriorities][]*Job
+	n        int
+	closed   bool
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{capacity: capacity}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues j or fails typed: errDraining once closed, errQueueFull at
+// capacity.
+func (q *jobQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errDraining
+	}
+	if q.n >= q.capacity {
+		return errQueueFull
+	}
+	q.levels[j.Priority] = append(q.levels[j.Priority], j)
+	q.n++
+	mQueueDepth.Set(int64(q.n))
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// pop blocks for the next job, highest priority first, and returns nil
+// once the queue is closed and fully drained (the worker-exit signal).
+func (q *jobQueue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for p := 0; p < numPriorities; p++ {
+			if len(q.levels[p]) > 0 {
+				j := q.levels[p][0]
+				q.levels[p] = q.levels[p][1:]
+				q.n--
+				mQueueDepth.Set(int64(q.n))
+				return j
+			}
+		}
+		if q.closed {
+			return nil
+		}
+		q.nonEmpty.Wait()
+	}
+}
+
+// close stops intake; queued jobs remain poppable.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmpty.Broadcast()
+}
+
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
