@@ -109,9 +109,29 @@ func cmdBench(args []string) error {
 	check := fs.Bool("check", false, "verify all variants produce bit-identical counts")
 	noSym := fs.Bool("nosymbolic", false, "disable the symbolic region fast path in every solver row")
 	noSim := fs.Bool("nosim", false, "skip the simulator rows")
+	scaling := fs.Bool("scaling", false, "benchmark the closed-form scaling tier over a size ladder instead (emits BENCH_scaling.json)")
+	sizeConst := fs.String("size-const", "N", "with -scaling -file: the constant carrying the problem size")
+	ladder := ladderFlags(fs)
 	pstart, pstop, _ := profileFlags(fs)
 	oflags := obsFlags(fs)
 	fs.Parse(args)
+
+	if *scaling {
+		ns, err := ladder()
+		if err != nil {
+			return err
+		}
+		cfg := cache.Config{SizeBytes: *cs, LineBytes: *ls, Assoc: *assoc}
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		dst := *out
+		if dst == "BENCH_solvers.json" {
+			dst = "BENCH_scaling.json"
+		}
+		return benchScaling(context.Background(), *name, *file, *consts, *sizeConst,
+			*iters, cfg, *workers, ns, dst, *check)
+	}
 
 	// The collector rides on a Background context (not the signal context):
 	// a cancellable context makes the budget meter limited, which would put

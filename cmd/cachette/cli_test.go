@@ -173,6 +173,67 @@ func TestCLIListRuns(t *testing.T) {
 	}
 }
 
+// TestCLIScalingClosedForm runs the scaling subcommand end to end on a
+// small ladder and checks it reports full closed-form coverage.
+func TestCLIScalingClosedForm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a CLI process")
+	}
+	out, err := cliCommand(t, "scaling", "-program", "hydro",
+		"-cache", "256", "-line", "32", "-assoc", "1",
+		"-from", "128", "-to", "224", "-step", "32").CombinedOutput()
+	if err != nil {
+		t.Fatalf("scaling: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "closed form: period") {
+		t.Fatalf("no closed-form summary:\n%s", s)
+	}
+	if !strings.Contains(s, "0 fall-through(s)") {
+		t.Fatalf("expected the whole ladder in closed form:\n%s", s)
+	}
+}
+
+// TestCLIBenchScalingCheck runs `bench -scaling -check`: the match check
+// inside the process gates on bit-identity between the closed form and
+// the enumerating solver, so a clean exit plus a sane JSON is the test.
+func TestCLIBenchScalingCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a CLI process")
+	}
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "BENCH_scaling.json")
+	out, err := cliCommand(t, "bench", "-scaling", "-program", "hydro",
+		"-cache", "256", "-line", "32", "-assoc", "1",
+		"-from", "128", "-to", "224", "-step", "32",
+		"-check", "-out", outPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("bench -scaling: %v\n%s", err, out)
+	}
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var rep struct {
+		Speedup float64 `json:"speedup"`
+		Rows    []struct {
+			ClosedForm bool `json:"closed_form"`
+			Match      bool `json:"match"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("artifact malformed: %v\n%s", err, blob)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("%d rows, want 4\n%s", len(rep.Rows), blob)
+	}
+	for i, r := range rep.Rows {
+		if !r.ClosedForm || !r.Match {
+			t.Fatalf("row %d: closed_form=%v match=%v\n%s", i, r.ClosedForm, r.Match, blob)
+		}
+	}
+}
+
 // TestCLIAnalyzeSigintPartial verifies that every subcommand's signal
 // context now covers SIGTERM: an analyze interrupted by SIGTERM exits
 // through the cancellation path (typed error, non-zero exit) instead of

@@ -61,6 +61,8 @@ func main() {
 		err = cmdDiagnose(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "scaling":
+		err = cmdScaling(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
 	case "bench":
@@ -93,6 +95,7 @@ subcommands:
   show         print the normalised form and reuse-vector summary
   diagnose     attribute predicted misses to interfering arrays
   sweep        sweep cache size/line/assoc, analytical vs simulated
+  scaling      miss ratio as a function of problem size N from one symbolic solve (O(1) per size)
   trace        emit the program's memory reference trace (R/W address lines)
   bench        time the solver variants (sequential / memoized / parallel) and emit BENCH_solvers.json
   obscheck     validate a run-report JSON written by -obs-out

@@ -175,6 +175,10 @@ func DiagnoseCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, opt cme
 type Choice struct {
 	Label     string
 	MissRatio float64 // predicted, percent
+	// ClosedForm reports that the ratio came from the scaling tier's O(1)
+	// quasi-polynomial evaluation: the candidate was dominated under the
+	// symbolic estimate, so no per-size solve was spent on it.
+	ClosedForm bool
 }
 
 // SearchPadding evaluates inter-array paddings analytically and returns
@@ -290,9 +294,21 @@ func SearchParameter(build func(param int64) *ir.Program, params []int64,
 // SearchParameterCtx is SearchParameter under a context and a budget, with
 // the same semantics as SearchPaddingCtx: global deadline, per-candidate
 // point/scan caps, and partial (sorted) results on interruption.
+//
+// Unbudgeted searches try the closed-form scaling tier first: when the
+// family is affine in the parameter, every candidate is priced by O(1)
+// quasi-polynomial evaluation and only the non-dominated (best) candidate
+// pays for a per-size solve — the ROADMAP's "prune before paying for
+// exact". Families the tier cannot lift (tile sizes inside min() bounds,
+// structure changes) take the per-candidate path unchanged.
 func SearchParameterCtx(ctx context.Context, build func(param int64) *ir.Program, params []int64,
 	cfg cache.Config, opt cme.Options, plan sampling.Plan, b budget.Budget) ([]Choice, error) {
 
+	if b.IsZero() {
+		if out, ok, err := searchParameterClosed(ctx, build, params, cfg, opt, plan); ok {
+			return out, err
+		}
+	}
 	var out []Choice
 	for _, v := range params {
 		np, err := prepare(build(v), layout.Options{})
@@ -308,6 +324,67 @@ func SearchParameterCtx(ctx context.Context, build func(param int64) *ir.Program
 	}
 	sortChoices(out)
 	return out, nil
+}
+
+// searchParameterClosed is the scaling-tier fast path of
+// SearchParameterCtx. ok=false means the family is not liftable (or no
+// candidate was covered) and the caller should run the plain search.
+func searchParameterClosed(ctx context.Context, build func(param int64) *ir.Program, params []int64,
+	cfg cache.Config, opt cme.Options, plan sampling.Plan) ([]Choice, bool, error) {
+
+	s, err := cme.PrepareScaling(func(n int64) (*ir.NProgram, error) {
+		return prepare(build(n), layout.Options{})
+	}, cfg, opt, cme.ScalingOptions{})
+	if err != nil || !s.ClosedFormEligible() {
+		return nil, false, nil
+	}
+	type cand struct {
+		v      int64
+		ratio  float64
+		closed bool
+	}
+	cands := make([]cand, len(params))
+	covered := 0
+	for i, v := range params {
+		cands[i] = cand{v: v}
+		rep, ok, err := s.EvalClosedCtx(ctx, v)
+		if err != nil || !ok {
+			continue // fit failed or out of chamber: priced by a real solve below
+		}
+		cands[i].ratio, cands[i].closed = rep.MissRatio(), true
+		covered++
+	}
+	if covered == 0 {
+		return nil, false, nil
+	}
+	// The best symbolic candidate is confirmed by the standard estimator;
+	// dominated candidates keep their closed-form ratio and skip the solve.
+	best := -1
+	for i, c := range cands {
+		if c.closed && (best < 0 || c.ratio < cands[best].ratio) {
+			best = i
+		}
+	}
+	var out []Choice
+	for i, c := range cands {
+		label := fmt.Sprintf("%d", c.v)
+		if c.closed && i != best {
+			out = append(out, Choice{Label: label, MissRatio: c.ratio, ClosedForm: true})
+			continue
+		}
+		np, err := prepare(build(c.v), layout.Options{})
+		if err != nil {
+			return nil, true, err
+		}
+		ratio, err := estimateCtx(ctx, np, cfg, opt, plan, budget.Budget{})
+		if err != nil {
+			sortChoices(out)
+			return out, true, err
+		}
+		out = append(out, Choice{Label: label, MissRatio: ratio})
+	}
+	sortChoices(out)
+	return out, true, nil
 }
 
 func sortChoices(cs []Choice) {

@@ -1,6 +1,9 @@
 package advisor
 
 import (
+	"math"
+	"strconv"
+	"sync"
 	"testing"
 
 	"cachemodel/internal/cache"
@@ -117,6 +120,77 @@ func TestSearchParameterRanksTiles(t *testing.T) {
 	}
 	if choices[0].Label != "8" {
 		t.Errorf("expected block 8 to win: %+v", choices)
+	}
+}
+
+// TestSearchParameterClosedFormPrunes: a size-parameterised affine family
+// must be priced by the scaling tier — dominated candidates keep their
+// closed-form ratio and are never instantiated at their own size, and the
+// closed-form ratios are exactly the per-size analytical ones.
+func TestSearchParameterClosedFormPrunes(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 512, LineBytes: 64, Assoc: 1}
+	var mu sync.Mutex
+	builtAt := map[int64]int{}
+	build := func(n int64) *ir.Program {
+		mu.Lock()
+		builtAt[n]++
+		mu.Unlock()
+		return conflictProgram(n)
+	}
+	// All above the fit-sample window, so a dominated candidate's size is
+	// never instantiated at all.
+	params := []int64{320, 384, 448, 512}
+	choices, err := SearchParameter(build, params, cfg, cme.Options{}, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != len(params) {
+		t.Fatalf("%d choices for %d params", len(choices), len(params))
+	}
+	closed := 0
+	for _, c := range choices {
+		v, err := strconv.ParseInt(c.Label, 10, 64)
+		if err != nil {
+			t.Fatalf("label %q", c.Label)
+		}
+		if !c.ClosedForm {
+			continue
+		}
+		closed++
+		if builtAt[v] != 0 {
+			t.Errorf("dominated candidate %d was instantiated %d times", v, builtAt[v])
+		}
+		np, err := prepare(conflictProgram(v), layoutOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := cme.New(np, cfg, cme.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := a.FindMisses().MissRatio(); math.Abs(c.MissRatio-want) > 1e-9 {
+			t.Errorf("candidate %d: closed-form ratio %.6f, exact %.6f", v, c.MissRatio, want)
+		}
+	}
+	if closed != len(params)-1 {
+		t.Errorf("%d of %d candidates pruned, want all but the confirmed best", closed, len(params))
+	}
+}
+
+// TestSearchParameterTileFamilyUnchanged: a family the scaling tier cannot
+// lift (tile size inside min() bounds changes trip counts non-affinely)
+// must silently take the per-candidate path.
+func TestSearchParameterTileFamilyUnchanged(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 8 * 1024, LineBytes: 32, Assoc: 2}
+	choices, err := SearchParameter(func(b int64) *ir.Program { return kernels.MMT(48, b, b) },
+		[]int64{8, 48}, cfg, cme.Options{}, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range choices {
+		if c.ClosedForm {
+			t.Errorf("tile candidate %s claims a closed form", c.Label)
+		}
 	}
 }
 

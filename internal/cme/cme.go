@@ -309,6 +309,10 @@ type RefReport struct {
 	// Ratio holds the closed-form miss ratio when Tier is
 	// TierProbabilistic (no pointwise counts exist there).
 	Ratio float64
+	// ClosedForm reports that the counts came from O(1) evaluation of the
+	// scaling tier's quasi-polynomials in the problem size rather than
+	// from enumerating (or sampling) this reference's iteration space.
+	ClosedForm bool
 }
 
 // Misses returns cold + replacement misses among analysed points.
@@ -351,6 +355,9 @@ type Report struct {
 	Degraded bool
 	// BudgetSpent records the resources consumed by the run.
 	BudgetSpent budget.Spent
+	// Scaling carries the closed-form scaling tier's provenance when the
+	// report came from a ScalingSolver (nil otherwise).
+	Scaling *ScalingInfo
 }
 
 // TotalAccesses returns Σ_R |RIS_R|, the program's total access count.

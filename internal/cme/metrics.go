@@ -21,4 +21,10 @@ var (
 	mCacheCorrupt     = obs.Default.Counter("cme_resultcache_corrupt_total")
 	mBatchCands       = obs.Default.Counter("cme_batch_candidates_total")
 	mBatchDedup       = obs.Default.Counter("cme_batch_dedup_total")
+
+	// Closed-form scaling tier.
+	mScalingFits      = obs.Default.Counter("cme_scaling_residue_fits_total")
+	mScalingFitSolves = obs.Default.Counter("cme_scaling_fit_solves_total")
+	mScalingEvals     = obs.Default.Counter("cme_scaling_closed_evals_total")
+	mScalingFallbacks = obs.Default.Counter("cme_scaling_fallbacks_total")
 )

@@ -1,0 +1,103 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// mustPanicOverflow runs f and requires it to panic with *OverflowError.
+func mustPanicOverflow(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: expected *OverflowError panic, got none", name)
+		}
+		var oe *OverflowError
+		err, ok := r.(error)
+		if !ok || !errors.As(err, &oe) {
+			t.Fatalf("%s: panic payload %v (%T), want *OverflowError", name, r, r)
+		}
+	}()
+	f()
+}
+
+// TestRatBigFallback exercises operations whose intermediate cross
+// products overflow int64 but whose reduced results fit: the big-int
+// fallback must recover the exact answer instead of silently wrapping.
+func TestRatBigFallback(t *testing.T) {
+	big1 := int64(3) << 40 // 3·2^40; products of two such exceed 2^63
+
+	// (1/a)·(a/1) = 1 even though a·a overflows.
+	a := NewRat(1, big1)
+	b := NewRat(big1, 1)
+	if got := a.Mul(b); got.Cmp(RatInt(1)) != 0 {
+		t.Fatalf("Mul reduced: got %s, want 1", got)
+	}
+	// (1/a) + (1/a) = 2/a: the naive num·den cross products overflow.
+	twoOverA := NewRat(2, big1)
+	if got := a.Add(a); got.Cmp(twoOverA) != 0 {
+		t.Fatalf("Add reduced: got %s, want %s", got, twoOverA)
+	}
+	// (1/c) − (1/d) = (d−c)/(c·d) with coprime odd c, d near 2^40: the
+	// difference 2/(c·d) cannot reduce, c·d ≈ 2^80 does NOT fit: typed panic.
+	c, d := int64(1)<<40+1, int64(1)<<40+3
+	mustPanicOverflow(t, "Sub", func() { _ = NewRat(1, c).Sub(NewRat(1, d)) })
+
+	// (x/a)·(a/x) with huge co-prime-free parts still reduces to 1.
+	x := NewRat(math.MaxInt64, big1)
+	y := NewRat(big1, math.MaxInt64)
+	if got := x.Mul(y); got.Cmp(RatInt(1)) != 0 {
+		t.Fatalf("Mul maxint reduced: got %s, want 1", got)
+	}
+	// Div through the big path: (p/q) ÷ (p/q) = 1 with p, q near 2^62.
+	p := NewRat(math.MaxInt64-1, (1<<62)-57)
+	if got := p.Div(p); got.Cmp(RatInt(1)) != 0 {
+		t.Fatalf("Div self: got %s, want 1", got)
+	}
+}
+
+// TestRatAddOverflowBoundary pins the exact boundary: MaxInt64 + 1 as a
+// rational no longer fits, MaxInt64 itself does.
+func TestRatAddOverflowBoundary(t *testing.T) {
+	max := RatInt(math.MaxInt64)
+	if got := max.Add(RatInt(0)); got.Cmp(max) != 0 {
+		t.Fatalf("MaxInt64 + 0: got %s", got)
+	}
+	// (MaxInt64 − 1) + 1 fits exactly.
+	if got := RatInt(math.MaxInt64 - 1).Add(RatInt(1)); got.Cmp(max) != 0 {
+		t.Fatalf("MaxInt64-1 + 1: got %s, want MaxInt64", got)
+	}
+	mustPanicOverflow(t, "Add", func() { _ = max.Add(RatInt(1)) })
+	mustPanicOverflow(t, "Mul", func() { _ = max.Mul(RatInt(2)) })
+	mustPanicOverflow(t, "Sub", func() { _ = RatInt(math.MinInt64 + 1).Sub(RatInt(2)) })
+}
+
+// TestRatCmpExact verifies Cmp decides via big arithmetic when the cross
+// products overflow: these two rationals differ by ~2^-124 and naive
+// wrapping arithmetic misorders them.
+func TestRatCmpExact(t *testing.T) {
+	d1 := int64(1)<<62 - 1 // 2^62−1
+	d2 := int64(1)<<62 - 3
+	a := NewRat(d1-1, d1) // slightly smaller than 1
+	b := NewRat(d2-1, d2) // smaller still: 1 − 1/d is increasing in d
+	if got := b.Cmp(a); got != -1 {
+		t.Fatalf("Cmp: got %d, want -1", got)
+	}
+	if got := a.Cmp(b); got != 1 {
+		t.Fatalf("Cmp: got %d, want 1", got)
+	}
+	if got := a.Cmp(a); got != 0 {
+		t.Fatalf("Cmp self: got %d, want 0", got)
+	}
+}
+
+// TestRatNegAbsBoundary covers the single non-negatable numerator.
+func TestRatNegAbsBoundary(t *testing.T) {
+	if got := RatInt(-5).Neg(); got.Cmp(RatInt(5)) != 0 {
+		t.Fatalf("Neg: got %s", got)
+	}
+	mustPanicOverflow(t, "Neg", func() { _ = RatInt(math.MinInt64).Neg() })
+	mustPanicOverflow(t, "Abs", func() { _ = RatInt(math.MinInt64).Abs() })
+}

@@ -1,0 +1,187 @@
+package qpoly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cachemodel/internal/linalg"
+)
+
+// Inf marks an unbounded chamber upper end.
+const Inf = int64(math.MaxInt64)
+
+// Piece is one chamber of a piecewise quasi-polynomial: the closed
+// interval [Lo, Hi] of the parameter (Hi == Inf for the unbounded tail)
+// together with the quasi-polynomial valid on it.
+type Piece struct {
+	Lo, Hi int64
+	Poly   QPoly
+}
+
+// Piecewise is a quasi-polynomial defined piecewise over disjoint,
+// ascending chambers of the integer parameter. The zero value is defined
+// nowhere.
+type Piecewise struct {
+	pieces []Piece
+}
+
+// FromPieces validates and assembles a piecewise quasi-polynomial. The
+// pieces may be given in any order but must be disjoint.
+func FromPieces(ps []Piece) (Piecewise, error) {
+	out := append([]Piece(nil), ps...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	for i, p := range out {
+		if p.Hi < p.Lo {
+			return Piecewise{}, fmt.Errorf("qpoly: empty chamber [%d, %d]", p.Lo, p.Hi)
+		}
+		if i > 0 && p.Lo <= out[i-1].Hi {
+			return Piecewise{}, fmt.Errorf("qpoly: overlapping chambers [%d, %d] and [%d, %d]",
+				out[i-1].Lo, out[i-1].Hi, p.Lo, p.Hi)
+		}
+	}
+	return Piecewise{pieces: out}, nil
+}
+
+// Pieces returns the chambers in ascending order (shared slice; treat as
+// read-only).
+func (pw Piecewise) Pieces() []Piece { return pw.pieces }
+
+// Domain returns the smallest and largest covered parameter values
+// (hi == Inf when the tail is unbounded); ok is false for the empty
+// piecewise.
+func (pw Piecewise) Domain() (lo, hi int64, ok bool) {
+	if len(pw.pieces) == 0 {
+		return 0, 0, false
+	}
+	return pw.pieces[0].Lo, pw.pieces[len(pw.pieces)-1].Hi, true
+}
+
+// find returns the chamber covering n, or nil.
+func (pw Piecewise) find(n int64) *Piece {
+	i := sort.Search(len(pw.pieces), func(i int) bool { return pw.pieces[i].Hi >= n })
+	if i < len(pw.pieces) && pw.pieces[i].Lo <= n {
+		return &pw.pieces[i]
+	}
+	return nil
+}
+
+// Eval returns the value at n; ok is false when no chamber covers n.
+func (pw Piecewise) Eval(n int64) (linalg.Rat, bool) {
+	p := pw.find(n)
+	if p == nil {
+		return linalg.Rat{}, false
+	}
+	return p.Poly.Eval(n), true
+}
+
+// EvalInt returns the value at n as an int64; ok is false when no chamber
+// covers n or the value is not an integer.
+func (pw Piecewise) EvalInt(n int64) (int64, bool) {
+	p := pw.find(n)
+	if p == nil {
+		return 0, false
+	}
+	return p.Poly.EvalInt(n)
+}
+
+// combine returns the piecewise combination of pw and other under op,
+// defined on the intersection of their domains with chambers refined at
+// both operands' breakpoints.
+func (pw Piecewise) combine(other Piecewise, op func(QPoly, QPoly) QPoly) Piecewise {
+	var out []Piece
+	for _, a := range pw.pieces {
+		for _, b := range other.pieces {
+			lo, hi := a.Lo, a.Hi
+			if b.Lo > lo {
+				lo = b.Lo
+			}
+			if b.Hi < hi {
+				hi = b.Hi
+			}
+			if lo > hi {
+				continue
+			}
+			out = append(out, Piece{Lo: lo, Hi: hi, Poly: op(a.Poly, b.Poly)})
+		}
+	}
+	res, err := FromPieces(out)
+	if err != nil { // impossible: intersections of disjoint families are disjoint
+		panic(err)
+	}
+	return res.Canon()
+}
+
+// Add returns pw + other on the intersection of their domains.
+func (pw Piecewise) Add(other Piecewise) Piecewise {
+	return pw.combine(other, QPoly.Add)
+}
+
+// Sub returns pw − other on the intersection of their domains.
+func (pw Piecewise) Sub(other Piecewise) Piecewise {
+	return pw.combine(other, QPoly.Sub)
+}
+
+// Mul returns pw × other on the intersection of their domains.
+func (pw Piecewise) Mul(other Piecewise) Piecewise {
+	return pw.combine(other, QPoly.Mul)
+}
+
+// Canon merges adjacent chambers whose quasi-polynomials are equal and
+// canonicalizes each chamber's polynomial.
+func (pw Piecewise) Canon() Piecewise {
+	var out []Piece
+	for _, p := range pw.pieces {
+		p.Poly = p.Poly.Canon()
+		if n := len(out); n > 0 && out[n-1].Hi != Inf && out[n-1].Hi+1 == p.Lo && out[n-1].Poly.Equal(p.Poly) {
+			out[n-1].Hi = p.Hi
+			continue
+		}
+		out = append(out, p)
+	}
+	return Piecewise{pieces: out}
+}
+
+// Equal reports whether pw and other cover the same domain with equal
+// values everywhere on it.
+func (pw Piecewise) Equal(other Piecewise) bool {
+	a, b := pw.Canon(), other.Canon()
+	if len(a.pieces) != len(b.pieces) {
+		return false
+	}
+	for i := range a.pieces {
+		pa, pb := a.pieces[i], b.pieces[i]
+		if pa.Lo != pb.Lo || pa.Hi != pb.Hi || !pa.Poly.Equal(pb.Poly) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether pw is identically zero on its whole domain (an
+// empty piecewise is zero vacuously).
+func (pw Piecewise) IsZero() bool {
+	for _, p := range pw.pieces {
+		if !p.Poly.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the chambers in order.
+func (pw Piecewise) String() string {
+	if len(pw.pieces) == 0 {
+		return "(empty)"
+	}
+	var parts []string
+	for _, p := range pw.pieces {
+		hi := "∞"
+		if p.Hi != Inf {
+			hi = fmt.Sprintf("%d", p.Hi)
+		}
+		parts = append(parts, fmt.Sprintf("n∈[%d,%s]: %s", p.Lo, hi, p.Poly))
+	}
+	return strings.Join(parts, " | ")
+}

@@ -88,6 +88,10 @@ type jobSpec struct {
 	plan    *sampling.Plan
 	bud     budget.Budget
 	cost    int64 // reserved against the server's point pool
+	// scaling marks a size-ladder job: np is nil, cands carries one entry
+	// per ladder size, and the solve goes through solveScaling instead of
+	// Prepare + SolveBatch.
+	scaling *scalingSpec
 }
 
 func parsePriority(s string) (int, error) {

@@ -90,6 +90,9 @@ type RefResult struct {
 	Repl     int64   `json:"repl"`
 	Tier     string  `json:"tier"`
 	Ratio    float64 `json:"ratio,omitempty"`
+	// ClosedForm marks counts evaluated from the lifted quasi-polynomial
+	// rather than an enumerating solve at this size.
+	ClosedForm bool `json:"closed_form,omitempty"`
 }
 
 // CandidateResult is one candidate's answer with full provenance.
@@ -106,6 +109,11 @@ type CandidateResult struct {
 	Coverage        float64     `json:"coverage"`
 	Refs            []RefResult `json:"refs,omitempty"`
 	Error           string      `json:"error,omitempty"`
+	// Scaling-job provenance: whether this size was answered in closed
+	// form, and how many of the references were covered.
+	ClosedForm     bool   `json:"closed_form,omitempty"`
+	ClosedFormRefs int    `json:"closed_form_refs,omitempty"`
+	ScalingWhy     string `json:"scaling_why,omitempty"`
 }
 
 // Result is a terminal job's outcome: candidate rows with provenance for
@@ -305,10 +313,15 @@ func resultFrom(key string, shared bool, spec *jobSpec, out *solveOutcome) *Resu
 		if rep.Degraded {
 			res.Degraded = true
 		}
+		if sc := rep.Scaling; sc != nil {
+			row.ClosedForm = sc.ClosedForm
+			row.ClosedFormRefs = sc.ClosedFormRefs
+			row.ScalingWhy = sc.Why
+		}
 		for _, rr := range rep.Refs {
 			row.Refs = append(row.Refs, RefResult{ID: rr.Ref.ID, Volume: rr.Volume,
 				Analyzed: rr.Analyzed, Hits: rr.Hits, Cold: rr.Cold, Repl: rr.Repl,
-				Tier: rr.Tier.String(), Ratio: rr.Ratio})
+				Tier: rr.Tier.String(), Ratio: rr.Ratio, ClosedForm: rr.ClosedForm})
 		}
 		res.Candidates = append(res.Candidates, row)
 	}

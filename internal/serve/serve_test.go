@@ -199,6 +199,88 @@ func TestServeSweepEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeScalingEndToEnd posts a size ladder to /v1/scaling and checks
+// the closed-form contract on the wire: every ladder size answered as one
+// candidate row with closed-form provenance, and the counts bit-identical
+// to an exact /v1/analyze of the same size and geometry.
+func TestServeScalingEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	id := submitJob(t, ts, "/v1/scaling",
+		`{"program":"hydro","iters":2,"cache_bytes":256,"line_bytes":32,"assoc":1,"from":128,"to":224,"step":32}`)
+	jb := waitTerminal(t, ts, id)
+	if jb.Status != StatusDone {
+		t.Fatalf("scaling status %s, result %+v", jb.Status, jb.Result)
+	}
+	res := jb.Result
+	if len(res.Candidates) != 4 {
+		t.Fatalf("want 4 ladder rows, got %d", len(res.Candidates))
+	}
+	if !strings.HasPrefix(res.Key, "sc:") {
+		t.Fatalf("scaling solve key %q", res.Key)
+	}
+	for i, c := range res.Candidates {
+		wantLabel := fmt.Sprintf("N=%d", 128+32*i)
+		if c.Label != wantLabel {
+			t.Fatalf("row %d label %q, want %q", i, c.Label, wantLabel)
+		}
+		if c.Error != "" || c.Accesses <= 0 {
+			t.Fatalf("bad ladder row: %+v", c)
+		}
+		if !c.ClosedForm || c.ScalingWhy != "" {
+			t.Fatalf("row %s not closed form (%q)", c.Label, c.ScalingWhy)
+		}
+		if c.ClosedFormRefs != len(c.Refs) {
+			t.Fatalf("row %s covers %d/%d refs", c.Label, c.ClosedFormRefs, len(c.Refs))
+		}
+		for _, r := range c.Refs {
+			if !r.ClosedForm {
+				t.Fatalf("row %s ref %s not closed form", c.Label, r.ID)
+			}
+		}
+	}
+
+	// Bit-identity against the enumerating path, through the public API.
+	aid := submitJob(t, ts, "/v1/analyze",
+		`{"program":"hydro","size":160,"iters":2,"cache_bytes":256,"line_bytes":32,"assoc":1,"exact":true}`)
+	ab := waitTerminal(t, ts, aid)
+	if ab.Status != StatusDone {
+		t.Fatalf("analyze status %s, result %+v", ab.Status, ab.Result)
+	}
+	exact := map[string]RefResult{}
+	for _, r := range ab.Result.Candidates[0].Refs {
+		exact[r.ID] = r
+	}
+	row := res.Candidates[1] // N=160
+	for _, r := range row.Refs {
+		w, ok := exact[r.ID]
+		if !ok {
+			t.Fatalf("ref %s missing from exact analyze", r.ID)
+		}
+		if r.Volume != w.Volume || r.Analyzed != w.Analyzed ||
+			r.Hits != w.Hits || r.Cold != w.Cold || r.Repl != w.Repl {
+			t.Fatalf("ref %s: closed form %+v != exact %+v", r.ID, r, w)
+		}
+	}
+}
+
+// TestServeScalingRejectsBadRequests covers scaling-specific admission.
+func TestServeScalingRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxCandidates: 8})
+	for name, body := range map[string]string{
+		"unknown program": `{"program":"nope"}`,
+		"both sources":    `{"program":"hydro","source":"X"}`,
+		"bad ladder":      `{"program":"hydro","from":512,"to":128,"step":64}`,
+		"oversized size":  `{"program":"hydro","ns":[99999]}`,
+		"too many sizes":  `{"program":"hydro","from":32,"to":4096,"step":32}`,
+		"bad priority":    `{"program":"hydro","priority":"urgent"}`,
+	} {
+		code, m := postJSON(t, ts, "/v1/scaling", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d body %v", name, code, m)
+		}
+	}
+}
+
 func TestServeRejectsBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	for name, body := range map[string]string{

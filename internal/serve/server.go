@@ -331,16 +331,35 @@ func (s *Server) attempt(ctx context.Context, j *Job) (out *solveOutcome, key st
 	}, s.opt.ProgressInterval)
 	defer col.Finish()
 
+	bud := spec.bud
+	if s.opt.JobHook != nil {
+		bud.Hook = s.opt.JobHook(j.ID)
+	}
+
+	// Scaling jobs have no single program to Prepare: the family is lifted
+	// once inside solveScaling. They share the flight group under a
+	// content-addressed key, with the same follower-retry loop below.
+	if spec.scaling != nil {
+		key = spec.scaling.key
+		for {
+			out, shared = s.flight.do(ctx, key, func() *solveOutcome {
+				return s.solveScaling(ctx, col, spec, bud)
+			})
+			if out == nil {
+				return &solveOutcome{err: fmt.Errorf("%w: while awaiting shared solve", cerr.ErrCanceled)}, key, shared
+			}
+			if shared && out.err != nil && errors.Is(out.err, cerr.ErrCanceled) && ctx.Err() == nil {
+				continue
+			}
+			return out, key, shared
+		}
+	}
+
 	prep, err := s.prepareGuarded(spec)
 	if err != nil {
 		return &solveOutcome{err: err}, "", false
 	}
 	key = prep.SolveKey(spec.cands, spec.plan)
-
-	bud := spec.bud
-	if s.opt.JobHook != nil {
-		bud.Hook = s.opt.JobHook(j.ID)
-	}
 
 	// Followers whose leader was cancelled re-issue the flight while their
 	// own context is still live: the key is free again, so one of them
