@@ -449,6 +449,21 @@ func (s *ScalingSolver) autoFitN() int64 {
 	return fitN
 }
 
+// MinClosedN returns a lower bound on the sizes the closed form can
+// cover: sampled fits are anchored at or beyond the fit window, so
+// EvalClosedCtx below this bound always reports ok=false (and spends
+// nothing). Callers with a known size range can use it to skip the
+// closed tier up front.
+func (s *ScalingSolver) MinClosedN() int64 {
+	n := s.sopt.MinN
+	if s.needsFit() {
+		if f := s.autoFitN(); f > n {
+			n = f
+		}
+	}
+	return n
+}
+
 // solveExactAt runs the ordinary exact tier at one size.
 func (s *ScalingSolver) solveExactAt(ctx context.Context, n int64) (*Report, error) {
 	np, err := s.build(n)
@@ -627,6 +642,13 @@ func (s *ScalingSolver) EvalClosedCtx(ctx context.Context, n int64) (*Report, bo
 	if !s.eligible || n < s.sopt.MinN {
 		return nil, false, nil
 	}
+	// Residue-class fits are anchored at or beyond the fit window
+	// (tryFit's base ≥ fitN), so when sampled fitting is needed no fit can
+	// ever cover a smaller n: refuse before spending fit solves that are
+	// guaranteed wasted. Pure-cold-only programs fit for free from MinN.
+	if s.needsFit() && n < s.autoFitN() {
+		return nil, false, nil
+	}
 	start := time.Now()
 	r := mod64(n, s.period)
 	fit, err := s.fitResidue(ctx, r)
@@ -780,8 +802,8 @@ type MissPolyClass struct {
 	Analyzed, Hits, Cold, Repl qpoly.QPoly
 }
 
-// MissPolys returns the per-reference closed forms accumulated so far
-// (references in program order). Pure-cold references carry no residue
+// MissPolys returns the per-reference closed forms accumulated so far,
+// sorted by reference ID. Pure-cold references carry no residue
 // classes — their counters are the volume itself.
 func (s *ScalingSolver) MissPolys() []MissPoly {
 	s.mu.Lock()

@@ -112,6 +112,35 @@ func TestScalingBitIdentityStencil(t *testing.T) {
 		closed, len(ladder), st.FitSolves, st.ResiduesFitted)
 }
 
+// TestScalingSmallNSpendsNoFits: a size below the fit window can never be
+// covered by a residue-class fit (tryFit anchors every class at or beyond
+// the window), so EvalClosedCtx must refuse immediately instead of paying
+// degree+1+verify window-sized sample solves for a guaranteed miss.
+func TestScalingSmallNSpendsNoFits(t *testing.T) {
+	// 1024 cache lines push the fit window far past every queried size.
+	cfg := cache.Config{SizeBytes: 32 * 1024, LineBytes: 32, Assoc: 1}
+	s, err := PrepareScaling(famOf(stencil1D), cfg, Options{}, ScalingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.ClosedFormEligible() {
+		t.Fatalf("stencil family should be eligible (why: %s)", s.Why())
+	}
+	if s.MinClosedN() < 1024 {
+		t.Fatalf("MinClosedN %d, want at least the cache line count", s.MinClosedN())
+	}
+	for _, n := range []int64{8, 16, 100, 1023} {
+		rep, ok, err := s.EvalClosedCtx(context.Background(), n)
+		if err != nil || ok || rep != nil {
+			t.Fatalf("EvalClosedCtx(%d) = (%v, %v, %v), want a free refusal", n, rep, ok, err)
+		}
+	}
+	if st := s.Stats(); st.FitSolves != 0 || st.ResiduesFitted != 0 {
+		t.Fatalf("small-n evals spent %d fit solves across %d residue classes, want none",
+			st.FitSolves, st.ResiduesFitted)
+	}
+}
+
 // singlePass touches every element of two arrays exactly once.
 func singlePass(n int64) *ir.Subroutine {
 	b := ir.NewSub("copy")

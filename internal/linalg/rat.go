@@ -156,11 +156,21 @@ func ratBig(op string, num, den *big.Int) Rat {
 	return Rat{q.Num().Int64(), q.Denom().Int64()}
 }
 
-// addBig is the slow path of Add/Sub: r + s exactly in big arithmetic.
+// addBig is the slow path of Add: r + s exactly in big arithmetic.
 func addBig(op string, r, s Rat) Rat {
 	rn, rd := big.NewInt(r.num), big.NewInt(r.Den())
 	sn, sd := big.NewInt(s.num), big.NewInt(s.Den())
 	num := new(big.Int).Add(new(big.Int).Mul(rn, sd), new(big.Int).Mul(sn, rd))
+	return ratBig(op, num, new(big.Int).Mul(rd, sd))
+}
+
+// subBig is the slow path of Sub: r − s exactly in big arithmetic. It
+// subtracts directly rather than negating s, so s.num == MinInt64 does
+// not panic when the difference itself is representable.
+func subBig(op string, r, s Rat) Rat {
+	rn, rd := big.NewInt(r.num), big.NewInt(r.Den())
+	sn, sd := big.NewInt(s.num), big.NewInt(s.Den())
+	num := new(big.Int).Sub(new(big.Int).Mul(rn, sd), new(big.Int).Mul(sn, rd))
 	return ratBig(op, num, new(big.Int).Mul(rd, sd))
 }
 
@@ -188,7 +198,7 @@ func (r Rat) Sub(s Rat) Rat {
 	if ok1 && ok2 && ok3 && ok4 && b != minI64 {
 		return NewRat(num, den)
 	}
-	return addBig("sub", r, s.Neg())
+	return subBig("sub", r, s)
 }
 
 // Mul returns r × s, with the same overflow discipline as Add.

@@ -74,6 +74,21 @@ func TestRatAddOverflowBoundary(t *testing.T) {
 	mustPanicOverflow(t, "Sub", func() { _ = RatInt(math.MinInt64 + 1).Sub(RatInt(2)) })
 }
 
+// TestRatSubMinInt64 pins the representable difference that used to
+// panic through the Neg-based fallback: (−1) − MinInt64 == MaxInt64.
+func TestRatSubMinInt64(t *testing.T) {
+	min := RatInt(math.MinInt64)
+	if got := RatInt(-1).Sub(min); got.Cmp(RatInt(math.MaxInt64)) != 0 {
+		t.Fatalf("(-1) - MinInt64: got %s, want MaxInt64", got)
+	}
+	// MinInt64 − MinInt64 == 0 is likewise representable.
+	if got := min.Sub(min); !got.IsZero() {
+		t.Fatalf("MinInt64 - MinInt64: got %s, want 0", got)
+	}
+	// 0 − MinInt64 == 2^63 genuinely does not fit: typed panic.
+	mustPanicOverflow(t, "Sub", func() { _ = RatInt(0).Sub(min) })
+}
+
 // TestRatCmpExact verifies Cmp decides via big arithmetic when the cross
 // products overflow: these two rationals differ by ~2^-124 and naive
 // wrapping arithmetic misorders them.

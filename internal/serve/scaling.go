@@ -79,8 +79,22 @@ func (o *Options) specFromScaling(req *ScalingRequest) (*jobSpec, error) {
 		if step < 0 || to < from {
 			return nil, fmt.Errorf("bad ladder: from %d to %d step %d", from, to, step)
 		}
-		for n := from; n <= to; n += step {
-			ns = append(ns, n)
+		if from < 1 {
+			return nil, fmt.Errorf("ladder size %d must be positive", from)
+		}
+		if to > o.MaxProblemSize {
+			return nil, fmt.Errorf("ladder size %d exceeds the server limit %d", to, o.MaxProblemSize)
+		}
+		// from/to/step are request-controlled: size the ladder arithmetically
+		// before materializing it, so an absurd range is a 400 and not an
+		// admission-time OOM. Indexing by count (rather than n += step) also
+		// keeps a huge step from wrapping n past to.
+		count := (to-from)/step + 1
+		if count > int64(o.MaxCandidates) {
+			return nil, fmt.Errorf("ladder of %d sizes exceeds the server limit %d", count, o.MaxCandidates)
+		}
+		for i := int64(0); i < count; i++ {
+			ns = append(ns, from+i*step)
 		}
 	}
 	if len(ns) == 0 {

@@ -272,6 +272,8 @@ func TestServeScalingRejectsBadRequests(t *testing.T) {
 		"bad ladder":      `{"program":"hydro","from":512,"to":128,"step":64}`,
 		"oversized size":  `{"program":"hydro","ns":[99999]}`,
 		"too many sizes":  `{"program":"hydro","from":32,"to":4096,"step":32}`,
+		"huge range":      `{"program":"hydro","from":1,"to":9223372036854775807,"step":1}`,
+		"negative from":   `{"program":"hydro","from":-64,"to":512,"step":64}`,
 		"bad priority":    `{"program":"hydro","priority":"urgent"}`,
 	} {
 		code, m := postJSON(t, ts, "/v1/scaling", body)
