@@ -63,7 +63,11 @@ func profileFlags(fs *flag.FlagSet) (start func() error, stop func() error, acti
 
 // benchResult is one row of BENCH_solvers.json.
 type benchResult struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// Workers is the effective worker count this row ran with — 1 for the
+	// sequential variants, the -workers flag for the parallel ones — so a
+	// row is interpretable without reconstructing it from the row name.
+	Workers     int     `json:"workers"`
 	Ns          int64   `json:"ns"`
 	Points      int64   `json:"points"`
 	NsPerPoint  float64 `json:"ns_per_point"`
@@ -111,6 +115,8 @@ func cmdBench(args []string) error {
 	noSim := fs.Bool("nosim", false, "skip the simulator rows")
 	scaling := fs.Bool("scaling", false, "benchmark the closed-form scaling tier over a size ladder instead (emits BENCH_scaling.json)")
 	sizeConst := fs.String("size-const", "N", "with -scaling -file: the constant carrying the problem size")
+	distMode := fs.Bool("dist", false, "benchmark the distributed sweep layer over worker counts instead (emits BENCH_dist.json)")
+	distWorkers := fs.String("dist-workers", "1,4", "comma-separated worker counts for -dist")
 	ladder := ladderFlags(fs)
 	pstart, pstop, _ := profileFlags(fs)
 	oflags := obsFlags(fs)
@@ -131,6 +137,18 @@ func cmdBench(args []string) error {
 		}
 		return benchScaling(context.Background(), *name, *file, *consts, *sizeConst,
 			*iters, cfg, *workers, ns, dst, *check)
+	}
+
+	if *distMode {
+		wcounts, err := parseInt64List(*distWorkers)
+		if err != nil {
+			return fmt.Errorf("bench -dist-workers: %v", err)
+		}
+		dst := *out
+		if dst == "BENCH_solvers.json" {
+			dst = "BENCH_dist.json"
+		}
+		return benchDist(*name, *file, *consts, *size, *iters, wcounts, dst, *check)
 	}
 
 	// The collector rides on a Background context (not the signal context):
@@ -207,7 +225,7 @@ func cmdBench(args []string) error {
 	seqDur, seqRep := timeIt(func() *cme.Report { return solve(newAnalyzer(1, true, true)) })
 	points := seqRep.TotalAccesses()
 	row := func(name string, d time.Duration, r *cme.Report) benchResult {
-		br := benchResult{Name: name, Ns: d.Nanoseconds(), Points: points}
+		br := benchResult{Name: name, Workers: 1, Ns: d.Nanoseconds(), Points: points}
 		if points > 0 {
 			br.NsPerPoint = float64(d.Nanoseconds()) / float64(points)
 		}
@@ -241,6 +259,7 @@ func cmdBench(args []string) error {
 		parDur, parRep = timeIt(func() *cme.Report { return solve(newAnalyzer(*workers, false, false)) })
 	})
 	parRow := row(fmt.Sprintf("findmisses_parallel_w%d", *workers), parDur, parRep)
+	parRow.Workers = *workers
 	parRow.SymbolicPct = pct
 	rep.Results = append(rep.Results, parRow)
 
@@ -254,7 +273,7 @@ func cmdBench(args []string) error {
 				simSeqDur = d
 			}
 		}
-		sr := benchResult{Name: "simulate_seq", Ns: simSeqDur.Nanoseconds(), Points: simSeq.Accesses, Speedup: 1}
+		sr := benchResult{Name: "simulate_seq", Workers: 1, Ns: simSeqDur.Nanoseconds(), Points: simSeq.Accesses, Speedup: 1}
 		if simSeq.Accesses > 0 {
 			sr.NsPerPoint = float64(simSeqDur.Nanoseconds()) / float64(simSeq.Accesses)
 			sr.PointsPerS = float64(simSeq.Accesses) / simSeqDur.Seconds()
@@ -269,7 +288,7 @@ func cmdBench(args []string) error {
 				simShardDur = d
 			}
 		}
-		ss := benchResult{Name: fmt.Sprintf("simulate_sharded_w%d", *workers), Ns: simShardDur.Nanoseconds(), Points: simShard.Accesses}
+		ss := benchResult{Name: fmt.Sprintf("simulate_sharded_w%d", *workers), Workers: *workers, Ns: simShardDur.Nanoseconds(), Points: simShard.Accesses}
 		if simShard.Accesses > 0 {
 			ss.NsPerPoint = float64(simShardDur.Nanoseconds()) / float64(simShard.Accesses)
 			ss.PointsPerS = float64(simShard.Accesses) / simShardDur.Seconds()

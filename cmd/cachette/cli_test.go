@@ -287,3 +287,115 @@ func errorsAs(err error, target **exec.ExitError) bool {
 	}
 	return false
 }
+
+// TestDistCLICoordinateAndWork drives the distributed sweep commands as
+// real processes: one coordinator, two workers, one of which is
+// SIGKILLed mid-run and replaced. The coordinator must exit clean with
+// its -check bit-identity gate on, write the merged report, and record
+// dist outcomes in the run report.
+func TestDistCLICoordinateAndWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns coordinator and worker processes")
+	}
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "report.json")
+	obsPath := filepath.Join(dir, "run.json")
+
+	coord := cliCommand(t, "dist", "coordinate", "-addr", "127.0.0.1:0",
+		"-program", "hydro", "-size", "12", "-sizes", "1024,2048,4096,8192",
+		"-assocs", "1,2", "-exact", "-check", "-lease-ttl", "1s",
+		"-linger", "10s", "-out", outPath, "-obs-out", obsPath)
+	stderr, err := coord.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatalf("start coordinate: %v", err)
+	}
+	defer coord.Process.Kill()
+
+	addrCh := make(chan string, 1)
+	logCh := make(chan string, 1)
+	go func() {
+		var lines strings.Builder
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			lines.WriteString(line + "\n")
+			if rest, ok := strings.CutPrefix(line, "cachette dist: coordinating on "); ok {
+				addrCh <- rest
+			}
+		}
+		logCh <- lines.String()
+	}()
+	var base string
+	select {
+	case base = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("coordinator never announced its address")
+	}
+
+	worker := func(id string) *exec.Cmd {
+		w := cliCommand(t, "dist", "work", "-coordinator", base, "-id", id,
+			"-poll", "50ms", "-resultcache", filepath.Join(dir, id+".rc.json"))
+		w.Stderr = os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatalf("start worker %s: %v", id, err)
+		}
+		return w
+	}
+	victim := worker("victim")
+	survivor := worker("survivor")
+
+	// SIGKILL the victim shortly into the run — whatever it holds leased
+	// expires and is stolen; the survivor and the replacement finish the
+	// sweep either way.
+	time.Sleep(300 * time.Millisecond)
+	victim.Process.Kill()
+	victim.Wait()
+	replacement := worker("replacement")
+
+	waitClean := func(name string, cmd *exec.Cmd) {
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s exited dirty: %v", name, err)
+			}
+		case <-time.After(90 * time.Second):
+			t.Fatalf("%s did not exit", name)
+		}
+	}
+	waitClean("survivor", survivor)
+	waitClean("replacement", replacement)
+	waitClean("coordinator", coord)
+	logs := <-logCh
+	if !strings.Contains(logs, "-check ok") {
+		t.Errorf("bit-identity check never logged:\n%s", logs)
+	}
+
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("merged report not written: %v", err)
+	}
+	var rep struct {
+		Rows  []struct{ Error string } `json:"rows"`
+		Stats struct {
+			UnitsDone int `json:"units_done"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("merged report malformed: %v", err)
+	}
+	if len(rep.Rows) != 8 || rep.Stats.UnitsDone != 8 {
+		t.Fatalf("report has %d rows, %d units done; want 8/8\n%s", len(rep.Rows), rep.Stats.UnitsDone, blob)
+	}
+	rr, err := os.ReadFile(obsPath)
+	if err != nil {
+		t.Fatalf("run report not written: %v", err)
+	}
+	if !strings.Contains(string(rr), `"dist"`) {
+		t.Fatalf("run report missing dist outcomes:\n%s", rr)
+	}
+}

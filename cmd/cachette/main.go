@@ -71,6 +71,8 @@ func main() {
 		err = cmdObscheck(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "dist":
+		err = cmdDist(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -100,6 +102,7 @@ subcommands:
   bench        time the solver variants (sequential / memoized / parallel) and emit BENCH_solvers.json
   obscheck     validate a run-report JSON written by -obs-out
   serve        run the multi-tenant analysis server (HTTP/JSON + SSE + /metrics)
+  dist         distributed sweeps: 'coordinate' shards work units to leased workers, 'work' solves them
   list         list the built-in programs
 
 observability (analyze, bench, sweep):

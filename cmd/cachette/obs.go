@@ -96,16 +96,27 @@ func (r *obsRun) Context(ctx context.Context) context.Context {
 // holds the metrics server open for -metrics-wait, then shuts it down.
 // ctx cancellation (Ctrl-C) ends the wait early.
 func (r *obsRun) finish(ctx context.Context, program string, rep *cme.Report, cands []obs.CandidateProvenance) error {
+	return r.finishReport(ctx, program, func(rr *obs.RunReport) {
+		if rep != nil {
+			rr.Report = provenanceOf(rep)
+		}
+		rr.Candidates = cands
+	})
+}
+
+// finishReport is finish with an arbitrary report mutation — commands
+// whose outcome is not a single cme.Report (dist coordinate attaches
+// DistOutcomes) decorate the run report themselves.
+func (r *obsRun) finishReport(ctx context.Context, program string, mutate func(*obs.RunReport)) error {
 	if r.col == nil {
 		return nil
 	}
 	rr := r.col.Report()
 	rr.Program = program
 	rr.Command = r.command
-	if rep != nil {
-		rr.Report = provenanceOf(rep)
+	if mutate != nil {
+		mutate(rr)
 	}
-	rr.Candidates = cands
 	if *r.opts.out != "" {
 		if err := rr.WriteFile(*r.opts.out); err != nil {
 			return err

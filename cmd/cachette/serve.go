@@ -9,6 +9,7 @@ import (
 	"os"
 	"time"
 
+	"cachemodel/internal/dist"
 	"cachemodel/internal/serve"
 )
 
@@ -33,7 +34,28 @@ func cmdServe(args []string) error {
 	rcFile := fs.String("resultcache", "", "load the content-addressed result cache from this path at startup and flush it on drain")
 	retain := fs.Int("retain", 1024, "how many finished jobs stay queryable")
 	obsOut := fs.String("obs-out", "", "write the server's run-report JSON (job outcomes, spans, metrics) here on exit")
+	distOn := fs.Bool("dist", false, "mount a distributed-sweep coordinator under /v1/dist/")
+	distJournal := fs.String("dist-journal", "", "coordinator journal path (resume a sweep after a restart)")
+	distTTL := fs.Duration("dist-lease-ttl", 10*time.Second, "work-unit lease duration for the mounted coordinator")
 	fs.Parse(args)
+
+	var coord *dist.Coordinator
+	var distHandler http.Handler
+	if *distOn || *distJournal != "" {
+		var err error
+		coord, err = dist.New(dist.Options{
+			LeaseTTL:    *distTTL,
+			JournalPath: *distJournal,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, "cachette "+format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		distHandler = coord.Handler()
+	}
 
 	s, err := serve.New(serve.Options{
 		QueueCap:          *queueCap,
@@ -46,6 +68,7 @@ func cmdServe(args []string) error {
 		MaxCandidates:     *maxCands,
 		CachePath:         *rcFile,
 		RetainJobs:        *retain,
+		Dist:              distHandler,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "cachette "+format+"\n", a...)
 		},
@@ -85,7 +108,11 @@ func cmdServe(args []string) error {
 	hs.Shutdown(sctx)
 
 	if *obsOut != "" {
-		if err := s.RunReport().WriteFile(*obsOut); err != nil {
+		rr := s.RunReport()
+		if coord != nil {
+			rr.Dist = coord.Outcomes()
+		}
+		if err := rr.WriteFile(*obsOut); err != nil {
 			if derr == nil {
 				derr = err
 			}

@@ -401,6 +401,33 @@ func searchParameterClosed(ctx context.Context, build func(param int64) *ir.Prog
 	return out, true, nil
 }
 
+// Frontier selects the non-dominated prefix of a best-first choice list
+// (as returned by the Search* functions): the best max(1, keep) choices
+// always survive, plus every further choice whose predicted miss ratio is
+// within marginPct percent (relative) of the best. Everything else is
+// dominated — a cheaper-tier estimate already places it far enough behind
+// the frontier that paying for an exact solve on it cannot change the
+// answer. The distributed sweep coordinator uses this to prune a
+// candidate grid under the sampled tier before sharding exact solves.
+func Frontier(sorted []Choice, keep int, marginPct float64) []Choice {
+	if len(sorted) == 0 {
+		return nil
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	cut := sorted[0].MissRatio * (1 + marginPct/100)
+	n := 0
+	for i, c := range sorted {
+		if i < keep || c.MissRatio <= cut {
+			n = i + 1
+			continue
+		}
+		break
+	}
+	return sorted[:n]
+}
+
 func sortChoices(cs []Choice) {
 	sort.Slice(cs, func(i, j int) bool { return cs[i].MissRatio < cs[j].MissRatio })
 }

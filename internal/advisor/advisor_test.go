@@ -195,3 +195,50 @@ func TestSearchParameterTileFamilyUnchanged(t *testing.T) {
 }
 
 func layoutOptions() layout.Options { return layout.Options{} }
+
+// TestFrontier pins the pruning contract the dist coordinator builds on:
+// the best max(1, keep) choices always survive, plus anything within
+// marginPct (relative) of the best; the rest is dominated.
+func TestFrontier(t *testing.T) {
+	sorted := []Choice{
+		{Label: "a", MissRatio: 10.0},
+		{Label: "b", MissRatio: 10.5}, // within 10% of a
+		{Label: "c", MissRatio: 12.0}, // outside 10%, inside keep=3
+		{Label: "d", MissRatio: 40.0},
+		{Label: "e", MissRatio: 80.0},
+	}
+	cases := []struct {
+		name   string
+		keep   int
+		margin float64
+		want   []string
+	}{
+		{"keep_floor_is_one", 0, 0, []string{"a"}},
+		{"margin_extends_past_keep", 1, 10, []string{"a", "b"}},
+		{"keep_overrides_margin", 3, 0, []string{"a", "b", "c"}},
+		{"margin_covers_everything", 1, 1000, []string{"a", "b", "c", "d", "e"}},
+		{"keep_beyond_len", 10, 0, []string{"a", "b", "c", "d", "e"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Frontier(sorted, tc.keep, tc.margin)
+			if len(got) != len(tc.want) {
+				t.Fatalf("kept %d choices, want %d (%v)", len(got), len(tc.want), got)
+			}
+			for i, w := range tc.want {
+				if got[i].Label != w {
+					t.Errorf("survivor[%d] = %s, want %s", i, got[i].Label, w)
+				}
+			}
+		})
+	}
+	if got := Frontier(nil, 3, 10); got != nil {
+		t.Errorf("Frontier(nil) = %v, want nil", got)
+	}
+	// The survivors are a prefix: once a choice falls off the frontier,
+	// nothing behind it (sorted worse) can re-enter.
+	gapped := []Choice{{Label: "a", MissRatio: 10}, {Label: "b", MissRatio: 50}, {Label: "c", MissRatio: 10.1}}
+	if got := Frontier(gapped, 1, 5); len(got) != 1 || got[0].Label != "a" {
+		t.Errorf("frontier is not a prefix: %v", got)
+	}
+}

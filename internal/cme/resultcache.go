@@ -174,13 +174,20 @@ func (c *ResultCache) Save(path string) error {
 	return obs.WriteFileAtomic(path, blob)
 }
 
-// Load merges entries persisted by Save into the cache. A missing file is
-// not an error (a cold on-disk store is simply empty), and neither is a
-// corrupt one: a store that fails to decode, fails its checksum, or
+// Load merges entries persisted by Save into the cache — it never clears
+// what is already resident, so a warm cache can layer several stores (a
+// resumed dist worker loads both its own checkpoint and the coordinator's
+// shared store). A key present both in memory and on disk keeps the
+// loaded value (last write wins), which is harmless by construction:
+// content addressing means equal keys carry equal payloads, so the
+// "conflict" replaces a value with its bit-identical twin. A missing file
+// is not an error (a cold on-disk store is simply empty), and neither is
+// a corrupt one: a store that fails to decode, fails its checksum, or
 // carries an impossible entry is quarantined — renamed to path+".corrupt"
-// — and the cache simply starts cold, recomputing instead of erroring. A
-// content-addressed cache can always be rebuilt; the only unrecoverable
-// sin would be serving a damaged entry as truth.
+// — leaving resident entries untouched, and the load simply contributes
+// nothing, recomputing instead of erroring. A content-addressed cache can
+// always be rebuilt; the only unrecoverable sin would be serving a
+// damaged entry as truth.
 func (c *ResultCache) Load(path string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {

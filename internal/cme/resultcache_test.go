@@ -286,3 +286,98 @@ func TestResultCacheSaveAtomic(t *testing.T) {
 		}
 	}
 }
+
+// TestResultCacheLoadMergesIntoWarm pins the merge contract the dist
+// worker relies on: loading a store into a non-empty cache adds the
+// persisted entries without evicting or clearing the resident ones, and
+// an overlapping key takes the loaded value (last write wins — harmless
+// under content addressing, where equal keys carry equal payloads).
+func TestResultCacheLoadMergesIntoWarm(t *testing.T) {
+	saver := NewResultCache(0)
+	saver.put("shared", rcVal(7))
+	saver.put("disk_only", rcVal(8))
+	path := filepath.Join(t.TempDir(), "rc.json")
+	if err := saver.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	warm := NewResultCache(0)
+	warm.put("resident", rcVal(1))
+	warm.put("shared", rcVal(99)) // conflicting payload, same key
+	if err := warm.Load(path); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if v, ok := warm.get("resident"); !ok || v.Volume != 1 {
+		t.Errorf("resident entry lost by merge (%+v, ok=%v)", v, ok)
+	}
+	if v, ok := warm.get("disk_only"); !ok || v.Volume != 8 {
+		t.Errorf("persisted entry not merged in (%+v, ok=%v)", v, ok)
+	}
+	if v, ok := warm.get("shared"); !ok || v.Volume != 7 {
+		t.Errorf("conflict kept resident value %+v, want loaded (last write wins)", v)
+	}
+	if s := warm.Stats(); s.Entries != 3 {
+		t.Errorf("%d entries after merge, want 3", s.Entries)
+	}
+}
+
+// TestResultCacheLoadLayersStores: a worker warming from its own
+// checkpoint plus a shared store sees the union, later loads winning on
+// overlap.
+func TestResultCacheLoadLayersStores(t *testing.T) {
+	dir := t.TempDir()
+	first := NewResultCache(0)
+	first.put("a", rcVal(1))
+	first.put("both", rcVal(2))
+	p1 := filepath.Join(dir, "one.json")
+	if err := first.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+	second := NewResultCache(0)
+	second.put("b", rcVal(3))
+	second.put("both", rcVal(4))
+	p2 := filepath.Join(dir, "two.json")
+	if err := second.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewResultCache(0)
+	for _, p := range []string{p1, p2, filepath.Join(dir, "missing.json")} {
+		if err := c.Load(p); err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+	}
+	want := map[string]int64{"a": 1, "b": 3, "both": 4}
+	for k, n := range want {
+		if v, ok := c.get(k); !ok || v.Volume != n {
+			t.Errorf("%s = %+v ok=%v, want volume %d", k, v, ok, n)
+		}
+	}
+	if s := c.Stats(); s.Entries != len(want) {
+		t.Errorf("%d entries, want %d", s.Entries, len(want))
+	}
+}
+
+// TestResultCacheLoadCorruptKeepsWarmEntries: quarantining a damaged
+// store must not disturb what is already resident — the merge semantics
+// make corruption strictly additive-or-nothing.
+func TestResultCacheLoadCorruptKeepsWarmEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rc.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"cachette/resultcache/v1","sum":"00","entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewResultCache(0)
+	c.put("resident", rcVal(5))
+	if err := c.Load(path); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if v, ok := c.get("resident"); !ok || v.Volume != 5 {
+		t.Errorf("resident entry damaged by corrupt load (%+v, ok=%v)", v, ok)
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Errorf("%d entries, want only the resident one", s.Entries)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt store not quarantined: %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cachemodel/internal/budget"
+	"cachemodel/internal/faultinject"
+)
+
+// TestChaosKilledWorkersPreserveBitIdentity is the failure-schedule half
+// of the determinism guarantee: workers are killed mid-unit at
+// fault-injected checkpoints (no completion, no failure report — exactly
+// a SIGKILL), replacements restart, leases expire and are stolen, and the
+// merged report must still be byte-identical to the single-process
+// baseline. Three seeds vary the kill schedule.
+func TestChaosKilledWorkersPreserveBitIdentity(t *testing.T) {
+	spec := &SweepSpec{
+		ProgramSpec: ProgramSpec{Program: "hydro", Size: 12},
+		SolveSpec:   SolveSpec{Exact: true},
+		CacheSizes:  []int64{1024, 2048, 4096, 8192},
+		LineSizes:   []int64{32},
+		Assocs:      []int{1, 2},
+	}
+	want := mustJSON(t, baselineRows(t, spec))
+
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c, err := New(Options{LeaseTTL: 150 * time.Millisecond, ShutdownWhenDone: true, Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer c.Close()
+			srv := httptest.NewServer(c.Handler())
+			defer srv.Close()
+			st, err := c.AddSweep(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("AddSweep: %v", err)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			rng := rand.New(rand.NewSource(seed))
+			const maxDeaths = 3
+			var deaths int
+			var wg sync.WaitGroup
+
+			// The killer: dies at a random checkpoint of whatever unit it
+			// holds, is restarted (a fresh process: cold caches, new lease),
+			// and after maxDeaths deaths stays down.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for deaths < maxDeaths {
+					inj := faultinject.At(rng.Int63n(40)+1, ErrKilled)
+					w, err := NewWorker(WorkerOptions{
+						Coordinator: srv.URL,
+						ID:          fmt.Sprintf("killer-%d", deaths),
+						Poll:        20 * time.Millisecond,
+						Hook:        func(string) budget.Hook { return inj.Hook() },
+					})
+					if err != nil {
+						t.Errorf("killer: %v", err)
+						return
+					}
+					err = w.Run(ctx)
+					if errors.Is(err, ErrKilled) {
+						deaths++
+						continue // "restart the process"
+					}
+					return // clean shutdown (or ctx timeout)
+				}
+			}()
+
+			// The immortal worker guarantees progress whatever the killer
+			// does.
+			wg.Add(1)
+			var immortalErr error
+			go func() {
+				defer wg.Done()
+				w, err := NewWorker(WorkerOptions{
+					Coordinator: srv.URL, ID: "immortal", Poll: 20 * time.Millisecond,
+				})
+				if err != nil {
+					immortalErr = err
+					return
+				}
+				immortalErr = w.Run(ctx)
+			}()
+
+			wg.Wait()
+			if immortalErr != nil {
+				t.Fatalf("immortal worker: %v", immortalErr)
+			}
+			if err := c.Wait(ctx, st.Sweep); err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+			rep, err := c.Report(st.Sweep)
+			if err != nil {
+				t.Fatalf("Report: %v", err)
+			}
+			if got := mustJSON(t, rep.Rows); got != want {
+				t.Errorf("seed %d: merged rows differ from single-process baseline after %d kills", seed, deaths)
+			}
+			status := c.Status()
+			t.Logf("seed %d: %d deaths, %d stolen, %d leased, %d completed",
+				seed, deaths, status.UnitsStolen, status.UnitsLeased, status.UnitsDone)
+			if int(status.UnitsStolen) < deaths {
+				t.Errorf("stolen = %d, want >= %d (every death abandons a leased unit)", status.UnitsStolen, deaths)
+			}
+			if deaths == 0 {
+				t.Logf("seed %d: killer never got a unit (immortal won every race)", seed)
+			}
+		})
+	}
+}

@@ -1,0 +1,757 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cachemodel/internal/cme"
+	"cachemodel/internal/obs"
+)
+
+// Options configures a Coordinator. The zero value is usable.
+type Options struct {
+	// LeaseTTL is how long a worker may hold a unit without heartbeating
+	// before the lease expires and the unit is stolen (default 10s).
+	LeaseTTL time.Duration
+	// UnitRetries is how many worker-reported failures a unit absorbs
+	// before the sweeps referencing it fail (default 3). Lease expiries do
+	// not count — a dead worker is the steal path, not the failure path.
+	UnitRetries int
+	// MaxProblemSize rejects absurd problem sizes at submission
+	// (default 4096).
+	MaxProblemSize int64
+	// MaxCandidates bounds a sweep's candidate grid (default 4096).
+	MaxCandidates int
+	// JournalPath, when set, appends every sweep submission, lease and
+	// unit completion to this file and replays it on startup, so a killed
+	// coordinator restarts mid-sweep without losing completed units.
+	JournalPath string
+	// ShutdownWhenDone makes Lease answer "shutdown" once every submitted
+	// sweep has finished — the one-shot CLI mode, where workers should
+	// exit instead of polling forever.
+	ShutdownWhenDone bool
+	// Logf receives coordinator lifecycle lines (nil = silent).
+	Logf func(format string, args ...any)
+
+	// now is the test clock seam.
+	now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.UnitRetries <= 0 {
+		o.UnitRetries = 3
+	}
+	if o.MaxProblemSize <= 0 {
+		o.MaxProblemSize = 4096
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 4096
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// unitState is one work unit's scheduling lifecycle.
+type unitState int
+
+const (
+	unitPending unitState = iota
+	unitLeased
+	unitDone
+	unitFailed
+)
+
+// unitRef ties a unit to one run of one sweep's candidate grid. The first
+// ref is the canonical owner; later refs are dedup followers — identical
+// (program, geometry, mode) runs whose rows are copied from the canonical
+// result with only the labels patched (the key construction guarantees
+// everything else is identical).
+type unitRef struct {
+	sweep *sweepState
+	start int // index of the first candidate in the sweep grid
+	cands []WireCandidate
+}
+
+// unit is one content-addressed work unit: a consecutive run of
+// candidates keyed by Prepared.SolveKey over exactly those candidates.
+type unit struct {
+	key     string
+	refs    []unitRef
+	state   unitState
+	worker  string
+	expires time.Time
+	fails   int
+	rows    []Row // canonical rows once done
+}
+
+// live reports whether any referencing sweep still wants this unit.
+func (u *unit) live() bool {
+	for _, ref := range u.refs {
+		if !ref.sweep.closed {
+			return true
+		}
+	}
+	return false
+}
+
+// sweepState is one submitted sweep's merge ledger.
+type sweepState struct {
+	id      string
+	spec    *SweepSpec
+	program string
+	wcs     []WireCandidate
+
+	rows      []Row
+	filled    []bool
+	remaining int // unfilled rows
+
+	unitsTotal int // unit refs (canonical + follower)
+	unitsDone  int
+	deduped    int
+	pruned     int
+	stolen     int64
+	retried    int64
+
+	failed  string
+	closed  bool
+	done    chan struct{}
+	created time.Time
+}
+
+// workerStat is the per-worker throughput ledger.
+type workerStat struct {
+	completed int64
+	firstSeen time.Time
+	lastSeen  time.Time
+	// shutdown marks that this worker has been answered LeaseShutdown: it
+	// is gone for scheduling purposes, and a lingering coordinator can
+	// exit once every known worker is shut down.
+	shutdown bool
+}
+
+// Coordinator owns sweep decomposition, unit leasing, stealing, dedup,
+// journalling and the deterministic merge. All methods are safe for
+// concurrent use; the coordinator is passive (no background goroutines) —
+// expiry reaping happens on every request, which keeps it trivially
+// testable under a fake clock.
+type Coordinator struct {
+	opt Options
+
+	mu      sync.Mutex
+	sweeps  map[string]*sweepState
+	order   []string
+	units   []*unit // canonical units in creation order
+	byKey   map[string]*unit
+	workers map[string]*workerStat
+	journal *journal
+
+	leased, stolen, deduped, retried, completed int64
+}
+
+// New builds a coordinator, replaying the journal at Options.JournalPath
+// when one exists: sweeps are re-decomposed from their journalled specs
+// (deterministic, so unit keys match) and completed units are re-applied
+// by key, so only work that never completed is re-issued. Records that no
+// longer match (a spec the current build rejects, a key no code path
+// produces) are skipped with a log line rather than trusted.
+func New(opt Options) (*Coordinator, error) {
+	opt = opt.withDefaults()
+	c := &Coordinator{
+		opt:     opt,
+		sweeps:  map[string]*sweepState{},
+		byKey:   map[string]*unit{},
+		workers: map[string]*workerStat{},
+	}
+	if opt.JournalPath == "" {
+		return c, nil
+	}
+	recs, j, err := openJournal(opt.JournalPath)
+	if err != nil {
+		return nil, err
+	}
+	// Replay with journalling suppressed (c.journal still nil): the
+	// records being replayed are already on disk.
+	for _, r := range recs {
+		switch r.T {
+		case recSweep:
+			if r.Spec == nil {
+				continue
+			}
+			if _, err := c.addSweep(context.Background(), r.Spec, true); err != nil {
+				opt.Logf("dist: journal replay: sweep %.12s: %v", r.Sweep, err)
+			}
+		case recComplete:
+			if err := c.Complete(r.Worker, r.Sweep, r.Unit, r.Rows, ""); err != nil {
+				opt.Logf("dist: journal replay: unit %.12s: %v", r.Unit, err)
+			}
+		case recFail:
+			_ = c.Complete(r.Worker, r.Sweep, r.Unit, nil, r.Err)
+		}
+	}
+	c.journal = j
+	return c, nil
+}
+
+// Close releases the journal file handle (the coordinator itself has no
+// other resources).
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal != nil {
+		return c.journal.close()
+	}
+	return nil
+}
+
+// AddSweep validates and decomposes a sweep, returning its status. The
+// sweep id is the SolveKey over the full candidate grid, so resubmitting
+// an identical sweep is idempotent: the existing sweep's status comes
+// back and no new units are created.
+func (c *Coordinator) AddSweep(ctx context.Context, spec *SweepSpec) (*SweepStatus, error) {
+	return c.addSweep(ctx, spec, false)
+}
+
+func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, replay bool) (*SweepStatus, error) {
+	wcs, err := spec.grid()
+	if err != nil {
+		return nil, err
+	}
+	if len(wcs) > c.opt.MaxCandidates {
+		return nil, fmt.Errorf("candidate grid of %d exceeds the coordinator limit %d", len(wcs), c.opt.MaxCandidates)
+	}
+	np, err := spec.ProgramSpec.build(c.opt.MaxProblemSize)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := cme.Prepare(np, spec.options())
+	if err != nil {
+		return nil, err
+	}
+	plan, err := spec.plan()
+	if err != nil {
+		return nil, err
+	}
+	cands := candidates(wcs)
+	id := prep.SolveKey(cands, plan)
+
+	c.mu.Lock()
+	if ss, ok := c.sweeps[id]; ok {
+		st := c.sweepStatusLocked(ss)
+		c.mu.Unlock()
+		return st, nil
+	}
+	c.mu.Unlock()
+
+	// The prune pass solves (cheap tier), so it runs outside the lock.
+	prunedRows := map[int]Row{}
+	if spec.Prune {
+		if spec.PadArray != "" {
+			return nil, fmt.Errorf("prune is not supported with a pad axis (the advisor ranks geometries, not layouts)")
+		}
+		if prunedRows, err = pruneGrid(ctx, spec, wcs); err != nil {
+			return nil, err
+		}
+	}
+
+	ss := &sweepState{
+		id:      id,
+		spec:    spec,
+		program: np.Name,
+		wcs:     wcs,
+		rows:    make([]Row, len(wcs)),
+		filled:  make([]bool, len(wcs)),
+		done:    make(chan struct{}),
+		created: c.opt.now(),
+	}
+	for i, row := range prunedRows {
+		ss.rows[i] = row
+		ss.filled[i] = true
+	}
+	ss.pruned = len(prunedRows)
+	ss.remaining = len(wcs) - len(prunedRows)
+	mPruned.Add(int64(ss.pruned))
+
+	unitSize := spec.UnitSize
+	if unitSize < 1 {
+		unitSize = 1
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.sweeps[id]; ok { // raced with an identical submit
+		return c.sweepStatusLocked(existing), nil
+	}
+	c.sweeps[id] = ss
+	c.order = append(c.order, id)
+	mSweeps.Inc()
+
+	for i := 0; i < len(wcs); {
+		if ss.filled[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(wcs) && j-i < unitSize && !ss.filled[j] {
+			j++
+		}
+		key := prep.SolveKey(cands[i:j], plan)
+		ref := unitRef{sweep: ss, start: i, cands: wcs[i:j]}
+		ss.unitsTotal++
+		if u, ok := c.byKey[key]; ok {
+			// Content-addressed dedup: an identical unit (same program
+			// digest, geometry run and solve mode) already exists, within
+			// this sweep or from an earlier one.
+			ss.deduped++
+			c.deduped++
+			mDeduped.Inc()
+			switch u.state {
+			case unitDone:
+				c.fillLocked(ref, u.rows)
+			case unitFailed:
+				// A fresh sweep earns the unit fresh attempts.
+				u.state = unitPending
+				u.fails = 0
+				mPending.Add(1)
+				u.refs = append(u.refs, ref)
+			default:
+				u.refs = append(u.refs, ref)
+			}
+		} else {
+			u := &unit{key: key, refs: []unitRef{ref}}
+			c.byKey[key] = u
+			c.units = append(c.units, u)
+			mUnits.Inc()
+			mPending.Add(1)
+		}
+		i = j
+	}
+	if !replay {
+		c.journalLocked(journalRec{T: recSweep, Sweep: id, Spec: spec})
+	}
+	c.opt.Logf("dist: sweep %.12s: %d candidates, %d units (%d deduped, %d pruned)",
+		id, len(wcs), ss.unitsTotal, ss.deduped, ss.pruned)
+	c.checkDoneLocked(ss)
+	return c.sweepStatusLocked(ss), nil
+}
+
+// Lease hands the next pending unit to worker, first reclaiming any
+// expired leases (work stealing). When nothing is pending it answers
+// "wait" (units are still in flight, or no sweep has been submitted yet)
+// or — with ShutdownWhenDone, once every sweep is finished — "shutdown".
+func (c *Coordinator) Lease(worker string) *LeaseResponse {
+	now := c.opt.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker, now)
+	c.reapLocked(now)
+	for _, u := range c.units {
+		if u.state != unitPending || !u.live() {
+			continue
+		}
+		u.state = unitLeased
+		u.worker = worker
+		u.expires = now.Add(c.opt.LeaseTTL)
+		c.leased++
+		mLeased.Inc()
+		mPending.Add(-1)
+		ref := u.refs[0]
+		c.journalLocked(journalRec{T: recLease, Sweep: ref.sweep.id, Unit: u.key, Worker: worker})
+		return &LeaseResponse{
+			Status: LeaseUnit,
+			Sweep:  ref.sweep.id,
+			TTLMs:  c.opt.LeaseTTL.Milliseconds(),
+			Unit: &UnitSpec{
+				Key:        u.key,
+				Seq:        ref.start,
+				Program:    ref.sweep.spec.ProgramSpec,
+				Solve:      ref.sweep.spec.SolveSpec,
+				Candidates: ref.cands,
+			},
+		}
+	}
+	if c.opt.ShutdownWhenDone && len(c.sweeps) > 0 && c.allDoneLocked() {
+		if ws := c.workers[worker]; ws != nil {
+			ws.shutdown = true
+		}
+		return &LeaseResponse{Status: LeaseShutdown}
+	}
+	wait := c.opt.LeaseTTL / 4
+	if wait > 500*time.Millisecond {
+		wait = 500 * time.Millisecond
+	}
+	return &LeaseResponse{Status: LeaseWait, RetryAfterMs: wait.Milliseconds()}
+}
+
+// Heartbeat extends worker's lease on a unit. false means the lease is
+// gone — expired and stolen, completed elsewhere, or never granted — and
+// the worker should abandon the unit (its late result would be identical
+// anyway, but the compute is better spent on a fresh lease).
+func (c *Coordinator) Heartbeat(worker, sweep, unitKey string) bool {
+	now := c.opt.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker, now)
+	c.reapLocked(now)
+	u := c.byKey[unitKey]
+	if u == nil || u.state != unitLeased || u.worker != worker {
+		return false
+	}
+	u.expires = now.Add(c.opt.LeaseTTL)
+	return true
+}
+
+// Complete records a unit result (or a worker-reported failure). Late
+// completions from stale leases are accepted when the unit is still
+// unresolved — the result is bit-identical to what the stealing worker
+// would produce, so first write wins and the duplicate is dropped.
+func (c *Coordinator) Complete(worker, sweep, unitKey string, rows []Row, errMsg string) error {
+	now := c.opt.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker, now)
+	u := c.byKey[unitKey]
+	if u == nil {
+		return fmt.Errorf("unknown unit %.12s", unitKey)
+	}
+	if u.state == unitDone || u.state == unitFailed {
+		return nil // duplicate or late after resolution: drop
+	}
+	want := len(u.refs[0].cands)
+	if errMsg == "" && len(rows) != want {
+		return fmt.Errorf("unit %.12s: got %d rows, want %d", unitKey, len(rows), want)
+	}
+	wasPending := u.state == unitPending
+	u.worker = ""
+	if errMsg != "" {
+		u.fails++
+		c.journalLocked(journalRec{T: recFail, Sweep: sweep, Unit: unitKey, Worker: worker, Err: errMsg})
+		if u.fails >= c.opt.UnitRetries {
+			u.state = unitFailed
+			if !wasPending {
+				// leaving leased: nothing pending to adjust
+			} else {
+				mPending.Add(-1)
+			}
+			c.failLocked(u, errMsg)
+			return nil
+		}
+		u.state = unitPending
+		if !wasPending {
+			mPending.Add(1)
+		}
+		c.retried++
+		mRetried.Inc()
+		for _, ref := range u.refs {
+			ref.sweep.retried++
+		}
+		c.opt.Logf("dist: unit %.12s failed on %s (attempt %d/%d): %s",
+			unitKey, worker, u.fails, c.opt.UnitRetries, errMsg)
+		return nil
+	}
+	u.state = unitDone
+	u.rows = rows
+	if wasPending {
+		mPending.Add(-1)
+	}
+	c.completed++
+	mCompleted.Inc()
+	if ws := c.workers[worker]; ws != nil {
+		ws.completed++
+	}
+	for _, ref := range u.refs {
+		c.fillLocked(ref, rows)
+	}
+	c.journalLocked(journalRec{T: recComplete, Sweep: sweep, Unit: unitKey, Worker: worker, Rows: rows})
+	return nil
+}
+
+// reapLocked reclaims expired leases: the stealing half of the fabric.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for _, u := range c.units {
+		if u.state != unitLeased || now.Before(u.expires) {
+			continue
+		}
+		c.opt.Logf("dist: lease on unit %.12s expired (worker %s): re-queueing", u.key, u.worker)
+		u.state = unitPending
+		u.worker = ""
+		mPending.Add(1)
+		c.stolen++
+		mStolen.Inc()
+		for _, ref := range u.refs {
+			ref.sweep.stolen++
+		}
+	}
+}
+
+// fillLocked merges one unit result into a sweep's rows at its grid
+// offset, patching labels for dedup followers (the only field that can
+// differ between units with equal keys).
+func (c *Coordinator) fillLocked(ref unitRef, rows []Row) {
+	ss := ref.sweep
+	for i, row := range rows {
+		if i >= len(ref.cands) {
+			break
+		}
+		row.Label = ref.cands[i].Label
+		idx := ref.start + i
+		if !ss.filled[idx] {
+			ss.filled[idx] = true
+			ss.remaining--
+		}
+		ss.rows[idx] = row
+	}
+	ss.unitsDone++
+	c.checkDoneLocked(ss)
+}
+
+// failLocked fails every sweep referencing a permanently failed unit.
+func (c *Coordinator) failLocked(u *unit, msg string) {
+	for _, ref := range u.refs {
+		ss := ref.sweep
+		if ss.closed {
+			continue
+		}
+		ss.failed = fmt.Sprintf("unit %.12s failed after %d attempts: %s", u.key, u.fails, msg)
+		ss.closed = true
+		close(ss.done)
+		c.opt.Logf("dist: sweep %.12s failed: %s", ss.id, ss.failed)
+	}
+}
+
+func (c *Coordinator) checkDoneLocked(ss *sweepState) {
+	if ss.closed || ss.remaining > 0 {
+		return
+	}
+	ss.closed = true
+	close(ss.done)
+	c.opt.Logf("dist: sweep %.12s complete (%d candidates)", ss.id, len(ss.wcs))
+}
+
+func (c *Coordinator) allDoneLocked() bool {
+	for _, ss := range c.sweeps {
+		if !ss.closed {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Coordinator) touchWorkerLocked(worker string, now time.Time) {
+	if worker == "" {
+		return
+	}
+	ws := c.workers[worker]
+	if ws == nil {
+		ws = &workerStat{firstSeen: now}
+		c.workers[worker] = ws
+	}
+	ws.lastSeen = now
+	ws.shutdown = false // a returning worker is active again
+	active := int64(0)
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= 30*time.Second {
+			active++
+		}
+	}
+	mWorkers.Set(active)
+}
+
+func (c *Coordinator) journalLocked(rec journalRec) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.append(rec); err != nil {
+		c.opt.Logf("dist: journal append: %v", err)
+	}
+}
+
+// Wait blocks until the sweep finishes (nil), fails (its error), or ctx
+// is cancelled.
+func (c *Coordinator) Wait(ctx context.Context, id string) error {
+	c.mu.Lock()
+	ss, ok := c.sweeps[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("no such sweep %.12s", id)
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-ss.done:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ss.failed != "" {
+		return fmt.Errorf("sweep %.12s: %s", id, ss.failed)
+	}
+	return nil
+}
+
+// Report returns the deterministic merge of a finished sweep.
+func (c *Coordinator) Report(id string) (*MergedReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ss, ok := c.sweeps[id]
+	if !ok {
+		return nil, fmt.Errorf("no such sweep %.12s", id)
+	}
+	if !ss.closed {
+		return nil, fmt.Errorf("sweep %.12s is still running", id)
+	}
+	if ss.failed != "" {
+		return nil, fmt.Errorf("sweep %.12s: %s", id, ss.failed)
+	}
+	rows := make([]Row, len(ss.rows))
+	copy(rows, ss.rows)
+	return &MergedReport{
+		Schema:     ReportSchemaV1,
+		Sweep:      ss.id,
+		Program:    ss.program,
+		Candidates: len(ss.wcs),
+		Rows:       rows,
+		Stats:      c.sweepStatsLocked(ss),
+	}, nil
+}
+
+// SweepStats is one sweep's scheduling ledger.
+type SweepStats struct {
+	Candidates int   `json:"candidates"`
+	Units      int   `json:"units"`
+	UnitsDone  int   `json:"units_done"`
+	Deduped    int   `json:"units_deduped"`
+	Pruned     int   `json:"candidates_pruned,omitempty"`
+	Stolen     int64 `json:"units_stolen"`
+	Retried    int64 `json:"units_retried"`
+}
+
+// SweepStatus is the wire status of one sweep.
+type SweepStatus struct {
+	Sweep   string     `json:"sweep"`
+	Program string     `json:"program"`
+	Done    bool       `json:"done"`
+	Failed  string     `json:"failed,omitempty"`
+	Stats   SweepStats `json:"stats"`
+}
+
+func (c *Coordinator) sweepStatsLocked(ss *sweepState) SweepStats {
+	return SweepStats{
+		Candidates: len(ss.wcs),
+		Units:      ss.unitsTotal,
+		UnitsDone:  ss.unitsDone,
+		Deduped:    ss.deduped,
+		Pruned:     ss.pruned,
+		Stolen:     ss.stolen,
+		Retried:    ss.retried,
+	}
+}
+
+func (c *Coordinator) sweepStatusLocked(ss *sweepState) *SweepStatus {
+	return &SweepStatus{
+		Sweep:   ss.id,
+		Program: ss.program,
+		Done:    ss.closed && ss.failed == "",
+		Failed:  ss.failed,
+		Stats:   c.sweepStatsLocked(ss),
+	}
+}
+
+// SweepStatus returns one sweep's status.
+func (c *Coordinator) SweepStatus(id string) (*SweepStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ss, ok := c.sweeps[id]
+	if !ok {
+		return nil, false
+	}
+	return c.sweepStatusLocked(ss), true
+}
+
+// WorkerStatus is one worker's throughput snapshot.
+type WorkerStatus struct {
+	UnitsCompleted int64   `json:"units_completed"`
+	UnitsPerSec    float64 `json:"units_per_sec"`
+	LastSeenMs     int64   `json:"last_seen_ms"`
+	// Shutdown means the worker has been told to exit (ShutdownWhenDone
+	// after the last sweep finished) and is no longer scheduled.
+	Shutdown bool `json:"shutdown,omitempty"`
+}
+
+// Status is the coordinator-wide snapshot (GET /v1/dist/status).
+type Status struct {
+	Sweeps       []*SweepStatus          `json:"sweeps"`
+	Units        int                     `json:"units"`
+	UnitsDone    int64                   `json:"units_completed"`
+	UnitsLeased  int64                   `json:"units_leased"`
+	UnitsStolen  int64                   `json:"units_stolen"`
+	UnitsDeduped int64                   `json:"units_deduped"`
+	UnitsRetried int64                   `json:"units_retried"`
+	Workers      map[string]WorkerStatus `json:"workers,omitempty"`
+}
+
+// Status snapshots the whole coordinator, reaping expired leases first so
+// a poller sees steals without needing a concurrent lease request.
+func (c *Coordinator) Status() *Status {
+	now := c.opt.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+	st := &Status{
+		Units:        len(c.units),
+		UnitsDone:    c.completed,
+		UnitsLeased:  c.leased,
+		UnitsStolen:  c.stolen,
+		UnitsDeduped: c.deduped,
+		UnitsRetried: c.retried,
+	}
+	for _, id := range c.order {
+		st.Sweeps = append(st.Sweeps, c.sweepStatusLocked(c.sweeps[id]))
+	}
+	if len(c.workers) > 0 {
+		st.Workers = map[string]WorkerStatus{}
+		for name, ws := range c.workers {
+			w := WorkerStatus{UnitsCompleted: ws.completed, LastSeenMs: now.Sub(ws.lastSeen).Milliseconds(), Shutdown: ws.shutdown}
+			if up := now.Sub(ws.firstSeen).Seconds(); up > 0 {
+				w.UnitsPerSec = float64(ws.completed) / up
+			}
+			st.Workers[name] = w
+		}
+	}
+	return st
+}
+
+// Outcomes renders the coordinator's ledger for the obs run report.
+func (c *Coordinator) Outcomes() *obs.DistOutcomes {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := &obs.DistOutcomes{
+		Sweeps:    int64(len(c.sweeps)),
+		Units:     int64(len(c.units)),
+		Completed: c.completed,
+		Leased:    c.leased,
+		Stolen:    c.stolen,
+		Deduped:   c.deduped,
+		Retried:   c.retried,
+	}
+	for _, ss := range c.sweeps {
+		d.Pruned += int64(ss.pruned)
+	}
+	for name, ws := range c.workers {
+		if ws.completed > 0 {
+			if d.Workers == nil {
+				d.Workers = map[string]int64{}
+			}
+			d.Workers[name] = ws.completed
+		}
+	}
+	return d
+}

@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Journal record types. Sweep and complete/fail records are replayed on
+// restart; lease records are audit-only (a lease held by a worker that
+// outlived the coordinator will simply be re-issued — the result is
+// bit-identical either way, so replaying leases would only delay work).
+const (
+	recSweep    = "sweep"
+	recLease    = "lease"
+	recComplete = "complete"
+	recFail     = "fail"
+)
+
+// journalRec is one append-only JSONL line of coordinator state.
+type journalRec struct {
+	T      string     `json:"t"`
+	Sweep  string     `json:"sweep,omitempty"`
+	Spec   *SweepSpec `json:"spec,omitempty"`
+	Unit   string     `json:"unit,omitempty"`
+	Worker string     `json:"worker,omitempty"`
+	Rows   []Row      `json:"rows,omitempty"`
+	Err    string     `json:"err,omitempty"`
+}
+
+// journal is the coordinator's crash log: every state transition that
+// matters for resume is one fsynced JSONL line, so a killed coordinator
+// reconstructs its ledger by re-decomposing journalled sweeps (unit keys
+// are content addresses, so they match deterministically) and re-applying
+// completed units by key.
+type journal struct {
+	f *os.File
+}
+
+// openJournal reads any existing records at path (tolerating a torn final
+// line from a crash mid-append) and opens the file for appending.
+func openJournal(path string) ([]journalRec, *journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist journal: %w", err)
+	}
+	var recs []journalRec
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail (crash mid-append) or foreign line: stop trusting
+			// the file from here; everything before it is intact.
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("dist journal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("dist journal: %w", err)
+	}
+	return recs, &journal{f: f}, nil
+}
+
+// append writes one record and syncs it: a record the coordinator acted
+// on must be on disk before the action is acknowledged.
+func (j *journal) append(rec journalRec) error {
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(blob, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error {
+	return j.f.Close()
+}

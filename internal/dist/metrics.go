@@ -1,0 +1,23 @@
+package dist
+
+import "cachemodel/internal/obs"
+
+// Distributed-sweep metrics, in the Default registry so a coordinator's
+// /metrics (or the mounting server's) exposes them next to the cme_* and
+// serve_* series. Counters ledger every scheduling decision — leases,
+// steals, dedups, retries — so a run report or a scrape can audit exactly
+// how the sweep was sharded; the gauges track the live backlog the
+// stealing loop acts on.
+var (
+	mSweeps    = obs.Default.Counter("dist_sweeps_total")
+	mUnits     = obs.Default.Counter("dist_units_total")
+	mLeased    = obs.Default.Counter("dist_units_leased_total")
+	mCompleted = obs.Default.Counter("dist_units_completed_total")
+	mStolen    = obs.Default.Counter("dist_units_stolen_total")
+	mDeduped   = obs.Default.Counter("dist_units_deduped_total")
+	mRetried   = obs.Default.Counter("dist_units_retried_total")
+	mPruned    = obs.Default.Counter("dist_candidates_pruned_total")
+
+	mPending = obs.Default.Gauge("dist_units_pending")
+	mWorkers = obs.Default.Gauge("dist_workers_active")
+)

@@ -1,0 +1,70 @@
+package dist_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cachemodel/internal/dist"
+	"cachemodel/internal/serve"
+)
+
+// TestCoordinatorMountedInServe drives a full sweep through a
+// coordinator mounted into the analysis server under /v1/dist/ — the
+// deployment shape where one process fronts both the job API and the
+// distributed sweep coordinator.
+func TestCoordinatorMountedInServe(t *testing.T) {
+	c, err := dist.New(dist.Options{ShutdownWhenDone: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("dist.New: %v", err)
+	}
+	defer c.Close()
+	s, err := serve.New(serve.Options{Dist: c.Handler()})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cl := &dist.Client{Base: ts.URL}
+	spec := &dist.SweepSpec{
+		ProgramSpec: dist.ProgramSpec{Program: "hydro", Size: 12},
+		SolveSpec:   dist.SolveSpec{Exact: true},
+		CacheSizes:  []int64{2048, 4096},
+		LineSizes:   []int64{32},
+		Assocs:      []int{1},
+	}
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit through serve mount: %v", err)
+	}
+	w, err := dist.NewWorker(dist.WorkerOptions{Coordinator: ts.URL, ID: "w0", Poll: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewWorker: %v", err)
+	}
+	if err := w.Run(ctx); err != nil {
+		t.Fatalf("worker through serve mount: %v", err)
+	}
+	rep, err := cl.Report(ctx, st.Sweep)
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Error != "" || r.MissRatioPct <= 0 {
+			t.Errorf("row %s: err=%q ratio=%g", r.Label, r.Error, r.MissRatioPct)
+		}
+	}
+}

@@ -73,6 +73,63 @@ func (j *JobOutcomes) validate() error {
 	return nil
 }
 
+// DistOutcomes records what happened to every work unit of a distributed
+// sweep run: the coordinator's ledger of sharded execution, mirroring
+// JobOutcomes for the serve layer. Together with the dist_* metric series
+// it makes "the sweep ran distributed" auditable — how much work was
+// sharded, how much was stolen from dead shards, how much was never
+// executed because content addressing already had the answer.
+type DistOutcomes struct {
+	// Sweeps is how many sweeps the coordinator ran.
+	Sweeps int64 `json:"sweeps"`
+	// Units is the total canonical work units decomposed.
+	Units int64 `json:"units"`
+	// Completed units finished with merged rows.
+	Completed int64 `json:"completed"`
+	// Leased counts lease grants (> Completed when units were retried or
+	// stolen).
+	Leased int64 `json:"leased"`
+	// Stolen counts expired leases re-issued to another worker (work
+	// stealing from dead or slow shards).
+	Stolen int64 `json:"stolen"`
+	// Deduped counts units (within or across sweeps) answered by an
+	// identical unit's result instead of a solve.
+	Deduped int64 `json:"deduped"`
+	// Retried counts worker-reported unit failures that were re-enqueued.
+	Retried int64 `json:"retried"`
+	// Pruned counts candidates the advisor frontier pass eliminated before
+	// exact solving.
+	Pruned int64 `json:"pruned,omitempty"`
+	// Workers maps worker id to units completed — per-worker throughput
+	// once divided by the run's elapsed time.
+	Workers map[string]int64 `json:"workers,omitempty"`
+}
+
+// validate rejects impossible distributed-sweep counts.
+func (d *DistOutcomes) validate() error {
+	if d == nil {
+		return nil
+	}
+	if d.Sweeps < 0 || d.Units < 0 || d.Completed < 0 || d.Leased < 0 ||
+		d.Stolen < 0 || d.Deduped < 0 || d.Retried < 0 || d.Pruned < 0 {
+		return fmt.Errorf("run report: negative dist outcome count: %+v", *d)
+	}
+	if d.Completed > d.Units {
+		return fmt.Errorf("run report: %d completed units exceed %d decomposed", d.Completed, d.Units)
+	}
+	var byWorker int64
+	for w, n := range d.Workers {
+		if n < 0 {
+			return fmt.Errorf("run report: worker %s: negative unit count %d", w, n)
+		}
+		byWorker += n
+	}
+	if byWorker > d.Completed {
+		return fmt.Errorf("run report: per-worker units %d exceed %d completed", byWorker, d.Completed)
+	}
+	return nil
+}
+
 // CandidateProvenance is the per-candidate row for batch runs.
 type CandidateProvenance struct {
 	Label        string  `json:"label"`
@@ -95,9 +152,12 @@ type RunReport struct {
 	Candidates []CandidateProvenance `json:"candidates,omitempty"`
 	// Jobs carries the job-level outcomes of a server run (nil for
 	// one-shot analyses).
-	Jobs    *JobOutcomes `json:"jobs,omitempty"`
-	Spans   SpanSnapshot `json:"spans"`
-	Metrics Snapshot     `json:"metrics"`
+	Jobs *JobOutcomes `json:"jobs,omitempty"`
+	// Dist carries the work-unit outcomes of a distributed sweep run
+	// (nil otherwise).
+	Dist    *DistOutcomes `json:"dist,omitempty"`
+	Spans   SpanSnapshot  `json:"spans"`
+	Metrics Snapshot      `json:"metrics"`
 }
 
 // Report assembles a RunReport from the collector's spans and registry.
@@ -181,12 +241,20 @@ func ValidateRunReport(blob []byte) (*RunReport, error) {
 	if err := r.Jobs.validate(); err != nil {
 		return nil, err
 	}
+	if err := r.Dist.validate(); err != nil {
+		return nil, err
+	}
 	// A one-shot analysis must expose solver metrics; a server run (Jobs
-	// present) may instead have shed everything before any solver ran, in
-	// which case the serve_* series stand in as proof of instrumentation.
+	// present) may instead have shed everything before any solver ran, and
+	// a coordinator run (Dist present) solves on its workers, not locally —
+	// in those cases the serve_*/dist_* series stand in as proof of
+	// instrumentation.
 	prefixes := []string{"cme_"}
 	if r.Jobs != nil {
 		prefixes = append(prefixes, "serve_")
+	}
+	if r.Dist != nil {
+		prefixes = append(prefixes, "dist_")
 	}
 	if !hasMetricPrefix(r.Metrics, prefixes) {
 		return nil, fmt.Errorf("run report: no %s metric in snapshot", strings.Join(prefixes, "/"))

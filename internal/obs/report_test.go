@@ -179,3 +179,65 @@ func TestRunReportWriteFile(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestValidateDistOutcomes(t *testing.T) {
+	rep := testReport(t)
+	rep.Dist = &DistOutcomes{Sweeps: 1, Units: 8, Completed: 8, Leased: 11, Stolen: 3,
+		Deduped: 2, Retried: 1, Pruned: 4, Workers: map[string]int64{"w0": 5, "w1": 3}}
+	rep.Metrics = Snapshot{Counters: map[string]int64{"dist_units_completed_total": 8}}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateRunReport(blob)
+	if err != nil {
+		t.Fatalf("valid dist outcomes rejected: %v", err)
+	}
+	if got.Dist == nil || got.Dist.Stolen != 3 || got.Dist.Workers["w0"] != 5 {
+		t.Fatalf("dist outcomes lost in round trip: %+v", got.Dist)
+	}
+
+	// A coordinator run solves on its workers: dist_* metrics alone must
+	// satisfy the instrumentation check when Dist is present...
+	coord := testReport(t)
+	coord.Dist = &DistOutcomes{Sweeps: 1, Units: 4, Completed: 4}
+	coord.Metrics = Snapshot{Counters: map[string]int64{"dist_sweeps_total": 1}}
+	blob, err = json.Marshal(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateRunReport(blob); err != nil {
+		t.Fatalf("coordinator report with only dist_* metrics rejected: %v", err)
+	}
+
+	// ...but without Dist, dist_* metrics do not count as solver proof.
+	plain := testReport(t)
+	plain.Metrics = Snapshot{Counters: map[string]int64{"dist_sweeps_total": 1}}
+	blob, err = json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateRunReport(blob); err == nil {
+		t.Fatal("one-shot report with only dist_* metrics validated")
+	}
+
+	for name, d := range map[string]DistOutcomes{
+		"negative_units":    {Units: -1},
+		"negative_stolen":   {Stolen: -2},
+		"completed>units":   {Units: 2, Completed: 3},
+		"negative_worker":   {Units: 2, Completed: 2, Workers: map[string]int64{"w": -1}},
+		"workers>completed": {Units: 4, Completed: 2, Workers: map[string]int64{"a": 2, "b": 1}},
+	} {
+		bad := testReport(t)
+		dCopy := d
+		bad.Dist = &dCopy
+		bad.Metrics = Snapshot{Counters: map[string]int64{"dist_sweeps_total": 1}}
+		blob, err := json.Marshal(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateRunReport(blob); err == nil {
+			t.Errorf("%s: impossible dist outcomes validated", name)
+		}
+	}
+}

@@ -32,11 +32,19 @@ type Policy struct {
 	// Max caps every backoff delay (default 10*Base). The un-jittered
 	// schedule is min(Base*2^k, Max) before the k-th retry (0-based).
 	Max time.Duration
-	// Jitter selects full jitter: each delay is drawn uniformly from
+	// Jitter selects upper-half jitter: each delay is drawn uniformly from
 	// [delay/2, delay], so synchronized clients (many jobs re-enqueued by
-	// one drain) spread out instead of thundering back together.
+	// one drain) spread out instead of thundering back together while
+	// keeping a floor under the delay (never hammer immediately).
 	// Disabled when false: the schedule is exactly min(Base*2^k, Max).
 	Jitter bool
+	// FullJitter selects AWS-style full jitter instead: each delay is drawn
+	// uniformly from [0, delay]. With no floor, peers decorrelate harder —
+	// the right trade for polling loops against a single endpoint (the
+	// dist worker's lease renewal), where a coordinator restart would
+	// otherwise see every worker retry on the same beat. Takes precedence
+	// over Jitter when both are set.
+	FullJitter bool
 	// Seed seeds the jitter RNG so tests can pin the schedule
 	// (0 uses a fixed default seed; runs are deterministic either way).
 	Seed int64
@@ -85,6 +93,20 @@ func (p Policy) Delay(k int) time.Duration {
 	return d
 }
 
+// jittered applies the policy's jitter mode to the un-jittered delay d.
+// rng is nil when no jitter is selected.
+func (p Policy) jittered(d time.Duration, rng *rand.Rand) time.Duration {
+	if rng == nil || d <= 0 {
+		return d
+	}
+	if p.FullJitter {
+		return time.Duration(rng.Int63n(int64(d) + 1))
+	}
+	// Upper-half jitter keeps a floor under the delay while still
+	// decorrelating peers.
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
 // sleepCtx sleeps for d or until ctx is cancelled, whichever comes first.
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
@@ -110,7 +132,7 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 func Do(ctx context.Context, p Policy, fn func() error) error {
 	q := p.withDefaults()
 	var rng *rand.Rand
-	if q.Jitter {
+	if q.Jitter || q.FullJitter {
 		rng = rand.New(rand.NewSource(q.Seed))
 	}
 	attempts := q.Attempts
@@ -131,12 +153,7 @@ func Do(ctx context.Context, p Policy, fn func() error) error {
 		if k == attempts-1 || !q.RetryIf(err) {
 			return err
 		}
-		d := q.Delay(k)
-		if rng != nil && d > 0 {
-			// Full jitter over the upper half keeps a floor under the
-			// delay (never hammer immediately) while decorrelating peers.
-			d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
-		}
+		d := q.jittered(q.Delay(k), rng)
 		if q.Sleep(ctx, d) != nil {
 			return err
 		}
@@ -159,7 +176,7 @@ type Backoff struct {
 func NewBackoff(p Policy) *Backoff {
 	q := p.withDefaults()
 	b := &Backoff{p: q}
-	if q.Jitter {
+	if q.Jitter || q.FullJitter {
 		b.rn = rand.New(rand.NewSource(q.Seed))
 	}
 	return b
@@ -173,10 +190,7 @@ func (b *Backoff) Next() (d time.Duration, ok bool) {
 	if b.k >= b.p.Attempts-1 {
 		return 0, false
 	}
-	d = b.p.Delay(b.k)
-	if b.rn != nil && d > 0 {
-		d = d/2 + time.Duration(b.rn.Int63n(int64(d/2)+1))
-	}
+	d = b.p.jittered(b.p.Delay(b.k), b.rn)
 	b.k++
 	return d, true
 }

@@ -84,6 +84,77 @@ func TestJitterDeterministicUnderSeed(t *testing.T) {
 	}
 }
 
+// TestFullJitterBounds draws the whole schedule many times under
+// different seeds and asserts full jitter spans [0, delay] — including
+// the lower half that upper-half jitter never reaches. That below-d/2
+// mass is the point of the mode: lease-renewal loops decorrelate
+// completely instead of keeping a floor.
+func TestFullJitterBounds(t *testing.T) {
+	p := Policy{Attempts: 6, Base: 8 * time.Millisecond, Max: 64 * time.Millisecond, FullJitter: true}
+	belowHalf := 0
+	for seed := int64(1); seed <= 200; seed++ {
+		q := p
+		q.Seed = seed
+		b := NewBackoff(q)
+		for k := 0; ; k++ {
+			d, ok := b.Next()
+			if !ok {
+				break
+			}
+			full := p.Delay(k)
+			if d < 0 || d > full {
+				t.Fatalf("seed %d retry %d: full-jittered delay %v outside [0, %v]", seed, k, d, full)
+			}
+			if d < full/2 {
+				belowHalf++
+			}
+		}
+	}
+	// 200 seeds x 5 retries, each uniform on [0, d]: about half the draws
+	// land below d/2. Even 10% proves we are not upper-half jitter.
+	if belowHalf < 100 {
+		t.Errorf("only %d/1000 draws below delay/2; full jitter should reach the lower half", belowHalf)
+	}
+}
+
+// TestFullJitterDeterministicUnderSeed pins that equal seeds give equal
+// full-jitter schedules (dist workers seed from their ID so chaos tests
+// replay exactly).
+func TestFullJitterDeterministicUnderSeed(t *testing.T) {
+	p := Policy{Attempts: 5, Base: 4 * time.Millisecond, FullJitter: true, Seed: 42}
+	a, b := NewBackoff(p), NewBackoff(p)
+	for {
+		da, oka := a.Next()
+		db, okb := b.Next()
+		if oka != okb || da != db {
+			t.Fatalf("same seed diverged: (%v,%v) vs (%v,%v)", da, oka, db, okb)
+		}
+		if !oka {
+			break
+		}
+	}
+}
+
+// TestFullJitterPrecedence: with both modes set, FullJitter wins — the
+// schedule must be able to dip below the upper-half floor.
+func TestFullJitterPrecedence(t *testing.T) {
+	p := Policy{Attempts: 40, Base: 8 * time.Millisecond, Max: 8 * time.Millisecond, Jitter: true, FullJitter: true, Seed: 7}
+	b := NewBackoff(p)
+	sawBelowFloor := false
+	for {
+		d, ok := b.Next()
+		if !ok {
+			break
+		}
+		if d < p.Delay(0)/2 {
+			sawBelowFloor = true
+		}
+	}
+	if !sawBelowFloor {
+		t.Error("FullJitter+Jitter never drew below delay/2; upper-half jitter took precedence")
+	}
+}
+
 // TestDoRetriesTransient runs Do against faultinject's transient-error
 // mode: an op failing its first 3 calls must succeed on the 4th attempt
 // and consume exactly 4 calls.

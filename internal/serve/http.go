@@ -37,6 +37,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.Handle("GET /metrics", obs.Handler(obs.Default))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.opt.Dist != nil {
+		// The coordinator registers full /v1/dist/... routes itself; mount
+		// it for both methods so its own mux does the dispatch.
+		mux.Handle("/v1/dist/", s.opt.Dist)
+	}
 	return mux
 }
 

@@ -585,3 +585,41 @@ func TestServeRunReport(t *testing.T) {
 		t.Fatalf("write run report: %v", err)
 	}
 }
+
+// TestDistHandlerMount: an Options.Dist handler owns the /v1/dist/
+// prefix; without one the prefix 404s like any unknown route.
+func TestDistHandlerMount(t *testing.T) {
+	dist := http.NewServeMux()
+	dist.HandleFunc("GET /v1/dist/status", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"units":0}`)
+	})
+	_, ts := newTestServer(t, Options{Dist: dist})
+	resp, err := http.Get(ts.URL + "/v1/dist/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("mounted dist route answered %d, want 200", resp.StatusCode)
+	}
+	// The server's own routes still win outside the prefix.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz answered %d with dist mounted, want 200", resp.StatusCode)
+	}
+
+	_, bare := newTestServer(t, Options{})
+	resp, err = http.Get(bare.URL + "/v1/dist/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unmounted dist route answered %d, want 404", resp.StatusCode)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,11 @@ type Options struct {
 	// JobHook, when set, installs a budget hook per job (fault injection
 	// in tests; the hook sees every solver checkpoint).
 	JobHook func(jobID string) budget.Hook
+	// Dist, when set, is mounted under /v1/dist/ — the distributed-sweep
+	// coordinator's handler (an http.Handler so serve does not depend on
+	// the dist package; the coordinator owns its own routes under that
+	// prefix).
+	Dist http.Handler
 	// Logf receives server lifecycle lines (nil = silent).
 	Logf func(format string, args ...any)
 }
