@@ -2,7 +2,11 @@ package dist
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -24,6 +28,19 @@ type Options struct {
 	MaxProblemSize int64
 	// MaxCandidates bounds a sweep's candidate grid (default 4096).
 	MaxCandidates int
+	// PruneConcurrency bounds how many advisor prune passes may solve at
+	// once (default 1). The prune pass is CPU-heavy and runs in the
+	// submitting caller — on a serve mount that is the HTTP handler
+	// goroutine, outside the job API's admission control — so it must not
+	// be able to pin every core under concurrent submissions.
+	PruneConcurrency int
+	// MaxRetainedSweeps bounds how many sweeps the coordinator keeps in
+	// memory (default 256; negative retains everything). When the bound is
+	// exceeded the oldest *finished* sweeps are evicted — their reports
+	// become unavailable and their units leave the dedup store, so a
+	// long-lived coordinator's ledger stays bounded. Running sweeps are
+	// never evicted.
+	MaxRetainedSweeps int
 	// JournalPath, when set, appends every sweep submission, lease and
 	// unit completion to this file and replays it on startup, so a killed
 	// coordinator restarts mid-sweep without losing completed units.
@@ -52,6 +69,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxCandidates <= 0 {
 		o.MaxCandidates = 4096
 	}
+	if o.PruneConcurrency <= 0 {
+		o.PruneConcurrency = 1
+	}
+	if o.MaxRetainedSweeps == 0 {
+		o.MaxRetainedSweeps = 256
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -73,9 +96,9 @@ const (
 
 // unitRef ties a unit to one run of one sweep's candidate grid. The first
 // ref is the canonical owner; later refs are dedup followers — identical
-// (program, geometry, mode) runs whose rows are copied from the canonical
-// result with only the labels patched (the key construction guarantees
-// everything else is identical).
+// (program, geometry, mode, budget) runs whose rows are copied from the
+// canonical result with only the labels patched (the key construction
+// guarantees everything else is identical).
 type unitRef struct {
 	sweep *sweepState
 	start int // index of the first candidate in the sweep grid
@@ -83,7 +106,8 @@ type unitRef struct {
 }
 
 // unit is one content-addressed work unit: a consecutive run of
-// candidates keyed by Prepared.SolveKey over exactly those candidates.
+// candidates keyed by Prepared.SolveKey over exactly those candidates
+// (salted with the per-unit budget when one is set — see unitKey).
 type unit struct {
 	key     string
 	refs    []unitRef
@@ -104,6 +128,55 @@ func (u *unit) live() bool {
 	return false
 }
 
+// sweepID is the sweep's identity: the batch SolveKey extended with every
+// row-affecting spec field the key scheme does not cover — the advisor
+// prune knobs (which replace dominated rows with cheap-tier estimates)
+// and the per-unit budget (which may degrade rows). Without the salt, a
+// sweep submitted with prune or a budget would alias an identical-grid
+// sweep without them, and the idempotent-resubmit path would hand the
+// caller rows its spec never asked for.
+func sweepID(solveKey string, spec *SweepSpec) string {
+	h := sha256.New()
+	h.Write([]byte(solveKey))
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	if spec.Prune {
+		wi(1)
+		wi(int64(spec.pruneKeep()))
+		wi(int64(math.Float64bits(spec.pruneMargin())))
+	} else {
+		wi(0)
+	}
+	wi(spec.MaxPoints)
+	wi(spec.TimeoutMs)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// unitKey is a unit's dedup identity. Unbudgeted units keep the raw
+// SolveKey — the pure content address, shared with the result cache
+// family. A budget can degrade rows, so budgeted units are salted with
+// their budget and may only dedup against units with the identical one:
+// a tight-budget sweep must never donate degraded canonical rows to an
+// unbudgeted sweep (or vice versa).
+func unitKey(solveKey string, s SolveSpec) string {
+	if s.MaxPoints == 0 && s.TimeoutMs == 0 {
+		return solveKey
+	}
+	h := sha256.New()
+	h.Write([]byte(solveKey))
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wi(s.MaxPoints)
+	wi(s.TimeoutMs)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // sweepState is one submitted sweep's merge ledger.
 type sweepState struct {
 	id      string
@@ -114,6 +187,8 @@ type sweepState struct {
 	rows      []Row
 	filled    []bool
 	remaining int // unfilled rows
+
+	units []*unit // every unit this sweep references (for eviction GC)
 
 	unitsTotal int // unit refs (canonical + follower)
 	unitsDone  int
@@ -145,17 +220,20 @@ type workerStat struct {
 // expiry reaping happens on every request, which keeps it trivially
 // testable under a fake clock.
 type Coordinator struct {
-	opt Options
+	opt      Options
+	pruneSem chan struct{} // bounds concurrent prune passes
 
 	mu      sync.Mutex
 	sweeps  map[string]*sweepState
 	order   []string
-	units   []*unit // canonical units in creation order
+	pending []*unit          // FIFO of schedulable units (entries may be stale; checked on pop)
+	leased  map[string]*unit // in-flight leases, the reaper's working set
 	byKey   map[string]*unit
 	workers map[string]*workerStat
 	journal *journal
 
-	leased, stolen, deduped, retried, completed int64
+	sweepsTotal, unitsTotal, prunedTotal         int64
+	leasedT, stolen, deduped, retried, completed int64
 }
 
 // New builds a coordinator, replaying the journal at Options.JournalPath
@@ -167,10 +245,12 @@ type Coordinator struct {
 func New(opt Options) (*Coordinator, error) {
 	opt = opt.withDefaults()
 	c := &Coordinator{
-		opt:     opt,
-		sweeps:  map[string]*sweepState{},
-		byKey:   map[string]*unit{},
-		workers: map[string]*workerStat{},
+		opt:      opt,
+		pruneSem: make(chan struct{}, opt.PruneConcurrency),
+		sweeps:   map[string]*sweepState{},
+		leased:   map[string]*unit{},
+		byKey:    map[string]*unit{},
+		workers:  map[string]*workerStat{},
 	}
 	if opt.JournalPath == "" {
 		return c, nil
@@ -187,7 +267,7 @@ func New(opt Options) (*Coordinator, error) {
 			if r.Spec == nil {
 				continue
 			}
-			if _, err := c.addSweep(context.Background(), r.Spec, true); err != nil {
+			if _, err := c.addSweep(context.Background(), r.Spec, r.Pruned, true); err != nil {
 				opt.Logf("dist: journal replay: sweep %.12s: %v", r.Sweep, err)
 			}
 		case recComplete:
@@ -214,14 +294,20 @@ func (c *Coordinator) Close() error {
 }
 
 // AddSweep validates and decomposes a sweep, returning its status. The
-// sweep id is the SolveKey over the full candidate grid, so resubmitting
-// an identical sweep is idempotent: the existing sweep's status comes
-// back and no new units are created.
+// sweep id covers the full candidate grid plus every row-affecting spec
+// field (solve mode, prune knobs, budget), so resubmitting an identical
+// sweep is idempotent — the existing sweep's status comes back and no new
+// units are created — while a same-grid sweep with a different prune or
+// budget spec is a distinct sweep.
 func (c *Coordinator) AddSweep(ctx context.Context, spec *SweepSpec) (*SweepStatus, error) {
-	return c.addSweep(ctx, spec, false)
+	return c.addSweep(ctx, spec, nil, false)
 }
 
-func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, replay bool) (*SweepStatus, error) {
+// addSweep registers a sweep. journalledPrune, non-nil only during journal
+// replay of a prune sweep, is the prune pass's journalled outcome: replay
+// re-applies it instead of re-running the solve pass (which would make
+// startup arbitrarily slow for a journal full of prune sweeps).
+func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, journalledPrune *map[int]Row, replay bool) (*SweepStatus, error) {
 	wcs, err := spec.grid()
 	if err != nil {
 		return nil, err
@@ -242,7 +328,7 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, replay bool
 		return nil, err
 	}
 	cands := candidates(wcs)
-	id := prep.SolveKey(cands, plan)
+	id := sweepID(prep.SolveKey(cands, plan), spec)
 
 	c.mu.Lock()
 	if ss, ok := c.sweeps[id]; ok {
@@ -252,13 +338,19 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, replay bool
 	}
 	c.mu.Unlock()
 
-	// The prune pass solves (cheap tier), so it runs outside the lock.
+	// The prune pass solves (cheap tier), so it runs outside the lock,
+	// bounded by the prune semaphore.
 	prunedRows := map[int]Row{}
 	if spec.Prune {
 		if spec.PadArray != "" {
 			return nil, fmt.Errorf("prune is not supported with a pad axis (the advisor ranks geometries, not layouts)")
 		}
-		if prunedRows, err = pruneGrid(ctx, spec, wcs); err != nil {
+		if journalledPrune != nil {
+			prunedRows = *journalledPrune
+			if prunedRows == nil {
+				prunedRows = map[int]Row{}
+			}
+		} else if prunedRows, err = c.runPrune(ctx, spec, wcs); err != nil {
 			return nil, err
 		}
 	}
@@ -293,6 +385,8 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, replay bool
 	}
 	c.sweeps[id] = ss
 	c.order = append(c.order, id)
+	c.sweepsTotal++
+	c.prunedTotal += int64(ss.pruned)
 	mSweeps.Inc()
 
 	for i := 0; i < len(wcs); {
@@ -304,16 +398,17 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, replay bool
 		for j < len(wcs) && j-i < unitSize && !ss.filled[j] {
 			j++
 		}
-		key := prep.SolveKey(cands[i:j], plan)
+		key := unitKey(prep.SolveKey(cands[i:j], plan), spec.SolveSpec)
 		ref := unitRef{sweep: ss, start: i, cands: wcs[i:j]}
 		ss.unitsTotal++
 		if u, ok := c.byKey[key]; ok {
 			// Content-addressed dedup: an identical unit (same program
-			// digest, geometry run and solve mode) already exists, within
-			// this sweep or from an earlier one.
+			// digest, geometry run, solve mode and budget) already exists,
+			// within this sweep or from an earlier one.
 			ss.deduped++
 			c.deduped++
 			mDeduped.Inc()
+			ss.units = append(ss.units, u)
 			switch u.state {
 			case unitDone:
 				c.fillLocked(ref, u.rows)
@@ -323,49 +418,123 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, replay bool
 				u.fails = 0
 				mPending.Add(1)
 				u.refs = append(u.refs, ref)
+				c.pending = append(c.pending, u)
 			default:
 				u.refs = append(u.refs, ref)
 			}
 		} else {
 			u := &unit{key: key, refs: []unitRef{ref}}
 			c.byKey[key] = u
-			c.units = append(c.units, u)
+			c.unitsTotal++
+			ss.units = append(ss.units, u)
+			c.pending = append(c.pending, u)
 			mUnits.Inc()
 			mPending.Add(1)
 		}
 		i = j
 	}
 	if !replay {
-		c.journalLocked(journalRec{T: recSweep, Sweep: id, Spec: spec})
+		rec := journalRec{T: recSweep, Sweep: id, Spec: spec}
+		if spec.Prune {
+			// Journal the prune outcome with the submission so replay
+			// re-applies it instead of re-solving the cheap pass.
+			rec.Pruned = &prunedRows
+		}
+		c.journalLocked(rec, true)
 	}
 	c.opt.Logf("dist: sweep %.12s: %d candidates, %d units (%d deduped, %d pruned)",
 		id, len(wcs), ss.unitsTotal, ss.deduped, ss.pruned)
 	c.checkDoneLocked(ss)
+	c.evictLocked()
 	return c.sweepStatusLocked(ss), nil
+}
+
+// runPrune runs the advisor prune pass under the concurrency bound: at
+// most Options.PruneConcurrency grids solve at once, the rest queue here
+// (or give up with the caller's context).
+func (c *Coordinator) runPrune(ctx context.Context, spec *SweepSpec, wcs []WireCandidate) (map[int]Row, error) {
+	select {
+	case c.pruneSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.pruneSem }()
+	return pruneGrid(ctx, spec, wcs)
+}
+
+// evictLocked drops the oldest finished sweeps beyond the retention
+// bound, so a long-lived coordinator accepting many sweeps does not grow
+// without bound. An evicted sweep's report becomes unavailable and its
+// resolved units leave the dedup store (a later identical sweep re-solves
+// them — cheap, since workers keep their own result caches). Running
+// sweeps are never evicted.
+func (c *Coordinator) evictLocked() {
+	if c.opt.MaxRetainedSweeps < 0 {
+		return
+	}
+	for len(c.sweeps) > c.opt.MaxRetainedSweeps {
+		evicted := false
+		for i, id := range c.order {
+			ss := c.sweeps[id]
+			if !ss.closed {
+				continue
+			}
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			delete(c.sweeps, id)
+			for _, u := range ss.units {
+				if (u.state == unitDone || u.state == unitFailed) && !u.live() && c.byKey[u.key] == u {
+					delete(c.byKey, u.key)
+				}
+			}
+			c.opt.Logf("dist: evicted finished sweep %.12s (retention %d)", id, c.opt.MaxRetainedSweeps)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything retained is still running
+		}
+	}
 }
 
 // Lease hands the next pending unit to worker, first reclaiming any
 // expired leases (work stealing). When nothing is pending it answers
 // "wait" (units are still in flight, or no sweep has been submitted yet)
 // or — with ShutdownWhenDone, once every sweep is finished — "shutdown".
+// The pending queue makes this O(1) amortised in the coordinator's
+// lifetime unit count: neither leasing nor reaping ever scans units that
+// are already resolved.
 func (c *Coordinator) Lease(worker string) *LeaseResponse {
 	now := c.opt.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touchWorkerLocked(worker, now)
 	c.reapLocked(now)
-	for _, u := range c.units {
-		if u.state != unitPending || !u.live() {
+	for len(c.pending) > 0 {
+		u := c.pending[0]
+		c.pending[0] = nil
+		c.pending = c.pending[1:]
+		if u.state != unitPending || c.byKey[u.key] != u {
+			continue // stale entry: resolved or collected since it was queued
+		}
+		if !u.live() {
+			// Every referencing sweep already closed (failed): drop the
+			// unit instead of spending a worker on it.
+			u.state = unitFailed
+			delete(c.byKey, u.key)
+			mPending.Add(-1)
 			continue
 		}
 		u.state = unitLeased
 		u.worker = worker
 		u.expires = now.Add(c.opt.LeaseTTL)
-		c.leased++
+		c.leased[u.key] = u
+		c.leasedT++
 		mLeased.Inc()
 		mPending.Add(-1)
 		ref := u.refs[0]
-		c.journalLocked(journalRec{T: recLease, Sweep: ref.sweep.id, Unit: u.key, Worker: worker})
+		// Lease records are audit-only (never replayed), so they ride
+		// without an fsync — scheduling must not serialize behind disk.
+		c.journalLocked(journalRec{T: recLease, Sweep: ref.sweep.id, Unit: u.key, Worker: worker}, false)
 		return &LeaseResponse{
 			Status: LeaseUnit,
 			Sweep:  ref.sweep.id,
@@ -432,14 +601,13 @@ func (c *Coordinator) Complete(worker, sweep, unitKey string, rows []Row, errMsg
 	}
 	wasPending := u.state == unitPending
 	u.worker = ""
+	delete(c.leased, u.key)
 	if errMsg != "" {
 		u.fails++
-		c.journalLocked(journalRec{T: recFail, Sweep: sweep, Unit: unitKey, Worker: worker, Err: errMsg})
+		c.journalLocked(journalRec{T: recFail, Sweep: sweep, Unit: unitKey, Worker: worker, Err: errMsg}, true)
 		if u.fails >= c.opt.UnitRetries {
 			u.state = unitFailed
-			if !wasPending {
-				// leaving leased: nothing pending to adjust
-			} else {
+			if wasPending {
 				mPending.Add(-1)
 			}
 			c.failLocked(u, errMsg)
@@ -448,6 +616,7 @@ func (c *Coordinator) Complete(worker, sweep, unitKey string, rows []Row, errMsg
 		u.state = unitPending
 		if !wasPending {
 			mPending.Add(1)
+			c.pending = append(c.pending, u)
 		}
 		c.retried++
 		mRetried.Inc()
@@ -471,19 +640,33 @@ func (c *Coordinator) Complete(worker, sweep, unitKey string, rows []Row, errMsg
 	for _, ref := range u.refs {
 		c.fillLocked(ref, rows)
 	}
-	c.journalLocked(journalRec{T: recComplete, Sweep: sweep, Unit: unitKey, Worker: worker, Rows: rows})
+	c.journalLocked(journalRec{T: recComplete, Sweep: sweep, Unit: unitKey, Worker: worker, Rows: rows}, true)
 	return nil
 }
 
 // reapLocked reclaims expired leases: the stealing half of the fabric.
+// It walks only the in-flight lease set (bounded by the worker count),
+// never the full unit ledger.
 func (c *Coordinator) reapLocked(now time.Time) {
-	for _, u := range c.units {
-		if u.state != unitLeased || now.Before(u.expires) {
+	for key, u := range c.leased {
+		if u.state != unitLeased {
+			delete(c.leased, key) // resolved since; defensive
+			continue
+		}
+		if now.Before(u.expires) {
 			continue
 		}
 		c.opt.Logf("dist: lease on unit %.12s expired (worker %s): re-queueing", u.key, u.worker)
-		u.state = unitPending
+		delete(c.leased, key)
 		u.worker = ""
+		if !u.live() {
+			// No sweep wants it anymore: drop instead of re-queueing.
+			u.state = unitFailed
+			delete(c.byKey, u.key)
+			continue
+		}
+		u.state = unitPending
+		c.pending = append(c.pending, u)
 		mPending.Add(1)
 		c.stolen++
 		mStolen.Inc()
@@ -566,11 +749,11 @@ func (c *Coordinator) touchWorkerLocked(worker string, now time.Time) {
 	mWorkers.Set(active)
 }
 
-func (c *Coordinator) journalLocked(rec journalRec) {
+func (c *Coordinator) journalLocked(rec journalRec, sync bool) {
 	if c.journal == nil {
 		return
 	}
-	if err := c.journal.append(rec); err != nil {
+	if err := c.journal.append(rec, sync); err != nil {
 		c.opt.Logf("dist: journal append: %v", err)
 	}
 }
@@ -686,7 +869,8 @@ type WorkerStatus struct {
 	Shutdown bool `json:"shutdown,omitempty"`
 }
 
-// Status is the coordinator-wide snapshot (GET /v1/dist/status).
+// Status is the coordinator-wide snapshot (GET /v1/dist/status). Units
+// counts every unit ever created, including those evicted from memory.
 type Status struct {
 	Sweeps       []*SweepStatus          `json:"sweeps"`
 	Units        int                     `json:"units"`
@@ -706,9 +890,9 @@ func (c *Coordinator) Status() *Status {
 	defer c.mu.Unlock()
 	c.reapLocked(now)
 	st := &Status{
-		Units:        len(c.units),
+		Units:        int(c.unitsTotal),
 		UnitsDone:    c.completed,
-		UnitsLeased:  c.leased,
+		UnitsLeased:  c.leasedT,
 		UnitsStolen:  c.stolen,
 		UnitsDeduped: c.deduped,
 		UnitsRetried: c.retried,
@@ -734,16 +918,14 @@ func (c *Coordinator) Outcomes() *obs.DistOutcomes {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d := &obs.DistOutcomes{
-		Sweeps:    int64(len(c.sweeps)),
-		Units:     int64(len(c.units)),
+		Sweeps:    c.sweepsTotal,
+		Units:     c.unitsTotal,
 		Completed: c.completed,
-		Leased:    c.leased,
+		Leased:    c.leasedT,
 		Stolen:    c.stolen,
 		Deduped:   c.deduped,
 		Retried:   c.retried,
-	}
-	for _, ss := range c.sweeps {
-		d.Pruned += int64(ss.pruned)
+		Pruned:    c.prunedTotal,
 	}
 	for name, ws := range c.workers {
 		if ws.completed > 0 {

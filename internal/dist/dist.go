@@ -198,6 +198,23 @@ type SweepSpec struct {
 	PruneMargin float64 `json:"prune_margin,omitempty"` // percent over best (default 10)
 }
 
+// pruneKeep and pruneMargin are the effective frontier knobs with
+// defaults applied. The prune pass and the sweep id share them, so a spec
+// spelling the default explicitly aliases one that leaves it zero.
+func (s *SweepSpec) pruneKeep() int {
+	if s.PruneKeep < 1 {
+		return 4
+	}
+	return s.PruneKeep
+}
+
+func (s *SweepSpec) pruneMargin() float64 {
+	if s.PruneMargin <= 0 {
+		return 10
+	}
+	return s.PruneMargin
+}
+
 // grid materialises the candidate grid in deterministic order — the order
 // is part of the sweep's content address and of the merged report.
 // Invalid geometries stay in the grid and fail per candidate, exactly as

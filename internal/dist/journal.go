@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -28,60 +29,90 @@ type journalRec struct {
 	Worker string     `json:"worker,omitempty"`
 	Rows   []Row      `json:"rows,omitempty"`
 	Err    string     `json:"err,omitempty"`
+	// Pruned is the advisor prune pass's outcome for a sweep record, keyed
+	// by candidate index, so replay re-applies it instead of re-running the
+	// solve pass. A pointer so that "prune ran and eliminated nothing"
+	// (non-nil empty map) survives omitempty and is distinguishable from
+	// "no prune" (nil).
+	Pruned *map[int]Row `json:"pruned,omitempty"`
 }
 
 // journal is the coordinator's crash log: every state transition that
-// matters for resume is one fsynced JSONL line, so a killed coordinator
-// reconstructs its ledger by re-decomposing journalled sweeps (unit keys
-// are content addresses, so they match deterministically) and re-applying
-// completed units by key.
+// matters for resume is one JSONL line (fsynced for sweep and
+// complete/fail records), so a killed coordinator reconstructs its ledger
+// by re-decomposing journalled sweeps (unit keys are content addresses,
+// so they match deterministically) and re-applying completed units by
+// key.
 type journal struct {
 	f *os.File
 }
 
-// openJournal reads any existing records at path (tolerating a torn final
-// line from a crash mid-append) and opens the file for appending.
+// openJournal reads the intact record prefix at path and opens the file
+// for appending *at the end of that prefix*: a torn final line (crash
+// mid-append) or any trailing garbage is truncated away, so the first
+// post-resume record starts on a record boundary. Without the truncation
+// the first append would concatenate onto the torn line, and the next
+// restart would stop replaying there — silently discarding everything
+// journalled after the first crash. A torn record was never acknowledged
+// (append syncs before returning), so dropping it is sound: the unit it
+// described is simply re-issued.
 func openJournal(path string) ([]journalRec, *journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dist journal: %w", err)
 	}
 	var recs []journalRec
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	var intact int64 // byte length of the intact, newline-terminated prefix
+	br := bufio.NewReaderSize(f, 1<<20)
+scan:
+	for {
+		line, rerr := br.ReadBytes('\n')
+		switch rerr {
+		case nil:
+			body := bytes.TrimSpace(bytes.TrimSuffix(line, []byte("\n")))
+			if len(body) > 0 {
+				var rec journalRec
+				if err := json.Unmarshal(body, &rec); err != nil {
+					// A foreign or corrupt line: stop trusting the file from
+					// here; everything before it is intact.
+					break scan
+				}
+				recs = append(recs, rec)
+			}
+			intact += int64(len(line))
+		case io.EOF:
+			// A non-empty remainder is an unterminated tail: torn, drop it.
+			break scan
+		default:
+			f.Close()
+			return nil, nil, fmt.Errorf("dist journal: %w", rerr)
 		}
-		var rec journalRec
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn tail (crash mid-append) or foreign line: stop trusting
-			// the file from here; everything before it is intact.
-			break
-		}
-		recs = append(recs, rec)
 	}
-	if err := sc.Err(); err != nil {
+	if err := f.Truncate(intact); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("dist journal: %w", err)
+		return nil, nil, fmt.Errorf("dist journal: truncate torn tail: %w", err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	if _, err := f.Seek(intact, io.SeekStart); err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("dist journal: %w", err)
 	}
 	return recs, &journal{f: f}, nil
 }
 
-// append writes one record and syncs it: a record the coordinator acted
-// on must be on disk before the action is acknowledged.
-func (j *journal) append(rec journalRec) error {
+// append writes one record; with sync it is fsynced — a record the
+// coordinator acted on must be on disk before the action is
+// acknowledged. Audit-only records (leases) skip the sync so scheduling
+// traffic does not serialize behind disk flushes.
+func (j *journal) append(rec journalRec, sync bool) error {
 	blob, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
 	if _, err := j.f.Write(append(blob, '\n')); err != nil {
 		return err
+	}
+	if !sync {
+		return nil
 	}
 	return j.f.Sync()
 }

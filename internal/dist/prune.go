@@ -35,16 +35,8 @@ func pruneGrid(ctx context.Context, spec *SweepSpec, wcs []WireCandidate) (map[i
 	if err != nil && len(choices) == 0 {
 		return nil, fmt.Errorf("prune pass: %w", err)
 	}
-	keep := spec.PruneKeep
-	if keep < 1 {
-		keep = 4
-	}
-	margin := spec.PruneMargin
-	if margin <= 0 {
-		margin = 10
-	}
 	surviving := map[string]bool{}
-	for _, ch := range advisor.Frontier(choices, keep, margin) {
+	for _, ch := range advisor.Frontier(choices, spec.pruneKeep(), spec.pruneMargin()) {
 		surviving[ch.Label] = true
 	}
 	ranked := map[string]float64{}
