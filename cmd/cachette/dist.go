@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -13,6 +14,26 @@ import (
 	"cachemodel/internal/dist"
 	"cachemodel/internal/obs"
 )
+
+// distLogf builds the Logf seam for a dist process: the default plain
+// stderr lines, or a structured slog logger (-log json|text) stamped
+// with the component (and worker id) so fleet logs from many processes
+// interleave greppably.
+func distLogf(format, component, workerID string) (func(string, ...any), error) {
+	if format == "" {
+		return func(f string, a ...any) {
+			fmt.Fprintf(os.Stderr, "cachette "+f+"\n", a...)
+		}, nil
+	}
+	if format != "json" && format != "text" {
+		return nil, fmt.Errorf("-log must be json or text (got %q)", format)
+	}
+	attrs := []slog.Attr{slog.String("component", component)}
+	if workerID != "" {
+		attrs = append(attrs, slog.String("worker_id", workerID))
+	}
+	return obs.Logf(obs.NewLogger(os.Stderr, format == "json", attrs...)), nil
+}
 
 // cmdDist dispatches the distributed-sweep subcommands: coordinate (the
 // scheduling side: decompose, lease, steal, merge) and work (the solving
@@ -47,6 +68,8 @@ func cmdDistCoordinate(args []string) error {
 	linger := fs.Duration("linger", 5*time.Second, "after completion, keep serving this long so polling workers receive their shutdown")
 	out := fs.String("out", "DIST_report.json", "output path for the merged report JSON (- = stdout only)")
 	check := fs.Bool("check", false, "byte-compare the merged rows against a single-process SolveBatch of the same spec")
+	traceOut := fs.String("trace-out", "", "write the sweep's Chrome trace-event JSON here (load at ui.perfetto.dev); forces tracing on")
+	logFmt := fs.String("log", "", "structured logs on stderr: json or text (default: plain lines)")
 
 	name := fs.String("program", "", "built-in program name")
 	file := fs.String("file", "", "FORTRAN source file to sweep instead of a built-in")
@@ -86,14 +109,17 @@ func cmdDistCoordinate(args []string) error {
 		return fmt.Errorf("dist coordinate: -check is incompatible with -prune (pruned rows are advisor estimates, not solves)")
 	}
 
+	logf, err := distLogf(*logFmt, "coordinator", "")
+	if err != nil {
+		return err
+	}
 	c, err := dist.New(dist.Options{
 		LeaseTTL:         *leaseTTL,
 		UnitRetries:      *unitRetries,
 		JournalPath:      *journal,
 		ShutdownWhenDone: *exitDone,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, "cachette "+format+"\n", a...)
-		},
+		Trace:            *traceOut != "",
+		Logf:             logf,
 	})
 	if err != nil {
 		return err
@@ -190,6 +216,18 @@ func cmdDistCoordinate(args []string) error {
 		fmt.Fprintf(os.Stderr, "cachette dist: wrote %s\n", *out)
 	}
 
+	if *traceOut != "" {
+		tf, err := c.Trace(id)
+		if err != nil {
+			return err
+		}
+		if err := tf.WriteFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cachette dist: wrote trace %s (%d events; load at ui.perfetto.dev)\n",
+			*traceOut, len(tf.TraceEvents))
+	}
+
 	// Stay up briefly so workers polling for their next unit receive the
 	// shutdown answer instead of a connection error. The floor guards
 	// against exiting before a just-started worker makes first contact —
@@ -243,16 +281,34 @@ func cmdDistWork(args []string) error {
 	warm := fs.String("warm", "", "additional result-cache stores to warm from, comma separated")
 	poll := fs.Duration("poll", 500*time.Millisecond, "idle re-lease interval")
 	cacheCap := fs.Int("cache-cap", 0, "in-memory result cache entries (0 = default 65536)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (Prometheus) on this address (:0 = any port) — solve/lease latency histograms live here")
+	logFmt := fs.String("log", "", "structured logs on stderr: json or text (default: plain lines)")
 	fs.Parse(args)
 
 	if *coord == "" {
 		return fmt.Errorf("dist work: -coordinator is required")
+	}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(obs.Default))
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cachette dist: worker metrics on http://%s/metrics\n", ln.Addr())
+		ms := &http.Server{Handler: mux}
+		go ms.Serve(ln)
+		defer ms.Close()
 	}
 	var warmPaths []string
 	for _, p := range strings.Split(*warm, ",") {
 		if p = strings.TrimSpace(p); p != "" {
 			warmPaths = append(warmPaths, p)
 		}
+	}
+	logf, err := distLogf(*logFmt, "worker", *id)
+	if err != nil {
+		return err
 	}
 	w, err := dist.NewWorker(dist.WorkerOptions{
 		Coordinator:  *coord,
@@ -262,9 +318,7 @@ func cmdDistWork(args []string) error {
 		WarmPaths:    warmPaths,
 		CacheCap:     *cacheCap,
 		Poll:         *poll,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, "cachette "+format+"\n", a...)
-		},
+		Logf:         logf,
 	})
 	if err != nil {
 		return err

@@ -73,6 +73,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "dist":
 		err = cmdDist(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -100,9 +102,10 @@ subcommands:
   scaling      miss ratio as a function of problem size N from one symbolic solve (O(1) per size)
   trace        emit the program's memory reference trace (R/W address lines)
   bench        time the solver variants (sequential / memoized / parallel) and emit BENCH_solvers.json
-  obscheck     validate a run-report JSON written by -obs-out
+  obscheck     validate a run-report JSON written by -obs-out (or, with -trace, a trace-event JSON)
   serve        run the multi-tenant analysis server (HTTP/JSON + SSE + /metrics)
   dist         distributed sweeps: 'coordinate' shards work units to leased workers, 'work' solves them
+  top          live fleet view of a dist coordinator: sweeps, queue depth, workers, stragglers
   list         list the built-in programs
 
 observability (analyze, bench, sweep):

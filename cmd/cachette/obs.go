@@ -173,13 +173,30 @@ func printProgress(e obs.Event) {
 // the CI smoke step runs it against the -obs-out artifact.
 func cmdObscheck(args []string) error {
 	fs := flag.NewFlagSet("obscheck", flag.ExitOnError)
+	traceMode := fs.Bool("trace", false, "validate a Chrome trace-event JSON (dist coordinate -trace-out) instead of a run report")
+	wantEvent := fs.String("want-event", "", "-trace: additionally require an event with this name (e.g. stolen)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: cachette obscheck run.json")
+		return fmt.Errorf("usage: cachette obscheck [-trace [-want-event NAME]] file.json")
 	}
 	blob, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	if *traceMode {
+		tf, err := obs.ValidateTraceFile(blob)
+		if err != nil {
+			return err
+		}
+		if *wantEvent != "" && !tf.HasEvent(*wantEvent) {
+			return fmt.Errorf("obscheck: %s has no %q event", fs.Arg(0), *wantEvent)
+		}
+		fmt.Printf("obscheck: %s ok — %d trace events, trace_id %v\n",
+			fs.Arg(0), len(tf.TraceEvents), tf.Metadata["trace_id"])
+		return nil
+	}
+	if *wantEvent != "" {
+		return fmt.Errorf("obscheck: -want-event requires -trace")
 	}
 	r, err := obs.ValidateRunReport(blob)
 	if err != nil {

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cachemodel/internal/dist"
+)
+
+// cmdTop is the fleet flight-recorder view: it polls the coordinator's
+// /v1/dist/status and redraws a live summary — sweeps, queue depth,
+// in-flight leases, per-worker throughput and lease age, and the
+// straggler list (units that outlived a full lease TTL). `top` for a
+// sweep fleet.
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	coord := fs.String("coordinator", "", "coordinator base URL (http://host:port), required")
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	frames := fs.Int("n", 0, "exit after this many frames (0 = until interrupted or coordinator exits)")
+	plain := fs.Bool("plain", false, "no ANSI clear between frames (append frames; for logs and pipes)")
+	fs.Parse(args)
+
+	if *coord == "" {
+		return fmt.Errorf("top: -coordinator is required")
+	}
+	cl := &dist.Client{Base: *coord}
+	ctx, stop := signalContext()
+	defer stop()
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for frame := 1; ; frame++ {
+		st, err := cl.Status(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			// The coordinator exiting when done is the normal end of a
+			// watch session, not a failure worth a non-zero exit.
+			fmt.Fprintf(os.Stderr, "cachette top: coordinator unreachable: %v\n", err)
+			return nil
+		}
+		if !*plain {
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		fmt.Print(renderTop(st, time.Now()))
+		if *frames > 0 && frame >= *frames {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// renderTop formats one frame of the fleet view. Pure (clock passed in),
+// so tests can assert the layout without a coordinator.
+func renderTop(st *dist.Status, now time.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cachette top — %s\n", now.Format("15:04:05"))
+	fmt.Fprintf(&b, "units %d  done %d  queue %d  in-flight %d  stolen %d  retried %d  deduped %d\n\n",
+		st.Units, st.UnitsDone, st.QueueDepth, st.InFlight,
+		st.UnitsStolen, st.UnitsRetried, st.UnitsDeduped)
+
+	fmt.Fprintf(&b, "%-14s %-10s %6s %6s  %s\n", "SWEEP", "STATE", "UNITS", "DONE", "TRACE")
+	for _, sw := range st.Sweeps {
+		state := "running"
+		if sw.Failed != "" {
+			state = "failed"
+		} else if sw.Done {
+			state = "done"
+		}
+		trace := sw.TraceID
+		if len(trace) > 12 {
+			trace = trace[:12]
+		}
+		fmt.Fprintf(&b, "%-14.12s %-10s %6d %6d  %s\n",
+			sw.Sweep, state, sw.Stats.Units, sw.Stats.UnitsDone, trace)
+	}
+
+	fmt.Fprintf(&b, "\n%-12s %6s %9s %9s %9s  %s\n",
+		"WORKER", "DONE", "UNITS/S", "SEEN", "LEASE", "UNIT")
+	names := make([]string, 0, len(st.Workers))
+	for w := range st.Workers {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	for _, w := range names {
+		ws := st.Workers[w]
+		state := ""
+		if ws.Shutdown {
+			state = " (shutdown)"
+		}
+		lease := "-"
+		if ws.CurrentUnit != "" {
+			lease = (time.Duration(ws.LeaseAgeMs) * time.Millisecond).Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "%-12s %6d %9.2f %9s %9s  %.12s%s\n",
+			w, ws.UnitsCompleted, ws.UnitsPerSec,
+			(time.Duration(ws.LastSeenMs) * time.Millisecond).Round(time.Millisecond),
+			lease, ws.CurrentUnit, state)
+	}
+
+	if len(st.Stragglers) > 0 {
+		fmt.Fprintf(&b, "\nSTRAGGLERS (lease older than one TTL)\n")
+		for _, s := range st.Stragglers {
+			fmt.Fprintf(&b, "  %-14.12s seq %-4d worker %-12s age %s  sweep %.12s\n",
+				s.Unit, s.Seq, s.Worker,
+				(time.Duration(s.AgeMs) * time.Millisecond).Round(time.Millisecond), s.Sweep)
+		}
+	}
+	return b.String()
+}

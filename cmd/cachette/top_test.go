@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cachemodel/internal/dist"
+)
+
+func TestRenderTop(t *testing.T) {
+	st := &dist.Status{
+		Units: 6, UnitsDone: 3, QueueDepth: 2, InFlight: 1,
+		UnitsStolen: 1, UnitsRetried: 0, UnitsDeduped: 4,
+		Sweeps: []*dist.SweepStatus{
+			{Sweep: "cfd5c1cf7374deadbeef", TraceID: "df452a48daaca62cb8027666953ecdbf",
+				Stats: dist.SweepStats{Units: 6, UnitsDone: 3}},
+			{Sweep: "aaaa000011112222", Done: true, Stats: dist.SweepStats{Units: 2, UnitsDone: 2}},
+		},
+		Workers: map[string]dist.WorkerStatus{
+			"w0": {UnitsCompleted: 3, UnitsPerSec: 1.5, LastSeenMs: 120,
+				CurrentUnit: "b8a1841752ef00aa", LeaseAgeMs: 12000},
+			"w1": {UnitsCompleted: 0, LastSeenMs: 30000, Shutdown: true},
+		},
+		Stragglers: []dist.Straggler{
+			{Unit: "b8a1841752ef00aa", Sweep: "cfd5c1cf7374deadbeef", Worker: "w0",
+				Seq: 4, AgeMs: 12000},
+		},
+	}
+	out := renderTop(st, time.Unix(1754000000, 0))
+
+	for _, want := range []string{
+		"units 6  done 3  queue 2  in-flight 1  stolen 1",
+		"cfd5c1cf7374", // sweep id truncated to 12
+		"df452a48daac", // trace id truncated to 12
+		"running",
+		"done",
+		"w0",
+		"12s", // lease age
+		"(shutdown)",
+		"STRAGGLERS",
+		"b8a1841752ef",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderTop missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b") {
+		t.Errorf("renderTop emits ANSI escapes (the caller owns screen control)")
+	}
+}

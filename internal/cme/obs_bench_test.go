@@ -49,3 +49,53 @@ func BenchmarkObsOverhead(b *testing.B) {
 		run(b, obs.NewContext(context.Background(), col))
 	})
 }
+
+// BenchmarkTraceOverhead is BenchmarkObsOverhead's tracing counterpart:
+// the nil-sink path (no collector, so no trace ids are ever minted) must
+// stay at the uninstrumented baseline, and a collector joined to a
+// remote trace — ids minted, spans linked, snapshot taken per solve, the
+// dist worker's per-unit shape — must stay within ~2% of a plain
+// collector. Trace identity is fixed at span creation, so the hot loops
+// never see it.
+//
+//	go test ./internal/cme/ -run xxx -bench TraceOverhead -count 5
+func BenchmarkTraceOverhead(b *testing.B) {
+	np, err := normalize.Normalize(stencil1D(4096))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := layout.AssignProgram(np, layout.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	cfg := cache.Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2}
+	solve := func(b *testing.B, ctx context.Context) {
+		a, err := New(np, cfg, Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := a.FindMissesCtx(ctx, budget.Budget{})
+		if err != nil || rep.Tier != TierExact {
+			b.Fatalf("tier %v, err %v", rep.Tier, err)
+		}
+	}
+	b.Run("nil-sink", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			solve(b, context.Background())
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		tp := obs.FormatTraceparent(obs.NewTraceID(), obs.NewSpanID())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col := obs.NewTraced("unit:bench", tp)
+			ctx, span := obs.StartSpan(obs.NewContext(context.Background(), col), "solve")
+			solve(b, ctx)
+			span.End()
+			col.Finish()
+			if s := col.Root().Snapshot(); s.TraceID == "" {
+				b.Fatal("traced snapshot lost its trace id")
+			}
+		}
+	})
+}

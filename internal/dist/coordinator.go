@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -49,6 +50,11 @@ type Options struct {
 	// sweep has finished — the one-shot CLI mode, where workers should
 	// exit instead of polling forever.
 	ShutdownWhenDone bool
+	// Trace forces a trace id onto every sweep that arrives without one,
+	// so lease responses carry trace context and workers record span
+	// shards (the -trace-out CLI mode). Off by default: an untraced
+	// submission keeps workers on the nil-sink zero-cost path.
+	Trace bool
 	// Logf receives coordinator lifecycle lines (nil = silent).
 	Logf func(format string, args ...any)
 
@@ -114,8 +120,19 @@ type unit struct {
 	state   unitState
 	worker  string
 	expires time.Time
-	fails   int
-	rows    []Row // canonical rows once done
+	// leasedAt is when the current (or last) lease was granted — the
+	// straggler signal, distinct from expires which heartbeats push out.
+	leasedAt time.Time
+	fails    int
+	rows     []Row // canonical rows once done
+
+	// spanID names the unit in the distributed trace; worker solve spans
+	// link to it as their parent.
+	spanID string
+	// timeline is the unit's lifecycle ledger (see timeline.go).
+	timeline []TimelineEvent
+	// shards are worker-posted span snapshots for traced completions.
+	shards []obs.SpanSnapshot
 }
 
 // live reports whether any referencing sweep still wants this unit.
@@ -184,6 +201,13 @@ type sweepState struct {
 	program string
 	wcs     []WireCandidate
 
+	// traceID ("" = untraced) correlates the sweep across submitter,
+	// coordinator and workers; spanID is the sweep's own span, the
+	// parent of every unit span; parentSpan is the submitter's span.
+	traceID    string
+	spanID     string
+	parentSpan string
+
 	rows      []Row
 	filled    []bool
 	remaining int // unfilled rows
@@ -208,6 +232,10 @@ type workerStat struct {
 	completed int64
 	firstSeen time.Time
 	lastSeen  time.Time
+	// unit/leasedAt track the worker's current lease for the fleet view
+	// ("" when idle).
+	unit     string
+	leasedAt time.Time
 	// shutdown marks that this worker has been answered LeaseShutdown: it
 	// is gone for scheduling purposes, and a lingering coordinator can
 	// exit once every known worker is shut down.
@@ -234,6 +262,8 @@ type Coordinator struct {
 
 	sweepsTotal, unitsTotal, prunedTotal         int64
 	leasedT, stolen, deduped, retried, completed int64
+	timelineEvents                               int64
+	traces                                       []string // trace ids of traced sweeps, submission order
 }
 
 // New builds a coordinator, replaying the journal at Options.JournalPath
@@ -267,15 +297,21 @@ func New(opt Options) (*Coordinator, error) {
 			if r.Spec == nil {
 				continue
 			}
-			if _, err := c.addSweep(context.Background(), r.Spec, r.Pruned, true); err != nil {
+			// Re-attach the journalled trace id so post-crash log lines
+			// and trace exports stay greppable by the original trace.
+			ctx := context.Background()
+			if r.Trace != "" {
+				ctx = WithTraceparent(ctx, obs.FormatTraceparent(r.Trace, obs.NewSpanID()))
+			}
+			if _, err := c.addSweep(ctx, r.Spec, r.Pruned, true); err != nil {
 				opt.Logf("dist: journal replay: sweep %.12s: %v", r.Sweep, err)
 			}
 		case recComplete:
-			if err := c.Complete(r.Worker, r.Sweep, r.Unit, r.Rows, ""); err != nil {
+			if err := c.Complete(r.Worker, r.Sweep, r.Unit, r.Rows, "", nil); err != nil {
 				opt.Logf("dist: journal replay: unit %.12s: %v", r.Unit, err)
 			}
 		case recFail:
-			_ = c.Complete(r.Worker, r.Sweep, r.Unit, nil, r.Err)
+			_ = c.Complete(r.Worker, r.Sweep, r.Unit, nil, r.Err, nil)
 		}
 	}
 	c.journal = j
@@ -330,6 +366,21 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, journalledP
 	cands := candidates(wcs)
 	id := sweepID(prep.SolveKey(cands, plan), spec)
 
+	// Trace context: an obs collector in ctx wins (in-process submitter),
+	// then a remote traceparent (HTTP header / journal replay), then a
+	// coordinator-minted id when Options.Trace forces tracing. Untraced
+	// sweeps keep traceID == "" and workers stay on the nil-sink path.
+	// The trace is pure observability: it never feeds sweepID, unitKey or
+	// Row, so traced and untraced merges are byte-identical.
+	tp := obs.Traceparent(ctx)
+	if tp == "" {
+		tp = traceparentFrom(ctx)
+	}
+	traceID, parentSpan, _ := obs.ParseTraceparent(tp)
+	if traceID == "" && c.opt.Trace {
+		traceID = obs.NewTraceID()
+	}
+
 	c.mu.Lock()
 	if ss, ok := c.sweeps[id]; ok {
 		st := c.sweepStatusLocked(ss)
@@ -356,14 +407,19 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, journalledP
 	}
 
 	ss := &sweepState{
-		id:      id,
-		spec:    spec,
-		program: np.Name,
-		wcs:     wcs,
-		rows:    make([]Row, len(wcs)),
-		filled:  make([]bool, len(wcs)),
-		done:    make(chan struct{}),
-		created: c.opt.now(),
+		id:         id,
+		spec:       spec,
+		program:    np.Name,
+		wcs:        wcs,
+		traceID:    traceID,
+		parentSpan: parentSpan,
+		rows:       make([]Row, len(wcs)),
+		filled:     make([]bool, len(wcs)),
+		done:       make(chan struct{}),
+		created:    c.opt.now(),
+	}
+	if traceID != "" {
+		ss.spanID = obs.NewSpanID()
 	}
 	for i, row := range prunedRows {
 		ss.rows[i] = row
@@ -388,6 +444,10 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, journalledP
 	c.sweepsTotal++
 	c.prunedTotal += int64(ss.pruned)
 	mSweeps.Inc()
+	if ss.traceID != "" {
+		c.traces = append(c.traces, ss.traceID)
+	}
+	now := c.opt.now()
 
 	for i := 0; i < len(wcs); {
 		if ss.filled[i] {
@@ -409,9 +469,10 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, journalledP
 			c.deduped++
 			mDeduped.Inc()
 			ss.units = append(ss.units, u)
+			c.eventLocked(u, now, TimelineDeduped, "", fmt.Sprintf("sweep %.12s", id))
 			switch u.state {
 			case unitDone:
-				c.fillLocked(ref, u.rows)
+				c.fillLocked(u, ref, u.rows)
 			case unitFailed:
 				// A fresh sweep earns the unit fresh attempts.
 				u.state = unitPending
@@ -419,22 +480,28 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, journalledP
 				mPending.Add(1)
 				u.refs = append(u.refs, ref)
 				c.pending = append(c.pending, u)
+				c.eventLocked(u, now, TimelineQueued, "", "")
 			default:
 				u.refs = append(u.refs, ref)
 			}
 		} else {
 			u := &unit{key: key, refs: []unitRef{ref}}
+			if ss.traceID != "" {
+				u.spanID = obs.NewSpanID()
+			}
 			c.byKey[key] = u
 			c.unitsTotal++
 			ss.units = append(ss.units, u)
 			c.pending = append(c.pending, u)
 			mUnits.Inc()
 			mPending.Add(1)
+			c.eventLocked(u, now, TimelineSubmitted, "", fmt.Sprintf("sweep %.12s", id))
+			c.eventLocked(u, now, TimelineQueued, "", "")
 		}
 		i = j
 	}
 	if !replay {
-		rec := journalRec{T: recSweep, Sweep: id, Spec: spec}
+		rec := journalRec{T: recSweep, Sweep: id, Spec: spec, Trace: ss.traceID}
 		if spec.Prune {
 			// Journal the prune outcome with the submission so replay
 			// re-applies it instead of re-solving the cheap pass.
@@ -442,8 +509,13 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, journalledP
 		}
 		c.journalLocked(rec, true)
 	}
-	c.opt.Logf("dist: sweep %.12s: %d candidates, %d units (%d deduped, %d pruned)",
-		id, len(wcs), ss.unitsTotal, ss.deduped, ss.pruned)
+	if ss.traceID != "" {
+		c.opt.Logf("dist: sweep %.12s: %d candidates, %d units (%d deduped, %d pruned) trace %s",
+			id, len(wcs), ss.unitsTotal, ss.deduped, ss.pruned, ss.traceID)
+	} else {
+		c.opt.Logf("dist: sweep %.12s: %d candidates, %d units (%d deduped, %d pruned)",
+			id, len(wcs), ss.unitsTotal, ss.deduped, ss.pruned)
+	}
 	c.checkDoneLocked(ss)
 	c.evictLocked()
 	return c.sweepStatusLocked(ss), nil
@@ -527,18 +599,35 @@ func (c *Coordinator) Lease(worker string) *LeaseResponse {
 		u.state = unitLeased
 		u.worker = worker
 		u.expires = now.Add(c.opt.LeaseTTL)
+		u.leasedAt = now
 		c.leased[u.key] = u
 		c.leasedT++
 		mLeased.Inc()
 		mPending.Add(-1)
+		// Lease wait: time since the unit last entered the pending queue.
+		for i := len(u.timeline) - 1; i >= 0; i-- {
+			if u.timeline[i].State == TimelineQueued {
+				mLeaseWaitMs.Observe(now.UnixMilli() - u.timeline[i].AtMs)
+				break
+			}
+		}
+		c.eventLocked(u, now, TimelineLeased, worker, "")
+		if ws := c.workers[worker]; ws != nil {
+			ws.unit = u.key
+			ws.leasedAt = now
+		}
 		ref := u.refs[0]
 		// Lease records are audit-only (never replayed), so they ride
 		// without an fsync — scheduling must not serialize behind disk.
-		c.journalLocked(journalRec{T: recLease, Sweep: ref.sweep.id, Unit: u.key, Worker: worker}, false)
+		c.journalLocked(journalRec{T: recLease, Sweep: ref.sweep.id, Unit: u.key, Worker: worker, Trace: ref.sweep.traceID}, false)
 		return &LeaseResponse{
 			Status: LeaseUnit,
 			Sweep:  ref.sweep.id,
 			TTLMs:  c.opt.LeaseTTL.Milliseconds(),
+			// Trace context rides the lease: the unit span becomes the
+			// parent of the worker's solve span shard. Empty when the
+			// sweep is untraced, which keeps the worker uninstrumented.
+			Traceparent: obs.FormatTraceparent(ref.sweep.traceID, u.spanID),
 			Unit: &UnitSpec{
 				Key:        u.key,
 				Seq:        ref.start,
@@ -576,6 +665,7 @@ func (c *Coordinator) Heartbeat(worker, sweep, unitKey string) bool {
 		return false
 	}
 	u.expires = now.Add(c.opt.LeaseTTL)
+	c.eventLocked(u, now, TimelineHeartbeat, worker, "")
 	return true
 }
 
@@ -583,7 +673,9 @@ func (c *Coordinator) Heartbeat(worker, sweep, unitKey string) bool {
 // completions from stale leases are accepted when the unit is still
 // unresolved — the result is bit-identical to what the stealing worker
 // would produce, so first write wins and the duplicate is dropped.
-func (c *Coordinator) Complete(worker, sweep, unitKey string, rows []Row, errMsg string) error {
+// shard, optional, is the worker's span snapshot for a traced solve; it
+// feeds the merged trace export and never touches the rows.
+func (c *Coordinator) Complete(worker, sweep, unitKey string, rows []Row, errMsg string, shard *obs.SpanSnapshot) error {
 	now := c.opt.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -592,12 +684,18 @@ func (c *Coordinator) Complete(worker, sweep, unitKey string, rows []Row, errMsg
 	if u == nil {
 		return fmt.Errorf("unknown unit %.12s", unitKey)
 	}
+	if ws := c.workers[worker]; ws != nil && ws.unit == unitKey {
+		ws.unit = ""
+	}
 	if u.state == unitDone || u.state == unitFailed {
 		return nil // duplicate or late after resolution: drop
 	}
 	want := len(u.refs[0].cands)
 	if errMsg == "" && len(rows) != want {
 		return fmt.Errorf("unit %.12s: got %d rows, want %d", unitKey, len(rows), want)
+	}
+	if shard != nil && len(u.shards) < maxUnitShards {
+		u.shards = append(u.shards, *shard)
 	}
 	wasPending := u.state == unitPending
 	u.worker = ""
@@ -610,6 +708,7 @@ func (c *Coordinator) Complete(worker, sweep, unitKey string, rows []Row, errMsg
 			if wasPending {
 				mPending.Add(-1)
 			}
+			c.eventLocked(u, now, TimelineFailed, worker, errMsg)
 			c.failLocked(u, errMsg)
 			return nil
 		}
@@ -623,6 +722,8 @@ func (c *Coordinator) Complete(worker, sweep, unitKey string, rows []Row, errMsg
 		for _, ref := range u.refs {
 			ref.sweep.retried++
 		}
+		c.eventLocked(u, now, TimelineRetried, worker, errMsg)
+		c.eventLocked(u, now, TimelineQueued, "", "")
 		c.opt.Logf("dist: unit %.12s failed on %s (attempt %d/%d): %s",
 			unitKey, worker, u.fails, c.opt.UnitRetries, errMsg)
 		return nil
@@ -637,8 +738,9 @@ func (c *Coordinator) Complete(worker, sweep, unitKey string, rows []Row, errMsg
 	if ws := c.workers[worker]; ws != nil {
 		ws.completed++
 	}
+	c.eventLocked(u, now, TimelineReported, worker, tierSummary(rows))
 	for _, ref := range u.refs {
-		c.fillLocked(ref, rows)
+		c.fillLocked(u, ref, rows)
 	}
 	c.journalLocked(journalRec{T: recComplete, Sweep: sweep, Unit: unitKey, Worker: worker, Rows: rows}, true)
 	return nil
@@ -658,6 +760,10 @@ func (c *Coordinator) reapLocked(now time.Time) {
 		}
 		c.opt.Logf("dist: lease on unit %.12s expired (worker %s): re-queueing", u.key, u.worker)
 		delete(c.leased, key)
+		if ws := c.workers[u.worker]; ws != nil && ws.unit == u.key {
+			ws.unit = ""
+		}
+		robbed := u.worker
 		u.worker = ""
 		if !u.live() {
 			// No sweep wants it anymore: drop instead of re-queueing.
@@ -673,14 +779,17 @@ func (c *Coordinator) reapLocked(now time.Time) {
 		for _, ref := range u.refs {
 			ref.sweep.stolen++
 		}
+		c.eventLocked(u, now, TimelineStolen, robbed, "lease expired")
+		c.eventLocked(u, now, TimelineQueued, "", "")
 	}
 }
 
 // fillLocked merges one unit result into a sweep's rows at its grid
 // offset, patching labels for dedup followers (the only field that can
 // differ between units with equal keys).
-func (c *Coordinator) fillLocked(ref unitRef, rows []Row) {
+func (c *Coordinator) fillLocked(u *unit, ref unitRef, rows []Row) {
 	ss := ref.sweep
+	c.eventLocked(u, c.opt.now(), TimelineMerged, "", fmt.Sprintf("sweep %.12s", ss.id))
 	for i, row := range rows {
 		if i >= len(ref.cands) {
 			break
@@ -821,6 +930,7 @@ type SweepStats struct {
 type SweepStatus struct {
 	Sweep   string     `json:"sweep"`
 	Program string     `json:"program"`
+	TraceID string     `json:"trace_id,omitempty"`
 	Done    bool       `json:"done"`
 	Failed  string     `json:"failed,omitempty"`
 	Stats   SweepStats `json:"stats"`
@@ -842,6 +952,7 @@ func (c *Coordinator) sweepStatusLocked(ss *sweepState) *SweepStatus {
 	return &SweepStatus{
 		Sweep:   ss.id,
 		Program: ss.program,
+		TraceID: ss.traceID,
 		Done:    ss.closed && ss.failed == "",
 		Failed:  ss.failed,
 		Stats:   c.sweepStatsLocked(ss),
@@ -864,22 +975,44 @@ type WorkerStatus struct {
 	UnitsCompleted int64   `json:"units_completed"`
 	UnitsPerSec    float64 `json:"units_per_sec"`
 	LastSeenMs     int64   `json:"last_seen_ms"`
+	// CurrentUnit is the unit the worker holds a lease on ("" when
+	// idle); LeaseAgeMs is how long it has held it.
+	CurrentUnit string `json:"current_unit,omitempty"`
+	LeaseAgeMs  int64  `json:"lease_age_ms,omitempty"`
 	// Shutdown means the worker has been told to exit (ShutdownWhenDone
 	// after the last sweep finished) and is no longer scheduled.
 	Shutdown bool `json:"shutdown,omitempty"`
 }
 
+// Straggler is one leased unit that has outlived a full lease TTL (it
+// survives only through heartbeats) — the fleet view's "where is the
+// wall-clock going right now" list.
+type Straggler struct {
+	Unit   string `json:"unit"`
+	Sweep  string `json:"sweep"`
+	Worker string `json:"worker"`
+	Seq    int    `json:"seq"`
+	AgeMs  int64  `json:"age_ms"`
+}
+
 // Status is the coordinator-wide snapshot (GET /v1/dist/status). Units
 // counts every unit ever created, including those evicted from memory.
 type Status struct {
-	Sweeps       []*SweepStatus          `json:"sweeps"`
-	Units        int                     `json:"units"`
-	UnitsDone    int64                   `json:"units_completed"`
-	UnitsLeased  int64                   `json:"units_leased"`
-	UnitsStolen  int64                   `json:"units_stolen"`
-	UnitsDeduped int64                   `json:"units_deduped"`
-	UnitsRetried int64                   `json:"units_retried"`
-	Workers      map[string]WorkerStatus `json:"workers,omitempty"`
+	Sweeps       []*SweepStatus `json:"sweeps"`
+	Units        int            `json:"units"`
+	UnitsDone    int64          `json:"units_completed"`
+	UnitsLeased  int64          `json:"units_leased"`
+	UnitsStolen  int64          `json:"units_stolen"`
+	UnitsDeduped int64          `json:"units_deduped"`
+	UnitsRetried int64          `json:"units_retried"`
+	// QueueDepth is how many units are pending a lease right now.
+	QueueDepth int `json:"queue_depth"`
+	// InFlight is how many leases are currently held.
+	InFlight int `json:"in_flight"`
+	// Stragglers lists in-flight units older than one lease TTL, oldest
+	// first (capped at 16).
+	Stragglers []Straggler             `json:"stragglers,omitempty"`
+	Workers    map[string]WorkerStatus `json:"workers,omitempty"`
 }
 
 // Status snapshots the whole coordinator, reaping expired leases first so
@@ -896,6 +1029,32 @@ func (c *Coordinator) Status() *Status {
 		UnitsStolen:  c.stolen,
 		UnitsDeduped: c.deduped,
 		UnitsRetried: c.retried,
+		InFlight:     len(c.leased),
+	}
+	for _, u := range c.pending {
+		if u.state == unitPending && c.byKey[u.key] == u {
+			st.QueueDepth++
+		}
+	}
+	for _, u := range c.leased {
+		if u.state != unitLeased {
+			continue
+		}
+		age := now.Sub(u.leasedAt)
+		if age <= c.opt.LeaseTTL {
+			continue
+		}
+		st.Stragglers = append(st.Stragglers, Straggler{
+			Unit:   u.key,
+			Sweep:  u.refs[0].sweep.id,
+			Worker: u.worker,
+			Seq:    u.refs[0].start,
+			AgeMs:  age.Milliseconds(),
+		})
+	}
+	sort.Slice(st.Stragglers, func(i, j int) bool { return st.Stragglers[i].AgeMs > st.Stragglers[j].AgeMs })
+	if len(st.Stragglers) > 16 {
+		st.Stragglers = st.Stragglers[:16]
 	}
 	for _, id := range c.order {
 		st.Sweeps = append(st.Sweeps, c.sweepStatusLocked(c.sweeps[id]))
@@ -904,6 +1063,10 @@ func (c *Coordinator) Status() *Status {
 		st.Workers = map[string]WorkerStatus{}
 		for name, ws := range c.workers {
 			w := WorkerStatus{UnitsCompleted: ws.completed, LastSeenMs: now.Sub(ws.lastSeen).Milliseconds(), Shutdown: ws.shutdown}
+			if ws.unit != "" {
+				w.CurrentUnit = ws.unit
+				w.LeaseAgeMs = now.Sub(ws.leasedAt).Milliseconds()
+			}
 			if up := now.Sub(ws.firstSeen).Seconds(); up > 0 {
 				w.UnitsPerSec = float64(ws.completed) / up
 			}
@@ -918,14 +1081,16 @@ func (c *Coordinator) Outcomes() *obs.DistOutcomes {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d := &obs.DistOutcomes{
-		Sweeps:    c.sweepsTotal,
-		Units:     c.unitsTotal,
-		Completed: c.completed,
-		Leased:    c.leasedT,
-		Stolen:    c.stolen,
-		Deduped:   c.deduped,
-		Retried:   c.retried,
-		Pruned:    c.prunedTotal,
+		Sweeps:         c.sweepsTotal,
+		Units:          c.unitsTotal,
+		Completed:      c.completed,
+		Leased:         c.leasedT,
+		Stolen:         c.stolen,
+		Deduped:        c.deduped,
+		Retried:        c.retried,
+		Pruned:         c.prunedTotal,
+		TimelineEvents: c.timelineEvents,
+		Traces:         append([]string(nil), c.traces...),
 	}
 	for name, ws := range c.workers {
 		if ws.completed > 0 {

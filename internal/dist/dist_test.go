@@ -349,7 +349,7 @@ func TestJournalResume(t *testing.T) {
 		t.Fatalf("prepare: %v", err)
 	}
 	reps, serr := prep.SolveBatch(context.Background(), candidates(lr.Unit.Candidates), cme.BatchOptions{})
-	if err := a.Complete("pre", lr.Sweep, lr.Unit.Key, RenderRows(lr.Unit.Candidates, reps, serr), ""); err != nil {
+	if err := a.Complete("pre", lr.Sweep, lr.Unit.Key, RenderRows(lr.Unit.Candidates, reps, serr), "", nil); err != nil {
 		t.Fatalf("Complete: %v", err)
 	}
 	a.Close()

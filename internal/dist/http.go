@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"cachemodel/internal/obs"
 )
 
 // Lease response statuses.
@@ -20,11 +22,15 @@ const (
 
 // LeaseResponse is the coordinator's answer to a lease request.
 type LeaseResponse struct {
-	Status       string    `json:"status"`
-	RetryAfterMs int64     `json:"retry_after_ms,omitempty"`
-	Sweep        string    `json:"sweep,omitempty"`
-	TTLMs        int64     `json:"ttl_ms,omitempty"`
-	Unit         *UnitSpec `json:"unit,omitempty"`
+	Status       string `json:"status"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+	Sweep        string `json:"sweep,omitempty"`
+	TTLMs        int64  `json:"ttl_ms,omitempty"`
+	// Traceparent carries the unit's trace context (trace id + unit span
+	// id) for traced sweeps; empty otherwise, in which case the worker
+	// solves uninstrumented (nil sink).
+	Traceparent string    `json:"traceparent,omitempty"`
+	Unit        *UnitSpec `json:"unit,omitempty"`
 }
 
 // UnitSpec is one leased work unit: everything a worker needs to
@@ -55,6 +61,9 @@ type completeRequest struct {
 	Unit   string `json:"unit"`
 	Rows   []Row  `json:"rows,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Spans is the worker's span shard for a traced unit (the solve span
+	// tree whose root links to the unit span via its parent id).
+	Spans *obs.SpanSnapshot `json:"spans,omitempty"`
 }
 
 // Handler exposes the coordinator over HTTP/JSON. Routes are registered
@@ -70,6 +79,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/dist/status", c.handleStatus)
 	mux.HandleFunc("GET /v1/dist/sweeps/{id}", c.handleSweepStatus)
 	mux.HandleFunc("GET /v1/dist/sweeps/{id}/report", c.handleReport)
+	mux.HandleFunc("GET /v1/dist/sweeps/{id}/trace", c.handleTrace)
 	return mux
 }
 
@@ -79,7 +89,10 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := c.AddSweep(r.Context(), &spec)
+	// An HTTP submitter's trace context arrives as a traceparent header
+	// (the serve mount forwards the request context unchanged).
+	ctx := WithTraceparent(r.Context(), r.Header.Get(obs.TraceparentHeader))
+	st, err := c.AddSweep(ctx, &spec)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -122,7 +135,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := c.Complete(req.Worker, req.Sweep, req.Unit, req.Rows, req.Error); err != nil {
+	if err := c.Complete(req.Worker, req.Sweep, req.Unit, req.Rows, req.Error, req.Spans); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -140,6 +153,15 @@ func (c *Coordinator) handleSweepStatus(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tf, err := c.Trace(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tf)
 }
 
 func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -187,6 +209,9 @@ func httpError(w http.ResponseWriter, code int, err error) {
 type Client struct {
 	Base string // e.g. "http://127.0.0.1:8355"
 	HTTP *http.Client
+	// Worker, when set, stamps every request with an X-Cachette-Worker
+	// header so coordinator-side access logs correlate to worker ids.
+	Worker string
 }
 
 func (cl *Client) client() *http.Client {
@@ -213,6 +238,14 @@ func (cl *Client) do(ctx context.Context, method, path string, in, out any) erro
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Correlation headers: the caller's trace position (when ctx carries
+	// an obs collector) and the worker identity ride every request.
+	if tp := obs.Traceparent(ctx); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
+	if cl.Worker != "" {
+		req.Header.Set("X-Cachette-Worker", cl.Worker)
 	}
 	resp, err := cl.client().Do(req)
 	if err != nil {
@@ -279,9 +312,10 @@ func (cl *Client) Heartbeat(ctx context.Context, worker, sweep, unit string) (bo
 }
 
 // Complete posts a unit result (or a unit failure when errMsg != "").
-func (cl *Client) Complete(ctx context.Context, worker, sweep, unit string, rows []Row, errMsg string) error {
+// spans, optional, is the worker's span shard for a traced unit.
+func (cl *Client) Complete(ctx context.Context, worker, sweep, unit string, rows []Row, errMsg string, spans *obs.SpanSnapshot) error {
 	return cl.do(ctx, http.MethodPost, "/v1/dist/complete",
-		completeRequest{Worker: worker, Sweep: sweep, Unit: unit, Rows: rows, Error: errMsg}, nil)
+		completeRequest{Worker: worker, Sweep: sweep, Unit: unit, Rows: rows, Error: errMsg, Spans: spans}, nil)
 }
 
 // Status fetches the coordinator-wide snapshot.
@@ -300,6 +334,15 @@ func (cl *Client) SweepStatus(ctx context.Context, id string) (*SweepStatus, err
 		return nil, err
 	}
 	return &st, nil
+}
+
+// Trace fetches a sweep's assembled Chrome trace-event file.
+func (cl *Client) Trace(ctx context.Context, id string) (*obs.TraceFile, error) {
+	var tf obs.TraceFile
+	if err := cl.do(ctx, http.MethodGet, "/v1/dist/sweeps/"+id+"/trace", nil, &tf); err != nil {
+		return nil, err
+	}
+	return &tf, nil
 }
 
 // Report fetches a finished sweep's merged report.

@@ -29,6 +29,10 @@ type journalRec struct {
 	Worker string     `json:"worker,omitempty"`
 	Rows   []Row      `json:"rows,omitempty"`
 	Err    string     `json:"err,omitempty"`
+	// Trace stamps sweep and lease records with the sweep's trace id, so
+	// a post-crash journal is greppable per sweep/trace and replay
+	// re-attaches the original trace to the resumed sweep.
+	Trace string `json:"trace,omitempty"`
 	// Pruned is the advisor prune pass's outcome for a sweep record, keyed
 	// by candidate index, so replay re-applies it instead of re-running the
 	// solve pass. A pointer so that "prune ran and eliminated nothing"

@@ -20,4 +20,16 @@ var (
 
 	mPending = obs.Default.Gauge("dist_units_pending")
 	mWorkers = obs.Default.Gauge("dist_workers_active")
+
+	// Latency histograms (milliseconds; Prometheus renders them as
+	// cumulative _bucket/_sum/_count series). Lease wait is recorded by
+	// the coordinator (queued -> leased per unit); solve duration by the
+	// worker around SolveBatch, so a worker's /metrics shows its own
+	// solve-time distribution.
+	mLeaseWaitMs = obs.Default.Histogram("dist_lease_wait_ms", latencyBoundsMs...)
+	mSolveMs     = obs.Default.Histogram("dist_unit_solve_ms", latencyBoundsMs...)
 )
+
+// latencyBoundsMs is the shared bucket ladder for the dist/serve latency
+// histograms: 1ms to ~2min, roughly 3x steps.
+var latencyBoundsMs = []int64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 120000}

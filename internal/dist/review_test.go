@@ -34,7 +34,7 @@ func completeAll(t *testing.T, c *Coordinator, worker string) {
 		for i, wc := range lr.Unit.Candidates {
 			rows[i] = Row{Label: wc.Label, CacheBytes: wc.CacheBytes, MissRatioPct: 1}
 		}
-		if err := c.Complete(worker, lr.Sweep, lr.Unit.Key, rows, ""); err != nil {
+		if err := c.Complete(worker, lr.Sweep, lr.Unit.Key, rows, "", nil); err != nil {
 			t.Fatalf("Complete: %v", err)
 		}
 	}
@@ -157,7 +157,7 @@ func TestJournalTornTailSurvivesSecondRestart(t *testing.T) {
 		t.Fatalf("lease status %q", lr.Status)
 	}
 	rows := make([]Row, len(lr.Unit.Candidates))
-	if err := a.Complete("w-a", lr.Sweep, lr.Unit.Key, rows, ""); err != nil {
+	if err := a.Complete("w-a", lr.Sweep, lr.Unit.Key, rows, "", nil); err != nil {
 		t.Fatalf("Complete: %v", err)
 	}
 	a.Close()
@@ -184,7 +184,7 @@ func TestJournalTornTailSurvivesSecondRestart(t *testing.T) {
 		t.Fatalf("lease status %q", lr.Status)
 	}
 	rows = make([]Row, len(lr.Unit.Candidates))
-	if err := b.Complete("w-b", lr.Sweep, lr.Unit.Key, rows, ""); err != nil {
+	if err := b.Complete("w-b", lr.Sweep, lr.Unit.Key, rows, "", nil); err != nil {
 		t.Fatalf("Complete: %v", err)
 	}
 	b.Close()

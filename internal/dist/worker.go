@@ -11,6 +11,7 @@ import (
 	"cachemodel/internal/budget"
 	"cachemodel/internal/cerr"
 	"cachemodel/internal/cme"
+	"cachemodel/internal/obs"
 	"cachemodel/internal/retry"
 )
 
@@ -132,7 +133,7 @@ func NewWorker(opt WorkerOptions) (*Worker, error) {
 	}
 	w := &Worker{
 		opt:   opt,
-		cl:    &Client{Base: opt.Coordinator},
+		cl:    &Client{Base: opt.Coordinator, Worker: opt.ID},
 		rc:    cme.NewResultCache(opt.CacheCap),
 		preps: map[string]*prepared{},
 	}
@@ -203,13 +204,18 @@ func (w *Worker) Run(ctx context.Context) error {
 // process solves one leased unit under a heartbeat.
 func (w *Worker) process(ctx context.Context, lr *LeaseResponse) error {
 	u := lr.Unit
-	w.opt.Logf("dist worker %s: unit %.12s (%d candidates, seq %d)", w.opt.ID, u.Key, len(u.Candidates), u.Seq)
+	if lr.Traceparent != "" {
+		w.opt.Logf("dist worker %s: unit %.12s (%d candidates, seq %d) trace %s",
+			w.opt.ID, u.Key, len(u.Candidates), u.Seq, lr.Traceparent)
+	} else {
+		w.opt.Logf("dist worker %s: unit %.12s (%d candidates, seq %d)", w.opt.ID, u.Key, len(u.Candidates), u.Seq)
+	}
 
 	prep, err := w.prepare(u)
 	if err != nil {
 		// The coordinator admitted this spec, so a build failure here is a
 		// unit failure worth reporting, not a reason to die.
-		return w.complete(ctx, lr, nil, err.Error())
+		return w.complete(ctx, lr, nil, err.Error(), nil)
 	}
 
 	// Heartbeat at a third of the TTL until the solve finishes. A gone
@@ -221,6 +227,20 @@ func (w *Worker) process(ctx context.Context, lr *LeaseResponse) error {
 		ttl = 10 * time.Second
 	}
 	solveCtx, cancel := context.WithCancel(ctx)
+	// For a traced sweep the lease carries a traceparent naming the unit
+	// span: build a collector joining that trace so the solver's spans
+	// (prepare, per-tier solves) become this worker's span shard, posted
+	// back with the completion. Untraced leases leave the context bare —
+	// the solver's obs entry points see no collector and the run stays on
+	// the nil-sink zero-cost path.
+	var col *obs.Collector
+	if lr.Traceparent != "" {
+		col = obs.NewTraced("unit:"+w.opt.ID, lr.Traceparent)
+		col.Root().SetAttr("worker", w.opt.ID)
+		col.Root().SetAttr("unit", u.Key)
+		col.Root().SetAttr("seq", u.Seq)
+		solveCtx = obs.NewContext(solveCtx, col)
+	}
 	var abandoned atomic.Bool
 	hbDone := make(chan struct{})
 	go func() {
@@ -255,6 +275,7 @@ func (w *Worker) process(ctx context.Context, lr *LeaseResponse) error {
 	plan, err := u.Solve.plan()
 	var reps []*cme.Report
 	var solveErr error
+	solveStart := time.Now()
 	if err != nil {
 		solveErr = err
 	} else {
@@ -265,8 +286,16 @@ func (w *Worker) process(ctx context.Context, lr *LeaseResponse) error {
 			Budget:  b,
 		})
 	}
+	mSolveMs.Observe(time.Since(solveStart).Milliseconds())
 	cancel()
 	<-hbDone
+
+	var shard *obs.SpanSnapshot
+	if col != nil {
+		col.Finish()
+		s := col.Root().Snapshot()
+		shard = &s
+	}
 
 	if killed(solveErr) {
 		// Chaos hook fired: die exactly like a SIGKILL — no completion, no
@@ -293,15 +322,15 @@ func (w *Worker) process(ctx context.Context, lr *LeaseResponse) error {
 	if solveErr != nil && !errors.As(solveErr, &batch) {
 		// A batch-level failure (not per-candidate): report it so the
 		// coordinator can retry or fail the unit.
-		return w.complete(ctx, lr, nil, solveErr.Error())
+		return w.complete(ctx, lr, nil, solveErr.Error(), shard)
 	}
-	return w.complete(ctx, lr, RenderRows(u.Candidates, reps, solveErr), "")
+	return w.complete(ctx, lr, RenderRows(u.Candidates, reps, solveErr), "", shard)
 }
 
 // complete posts a unit outcome through the retry policy.
-func (w *Worker) complete(ctx context.Context, lr *LeaseResponse, rows []Row, errMsg string) error {
+func (w *Worker) complete(ctx context.Context, lr *LeaseResponse, rows []Row, errMsg string, shard *obs.SpanSnapshot) error {
 	err := retry.Do(ctx, w.opt.HTTPPolicy, func() error {
-		return w.cl.Complete(ctx, w.opt.ID, lr.Sweep, lr.Unit.Key, rows, errMsg)
+		return w.cl.Complete(ctx, w.opt.ID, lr.Sweep, lr.Unit.Key, rows, errMsg, shard)
 	})
 	if err != nil && ctx.Err() == nil {
 		// The lease will expire and the unit will be stolen: correctness is

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Structured logging.  The dist and serve layers expose printf-style
+// Logf seams so library code stays logger-agnostic; these helpers let
+// the CLI back those seams with a log/slog logger whose every record
+// carries correlation attributes (component, worker_id, trace_id), so
+// fleet output from many processes is greppable and machine-parseable
+// per sweep.
+
+// NewLogger returns a slog logger writing to w — JSON records when
+// jsonFormat, logfmt-style text otherwise — with attrs attached to
+// every record.
+func NewLogger(w io.Writer, jsonFormat bool, attrs ...slog.Attr) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	var h slog.Handler
+	if jsonFormat {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	if len(attrs) > 0 {
+		h = h.WithAttrs(attrs)
+	}
+	return slog.New(h)
+}
+
+// Logf adapts a slog logger to the printf-style Logf seams used by the
+// dist coordinator and worker: the formatted line becomes the record
+// message, and the logger's pre-bound attributes (worker_id, trace_id,
+// …) ride along on every record.
+func Logf(l *slog.Logger) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		l.LogAttrs(context.Background(), slog.LevelInfo, fmt.Sprintf(format, args...))
+	}
+}

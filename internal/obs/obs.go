@@ -34,11 +34,14 @@ type Collector struct {
 }
 
 // New returns a collector rooted at a span with the given name,
-// recording metrics into the Default registry.
+// recording metrics into the Default registry.  The root span starts a
+// fresh trace; use NewTraced/NewWithTrace to join an existing one.
 func New(rootName string) *Collector {
+	root := newSpan(rootName)
+	root.traceID = NewTraceID()
 	return &Collector{
 		reg:         Default,
-		root:        newSpan(rootName),
+		root:        root,
 		start:       time.Now(),
 		minInterval: 500 * time.Millisecond,
 		done:        make(map[string]int64),

@@ -103,6 +103,13 @@ type DistOutcomes struct {
 	// Workers maps worker id to units completed — per-worker throughput
 	// once divided by the run's elapsed time.
 	Workers map[string]int64 `json:"workers,omitempty"`
+	// TimelineEvents is the total lifecycle transitions (queued, leased,
+	// stolen, reported, merged, …) the coordinator recorded across all
+	// unit timelines.
+	TimelineEvents int64 `json:"timeline_events,omitempty"`
+	// Traces lists the trace ids of traced sweeps, linking the run
+	// report to the per-sweep trace-event exports.
+	Traces []string `json:"traces,omitempty"`
 }
 
 // validate rejects impossible distributed-sweep counts.
@@ -111,8 +118,14 @@ func (d *DistOutcomes) validate() error {
 		return nil
 	}
 	if d.Sweeps < 0 || d.Units < 0 || d.Completed < 0 || d.Leased < 0 ||
-		d.Stolen < 0 || d.Deduped < 0 || d.Retried < 0 || d.Pruned < 0 {
+		d.Stolen < 0 || d.Deduped < 0 || d.Retried < 0 || d.Pruned < 0 ||
+		d.TimelineEvents < 0 {
 		return fmt.Errorf("run report: negative dist outcome count: %+v", *d)
+	}
+	for _, t := range d.Traces {
+		if !validHexID(t, 32) {
+			return fmt.Errorf("run report: malformed dist trace id %q", t)
+		}
 	}
 	if d.Completed > d.Units {
 		return fmt.Errorf("run report: %d completed units exceed %d decomposed", d.Completed, d.Units)
@@ -143,9 +156,13 @@ type CandidateProvenance struct {
 // document explaining both what was answered (Report provenance) and
 // what it cost (spans + metrics).
 type RunReport struct {
-	Schema     string                `json:"schema"`
-	Program    string                `json:"program"`
-	Command    string                `json:"command"`
+	Schema  string `json:"schema"`
+	Program string `json:"program"`
+	Command string `json:"command"`
+	// TraceID is the run's 32-hex distributed-trace id (the root span's
+	// trace), correlating this report with coordinator/worker logs and
+	// trace-event exports.
+	TraceID    string                `json:"trace_id,omitempty"`
 	Started    time.Time             `json:"started"`
 	ElapsedNs  int64                 `json:"elapsed_ns"`
 	Report     *Provenance           `json:"report,omitempty"`
@@ -169,6 +186,7 @@ func (c *Collector) Report() *RunReport {
 	c.Finish()
 	return &RunReport{
 		Schema:    SchemaV1,
+		TraceID:   c.TraceID(),
 		Started:   c.start,
 		ElapsedNs: int64(time.Since(c.start)),
 		Spans:     c.root.Snapshot(),
@@ -235,6 +253,9 @@ func ValidateRunReport(blob []byte) (*RunReport, error) {
 	if r.ElapsedNs < 0 {
 		return nil, fmt.Errorf("run report: negative elapsed_ns")
 	}
+	if r.TraceID != "" && !validHexID(r.TraceID, 32) {
+		return nil, fmt.Errorf("run report: malformed trace_id %q", r.TraceID)
+	}
 	if err := validateSpan(r.Spans, ""); err != nil {
 		return nil, err
 	}
@@ -299,6 +320,13 @@ func validateSpan(s SpanSnapshot, parent string) error {
 		return fmt.Errorf("run report: span %q has negative duration", s.Name)
 	}
 	for _, c := range s.Children {
+		if c.Parent != "" && s.SpanID != "" && c.Parent != s.SpanID {
+			return fmt.Errorf("run report: span %q parent_id %s does not link to %q (%s)",
+				c.Name, c.Parent, s.Name, s.SpanID)
+		}
+		if c.TraceID != "" && s.TraceID != "" && c.TraceID != s.TraceID {
+			return fmt.Errorf("run report: span %q trace_id differs from parent %q", c.Name, s.Name)
+		}
 		if err := validateSpan(c, s.Name); err != nil {
 			return err
 		}

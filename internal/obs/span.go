@@ -13,6 +13,13 @@ type Span struct {
 	name  string
 	start time.Time
 
+	// Trace identity, fixed at creation: traceID is shared by every
+	// span under one collector, id names this span, parent is the id of
+	// the span above it (possibly in another process).
+	traceID string
+	id      string
+	parent  string
+
 	mu       sync.Mutex
 	end      time.Time
 	attrs    map[string]any
@@ -20,7 +27,7 @@ type Span struct {
 }
 
 func newSpan(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return &Span{name: name, start: time.Now(), id: NewSpanID()}
 }
 
 // Name returns the span name.
@@ -29,6 +36,30 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// TraceID returns the 32-hex trace id the span belongs to.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's own 16-hex id.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// ParentID returns the id of the span's parent ("" at a trace root).
+func (s *Span) ParentID() string {
+	if s == nil {
+		return ""
+	}
+	return s.parent
 }
 
 // SetAttr attaches a key/value attribute to the span.
@@ -60,6 +91,8 @@ func (s *Span) addChild(c *Span) {
 	if s == nil {
 		return
 	}
+	c.traceID = s.traceID
+	c.parent = s.id
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -83,6 +116,9 @@ func (s *Span) Duration() time.Duration {
 // SpanSnapshot is the JSON form of a span subtree.
 type SpanSnapshot struct {
 	Name     string         `json:"name"`
+	TraceID  string         `json:"trace_id,omitempty"`
+	SpanID   string         `json:"span_id,omitempty"`
+	Parent   string         `json:"parent_id,omitempty"`
 	Start    time.Time      `json:"start"`
 	DurNs    int64          `json:"dur_ns"`
 	Attrs    map[string]any `json:"attrs,omitempty"`
@@ -97,9 +133,12 @@ func (s *Span) Snapshot() SpanSnapshot {
 	}
 	s.mu.Lock()
 	snap := SpanSnapshot{
-		Name:  s.name,
-		Start: s.start,
-		DurNs: int64(s.durationLocked()),
+		Name:    s.name,
+		TraceID: s.traceID,
+		SpanID:  s.id,
+		Parent:  s.parent,
+		Start:   s.start,
+		DurNs:   int64(s.durationLocked()),
 	}
 	if len(s.attrs) > 0 {
 		snap.Attrs = make(map[string]any, len(s.attrs))

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// Distributed tracing ids.  A trace id names one logical operation end
+// to end (a sweep, a serve job); every span minted while a collector is
+// live carries the collector's trace id plus its own span id, and spans
+// link to their parent by id, so span shards recorded in different
+// processes can be stitched back into one tree.  Ids follow the W3C
+// trace-context shape (16-byte trace id, 8-byte span id, lowercase hex)
+// so the propagation header is a plain `traceparent`.
+//
+// Id generation uses math/rand/v2's process-seeded generator: ids need
+// to be unique within a fleet with overwhelming probability, not
+// unguessable, and the lock-free generator keeps StartSpan cheap.  The
+// nil-sink property is preserved: without a collector no span — and
+// therefore no id — is ever allocated.
+
+// TraceparentHeader is the HTTP header used to propagate trace context
+// across the serve -> coordinator -> worker hops.
+const TraceparentHeader = "traceparent"
+
+// NewTraceID returns a fresh 32-hex-digit trace id.
+func NewTraceID() string {
+	var b [16]byte
+	u, v := rand.Uint64(), rand.Uint64()
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+		b[8+i] = byte(v >> (8 * i))
+	}
+	if isZero(b[:]) {
+		b[0] = 1 // the all-zero id is invalid per trace-context
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID returns a fresh 16-hex-digit span id.
+func NewSpanID() string {
+	var b [8]byte
+	u := rand.Uint64()
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	if isZero(b[:]) {
+		b[0] = 1
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func isZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value with
+// the sampled flag set.  Empty if either id is invalid.
+func FormatTraceparent(traceID, spanID string) string {
+	if !validHexID(traceID, 32) || !validHexID(spanID, 16) {
+		return ""
+	}
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// ParseTraceparent splits a version-00 traceparent header value into
+// its trace id and parent span id.  Malformed values return ok=false;
+// future versions (non-"00") are accepted as long as the id fields
+// parse, per the trace-context forward-compatibility rule.
+func ParseTraceparent(tp string) (traceID, spanID string, ok bool) {
+	// version "-" traceid "-" spanid "-" flags
+	if len(tp) < 55 || tp[2] != '-' || tp[35] != '-' || tp[52] != '-' {
+		return "", "", false
+	}
+	ver, tid, sid := tp[:2], tp[3:35], tp[36:52]
+	// The version is plain hex ("00" is the norm — all-zero is fine here,
+	// unlike the ids); "ff" is forbidden by the spec.
+	if !hexDigits(ver) || ver == "ff" || !validHexID(tid, 32) || !validHexID(sid, 16) {
+		return "", "", false
+	}
+	if len(tp) > 55 && ver == "00" {
+		return "", "", false // version 00 is exactly 55 chars
+	}
+	return tid, sid, true
+}
+
+// validHexID reports whether s is exactly n lowercase hex digits and
+// not all zeros.
+func validHexID(s string, n int) bool {
+	if len(s) != n || !hexDigits(s) {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+// hexDigits reports whether s is all lowercase hex digits.
+func hexDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// NewTraced returns a collector like New whose root span joins the
+// trace described by a traceparent header value: the root keeps the
+// remote trace id and records the remote span as its parent.  An empty
+// or malformed traceparent starts a fresh trace (same as New).
+func NewTraced(rootName, traceparent string) *Collector {
+	tid, psid, _ := ParseTraceparent(traceparent)
+	return NewWithTrace(rootName, tid, psid)
+}
+
+// NewWithTrace returns a collector like New with explicit trace
+// context: traceID names the trace to join (fresh when empty or
+// invalid) and parentSpan, when valid, is recorded as the root span's
+// remote parent.
+func NewWithTrace(rootName, traceID, parentSpan string) *Collector {
+	c := New(rootName)
+	if validHexID(traceID, 32) {
+		c.root.traceID = traceID
+	}
+	if validHexID(parentSpan, 16) {
+		c.root.parent = parentSpan
+	}
+	return c
+}
+
+// TraceID returns the collector's trace id ("" for nil).
+func (c *Collector) TraceID() string {
+	if c == nil {
+		return ""
+	}
+	return c.root.TraceID()
+}
+
+// CurrentSpan returns the span the context is inside (the innermost
+// StartSpan, else the collector root), or nil without a collector.
+func CurrentSpan(ctx context.Context) *Span {
+	c := FromContext(ctx)
+	if c == nil {
+		return nil
+	}
+	if s, _ := ctx.Value(spanKey{}).(*Span); s != nil {
+		return s
+	}
+	return c.root
+}
+
+// Traceparent renders the context's current trace position as a
+// traceparent header value, or "" when ctx carries no collector — so
+// uninstrumented callers propagate nothing and pay nothing.
+func Traceparent(ctx context.Context) string {
+	c := FromContext(ctx)
+	if c == nil {
+		return ""
+	}
+	return FormatTraceparent(c.TraceID(), CurrentSpan(ctx).SpanID())
+}

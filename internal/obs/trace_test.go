@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewIDFormat(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		tid, sid := NewTraceID(), NewSpanID()
+		if !validHexID(tid, 32) {
+			t.Fatalf("trace id %q not 32 lowercase hex", tid)
+		}
+		if !validHexID(sid, 16) {
+			t.Fatalf("span id %q not 16 lowercase hex", sid)
+		}
+		if seen[tid] || seen[sid] {
+			t.Fatalf("duplicate id within 200 draws")
+		}
+		seen[tid], seen[sid] = true, true
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	tp := FormatTraceparent(tid, sid)
+	if len(tp) != 55 {
+		t.Fatalf("traceparent %q len %d, want 55", tp, len(tp))
+	}
+	gt, gs, ok := ParseTraceparent(tp)
+	if !ok || gt != tid || gs != sid {
+		t.Fatalf("ParseTraceparent(%q) = %q %q %v, want %q %q true", tp, gt, gs, ok, tid, sid)
+	}
+}
+
+func TestTraceparentRejects(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	bad := []string{
+		"",
+		"00-" + tid + "-" + sid,              // missing flags
+		"ff-" + tid + "-" + sid + "-01",      // version ff is invalid
+		"00-" + tid + "-" + sid + "-01-rest", // version 00 is exactly 55 chars
+		"00-" + strings.Repeat("0", 32) + "-" + sid + "-01", // all-zero trace id
+		"00-" + tid + "-" + strings.Repeat("0", 16) + "-01", // all-zero span id
+		"00-" + strings.ToUpper(tid) + "-" + sid + "-01",    // uppercase hex
+		"00_" + tid + "-" + sid + "-01",                     // bad separator
+	}
+	for _, tp := range bad {
+		if _, _, ok := ParseTraceparent(tp); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", tp)
+		}
+	}
+	// Future versions are accepted when the id fields parse, including a
+	// longer tail.
+	if _, _, ok := ParseTraceparent("01-" + tid + "-" + sid + "-01-future"); !ok {
+		t.Errorf("future-version traceparent rejected")
+	}
+	if FormatTraceparent("nope", sid) != "" || FormatTraceparent(tid, "") != "" {
+		t.Errorf("FormatTraceparent accepted invalid ids")
+	}
+}
+
+func TestSpanTraceLinking(t *testing.T) {
+	col := New("root")
+	if !validHexID(col.TraceID(), 32) {
+		t.Fatalf("collector trace id %q invalid", col.TraceID())
+	}
+	ctx := NewContext(context.Background(), col)
+	ctx2, parent := StartSpan(ctx, "parent")
+	_, child := StartSpan(ctx2, "child")
+	child.End()
+	parent.End()
+
+	if parent.TraceID() != col.TraceID() || child.TraceID() != col.TraceID() {
+		t.Errorf("trace id not inherited: root %s parent %s child %s",
+			col.TraceID(), parent.TraceID(), child.TraceID())
+	}
+	if parent.ParentID() != col.Root().SpanID() {
+		t.Errorf("parent span's parent = %q, want root %q", parent.ParentID(), col.Root().SpanID())
+	}
+	if child.ParentID() != parent.SpanID() {
+		t.Errorf("child span's parent = %q, want %q", child.ParentID(), parent.SpanID())
+	}
+	snap := col.Root().Snapshot()
+	if snap.TraceID != col.TraceID() || snap.SpanID != col.Root().SpanID() {
+		t.Errorf("snapshot ids %q/%q differ from live span", snap.TraceID, snap.SpanID)
+	}
+	if len(snap.Children) != 1 || snap.Children[0].Parent != snap.SpanID {
+		t.Errorf("snapshot child not linked to root")
+	}
+}
+
+func TestNewTracedJoinsRemoteTrace(t *testing.T) {
+	tid, psid := NewTraceID(), NewSpanID()
+	col := NewTraced("worker", FormatTraceparent(tid, psid))
+	if col.TraceID() != tid {
+		t.Errorf("trace id %q, want joined %q", col.TraceID(), tid)
+	}
+	if col.Root().ParentID() != psid {
+		t.Errorf("root parent %q, want remote %q", col.Root().ParentID(), psid)
+	}
+	// Malformed traceparent starts a fresh trace instead of failing.
+	fresh := NewTraced("worker", "garbage")
+	if !validHexID(fresh.TraceID(), 32) || fresh.TraceID() == tid {
+		t.Errorf("malformed traceparent did not mint a fresh trace")
+	}
+	if fresh.Root().ParentID() != "" {
+		t.Errorf("fresh trace has a parent")
+	}
+}
+
+func TestTraceparentFromContext(t *testing.T) {
+	if tp := Traceparent(context.Background()); tp != "" {
+		t.Fatalf("Traceparent without collector = %q, want empty", tp)
+	}
+	col := New("root")
+	ctx := NewContext(context.Background(), col)
+	tid, sid, ok := ParseTraceparent(Traceparent(ctx))
+	if !ok || tid != col.TraceID() || sid != col.Root().SpanID() {
+		t.Fatalf("context traceparent = %q %q %v, want root position", tid, sid, ok)
+	}
+	ctx2, span := StartSpan(ctx, "inner")
+	defer span.End()
+	_, sid2, _ := ParseTraceparent(Traceparent(ctx2))
+	if sid2 != span.SpanID() {
+		t.Fatalf("inner traceparent span %q, want current span %q", sid2, span.SpanID())
+	}
+}
+
+func TestValidateTraceFile(t *testing.T) {
+	f := &TraceFile{DisplayTimeUnit: "ms"}
+	f.NameProcess(0, "coordinator")
+	f.Add(TraceEvent{Name: "lease w0", Cat: "unit", Ph: "X", Ts: 10, Dur: 5, Tid: 1})
+	f.Add(TraceEvent{Name: "stolen", Cat: "unit", Ph: "i", S: "t", Ts: 20, Tid: 1})
+	blob, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateTraceFile(blob)
+	if err != nil {
+		t.Fatalf("ValidateTraceFile: %v", err)
+	}
+	if !got.HasEvent("stolen") || got.HasEvent("merged") {
+		t.Errorf("HasEvent misreports")
+	}
+
+	for name, blob := range map[string]string{
+		"empty events": `{"traceEvents":[]}`,
+		"not json":     `nope`,
+		"bad phase":    `{"traceEvents":[{"name":"x","ph":"Q","ts":1}]}`,
+		"unnamed":      `{"traceEvents":[{"ph":"X","ts":1}]}`,
+		"negative ts":  `{"traceEvents":[{"name":"x","ph":"X","ts":-5}]}`,
+	} {
+		if _, err := ValidateTraceFile([]byte(blob)); err == nil {
+			t.Errorf("%s: validated, want error", name)
+		}
+	}
+}
+
+func TestAppendSpanRendersTree(t *testing.T) {
+	col := New("unit:w0")
+	ctx := NewContext(context.Background(), col)
+	_, s := StartSpan(ctx, "solve")
+	s.End()
+	col.Finish()
+
+	var f TraceFile
+	f.AppendSpan(col.Root().Snapshot(), 3, 7)
+	if len(f.TraceEvents) != 2 {
+		t.Fatalf("%d events, want 2 (root + child)", len(f.TraceEvents))
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" || ev.Pid != 3 || ev.Tid != 7 {
+			t.Errorf("event %+v: want complete event on pid 3 tid 7", ev)
+		}
+	}
+	if f.TraceEvents[1].Args["parent_id"] != col.Root().SpanID() {
+		t.Errorf("child event does not carry parent_id")
+	}
+}
+
+func TestReportCarriesTraceID(t *testing.T) {
+	col := New("run")
+	col.Finish()
+	rep := col.Report()
+	rep.Program, rep.Command = "hydro", "analyze"
+	if rep.TraceID != col.TraceID() {
+		t.Fatalf("report trace id %q, want %q", rep.TraceID, col.TraceID())
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateRunReport(blob); err != nil {
+		t.Fatalf("ValidateRunReport: %v", err)
+	}
+}

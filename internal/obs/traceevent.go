@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Chrome trace-event export.  A TraceFile is the JSON object format of
+// the Chrome trace-event spec — load it at ui.perfetto.dev or
+// chrome://tracing.  The coordinator assembles one file per sweep from
+// its own unit timelines plus the span shards workers post back with
+// each completed unit, so a single file shows the whole fleet.
+
+// TraceEvent is one event in a Chrome trace.  Ph selects the event
+// type: "X" complete (Ts..Ts+Dur), "i" instant (S is its scope, "t"
+// thread / "p" process / "g" global), "M" metadata (process_name /
+// thread_name with the name in Args).
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"` // microseconds
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level trace-event JSON object.
+type TraceFile struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit,omitempty"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// Add appends one event.
+func (f *TraceFile) Add(e TraceEvent) {
+	f.TraceEvents = append(f.TraceEvents, e)
+}
+
+// NameProcess attaches a display name to a pid track.
+func (f *TraceFile) NameProcess(pid int, name string) {
+	f.Add(TraceEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}})
+}
+
+// NameThread attaches a display name to a tid track within a pid.
+func (f *TraceFile) NameThread(pid, tid int, name string) {
+	f.Add(TraceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+}
+
+// AppendSpan converts a span subtree into nested "X" complete events on
+// the given pid/tid track.  Span ids ride along in args so the Perfetto
+// view can be cross-referenced with run-report span trees and logs.
+func (f *TraceFile) AppendSpan(s SpanSnapshot, pid, tid int) {
+	args := map[string]any{}
+	if s.SpanID != "" {
+		args["span_id"] = s.SpanID
+	}
+	if s.Parent != "" {
+		args["parent_id"] = s.Parent
+	}
+	for k, v := range s.Attrs {
+		args[k] = v
+	}
+	if len(args) == 0 {
+		args = nil
+	}
+	f.Add(TraceEvent{
+		Name: s.Name,
+		Cat:  "span",
+		Ph:   "X",
+		Ts:   s.Start.UnixMicro(),
+		Dur:  s.DurNs / 1e3,
+		Pid:  pid,
+		Tid:  tid,
+		Args: args,
+	})
+	for _, c := range s.Children {
+		f.AppendSpan(c, pid, tid)
+	}
+}
+
+// HasEvent reports whether any event has the given name.
+func (f *TraceFile) HasEvent(name string) bool {
+	for _, e := range f.TraceEvents {
+		if e.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteFile marshals the trace and writes it atomically.
+func (f *TraceFile) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, blob)
+}
+
+// ValidateTraceFile parses and sanity-checks a trace-event JSON blob:
+// it must decode, contain at least one event, and every event must be
+// named, carry a known phase, and have non-negative timing.  Returns
+// the parsed file so callers can assert on content (obscheck -trace
+// additionally requires a stolen-unit timeline in dist smoke runs).
+func ValidateTraceFile(blob []byte) (*TraceFile, error) {
+	var f TraceFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("trace file: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return nil, fmt.Errorf("trace file: no events")
+	}
+	for i, e := range f.TraceEvents {
+		if e.Name == "" {
+			return nil, fmt.Errorf("trace file: event %d unnamed", i)
+		}
+		switch e.Ph {
+		case "X", "i", "M", "B", "E", "C":
+		default:
+			return nil, fmt.Errorf("trace file: event %d (%s) has unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ph != "M" && e.Ts < 0 {
+			return nil, fmt.Errorf("trace file: event %d (%s) has negative ts", i, e.Name)
+		}
+		if e.Dur < 0 {
+			return nil, fmt.Errorf("trace file: event %d (%s) has negative dur", i, e.Name)
+		}
+	}
+	return &f, nil
+}

@@ -83,6 +83,7 @@ type jobBody struct {
 	Job      string            `json:"job"`
 	Status   JobStatus         `json:"status"`
 	Priority string            `json:"priority"`
+	TraceID  string            `json:"trace_id,omitempty"`
 	Created  time.Time         `json:"created"`
 	Links    map[string]string `json:"links,omitempty"`
 	Result   *Result           `json:"result,omitempty"`
@@ -93,7 +94,7 @@ func jobToBody(j *Job, withLinks bool) jobBody {
 	if j.Priority == prioBatch {
 		prio = "batch"
 	}
-	b := jobBody{Job: j.ID, Status: j.Status(), Priority: prio, Created: j.Created, Result: j.Result()}
+	b := jobBody{Job: j.ID, Status: j.Status(), Priority: prio, TraceID: j.TraceID, Created: j.Created, Result: j.Result()}
 	if withLinks {
 		b.Links = map[string]string{
 			"self":   "/v1/jobs/" + j.ID,
@@ -118,7 +119,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, kindInvalid, err.Error(), 0)
 		return
 	}
-	s.enqueue(w, spec, prio)
+	s.enqueue(w, r, spec, prio)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -136,11 +137,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, kindInvalid, err.Error(), 0)
 		return
 	}
-	s.enqueue(w, spec, prio)
+	s.enqueue(w, r, spec, prio)
 }
 
-func (s *Server) enqueue(w http.ResponseWriter, spec *jobSpec, prio int) {
-	j, herr := s.submit(spec, prio)
+func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, spec *jobSpec, prio int) {
+	j, herr := s.submit(spec, prio, r.Header.Get(obs.TraceparentHeader))
 	if herr != nil {
 		s.writeHTTPError(w, herr)
 		return
@@ -198,7 +199,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				// hub before signalling done, so wait for done to snapshot a
 				// settled status.
 				<-j.done
-				writeEvent(w, fl, "done", Event{Status: j.Status(),
+				writeEvent(w, fl, "done", Event{Status: j.Status(), TraceID: j.TraceID,
 					ElapsedMs: time.Since(j.Created).Milliseconds()})
 				return
 			}
@@ -209,7 +210,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				select {
 				case e, open := <-ch:
 					if !open {
-						writeEvent(w, fl, "done", Event{Status: j.Status(),
+						writeEvent(w, fl, "done", Event{Status: j.Status(), TraceID: j.TraceID,
 							ElapsedMs: time.Since(j.Created).Milliseconds()})
 						return
 					}

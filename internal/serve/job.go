@@ -8,6 +8,7 @@ import (
 
 	"cachemodel/internal/cerr"
 	"cachemodel/internal/cme"
+	"cachemodel/internal/obs"
 	"cachemodel/internal/retry"
 )
 
@@ -31,6 +32,9 @@ type Event struct {
 	Current   string    `json:"current,omitempty"`
 	ElapsedMs int64     `json:"elapsed_ms"`
 	Status    JobStatus `json:"status,omitempty"` // terminal events only
+	// TraceID correlates the stream with the job's distributed trace
+	// (terminal events only).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorBody is the typed JSON error of both shed requests and failed
@@ -133,6 +137,11 @@ type Job struct {
 	ID       string
 	Priority int
 	Created  time.Time
+	// TraceID is the job's distributed-trace id: joined from the
+	// submitter's traceparent header when one arrived, minted fresh
+	// otherwise. parentSpan is the submitter's span id ("" when local).
+	TraceID    string
+	parentSpan string
 
 	spec     *jobSpec
 	backoff  *retry.Backoff
@@ -150,9 +159,14 @@ type Job struct {
 	done   chan struct{}
 }
 
-func newJob(id string, prio int, spec *jobSpec, pol retry.Policy) *Job {
+func newJob(id string, prio int, spec *jobSpec, pol retry.Policy, traceparent string) *Job {
+	tid, psid, _ := obs.ParseTraceparent(traceparent)
+	if tid == "" {
+		tid = obs.NewTraceID()
+	}
 	return &Job{
 		ID: id, Priority: prio, Created: time.Now(),
+		TraceID: tid, parentSpan: psid,
 		spec:    spec,
 		backoff: retry.NewBackoff(pol),
 		status:  StatusQueued,

@@ -20,4 +20,9 @@ var (
 	mPanics     = obs.Default.Counter("serve_job_panics_total")
 	mFlightHits = obs.Default.Counter("serve_singleflight_hits_total")
 	mRetries    = obs.Default.Counter("serve_job_retries_total")
+
+	// Queue-wait latency (admission -> first execution), rendered by the
+	// Prometheus exporter as cumulative _bucket/_sum/_count series.
+	mQueueWaitMs = obs.Default.Histogram("serve_queue_wait_ms",
+		1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 120000)
 )

@@ -248,5 +248,5 @@ func (s *Server) handleScaling(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, kindInvalid, err.Error(), 0)
 		return
 	}
-	s.enqueue(w, spec, prio)
+	s.enqueue(w, r, spec, prio)
 }

@@ -210,8 +210,9 @@ func (s *Server) shed(status int, kind, msg string, after time.Duration) *httpEr
 
 // submit admits a validated spec: reserve its declared budget, register
 // the job, enqueue it. Every failure path is a typed shed, and the
-// reservation is released on any of them.
-func (s *Server) submit(spec *jobSpec, prio int) (*Job, *httpError) {
+// reservation is released on any of them. traceparent, optional, joins
+// the job to the submitter's distributed trace.
+func (s *Server) submit(spec *jobSpec, prio int, traceparent string) (*Job, *httpError) {
 	if s.draining.Load() {
 		return nil, s.shed(503, kindDraining, "server is draining", 5*time.Second)
 	}
@@ -226,7 +227,7 @@ func (s *Server) submit(spec *jobSpec, prio int) (*Job, *httpError) {
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
-	j := newJob(id, prio, spec, s.opt.RetryPolicy)
+	j := newJob(id, prio, spec, s.opt.RetryPolicy, traceparent)
 	s.jobs[id] = j
 	s.mu.Unlock()
 	s.jobsWG.Add(1)
@@ -282,6 +283,11 @@ func (s *Server) runJob(j *Job) {
 	}
 	mRunning.Add(1)
 	defer mRunning.Add(-1)
+	if j.attempts == 0 {
+		// Queue wait: admission to first execution (retries are backoff
+		// policy, not queue pressure, so they don't re-observe).
+		mQueueWaitMs.Observe(time.Since(j.Created).Milliseconds())
+	}
 	j.setStatus(StatusRunning)
 
 	jctx, cancel := context.WithCancel(s.baseCtx)
@@ -330,7 +336,11 @@ func (s *Server) runJob(j *Job) {
 // concurrent identical solves through the flight group.
 func (s *Server) attempt(ctx context.Context, j *Job) (out *solveOutcome, key string, shared bool) {
 	spec := j.spec
-	col := obs.New("job:" + j.ID)
+	// The collector joins the job's trace (fixed at admission), so every
+	// attempt's spans — and anything downstream, like a mounted dist
+	// coordinator receiving this context's traceparent — link back to
+	// the submitter.
+	col := obs.NewWithTrace("job:"+j.ID, j.TraceID, j.parentSpan)
 	col.OnProgress(func(e obs.Event) {
 		j.events.publish(Event{Stage: e.Stage, Done: e.Done, Total: e.Total,
 			Current: e.Current, ElapsedMs: e.Elapsed.Milliseconds()})

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cachemodel/internal/obs"
+)
+
+// TestServeTraceparentPropagation: a submission carrying a W3C
+// traceparent header joins the caller's trace — the job body, the
+// status document and the terminal SSE event all answer with that
+// trace id, and the solve's collector runs under it.
+func TestServeTraceparentPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	tid, sid := obs.NewTraceID(), obs.NewSpanID()
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/analyze",
+		strings.NewReader(`{"program":"hydro","size":24}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(tid, sid))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST analyze: %v", err)
+	}
+	var jb jobBody
+	if err := decodeInto(resp, &jb); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if jb.TraceID != tid {
+		t.Fatalf("submission trace id %q, want caller's %q", jb.TraceID, tid)
+	}
+
+	done := waitTerminal(t, ts, jb.Job)
+	if done.Status != StatusDone {
+		t.Fatalf("job status %s: %+v", done.Status, done.Result)
+	}
+	if done.TraceID != tid {
+		t.Errorf("terminal status trace id %q, want %q", done.TraceID, tid)
+	}
+
+	sse, err := http.Get(ts.URL + "/v1/jobs/" + jb.Job + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	stream, _ := io.ReadAll(sse.Body)
+	sse.Body.Close()
+	if !strings.Contains(string(stream), `"trace_id":"`+tid+`"`) {
+		t.Errorf("terminal SSE event missing trace id:\n%s", stream)
+	}
+
+	// The queue-wait histogram observed the admission->run latency.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(metrics), "serve_queue_wait_ms_bucket{le=") {
+		t.Errorf("/metrics missing serve_queue_wait_ms buckets")
+	}
+}
+
+// TestServeMintsTraceWithoutHeader: a bare submission still gets a
+// valid fresh trace id, so every job is traceable after the fact.
+func TestServeMintsTraceWithoutHeader(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	id := submitJob(t, ts, "/v1/analyze", `{"program":"hydro","size":16}`)
+	jb := getJob(t, ts, id)
+	if len(jb.TraceID) != 32 {
+		t.Fatalf("minted trace id %q, want 32 hex digits", jb.TraceID)
+	}
+	if _, _, ok := obs.ParseTraceparent(obs.FormatTraceparent(jb.TraceID, obs.NewSpanID())); !ok {
+		t.Fatalf("minted trace id %q does not format into a valid traceparent", jb.TraceID)
+	}
+	waitTerminal(t, ts, id)
+}
+
+// decodeInto decodes a JSON response body into v and closes it.
+func decodeInto(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
