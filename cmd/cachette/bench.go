@@ -117,6 +117,10 @@ func cmdBench(args []string) error {
 	sizeConst := fs.String("size-const", "N", "with -scaling -file: the constant carrying the problem size")
 	distMode := fs.Bool("dist", false, "benchmark the distributed sweep layer over worker counts instead (emits BENCH_dist.json)")
 	distWorkers := fs.String("dist-workers", "1,4", "comma-separated worker counts for -dist")
+	sweepMode := fs.Bool("sweep", false, "benchmark the geometry-parametric sweep tier over a cache-size column instead (delegates to the sweep subcommand with -exact -geom-bench; emits BENCH_sweep.json)")
+	sweepFrom := fs.Int64("sweep-from", 40960, "-sweep: smallest cache size of the column in bytes")
+	sweepTo := fs.Int64("sweep-to", 169984, "-sweep: largest cache size of the column in bytes")
+	sweepStep := fs.Int64("sweep-step", 2048, "-sweep: cache-size stride in bytes")
 	ladder := ladderFlags(fs)
 	pstart, pstop, _ := profileFlags(fs)
 	oflags := obsFlags(fs)
@@ -149,6 +153,32 @@ func cmdBench(args []string) error {
 			dst = "BENCH_dist.json"
 		}
 		return benchDist(*name, *file, *consts, *size, *iters, wcounts, dst, *check)
+	}
+
+	if *sweepMode {
+		// One sweep implementation: delegate to the sweep subcommand with
+		// the bench-style defaults — an exact cache-size column plus the
+		// geom-vs-fused benchmark row. -check arms the CI speedup gate
+		// (sweep itself only applies it on runners with >= 4 CPUs).
+		dst := *out
+		if dst == "BENCH_solvers.json" {
+			dst = "BENCH_sweep.json"
+		}
+		sargs := []string{
+			"-program", *name, "-size", fmt.Sprint(*size), "-iters", fmt.Sprint(*iters),
+			"-sizes-from", fmt.Sprint(*sweepFrom), "-sizes-to", fmt.Sprint(*sweepTo),
+			"-sizes-step", fmt.Sprint(*sweepStep),
+			"-lines", fmt.Sprint(*ls), "-assocs", fmt.Sprint(*assoc),
+			"-workers", fmt.Sprint(*workers),
+			"-exact", "-geom-bench", "-out", dst,
+		}
+		if *file != "" {
+			sargs = append(sargs, "-file", *file, "-const", *consts)
+		}
+		if *check {
+			sargs = append(sargs, "-geom-gate", "3")
+		}
+		return cmdSweep(sargs)
 	}
 
 	// The collector rides on a Background context (not the signal context):
@@ -264,8 +294,8 @@ func cmdBench(args []string) error {
 	rep.Results = append(rep.Results, parRow)
 
 	var simSeq, simShard *trace.SimResult
+	var simSeqDur, simShardDur time.Duration
 	if !*noSim {
-		var simSeqDur, simShardDur time.Duration
 		for i := 0; i < *repeat; i++ {
 			t0 := time.Now()
 			simSeq, _ = trace.SimulateCtx(ctx, np, cfg, budget.Budget{})
@@ -317,6 +347,23 @@ func cmdBench(args []string) error {
 			if simSeq.Accesses != simShard.Accesses || simSeq.Misses != simShard.Misses {
 				return fmt.Errorf("bench -check: sharded simulator diverged: %d/%d accesses, %d/%d misses",
 					simShard.Accesses, simSeq.Accesses, simShard.Misses, simSeq.Misses)
+			}
+			// Regression gate on the single-shard bypass: with one
+			// effective shard the sharded entry point dispatches straight
+			// to the sequential simulator, so (best-of-repeat both sides)
+			// it can only trail simulate_seq by timer jitter. A bigger
+			// deficit means the bypass broke and the w1 path is paying
+			// queue and merge overhead again.
+			effShards := *workers
+			if effShards == 0 {
+				effShards = runtime.GOMAXPROCS(0)
+			}
+			if ns := cfg.NumSets(); int64(effShards) > ns {
+				effShards = int(ns)
+			}
+			if effShards <= 1 && simShardDur > simSeqDur+simSeqDur/4 {
+				return fmt.Errorf("bench -check: single-shard simulator bypass regressed: sharded %v vs sequential %v (tolerance 1.25x)",
+					simShardDur, simSeqDur)
 			}
 		}
 		fmt.Fprintln(os.Stderr, "cachette bench: all variants bit-identical to the sequential baseline")

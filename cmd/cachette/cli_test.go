@@ -388,8 +388,10 @@ func TestDistCLICoordinateAndWork(t *testing.T) {
 	if err := json.Unmarshal(blob, &rep); err != nil {
 		t.Fatalf("merged report malformed: %v", err)
 	}
-	if len(rep.Rows) != 8 || rep.Stats.UnitsDone != 8 {
-		t.Fatalf("report has %d rows, %d units done; want 8/8\n%s", len(rep.Rows), rep.Stats.UnitsDone, blob)
+	// The exact 4-size × 2-assoc grid packs into 2 geometry-column units
+	// (one cache-size column per associativity; see dist column units).
+	if len(rep.Rows) != 8 || rep.Stats.UnitsDone != 2 {
+		t.Fatalf("report has %d rows, %d units done; want 8 rows / 2 column units\n%s", len(rep.Rows), rep.Stats.UnitsDone, blob)
 	}
 	rr, err := os.ReadFile(obsPath)
 	if err != nil {

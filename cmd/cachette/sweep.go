@@ -28,8 +28,26 @@ type sweepResult struct {
 	Pad       int64   `json:"pad_elems,omitempty"`
 	MissRatio float64 `json:"miss_ratio_pct"`
 	Tier      string  `json:"tier,omitempty"`
-	SimRatio  float64 `json:"sim_miss_ratio_pct,omitempty"`
-	Error     string  `json:"error,omitempty"`
+	// ClosedForm marks a candidate answered entirely by the
+	// geometry-parametric tier's O(1) evaluation (no enumeration).
+	ClosedForm bool    `json:"closed_form,omitempty"`
+	SimRatio   float64 `json:"sim_miss_ratio_pct,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// geomBenchRow is the geom_closed_form entry of BENCH_sweep.json: the
+// same exact grid solved with the geometry-parametric tier on and off
+// (the fused batch baseline), bit-identity verified, speedup gated in CI.
+type geomBenchRow struct {
+	Name            string  `json:"name"`
+	GeomNs          int64   `json:"geom_ns"`
+	FusedNs         int64   `json:"fused_ns"`
+	Speedup         float64 `json:"speedup_vs_fused"`
+	ClosedCands     int     `json:"closed_candidates"`
+	AnchorCands     int     `json:"anchor_candidates"`
+	FallthroughRefs int     `json:"fallthrough_refs"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	Gated           bool    `json:"gated"`
 }
 
 // sweepReport is the BENCH_sweep.json document: the design-space results
@@ -48,8 +66,9 @@ type sweepReport struct {
 	IndependentNs int64   `json:"independent_ns,omitempty"`
 	Speedup       float64 `json:"speedup_vs_independent,omitempty"`
 
-	ResultCache *cme.CacheStats `json:"result_cache,omitempty"`
-	Results     []sweepResult   `json:"results"`
+	ResultCache    *cme.CacheStats `json:"result_cache,omitempty"`
+	GeomClosedForm *geomBenchRow   `json:"geom_closed_form,omitempty"`
+	Results        []sweepResult   `json:"results"`
 }
 
 // cmdSweep evaluates a cache design space — size × line × associativity,
@@ -67,6 +86,9 @@ func cmdSweep(args []string) error {
 	size := fs.Int64("size", 32, "problem size")
 	iters := fs.Int64("iters", 2, "outer iterations (whole programs)")
 	sizes := fs.String("sizes", "4096,8192,16384,32768,65536", "cache sizes in bytes, comma separated")
+	sizesFrom := fs.Int64("sizes-from", 0, "generate a cache-size ladder from this many bytes (with -sizes-to/-sizes-step; replaces -sizes)")
+	sizesTo := fs.Int64("sizes-to", 0, "ladder upper bound in bytes, inclusive")
+	sizesStep := fs.Int64("sizes-step", 0, "ladder step in bytes")
 	lines := fs.String("lines", "32", "line sizes in bytes, comma separated")
 	assocs := fs.String("assocs", "1,2,4", "associativities, comma separated")
 	padArray := fs.String("pad-array", "", "array to pad: crosses the geometry grid with one layout candidate per -pads entry")
@@ -76,8 +98,11 @@ func cmdSweep(args []string) error {
 	width := fs.Float64("w", 0.05, "confidence interval half-width for the sampled tier")
 	adaptive := fs.Bool("adaptive", false, "sampled tier: variance-driven early stopping (Wilson interval)")
 	noSymbolic := fs.Bool("nosymbolic", false, "disable the symbolic region fast path (classify every point)")
+	noGeom := fs.Bool("nogeom", false, "disable the geometry-parametric closed-form tier (solve every candidate by the fused batch path)")
 	workers := fs.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
 	check := fs.Bool("check", false, "re-solve every candidate independently, verify bit-identical reports, and gate on the speedup")
+	geomBench := fs.Bool("geom-bench", false, "re-solve the exact grid with the geometry-parametric tier off, verify bit-identity, and record the geom_closed_form speedup row")
+	geomGate := fs.Float64("geom-gate", 0, "with -geom-bench: fail unless the geom speedup reaches this factor (applied only when >= 4 CPUs)")
 	sim := fs.Bool("sim", false, "add an exact-simulator column (slow; display only)")
 	rcFile := fs.String("resultcache", "", "load/save the content-addressed result cache at this path")
 	out := fs.String("out", "BENCH_sweep.json", "output path for the JSON report (- = stdout only)")
@@ -108,6 +133,21 @@ func cmdSweep(args []string) error {
 	css, err := parseInt64List(*sizes)
 	if err != nil {
 		return err
+	}
+	if *sizesFrom > 0 {
+		// The ladder is sized arithmetically before materialisation, so a
+		// huge range is an argument error rather than an allocation.
+		if *sizesStep <= 0 || *sizesTo < *sizesFrom {
+			return fmt.Errorf("sweep: -sizes-from needs -sizes-to >= it and -sizes-step > 0")
+		}
+		n := (*sizesTo-*sizesFrom)/(*sizesStep) + 1
+		if n > 65536 {
+			return fmt.Errorf("sweep: size ladder has %d entries (max 65536)", n)
+		}
+		css = css[:0]
+		for i := int64(0); i < n; i++ {
+			css = append(css, *sizesFrom+i*(*sizesStep))
+		}
 	}
 	lss, err := parseInt64List(*lines)
 	if err != nil {
@@ -182,7 +222,7 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	reps, err := prepd.SolveBatch(ctx, cands, cme.BatchOptions{Plan: plan, Cache: rc, Workers: *workers})
+	reps, err := prepd.SolveBatch(ctx, cands, cme.BatchOptions{Plan: plan, Cache: rc, Workers: *workers, NoGeom: *noGeom})
 	batchNs := time.Since(t0).Nanoseconds()
 	if perr := pstop(); perr != nil {
 		return perr
@@ -203,6 +243,59 @@ func cmdSweep(args []string) error {
 		rep.ResultCache = &s
 		if err := rc.Save(*rcFile); err != nil {
 			return err
+		}
+	}
+
+	// -geom-bench: re-solve the same exact grid on the same Prepared stage
+	// with the geometry-parametric tier on and off, verify the reports are
+	// bit-identical, and record the speedup the CI gate checks. The two
+	// runs are timed without the result cache so neither side is served
+	// pre-solved answers.
+	if *geomBench {
+		if !*exact {
+			return fmt.Errorf("sweep: -geom-bench requires -exact (the tier only runs for exact batches)")
+		}
+		if *noGeom {
+			return fmt.Errorf("sweep: -geom-bench contradicts -nogeom")
+		}
+		tg := time.Now()
+		greps, gerr := prepd.SolveBatch(ctx, cands, cme.BatchOptions{Workers: *workers})
+		geomNs := time.Since(tg).Nanoseconds()
+		if gerr != nil {
+			return fmt.Errorf("sweep -geom-bench: geom run: %v", gerr)
+		}
+		tf := time.Now()
+		freps, ferr := prepd.SolveBatch(ctx, cands, cme.BatchOptions{Workers: *workers, NoGeom: true})
+		fusedNs := time.Since(tf).Nanoseconds()
+		if ferr != nil {
+			return fmt.Errorf("sweep -geom-bench: fused run: %v", ferr)
+		}
+		row := geomBenchRow{Name: "geom_closed_form", GeomNs: geomNs, FusedNs: fusedNs,
+			GoMaxProcs: runtime.GOMAXPROCS(0)}
+		if geomNs > 0 {
+			row.Speedup = float64(fusedNs) / float64(geomNs)
+		}
+		for i := range cands {
+			if err := sweepSameReport(freps[i], greps[i], cands[i].Label); err != nil {
+				return fmt.Errorf("geom tier diverged from the fused baseline: %w", err)
+			}
+			if g := greps[i].Geom; g != nil {
+				if g.Closed() {
+					row.ClosedCands++
+				}
+				if g.Anchor {
+					row.AnchorCands++
+				}
+				row.FallthroughRefs += g.FallthroughRefs
+			}
+		}
+		row.Gated = *geomGate > 0 && row.GoMaxProcs >= 4
+		rep.GeomClosedForm = &row
+		fmt.Fprintf(os.Stderr, "cachette sweep: geom_closed_form %d/%d candidates closed (%d anchors, %d fall-through refs); geom %v vs fused %v (%.2fx)\n",
+			row.ClosedCands, len(cands), row.AnchorCands, row.FallthroughRefs,
+			time.Duration(geomNs), time.Duration(fusedNs), row.Speedup)
+		if row.Gated && row.Speedup < *geomGate {
+			return fmt.Errorf("sweep -geom-bench: speedup %.2fx below the %.1fx gate", row.Speedup, *geomGate)
 		}
 	}
 
@@ -258,6 +351,7 @@ func cmdSweep(args []string) error {
 		}
 		row.MissRatio = r.MissRatio()
 		row.Tier = r.Tier.String()
+		row.ClosedForm = r.Geom.Closed()
 		cp.Tier = row.Tier
 		cp.Degraded = r.Degraded
 		cp.MissRatioPct = row.MissRatio

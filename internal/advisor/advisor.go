@@ -175,9 +175,12 @@ func DiagnoseCtx(ctx context.Context, np *ir.NProgram, cfg cache.Config, opt cme
 type Choice struct {
 	Label     string
 	MissRatio float64 // predicted, percent
-	// ClosedForm reports that the ratio came from the scaling tier's O(1)
-	// quasi-polynomial evaluation: the candidate was dominated under the
-	// symbolic estimate, so no per-size solve was spent on it.
+	// ClosedForm reports that the ratio came from O(1) closed-form
+	// evaluation rather than an enumerating solve: the scaling tier's
+	// quasi-polynomials in SearchParameterCtx (the candidate was dominated
+	// under the symbolic estimate, so no per-size solve was spent on it),
+	// or the geometry-parametric tier in SearchConfigs (every reference of
+	// the geometry answered from a column fit).
 	ClosedForm bool
 }
 
@@ -254,8 +257,11 @@ func SearchPaddingCtx(ctx context.Context, build func() *ir.Program, array strin
 // SearchConfigs sweeps cache geometries against one program: the batch
 // formulation of the "which cache would this code like" question. The
 // program is prepared once; every geometry is one candidate of a single
-// SolveBatch sweep. A nil plan solves exactly; results come back sorted by
-// predicted miss ratio, best first.
+// SolveBatch sweep. A nil plan solves exactly — and exact sweeps engage
+// the geometry-parametric closed-form tier automatically, so a wide
+// cache-size column costs a handful of anchor solves plus O(1) per
+// remaining geometry (Choice.ClosedForm marks those candidates). Results
+// come back sorted by predicted miss ratio, best first.
 func SearchConfigs(ctx context.Context, build func() *ir.Program, cfgs []cache.Config,
 	opt cme.Options, plan *sampling.Plan) ([]Choice, error) {
 
@@ -275,7 +281,8 @@ func SearchConfigs(ctx context.Context, build func() *ir.Program, cfgs []cache.C
 	var out []Choice
 	for i, rep := range reps {
 		if rep != nil && rep.CompleteRefs() == len(rep.Refs) {
-			out = append(out, Choice{Label: cands[i].Label, MissRatio: rep.MissRatio()})
+			out = append(out, Choice{Label: cands[i].Label, MissRatio: rep.MissRatio(),
+				ClosedForm: rep.Geom.Closed()})
 		}
 	}
 	sortChoices(out)

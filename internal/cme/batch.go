@@ -78,6 +78,14 @@ type BatchOptions struct {
 	// probabilistic), with per-candidate Degraded/Tier provenance. The
 	// zero value imposes no limits.
 	Budget budget.Budget
+	// NoGeom disables the geometry-parametric closed-form tier (see
+	// geom.go), forcing every exact candidate through the fused
+	// enumerating solver — the reference baseline for benchmarks and
+	// equivalence tests. The tier is also off automatically for sampled
+	// plans, fault-hooked budgets, NoSymbolic analyses and dynamic reuse.
+	NoGeom bool
+	// Geom tunes the geometry-parametric tier; nil uses the defaults.
+	Geom *GeomOptions
 }
 
 // SolveBatch evaluates every candidate against the Prepared program and
@@ -326,7 +334,28 @@ func (p *Prepared) solveLayoutGroup(ctx context.Context, m *budget.Meter, col *o
 	if mode.sampled {
 		serr = p.solveSampled(ctx, m, col, states, *opt.Plan, workers)
 	} else {
+		// Geometry-parametric tier (geom.go): plan columns first — it
+		// clears the need masks of members it will answer in closed form,
+		// so the fused pass below only solves the anchors and the
+		// unstable members — then fill (or refuse and re-solve) after.
+		// Only exact batches without a fault hook are eligible: plain
+		// deadline/point/scan budgets are fine (an interrupted anchor fails
+		// the fit's census check and falls through per reference, and a
+		// closed-form fill costs the meter nothing), but injected faults
+		// must see the enumerating solver to keep fault-parity tests
+		// meaningful.
+		var gp *geomPlan
+		if !opt.NoGeom && opt.Budget.Hook == nil && !p.opt.NoSymbolic && p.dyn == nil {
+			gopt := GeomOptions{}
+			if opt.Geom != nil {
+				gopt = *opt.Geom
+			}
+			gp = p.planGeom(states, gopt)
+		}
 		serr = p.solveExactFused(ctx, m, col, states, workers)
+		if gp != nil {
+			serr = p.finishGeom(ctx, m, col, workers, gp, serr)
+		}
 	}
 	// Publish solved results to the cache BEFORE any degradation:
 	// complete refs only, still at the requested tier, so neither a
@@ -442,6 +471,10 @@ func (p *Prepared) degradeBatch(m *budget.Meter, states []*batchCand, fallback s
 func copyReport(src *Report, cfg cache.Config) *Report {
 	out := &Report{Config: cfg, Sampled: src.Sampled, Tier: src.Tier, Elapsed: src.Elapsed,
 		Degraded: src.Degraded, BudgetSpent: src.BudgetSpent}
+	if src.Geom != nil {
+		g := *src.Geom
+		out.Geom = &g
+	}
 	out.Refs = make([]*RefReport, len(src.Refs))
 	for i, rr := range src.Refs {
 		cp := *rr

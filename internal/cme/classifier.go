@@ -332,7 +332,7 @@ type classifier struct {
 	a      *Analyzer
 	w      *trace.Walker
 	noMemo bool
-	memo   map[*reuse.Vector]map[string]memoEntry
+	memo   map[*reuse.Vector]*vecMemo
 	s      *walkScratch
 	lbuf   []int // reusable producer-point buffers
 	pbuf   []int64
@@ -342,7 +342,30 @@ type classifier struct {
 	nWalks    int64
 	nMemoHits int64
 	nSteps    int64
+	nMemoOff  int64
 }
+
+// vecMemo is one reuse vector's verdict arena plus its hit-rate-gate
+// state: miss counts consecutive probe misses, and off marks an arena the
+// gate dropped. Folding the gate into the value the arena lookup already
+// returns keeps the memoized hot path at the same map-operation count it
+// always paid — a hit costs one extra struct-field write, a gated-off
+// vector costs one field read instead of a key build.
+type vecMemo struct {
+	entries map[string]memoEntry
+	miss    int
+	off     bool
+}
+
+// memoDisableAfter is the hit-rate gate on replacement-walk memoization:
+// after this many consecutive walks of one reuse vector without a single
+// memo hit, the vector stops paying the key-build/probe/store tax and its
+// arena is freed. Disabling is invisible in the results — a verdict
+// recomputed by a walk is the one the memo would have replayed, with the
+// identical logical scan count, so counts and budget accounting stay
+// bit-identical to the always-memo path (and to -nomemo, which never
+// builds the arena at all).
+const memoDisableAfter = 512
 
 func (a *Analyzer) newClassifier() *classifier {
 	return a.newClassifierW(trace.NewWalker(a.np))
@@ -354,7 +377,7 @@ func (a *Analyzer) newClassifier() *classifier {
 func (a *Analyzer) newClassifierW(w *trace.Walker) *classifier {
 	c := &classifier{a: a, w: w, noMemo: a.opt.NoMemo, s: newWalkScratch(a.cfg.Assoc)}
 	if !c.noMemo {
-		c.memo = map[*reuse.Vector]map[string]memoEntry{}
+		c.memo = map[*reuse.Vector]*vecMemo{}
 	}
 	return c
 }
@@ -374,7 +397,8 @@ func (c *classifier) flushMetrics() {
 	mWalks.Add(c.nWalks)
 	mWalkMemoHits.Add(c.nMemoHits)
 	mWalkSteps.Add(c.nSteps)
-	c.nWalks, c.nMemoHits, c.nSteps = 0, 0, 0
+	mWalkMemoDisabled.Add(c.nMemoOff)
+	c.nWalks, c.nMemoHits, c.nSteps, c.nMemoOff = 0, 0, 0, 0
 }
 
 func (c *classifier) resetDistinct()          { c.s.reset() }
@@ -468,21 +492,31 @@ func (c *classifier) classify(r *ir.NRef, idx []int64) (Outcome, int64) {
 		var evicted bool
 		var scanned int64
 		info := a.memoInfo[v]
+		var vm *vecMemo
 		if c.memo != nil && info.invMask != 0 {
-			key := c.memoKey(info, idx, addr)
-			vm := c.memo[v]
-			if vm == nil {
-				vm = map[string]memoEntry{}
+			if vm = c.memo[v]; vm == nil {
+				vm = &vecMemo{entries: map[string]memoEntry{}}
 				c.memo[v] = vm
 			}
-			if e, ok := vm[string(key)]; ok {
+		}
+		if vm != nil && !vm.off {
+			key := c.memoKey(info, idx, addr)
+			if e, ok := vm.entries[string(key)]; ok {
 				evicted, scanned = e.evicted, e.scanned
 				c.nMemoHits++
+				vm.miss = 0
 			} else {
 				evicted, scanned = c.replacementWalk(producer, consumer, line, set, k)
-				vm[string(key)] = memoEntry{scanned: scanned, evicted: evicted}
+				vm.entries[string(key)] = memoEntry{scanned: scanned, evicted: evicted}
 				c.nWalks++
 				c.nSteps += scanned
+				if vm.miss++; vm.miss >= memoDisableAfter {
+					// Hit-rate gate: the vector keeps walking fresh points,
+					// so stop paying for keys and stores and free its arena.
+					vm.entries = nil
+					vm.off = true
+					c.nMemoOff++
+				}
 			}
 		} else {
 			evicted, scanned = c.replacementWalk(producer, consumer, line, set, k)
@@ -559,9 +593,9 @@ func (c *classifier) classifyDynamic(r *ir.NRef, idx []int64, line, set int64, k
 // memoStats reports arena occupancy (for tests and tuning).
 func (c *classifier) memoStats() (vectors, entries int) {
 	for _, vm := range c.memo {
-		if len(vm) > 0 {
+		if len(vm.entries) > 0 {
 			vectors++
-			entries += len(vm)
+			entries += len(vm.entries)
 		}
 	}
 	return vectors, entries

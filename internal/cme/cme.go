@@ -309,9 +309,12 @@ type RefReport struct {
 	// Ratio holds the closed-form miss ratio when Tier is
 	// TierProbabilistic (no pointwise counts exist there).
 	Ratio float64
-	// ClosedForm reports that the counts came from O(1) evaluation of the
-	// scaling tier's quasi-polynomials in the problem size rather than
-	// from enumerating (or sampling) this reference's iteration space.
+	// ClosedForm reports that the counts came from O(1) closed-form
+	// evaluation rather than from enumerating (or sampling) this
+	// reference's iteration space: either the scaling tier's
+	// quasi-polynomials in the problem size, or the geometry-parametric
+	// tier's per-residue fit in the number of sets (Report.Scaling and
+	// Report.Geom say which).
 	ClosedForm bool
 }
 
@@ -358,6 +361,10 @@ type Report struct {
 	// Scaling carries the closed-form scaling tier's provenance when the
 	// report came from a ScalingSolver (nil otherwise).
 	Scaling *ScalingInfo
+	// Geom carries the geometry-parametric tier's provenance when
+	// SolveBatch planned this candidate into a geometry column (nil when
+	// the tier never considered it).
+	Geom *GeomInfo
 }
 
 // TotalAccesses returns Σ_R |RIS_R|, the program's total access count.

@@ -57,6 +57,7 @@ type fusedClassifier struct {
 	nWalks    int64
 	nMemoHits int64
 	nSteps    int64
+	nMemoOff  int64
 }
 
 // fcState is one candidate's slice of the fused walk: its geometry, its
@@ -68,13 +69,17 @@ type fcState struct {
 	wayBytes int64
 	assoc    int
 	scratch  *walkScratch
-	memo     map[*reuse.Vector]map[string]memoEntry
+	// memo carries each vector's arena plus its hit-rate-gate state,
+	// exactly as in the sequential classifier (see vecMemo and
+	// memoDisableAfter).
+	memo map[*reuse.Vector]*vecMemo
 
 	set      int64
 	walkDone bool
 	evicted  bool
 	scanned  int64
-	key      string // memo key to store after the walk ("" = none)
+	key      string   // memo key to store after the walk ("" = none)
+	vm       *vecMemo // arena the pending key stores into
 }
 
 // fcWalkEntry is the per-access working set of one undecided candidate,
@@ -107,7 +112,7 @@ func newFusedClassifier(g *fuseGroup, w *trace.Walker, p *Prepared) *fusedClassi
 		st := &fcState{numSets: a.numSets, setMask: a.setMask, wayBytes: a.wayBytes,
 			assoc: a.cfg.Assoc, scratch: newWalkScratch(a.cfg.Assoc)}
 		if !a.opt.NoMemo {
-			st.memo = map[*reuse.Vector]map[string]memoEntry{}
+			st.memo = map[*reuse.Vector]*vecMemo{}
 		}
 		fc.states[i] = st
 	}
@@ -131,7 +136,8 @@ func (fc *fusedClassifier) release() {
 	mWalks.Add(fc.nWalks)
 	mWalkMemoHits.Add(fc.nMemoHits)
 	mWalkSteps.Add(fc.nSteps)
-	fc.nWalks, fc.nMemoHits, fc.nSteps = 0, 0, 0
+	mWalkMemoDisabled.Add(fc.nMemoOff)
+	fc.nWalks, fc.nMemoHits, fc.nSteps, fc.nMemoOff = 0, 0, 0, 0
 }
 
 // runTile classifies every point of reference ri inside the tile for the
@@ -244,24 +250,28 @@ func (fc *fusedClassifier) classifyFused(r *ir.NRef, idx []int64, parts []RefRep
 		info := g.memo[v]
 		fc.pend = fc.pend[:0]
 		for _, s := range fc.act {
-			s.walkDone, s.evicted, s.scanned, s.key = false, false, 0, ""
+			s.walkDone, s.evicted, s.scanned, s.key, s.vm = false, false, 0, "", nil
 			if s.setMask >= 0 {
 				s.set = line & s.setMask
 			} else {
 				s.set = line % s.numSets
 			}
 			if s.memo != nil && info.invMask != 0 {
-				key := s.scratch.memoKey(info, idx, addr, s.wayBytes)
 				vm := s.memo[v]
 				if vm == nil {
-					vm = map[string]memoEntry{}
+					vm = &vecMemo{entries: map[string]memoEntry{}}
 					s.memo[v] = vm
 				}
-				if e, ok := vm[string(key)]; ok {
-					s.evicted, s.scanned, s.walkDone = e.evicted, e.scanned, true
-					fc.nMemoHits++
-				} else {
-					s.key = string(key)
+				if !vm.off {
+					key := s.scratch.memoKey(info, idx, addr, s.wayBytes)
+					if e, ok := vm.entries[string(key)]; ok {
+						s.evicted, s.scanned, s.walkDone = e.evicted, e.scanned, true
+						fc.nMemoHits++
+						vm.miss = 0
+					} else {
+						s.key = string(key)
+						s.vm = vm
+					}
 				}
 			}
 			if !s.walkDone {
@@ -275,7 +285,14 @@ func (fc *fusedClassifier) classifyFused(r *ir.NRef, idx []int64, parts []RefRep
 			for _, s := range fc.pend {
 				fc.nSteps += s.scanned
 				if s.key != "" {
-					s.memo[v][s.key] = memoEntry{scanned: s.scanned, evicted: s.evicted}
+					s.vm.entries[s.key] = memoEntry{scanned: s.scanned, evicted: s.evicted}
+					if s.vm.miss++; s.vm.miss >= memoDisableAfter {
+						// Hit-rate gate, as in classifier.classify: free the
+						// vector's arena and stop probing it.
+						s.vm.entries = nil
+						s.vm.off = true
+						fc.nMemoOff++
+					}
 				}
 			}
 		}

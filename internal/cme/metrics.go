@@ -14,6 +14,9 @@ var (
 	mWalks            = obs.Default.Counter("cme_walks_total")
 	mWalkMemoHits     = obs.Default.Counter("cme_walk_memo_hits_total")
 	mWalkSteps        = obs.Default.Counter("cme_walk_steps_total")
+	// mWalkMemoDisabled counts reuse vectors whose memo arena the hit-rate
+	// gate dropped (memoDisableAfter consecutive probe misses).
+	mWalkMemoDisabled = obs.Default.Counter("cme_walk_memo_disabled_total")
 	mFusedCandidates  = obs.Default.Histogram("cme_fused_walk_candidates", 1, 2, 4, 8, 16, 32)
 	mCacheHits        = obs.Default.Counter("cme_resultcache_hits_total")
 	mCacheMisses      = obs.Default.Counter("cme_resultcache_misses_total")
@@ -27,4 +30,15 @@ var (
 	mScalingFitSolves = obs.Default.Counter("cme_scaling_fit_solves_total")
 	mScalingEvals     = obs.Default.Counter("cme_scaling_closed_evals_total")
 	mScalingFallbacks = obs.Default.Counter("cme_scaling_fallbacks_total")
+
+	// Geometry-parametric tier (geom.go): fits per (column, ref, residue
+	// class), closed-form evaluations per (member, ref) — pure-cold fills
+	// count in both cme_geom_eval_total and cme_geom_purecold_total —
+	// anchor members fed to the fused solver, and refused pairs that fell
+	// through to enumeration.
+	mGeomFits      = obs.Default.Counter("cme_geom_fit_total")
+	mGeomEvals     = obs.Default.Counter("cme_geom_eval_total")
+	mGeomAnchors   = obs.Default.Counter("cme_geom_anchor_solves_total")
+	mGeomPureCold  = obs.Default.Counter("cme_geom_purecold_total")
+	mGeomFallbacks = obs.Default.Counter("cme_geom_fallback_total")
 )

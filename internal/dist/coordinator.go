@@ -109,6 +109,20 @@ type unitRef struct {
 	sweep *sweepState
 	start int // index of the first candidate in the sweep grid
 	cands []WireCandidate
+	// idxs, when non-nil, maps each unit candidate to its sweep grid
+	// index — geometry-column units carry strided candidates (the grid
+	// iterates cache sizes outermost, so a fixed-(line, assoc, pad)
+	// column is not consecutive). nil means the consecutive run
+	// start..start+len(cands).
+	idxs []int
+}
+
+// gridIndex is the sweep grid index of the unit's i-th candidate.
+func (r unitRef) gridIndex(i int) int {
+	if r.idxs != nil {
+		return r.idxs[i]
+	}
+	return r.start + i
 }
 
 // unit is one content-addressed work unit: a consecutive run of
@@ -449,17 +463,7 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, journalledP
 	}
 	now := c.opt.now()
 
-	for i := 0; i < len(wcs); {
-		if ss.filled[i] {
-			i++
-			continue
-		}
-		j := i
-		for j < len(wcs) && j-i < unitSize && !ss.filled[j] {
-			j++
-		}
-		key := unitKey(prep.SolveKey(cands[i:j], plan), spec.SolveSpec)
-		ref := unitRef{sweep: ss, start: i, cands: wcs[i:j]}
+	addUnit := func(key string, ref unitRef) {
 		ss.unitsTotal++
 		if u, ok := c.byKey[key]; ok {
 			// Content-addressed dedup: an identical unit (same program
@@ -498,6 +502,69 @@ func (c *Coordinator) addSweep(ctx context.Context, spec *SweepSpec, journalledP
 			c.eventLocked(u, now, TimelineSubmitted, "", fmt.Sprintf("sweep %.12s", id))
 			c.eventLocked(u, now, TimelineQueued, "", "")
 		}
+	}
+
+	// Geometry-column units: an exact, unbudgeted sweep at the default
+	// unit size shards by geometry column — all cache sizes sharing
+	// (line size, associativity, pad) ride one unit, in grid order — so
+	// the solving worker's SolveBatch sees the whole size ladder and the
+	// geometry-parametric tier (cme geom.go) answers most of it from a
+	// few anchor solves instead of enumerating every member. Rows are
+	// bit-identical either way, so the merged report does not change;
+	// only the work partition does. Budgeted sweeps keep per-candidate
+	// units (the budget is per unit — regrouping would change how far it
+	// stretches), and columns below the tier's minimum gain nothing and
+	// stay on the consecutive-run path.
+	var columned []bool
+	if spec.Exact && unitSize <= 1 && !spec.NoColumnUnits &&
+		spec.MaxPoints == 0 && spec.TimeoutMs == 0 {
+		type colKey struct {
+			lineBytes int64
+			assoc     int
+			padArray  string
+			pad       int64
+		}
+		groups := map[colKey][]int{}
+		var order []colKey
+		for i, wc := range wcs {
+			if ss.filled[i] {
+				continue
+			}
+			k := colKey{wc.LineBytes, wc.Assoc, wc.PadArray, wc.Pad}
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], i)
+		}
+		columned = make([]bool, len(wcs))
+		for _, k := range order {
+			idxs := groups[k]
+			if len(idxs) < cme.DefaultGeomMinColumn {
+				continue
+			}
+			colCands := make([]cme.Candidate, len(idxs))
+			colWcs := make([]WireCandidate, len(idxs))
+			for j, gi := range idxs {
+				colCands[j] = cands[gi]
+				colWcs[j] = wcs[gi]
+				columned[gi] = true
+			}
+			key := unitKey(prep.SolveKey(colCands, plan), spec.SolveSpec)
+			addUnit(key, unitRef{sweep: ss, start: idxs[0], cands: colWcs, idxs: idxs})
+		}
+	}
+
+	for i := 0; i < len(wcs); {
+		if ss.filled[i] || (columned != nil && columned[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(wcs) && j-i < unitSize && !ss.filled[j] && (columned == nil || !columned[j]) {
+			j++
+		}
+		key := unitKey(prep.SolveKey(cands[i:j], plan), spec.SolveSpec)
+		addUnit(key, unitRef{sweep: ss, start: i, cands: wcs[i:j]})
 		i = j
 	}
 	if !replay {
@@ -795,7 +862,7 @@ func (c *Coordinator) fillLocked(u *unit, ref unitRef, rows []Row) {
 			break
 		}
 		row.Label = ref.cands[i].Label
-		idx := ref.start + i
+		idx := ref.gridIndex(i)
 		if !ss.filled[idx] {
 			ss.filled[idx] = true
 			ss.remaining--

@@ -186,6 +186,16 @@ type SweepSpec struct {
 	// (default 1: maximal stealing granularity).
 	UnitSize int `json:"unit_size,omitempty"`
 
+	// NoColumnUnits opts out of geometry-column units. By default an
+	// exact, unbudgeted sweep at the default unit size shards by geometry
+	// column — every cache size sharing (line size, associativity, pad)
+	// rides one unit — so the solving worker sees the whole size ladder
+	// and the geometry-parametric closed-form tier answers most of it
+	// from a few anchor solves. Counts are bit-identical either way (the
+	// merged report never changes); this knob only restores the finer
+	// per-candidate stealing granularity.
+	NoColumnUnits bool `json:"no_column_units,omitempty"`
+
 	// Prune turns on the advisor-driven search mode: a cheap sampled pass
 	// over the geometry grid ranks candidates, advisor.Frontier keeps the
 	// non-dominated prefix, and only survivors are sharded for the real

@@ -192,6 +192,58 @@ func TestInvalidCandidatesSurviveDistribution(t *testing.T) {
 	}
 }
 
+// TestGeomColumnUnits: an exact, unbudgeted sweep at the default unit
+// size shards by geometry column — one unit per (line, assoc) ladder —
+// so the worker's SolveBatch sees whole size columns and the
+// geometry-parametric tier can engage, while the merged rows stay
+// byte-identical to the single-process baseline. NoColumnUnits restores
+// per-candidate units.
+func TestGeomColumnUnits(t *testing.T) {
+	spec := testSpec()
+	spec.CacheSizes = []int64{2048, 4096, 8192, 16384} // 4 sizes: column-sized
+	want := mustJSON(t, baselineRows(t, spec))
+
+	c, srv := newTestCoordinator(t, Options{})
+	st, err := c.AddSweep(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("AddSweep: %v", err)
+	}
+	// 8 candidates = 2 geometry columns (assoc 1 and assoc 2) of 4 sizes.
+	if st.Stats.Units != 2 {
+		t.Fatalf("units = %d, want 2 column units", st.Stats.Units)
+	}
+	runWorkers(t, srv.URL, 2, nil)
+	rep, err := c.Report(st.Sweep)
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if got := mustJSON(t, rep.Rows); got != want {
+		t.Errorf("column-unit rows differ from single-process baseline\n got: %.300s\nwant: %.300s", got, want)
+	}
+
+	// Opting out restores per-candidate stealing granularity, and the
+	// rows still merge to the same bytes.
+	optout := testSpec()
+	optout.CacheSizes = spec.CacheSizes
+	optout.NoColumnUnits = true
+	c2, srv2 := newTestCoordinator(t, Options{})
+	st2, err := c2.AddSweep(context.Background(), optout)
+	if err != nil {
+		t.Fatalf("AddSweep opt-out: %v", err)
+	}
+	if st2.Stats.Units != 8 {
+		t.Fatalf("opt-out units = %d, want 8 per-candidate units", st2.Stats.Units)
+	}
+	runWorkers(t, srv2.URL, 2, nil)
+	rep2, err := c2.Report(st2.Sweep)
+	if err != nil {
+		t.Fatalf("Report opt-out: %v", err)
+	}
+	if got := mustJSON(t, rep2.Rows); got != want {
+		t.Errorf("opt-out rows differ from single-process baseline")
+	}
+}
+
 // TestResubmitIsIdempotent: an identical spec resubmission returns the
 // existing sweep without duplicating units.
 func TestResubmitIsIdempotent(t *testing.T) {

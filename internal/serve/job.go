@@ -113,11 +113,19 @@ type CandidateResult struct {
 	Coverage        float64     `json:"coverage"`
 	Refs            []RefResult `json:"refs,omitempty"`
 	Error           string      `json:"error,omitempty"`
-	// Scaling-job provenance: whether this size was answered in closed
-	// form, and how many of the references were covered.
+	// Closed-form provenance: whether this candidate was answered in
+	// closed form, and how many of the references were covered. Set by
+	// the scaling tier (parameter-axis jobs) or the geometry-parametric
+	// tier (exact sweep columns over NumSets); ScalingWhy / GeomWhy say
+	// which, and why a candidate fell back when it did.
 	ClosedForm     bool   `json:"closed_form,omitempty"`
 	ClosedFormRefs int    `json:"closed_form_refs,omitempty"`
 	ScalingWhy     string `json:"scaling_why,omitempty"`
+	// GeomAnchor marks a candidate the geometry tier solved exactly to
+	// anchor a column fit; GeomWhy carries the refusal reason when the
+	// tier fell through to the enumerating solver.
+	GeomAnchor bool   `json:"geom_anchor,omitempty"`
+	GeomWhy    string `json:"geom_why,omitempty"`
 }
 
 // Result is a terminal job's outcome: candidate rows with provenance for
@@ -331,6 +339,12 @@ func resultFrom(key string, shared bool, spec *jobSpec, out *solveOutcome) *Resu
 			row.ClosedForm = sc.ClosedForm
 			row.ClosedFormRefs = sc.ClosedFormRefs
 			row.ScalingWhy = sc.Why
+		}
+		if g := rep.Geom; g != nil {
+			row.ClosedForm = g.Closed()
+			row.ClosedFormRefs = g.ClosedRefs
+			row.GeomAnchor = g.Anchor
+			row.GeomWhy = g.Why
 		}
 		for _, rr := range rep.Refs {
 			row.Refs = append(row.Refs, RefResult{ID: rr.Ref.ID, Volume: rr.Volume,

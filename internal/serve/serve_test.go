@@ -263,6 +263,78 @@ func TestServeScalingEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeSweepGeomClosedForm posts an exact cache-size column to
+// /v1/sweep and checks the geometry-parametric tier on the wire: the
+// column splits into anchor rows (GeomAnchor) and closed-form rows
+// (ClosedForm with full ref coverage), and a closed-form row's counts
+// are bit-identical to an exact /v1/analyze of the same geometry.
+func TestServeSweepGeomClosedForm(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, MaxCandidates: 16})
+	id := submitJob(t, ts, "/v1/sweep",
+		`{"program":"tomcatv","size":24,"exact":true,"line_sizes":[32],"assocs":[1],
+		  "cache_sizes":[40960,43008,45056,47104,49152,51200,53248,55296]}`)
+	jb := waitTerminal(t, ts, id)
+	if jb.Status != StatusDone {
+		t.Fatalf("sweep status %s, result %+v", jb.Status, jb.Result)
+	}
+	res := jb.Result
+	if len(res.Candidates) != 8 {
+		t.Fatalf("want 8 column rows, got %d", len(res.Candidates))
+	}
+	anchors, closed := 0, 0
+	for _, c := range res.Candidates {
+		if c.Error != "" || c.Accesses <= 0 {
+			t.Fatalf("bad column row: %+v", c)
+		}
+		switch {
+		case c.GeomAnchor:
+			anchors++
+		case c.ClosedForm:
+			closed++
+			if c.ClosedFormRefs != len(c.Refs) {
+				t.Fatalf("row %s covers %d/%d refs", c.Label, c.ClosedFormRefs, len(c.Refs))
+			}
+			for _, r := range c.Refs {
+				if !r.ClosedForm {
+					t.Fatalf("row %s ref %s not closed form", c.Label, r.ID)
+				}
+			}
+		default:
+			t.Fatalf("row %s neither anchor nor closed form (why %q)", c.Label, c.GeomWhy)
+		}
+	}
+	if anchors != 3 || closed != 5 {
+		t.Fatalf("column split %d anchors / %d closed, want 3/5", anchors, closed)
+	}
+
+	// Bit-identity against the enumerating path, through the public API.
+	aid := submitJob(t, ts, "/v1/analyze",
+		`{"program":"tomcatv","size":24,"exact":true,"cache_bytes":49152,"line_bytes":32,"assoc":1}`)
+	ab := waitTerminal(t, ts, aid)
+	if ab.Status != StatusDone {
+		t.Fatalf("analyze status %s, result %+v", ab.Status, ab.Result)
+	}
+	exact := map[string]RefResult{}
+	for _, r := range ab.Result.Candidates[0].Refs {
+		exact[r.ID] = r
+	}
+	for _, c := range res.Candidates {
+		if c.CacheBytes != 49152 {
+			continue
+		}
+		for _, r := range c.Refs {
+			w, ok := exact[r.ID]
+			if !ok {
+				t.Fatalf("ref %s missing from exact analyze", r.ID)
+			}
+			if r.Volume != w.Volume || r.Analyzed != w.Analyzed ||
+				r.Hits != w.Hits || r.Cold != w.Cold || r.Repl != w.Repl {
+				t.Fatalf("ref %s: geom %+v != exact %+v", r.ID, r, w)
+			}
+		}
+	}
+}
+
 // TestServeScalingRejectsBadRequests covers scaling-specific admission.
 func TestServeScalingRejectsBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Options{MaxCandidates: 8})

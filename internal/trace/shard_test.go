@@ -9,6 +9,7 @@ import (
 	"cachemodel/internal/cache"
 	"cachemodel/internal/cerr"
 	"cachemodel/internal/ir"
+	"cachemodel/internal/obs"
 )
 
 // TestShardedMatchesSequential: the set-sharded simulator must be
@@ -61,6 +62,45 @@ func TestShardedWorkerClamp(t *testing.T) {
 		if got.Accesses != want.Accesses || got.Misses != want.Misses {
 			t.Fatalf("w=%d: got %d/%d, want %d/%d", workers, got.Accesses, got.Misses, want.Accesses, want.Misses)
 		}
+	}
+}
+
+// TestShardedW1Bypass: one effective shard means sharding can only add
+// queue and merge overhead, so the sharded entry point must dispatch
+// straight to the sequential simulator — observable as a "simulate" span
+// with no "simulate.sharded" span, whether the single shard comes from an
+// explicit workers=1 or from the set-count clamp.
+func TestShardedW1Bypass(t *testing.T) {
+	np := twoNests(12)
+	cases := []struct {
+		name    string
+		cfg     cache.Config
+		workers int
+	}{
+		{"workers=1", cache.Config{SizeBytes: 2048, LineBytes: 32, Assoc: 2}, 1},
+		{"one set, workers=8", cache.Config{SizeBytes: 256, LineBytes: 64, Assoc: 4}, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := Simulate(np, tc.cfg)
+			col := obs.New("test")
+			ctx := obs.NewContext(context.Background(), col)
+			got, err := SimulateShardedCtx(ctx, np, tc.cfg, cache.FetchOnWrite, budget.Budget{}, tc.workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Accesses != want.Accesses || got.Misses != want.Misses {
+				t.Fatalf("got %d/%d accesses/misses, want %d/%d",
+					got.Accesses, got.Misses, want.Accesses, want.Misses)
+			}
+			var names []string
+			for _, sp := range col.Report().Spans.Children {
+				names = append(names, sp.Name)
+			}
+			if len(names) != 1 || names[0] != "simulate" {
+				t.Fatalf("spans = %v, want exactly [simulate]: the single-shard case must bypass the sharded machinery", names)
+			}
+		})
 	}
 }
 
